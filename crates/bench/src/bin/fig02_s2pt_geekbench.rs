@@ -1,0 +1,36 @@
+//! Figure 2: Geekbench scores with stage-2 translation (4 KiB mappings)
+//! enabled versus disabled — the continuous overhead of the design the paper
+//! rejects in §2.4.2.
+
+use bench::{fmt, HarnessOptions, ResultTable};
+use ree_kernel::StageTwoConfig;
+use workloads::geekbench_suite;
+
+fn main() {
+    let _opts = HarnessOptions::from_args();
+    let disabled = StageTwoConfig::disabled();
+    let enabled = StageTwoConfig::enabled_4k();
+
+    let mut table = ResultTable::new(
+        "figure02_s2pt_geekbench",
+        &["subtest", "score_s2pt_disabled", "score_s2pt_4k", "overhead_pct"],
+    );
+    let mut overheads = Vec::new();
+    for t in geekbench_suite() {
+        let base = t.score_under_s2pt(&disabled);
+        let with = t.score_under_s2pt(&enabled);
+        let overhead = (base - with) / base * 100.0;
+        overheads.push(overhead);
+        table.push_row(vec![
+            t.name.to_string(),
+            fmt(base, 0),
+            fmt(with, 0),
+            fmt(overhead, 1),
+        ]);
+    }
+    table.finish();
+
+    let max = overheads.iter().cloned().fold(f64::MIN, f64::max);
+    let avg: f64 = overheads.iter().sum::<f64>() / overheads.len() as f64;
+    println!("max overhead {:.1}% (paper: 9.8%), average {:.1}% (paper: 2.0%)", max, avg);
+}

@@ -1,0 +1,74 @@
+//! Figure 10: average TTFT of the four systems on the UltraChat, PersonaChat
+//! and DroidTask benchmarks (geometric-mean overheads as in §7.1.1).
+
+use bench::{fmt, HarnessOptions, ResultTable};
+use llm::ModelSpec;
+use sim_core::stats::geomean;
+use sim_core::DetRng;
+use tz_hal::PlatformProfile;
+use tzllm::{evaluate, InferenceConfig, SystemKind};
+use workloads::Benchmark;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let profile = PlatformProfile::rk3588();
+    let prompts_per_benchmark = if opts.quick { 3 } else { 10 };
+    let mut rng = DetRng::new(2026);
+
+    let mut table = ResultTable::new(
+        "figure10_ttft_benchmarks",
+        &[
+            "model",
+            "benchmark",
+            "ree_memory_s",
+            "ree_flash_s",
+            "tzllm_s",
+            "strawman_s",
+            "tzllm_vs_strawman_reduction_pct",
+            "tzllm_vs_flash_overhead_pct",
+        ],
+    );
+
+    for model in ModelSpec::catalogue() {
+        for benchmark in Benchmark::all() {
+            let lengths = benchmark.sample_prompt_lengths(prompts_per_benchmark, &mut rng);
+            let mut ttfts: std::collections::HashMap<SystemKind, Vec<f64>> = Default::default();
+            let mut reductions = Vec::new();
+            let mut overheads = Vec::new();
+            for &len in &lengths {
+                let cfg = InferenceConfig::paper_default(model.clone(), len);
+                let mut per: std::collections::HashMap<SystemKind, f64> = Default::default();
+                for system in SystemKind::all() {
+                    let r = evaluate(system, &profile, &cfg);
+                    per.insert(system, r.ttft.as_secs_f64());
+                    ttfts.entry(system).or_default().push(r.ttft.as_secs_f64());
+                }
+                reductions.push(1.0 - per[&SystemKind::TzLlm] / per[&SystemKind::Strawman]);
+                overheads.push(per[&SystemKind::TzLlm] / per[&SystemKind::ReeLlmFlash]);
+            }
+            let avg = |s: SystemKind| {
+                let v = &ttfts[&s];
+                v.iter().sum::<f64>() / v.len() as f64
+            };
+            let geo_reduction = 1.0 - geomean(&overhead_complement(&reductions)).unwrap_or(1.0);
+            let geo_overhead = geomean(&overheads).unwrap_or(1.0) - 1.0;
+            table.push_row(vec![
+                model.name.clone(),
+                benchmark.short_label().to_string(),
+                fmt(avg(SystemKind::ReeLlmMemory), 2),
+                fmt(avg(SystemKind::ReeLlmFlash), 2),
+                fmt(avg(SystemKind::TzLlm), 2),
+                fmt(avg(SystemKind::Strawman), 2),
+                fmt(geo_reduction * 100.0, 1),
+                fmt(geo_overhead * 100.0, 1),
+            ]);
+        }
+    }
+    table.finish();
+    println!("Paper: 76.1%-90.9% TTFT reduction vs strawman; 5.2%-28.3% overhead vs REE-LLM-Flash.");
+}
+
+/// Converts reductions r into ratios (1 - r) so a geometric mean can be taken.
+fn overhead_complement(reductions: &[f64]) -> Vec<f64> {
+    reductions.iter().map(|r| 1.0 - r).collect()
+}

@@ -1,0 +1,42 @@
+//! Figure 11: token-generation (decoding) speed of the four models under the
+//! REE baseline, TZ-LLM and the strawman (prompt 128, output 64).
+
+use bench::{fmt, HarnessOptions, ResultTable};
+use llm::ModelSpec;
+use tz_hal::PlatformProfile;
+use tzllm::{evaluate, InferenceConfig, SystemKind};
+
+fn main() {
+    let _opts = HarnessOptions::from_args();
+    let profile = PlatformProfile::rk3588();
+
+    let mut table = ResultTable::new(
+        "figure11_decoding_speed",
+        &[
+            "model",
+            "ree_llm_tps",
+            "tzllm_tps",
+            "strawman_tps",
+            "tzllm_vs_ree_pct",
+            "tzllm_vs_strawman_pct",
+        ],
+    );
+    for model in ModelSpec::catalogue() {
+        let cfg = InferenceConfig::paper_default(model.clone(), 128);
+        let ree = evaluate(SystemKind::ReeLlmMemory, &profile, &cfg);
+        let tz = evaluate(SystemKind::TzLlm, &profile, &cfg);
+        let straw = evaluate(SystemKind::Strawman, &profile, &cfg);
+        let vs_ree = (tz.decode_tokens_per_sec / ree.decode_tokens_per_sec - 1.0) * 100.0;
+        let vs_straw = (tz.decode_tokens_per_sec / straw.decode_tokens_per_sec - 1.0) * 100.0;
+        table.push_row(vec![
+            model.name.clone(),
+            fmt(ree.decode_tokens_per_sec, 2),
+            fmt(tz.decode_tokens_per_sec, 2),
+            fmt(straw.decode_tokens_per_sec, 2),
+            fmt(vs_ree, 1),
+            fmt(vs_straw, 1),
+        ]);
+    }
+    table.finish();
+    println!("Paper: TZ-LLM is 0.9%-23.2% faster than the strawman and 1.3%-4.9% slower than the REE baseline.");
+}

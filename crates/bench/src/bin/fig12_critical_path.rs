@@ -1,0 +1,65 @@
+//! Figure 12: the three candidate critical paths (I/O, CPU, computation) and
+//! TZ-LLM's achieved TTFT across prompt lengths, with 20% of the parameters
+//! cached, with and without memory stress.
+
+use bench::{fmt, HarnessOptions, ResultTable};
+use llm::ModelSpec;
+use tz_hal::PlatformProfile;
+use tzllm::{evaluate_tzllm, InferenceConfig};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let profile = PlatformProfile::rk3588();
+    let prompts: Vec<usize> = if opts.quick {
+        vec![128, 512]
+    } else {
+        vec![100, 200, 300, 400, 500]
+    };
+
+    let mut table = ResultTable::new(
+        "figure12_critical_path",
+        &[
+            "model",
+            "stress",
+            "prompt_len",
+            "io_path_s",
+            "cpu_path_s",
+            "compute_path_s",
+            "lower_bound_s",
+            "tzllm_ttft_s",
+            "overhead_vs_bound_pct",
+        ],
+    );
+
+    for model in [ModelSpec::qwen2_5_3b(), ModelSpec::llama3_8b()] {
+        for stress in [true, false] {
+            for &prompt in &prompts {
+                let mut cfg = InferenceConfig::paper_default(model.clone(), prompt);
+                cfg.cached_fraction = 0.2;
+                if !stress {
+                    cfg.memory_pressure = 0;
+                }
+                let report = evaluate_tzllm(&profile, &cfg);
+                let cp = report.critical_paths;
+                let bound = cp.lower_bound().as_secs_f64();
+                // Compare the pipeline part of the TTFT against the bound; the
+                // fixed framework/working-alloc costs are outside the pipeline.
+                let pipeline = report.breakdown.pipeline.as_secs_f64();
+                let overhead = (pipeline / bound - 1.0) * 100.0;
+                table.push_row(vec![
+                    model.name.clone(),
+                    if stress { "yes" } else { "no" }.into(),
+                    prompt.to_string(),
+                    fmt(cp.io.as_secs_f64(), 3),
+                    fmt(cp.cpu.as_secs_f64(), 3),
+                    fmt(cp.compute.as_secs_f64(), 3),
+                    fmt(bound, 3),
+                    fmt(report.ttft.as_secs_f64(), 3),
+                    fmt(overhead, 2),
+                ]);
+            }
+        }
+    }
+    table.finish();
+    println!("Paper: TZ-LLM is within 0.01%-9.9% of the lower bound with stress, up to 10.4% without.");
+}

@@ -1,0 +1,80 @@
+//! Figure 15: NPU time-sharing — throughput of YOLOv5 / MobileNet and of the
+//! LLM (Qwen2.5-3B, Llama-3-8B) when running exclusively (EX) or sharing the
+//! NPU (SH), with the LLM in the REE or in the TEE.
+
+use bench::{fmt, HarnessOptions, ResultTable};
+use llm::ModelSpec;
+use sim_core::SimDuration;
+use tzllm::{LlmPhase, LlmPlacement, NpuSharingSim, SharingConfig};
+use workloads::NnApp;
+
+fn run(
+    model: &ModelSpec,
+    phase: LlmPhase,
+    placement: LlmPlacement,
+    llm: bool,
+    nn: bool,
+    nn_app: NnApp,
+    horizon: SimDuration,
+) -> (f64, f64) {
+    let mut sim = NpuSharingSim::new();
+    let r = sim.run(&SharingConfig {
+        model: model.clone(),
+        phase,
+        placement,
+        llm_active: llm,
+        nn_active: nn,
+        nn_job_time: nn_app.job_time(),
+        horizon,
+    });
+    (r.nn_ops_per_sec, r.llm_tokens_per_sec)
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let horizon = if opts.quick {
+        SimDuration::from_secs(5)
+    } else {
+        SimDuration::from_secs(30)
+    };
+    let models = [ModelSpec::qwen2_5_3b(), ModelSpec::llama3_8b()];
+    let phases = [("prefill", LlmPhase::Prefill { prompt_len: 512 }), ("decode", LlmPhase::Decode)];
+
+    let mut table = ResultTable::new(
+        "figure15_npu_sharing",
+        &["nn_app", "model", "phase", "setup", "nn_ops_per_s", "llm_tokens_per_s"],
+    );
+    for nn_app in NnApp::all() {
+        for model in &models {
+            for (phase_name, phase) in phases {
+                // Exclusive runs.
+                let (nn_ex, _) = run(model, phase, LlmPlacement::Ree, false, true, nn_app, horizon);
+                let (_, llm_ree_ex) = run(model, phase, LlmPlacement::Ree, true, false, nn_app, horizon);
+                let (_, llm_tee_ex) = run(model, phase, LlmPlacement::Tee, true, false, nn_app, horizon);
+                // Shared runs.
+                let (nn_ree_sh, llm_ree_sh) = run(model, phase, LlmPlacement::Ree, true, true, nn_app, horizon);
+                let (nn_tee_sh, llm_tee_sh) = run(model, phase, LlmPlacement::Tee, true, true, nn_app, horizon);
+
+                let rows = [
+                    ("NN-EX", nn_ex, 0.0),
+                    ("LLM-REE-EX", 0.0, llm_ree_ex),
+                    ("LLM-TEE-EX", 0.0, llm_tee_ex),
+                    ("REE-SH", nn_ree_sh, llm_ree_sh),
+                    ("TEE-SH", nn_tee_sh, llm_tee_sh),
+                ];
+                for (setup, nn, llm) in rows {
+                    table.push_row(vec![
+                        nn_app.name().to_string(),
+                        model.name.clone(),
+                        phase_name.to_string(),
+                        setup.to_string(),
+                        fmt(nn, 1),
+                        fmt(llm, 2),
+                    ]);
+                }
+            }
+        }
+    }
+    table.finish();
+    println!("Paper: TEE-REE sharing costs at most 3.8% (NN) / 3.0% (LLM) extra slowdown versus REE-only sharing.");
+}

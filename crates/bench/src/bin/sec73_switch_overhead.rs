@@ -1,0 +1,79 @@
+//! §7.3 (text): breakdown of the TEE-REE NPU time-sharing overhead — SMC
+//! switches, TZASC/TZPC configuration and GIC configuration — as a fraction
+//! of the TTFT and of the decoding time.
+
+use bench::{fmt, HarnessOptions, ResultTable};
+use llm::ModelSpec;
+use sim_core::SimDuration;
+use tz_hal::PlatformProfile;
+use tzllm::{evaluate_tzllm, InferenceConfig, LlmPhase, LlmPlacement, NpuSharingSim, SharingConfig};
+use workloads::NnApp;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let profile = PlatformProfile::rk3588();
+    let horizon = if opts.quick { SimDuration::from_secs(5) } else { SimDuration::from_secs(20) };
+
+    let mut table = ResultTable::new(
+        "sec73_switch_overhead",
+        &[
+            "model",
+            "phase",
+            "handoffs",
+            "smc_us",
+            "tzpc_us",
+            "gic_us",
+            "tzasc_us",
+            "per_handoff_us",
+            "total_overhead_ms",
+            "share_of_phase_pct",
+        ],
+    );
+
+    for model in [ModelSpec::qwen2_5_3b(), ModelSpec::llama3_8b()] {
+        for (phase_name, phase) in [("prefill", LlmPhase::Prefill { prompt_len: 512 }), ("decode", LlmPhase::Decode)] {
+            let mut sim = NpuSharingSim::new();
+            let r = sim.run(&SharingConfig {
+                model: model.clone(),
+                phase,
+                placement: LlmPlacement::Tee,
+                llm_active: true,
+                nn_active: true,
+                nn_job_time: NnApp::YoloV5.job_time(),
+                horizon,
+            });
+            let per_handoff = if r.handoffs > 0 {
+                r.switch_overhead.as_secs_f64() * 1e6 / r.handoffs as f64
+            } else {
+                0.0
+            };
+            // Share of the phase time: overhead / horizon during which the
+            // LLM was actually using the NPU.
+            let share = r.switch_overhead.as_secs_f64() / horizon.as_secs_f64() * 100.0;
+            table.push_row(vec![
+                model.name.clone(),
+                phase_name.to_string(),
+                r.handoffs.to_string(),
+                fmt(r.mean_switch.smc.as_secs_f64() * 1e6, 1),
+                fmt(r.mean_switch.tzpc.as_secs_f64() * 1e6, 1),
+                fmt(r.mean_switch.gic.as_secs_f64() * 1e6, 1),
+                fmt(r.mean_switch.tzasc.as_secs_f64() * 1e6, 1),
+                fmt(per_handoff, 1),
+                fmt(r.switch_overhead.as_secs_f64() * 1e3, 2),
+                fmt(share, 2),
+            ]);
+        }
+    }
+
+    // Also report the share of the end-to-end TTFT attributable to switching.
+    for model in [ModelSpec::qwen2_5_3b(), ModelSpec::llama3_8b()] {
+        let cfg = InferenceConfig::paper_default(model.clone(), 512);
+        let report = evaluate_tzllm(&profile, &cfg);
+        println!(
+            "{}: NPU switching is {:.2}% of the 512-token TTFT (paper: 1.6%-2.7% of TTFT, 2.3%-5.7% of decode time)",
+            model.name,
+            report.breakdown.npu_overhead.as_secs_f64() / report.ttft.as_secs_f64() * 100.0
+        );
+    }
+    table.finish();
+}

@@ -1,0 +1,33 @@
+//! Table 1: qualitative comparison of TEE-based model-protection approaches.
+
+use bench::{HarnessOptions, ResultTable};
+use tzllm::related::table1;
+
+fn main() {
+    let _opts = HarnessOptions::from_args();
+    let mut table = ResultTable::new(
+        "table1_comparison",
+        &[
+            "approach",
+            "performance",
+            "accelerator_usage",
+            "end_to_end_security",
+            "no_model_modification",
+            "quantization_support",
+            "memory_scaling",
+        ],
+    );
+    let yn = |b: bool| if b { "yes" } else { "no" }.to_string();
+    for row in table1() {
+        table.push_row(vec![
+            row.approach.to_string(),
+            row.performance.render().to_string(),
+            row.accelerator.render().to_string(),
+            yn(row.end_to_end_security),
+            yn(row.no_model_modification),
+            yn(row.quantization_support),
+            yn(row.memory_scaling),
+        ]);
+    }
+    table.finish();
+}

@@ -1,0 +1,146 @@
+//! Shared plumbing for the figure-regeneration harness.
+//!
+//! Every `fig*`/`table*`/`sec*` binary in `src/bin/` regenerates one table or
+//! figure of the paper: it prints the same rows/series the paper reports and
+//! writes a CSV copy under `target/experiments/` so EXPERIMENTS.md can quote
+//! stable numbers.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Command-line options shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Run a reduced parameter sweep (CI smoke test).
+    pub quick: bool,
+}
+
+impl HarnessOptions {
+    /// Parses `--quick` from the process arguments.
+    pub fn from_args() -> Self {
+        HarnessOptions {
+            quick: std::env::args().any(|a| a == "--quick"),
+        }
+    }
+}
+
+/// Where experiment CSVs are written.
+pub fn output_dir() -> PathBuf {
+    let dir = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// A simple experiment table: header plus rows, printable and CSV-writable.
+#[derive(Debug, Clone)]
+pub struct ResultTable {
+    /// Experiment identifier, e.g. `"figure09"`.
+    pub name: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, header: &[&str]) -> Self {
+        ResultTable {
+            name: name.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Prints the table to stdout in an aligned layout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("== {} ==", self.name);
+        println!("{}", line(&self.header));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        println!();
+    }
+
+    /// Writes the table as CSV under `target/experiments/<name>.csv` and
+    /// returns the path.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        let path = output_dir().join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Prints and writes the CSV, reporting the output path.
+    pub fn finish(&self) {
+        self.print();
+        match self.write_csv() {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write CSV: {e}"),
+        }
+    }
+}
+
+/// Formats a duration in seconds with three decimals.
+pub fn secs(d: sim_core::SimDuration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = ResultTable::new("unit-test-table", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["3".into(), "4".into()]);
+        let path = t.write_csv().unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("a,b"));
+        assert!(content.contains("3,4"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_is_checked() {
+        let mut t = ResultTable::new("bad", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(sim_core::SimDuration::from_millis(1500)), "1.500");
+        assert_eq!(fmt(3.14159, 2), "3.14");
+    }
+}

@@ -1,0 +1,187 @@
+//! Operator cost model.
+//!
+//! Converts the arithmetic counts of the computation graph into simulated
+//! execution times, calibrated against the paper's measurements:
+//!
+//! * CPU-only prefill of Llama-3-8B at 512 tokens takes ≈164.5 s (Figure 1);
+//! * the Rockchip NPU speeds prefill up by ≈12.5× and decoding by ≈1.3×
+//!   (§2.3);
+//! * decoding is memory-bandwidth bound (one pass over all parameters per
+//!   token).
+
+use serde::{Deserialize, Serialize};
+use sim_core::SimDuration;
+
+use crate::graph::{ComputationGraph, ComputeOp, Device};
+use crate::model::ModelSpec;
+
+/// Calibration parameters of the cost model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Effective CPU int8 multiply-accumulate rate (all big cores together).
+    pub cpu_macs_per_sec: f64,
+    /// Effective NPU int8 multiply-accumulate rate (all NPU cores together).
+    pub npu_macs_per_sec: f64,
+    /// DRAM bandwidth available to the inference context (decoding bound).
+    pub dram_bytes_per_sec: f64,
+    /// Relative DMA efficiency of the NPU during decoding (the paper measures
+    /// a 1.3x decode speed-up from the NPU).
+    pub npu_decode_gain: f64,
+    /// Fixed launch overhead per CPU operator.
+    pub cpu_op_overhead: SimDuration,
+    /// Fixed launch overhead per NPU job (command submission).
+    pub npu_op_overhead: SimDuration,
+}
+
+impl CostParams {
+    /// Calibration for the RK3588 testbed.
+    pub fn rk3588() -> Self {
+        CostParams {
+            cpu_macs_per_sec: 2.5e10,
+            npu_macs_per_sec: 4.0e11,
+            dram_bytes_per_sec: 22.0e9,
+            npu_decode_gain: 1.3,
+            cpu_op_overhead: SimDuration::from_micros(6),
+            npu_op_overhead: SimDuration::from_micros(25),
+        }
+    }
+}
+
+/// The cost model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    params: CostParams,
+}
+
+impl CostModel {
+    /// Creates a cost model.
+    pub fn new(params: CostParams) -> Self {
+        CostModel { params }
+    }
+
+    /// The RK3588-calibrated cost model.
+    pub fn rk3588() -> Self {
+        Self::new(CostParams::rk3588())
+    }
+
+    /// The calibration parameters.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Execution time of one operator on its assigned device during prefill.
+    pub fn op_time(&self, op: &ComputeOp) -> SimDuration {
+        match op.device {
+            Device::Cpu => {
+                self.params.cpu_op_overhead
+                    + SimDuration::from_secs_f64(op.macs as f64 / self.params.cpu_macs_per_sec)
+            }
+            Device::Npu => {
+                self.params.npu_op_overhead
+                    + SimDuration::from_secs_f64(op.macs as f64 / self.params.npu_macs_per_sec)
+            }
+        }
+    }
+
+    /// Execution time of one operator when forced onto the CPU (the strawman
+    /// baseline has no NPU in the TEE).
+    pub fn op_time_cpu_only(&self, op: &ComputeOp) -> SimDuration {
+        self.params.cpu_op_overhead
+            + SimDuration::from_secs_f64(op.macs as f64 / self.params.cpu_macs_per_sec)
+    }
+
+    /// Pure computation time of a whole prefill graph (no restoration, no
+    /// resource contention — a lower bound used by the critical-path analysis).
+    pub fn prefill_compute_time(&self, graph: &ComputationGraph, use_npu: bool) -> SimDuration {
+        graph
+            .ops
+            .iter()
+            .map(|op| if use_npu { self.op_time(op) } else { self.op_time_cpu_only(op) })
+            .sum()
+    }
+
+    /// Time to generate one token during decoding.
+    ///
+    /// Decoding is dominated by streaming all parameters once per token, so
+    /// the time is the maximum of the compute time and the memory time.
+    pub fn decode_token_time(&self, model: &ModelSpec, kv_len: usize, use_npu: bool) -> SimDuration {
+        let graph = ComputationGraph::decode(model, kv_len);
+        let compute: SimDuration = graph
+            .ops
+            .iter()
+            .map(|op| if use_npu { self.op_time(op) } else { self.op_time_cpu_only(op) })
+            .sum();
+        let memory_secs = model.total_q8_bytes() as f64 / self.params.dram_bytes_per_sec;
+        let memory_secs = if use_npu {
+            memory_secs / self.params.npu_decode_gain
+        } else {
+            memory_secs
+        };
+        compute.max(SimDuration::from_secs_f64(memory_secs))
+    }
+
+    /// Decoding speed in tokens per second.
+    pub fn decode_tokens_per_sec(&self, model: &ModelSpec, kv_len: usize, use_npu: bool) -> f64 {
+        1.0 / self.decode_token_time(model, kv_len, use_npu).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_prefill_of_llama3_matches_figure_1() {
+        let model = ModelSpec::llama3_8b();
+        let graph = ComputationGraph::prefill(&model, 512);
+        let cost = CostModel::rk3588();
+        let t = cost.prefill_compute_time(&graph, false).as_secs_f64();
+        // Paper: 164.5 s.  Accept the right ballpark.
+        assert!(t > 130.0 && t < 210.0, "cpu prefill = {t}");
+    }
+
+    #[test]
+    fn npu_prefill_speedup_is_about_12x() {
+        let model = ModelSpec::llama3_8b();
+        let graph = ComputationGraph::prefill(&model, 512);
+        let cost = CostModel::rk3588();
+        let cpu = cost.prefill_compute_time(&graph, false).as_secs_f64();
+        let npu = cost.prefill_compute_time(&graph, true).as_secs_f64();
+        let speedup = cpu / npu;
+        assert!(speedup > 9.0 && speedup < 16.0, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn decode_is_memory_bound_and_npu_gains_are_modest() {
+        let cost = CostModel::rk3588();
+        let model = ModelSpec::llama3_8b();
+        let cpu_tps = cost.decode_tokens_per_sec(&model, 128, false);
+        let npu_tps = cost.decode_tokens_per_sec(&model, 128, true);
+        // A ~8.5 GB model over ~22 GB/s is ~2.5 tokens/s on the CPU.
+        assert!(cpu_tps > 1.5 && cpu_tps < 4.5, "cpu_tps = {cpu_tps}");
+        let gain = npu_tps / cpu_tps;
+        assert!(gain > 1.1 && gain < 1.5, "gain = {gain}");
+    }
+
+    #[test]
+    fn smaller_models_decode_faster() {
+        let cost = CostModel::rk3588();
+        let tiny = cost.decode_tokens_per_sec(&ModelSpec::tinyllama_1_1b(), 128, true);
+        let llama = cost.decode_tokens_per_sec(&ModelSpec::llama3_8b(), 128, true);
+        assert!(tiny > 4.0 * llama, "tiny = {tiny}, llama = {llama}");
+    }
+
+    #[test]
+    fn op_overheads_dominate_tiny_ops() {
+        let cost = CostModel::rk3588();
+        let graph = ComputationGraph::prefill(&ModelSpec::nano(), 1);
+        let norm = graph
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, crate::graph::OpKind::RmsNorm))
+            .unwrap();
+        let t = cost.op_time(norm);
+        assert!(t >= cost.params().cpu_op_overhead);
+        assert!(t < SimDuration::from_micros(20));
+    }
+}

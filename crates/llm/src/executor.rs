@@ -1,0 +1,290 @@
+//! A functional transformer executor for small models.
+//!
+//! The benchmark models are simulated at the cost-model level (their tensors
+//! are never materialised), but the inference framework itself must actually
+//! work: this module runs a real forward pass — Q8 matmuls, RMSNorm,
+//! grouped-query attention, SiLU FFN, greedy sampling — for small specs such
+//! as [`ModelSpec::nano`].  The examples and tests use it to generate tokens
+//! end-to-end inside the simulated TEE.
+//!
+//! Weights are generated deterministically from a seed (standing in for a
+//! provider-trained model); what matters for the reproduction is the
+//! *machinery*, not the language quality of a 4-layer toy model.
+
+use crate::graph::ComputationGraph;
+use crate::kv_cache::KvCache;
+use crate::model::ModelSpec;
+use crate::tensor::{QTensor, Tensor};
+
+/// RMS normalisation (as used by Llama-family models).
+pub fn rms_norm(x: &[f32], weight: &[f32]) -> Vec<f32> {
+    let mean_sq = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (mean_sq + 1e-5).sqrt();
+    x.iter().zip(weight).map(|(v, w)| v * inv * w).collect()
+}
+
+/// Numerically stable softmax in place.
+pub fn softmax(x: &mut [f32]) {
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in x.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// SiLU activation.
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Index of the maximum logit (greedy sampling).
+pub fn argmax(logits: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, v) in logits.iter().enumerate() {
+        if *v > logits[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Weights of one transformer layer.
+#[derive(Debug, Clone)]
+struct LayerWeights {
+    attn_norm: Vec<f32>,
+    wq: QTensor,
+    wk: QTensor,
+    wv: QTensor,
+    wo: QTensor,
+    ffn_norm: Vec<f32>,
+    ffn_gate: QTensor,
+    ffn_up: QTensor,
+    ffn_down: QTensor,
+}
+
+/// A fully materialised small model that can run a real forward pass.
+#[derive(Debug, Clone)]
+pub struct FunctionalModel {
+    /// The model shape.
+    pub spec: ModelSpec,
+    embeddings: Tensor,
+    layers: Vec<LayerWeights>,
+    final_norm: Vec<f32>,
+    lm_head: QTensor,
+}
+
+impl FunctionalModel {
+    /// Generates a model deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if the spec is too large to materialise (> 256 MiB of Q8
+    /// weights) — benchmark models must stay shape-only.
+    pub fn generate(spec: &ModelSpec, seed: u64) -> Self {
+        assert!(
+            spec.total_q8_bytes() < 256 * 1024 * 1024,
+            "refusing to materialise a {} byte model; use the cost model instead",
+            spec.total_q8_bytes()
+        );
+        let h = spec.hidden;
+        let kv_dim = spec.kv_heads * spec.head_dim();
+        let scale = 0.08;
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9);
+            s
+        };
+        let q = |rows: usize, cols: usize, seed: u64| QTensor::quantize(&Tensor::random(rows, cols, seed, scale));
+
+        let embeddings = Tensor::random(spec.vocab, h, next(), scale);
+        let layers = (0..spec.layers)
+            .map(|_| LayerWeights {
+                attn_norm: vec![1.0; h],
+                wq: q(h, h, next()),
+                wk: q(kv_dim, h, next()),
+                wv: q(kv_dim, h, next()),
+                wo: q(h, h, next()),
+                ffn_norm: vec![1.0; h],
+                ffn_gate: q(spec.ffn, h, next()),
+                ffn_up: q(spec.ffn, h, next()),
+                ffn_down: q(h, spec.ffn, next()),
+            })
+            .collect();
+        FunctionalModel {
+            spec: spec.clone(),
+            embeddings,
+            layers,
+            final_norm: vec![1.0; h],
+            lm_head: q(spec.vocab, h, next()),
+        }
+    }
+
+    /// Runs one token through the model, appending to `cache`, and returns the
+    /// logits over the vocabulary.
+    pub fn forward_token(&self, token: usize, cache: &mut KvCache) -> Vec<f32> {
+        let spec = &self.spec;
+        let h = spec.hidden;
+        let head_dim = spec.head_dim();
+        let kv_dim = spec.kv_heads * head_dim;
+        let group = spec.heads / spec.kv_heads;
+
+        let mut x: Vec<f32> = self.embeddings.row(token % spec.vocab).to_vec();
+
+        for (layer_idx, layer) in self.layers.iter().enumerate() {
+            // Attention block.
+            let normed = rms_norm(&x, &layer.attn_norm);
+            let q = layer.wq.matvec(&normed);
+            let k = layer.wk.matvec(&normed);
+            let v = layer.wv.matvec(&normed);
+            cache.append(layer_idx, &k[..kv_dim], &v[..kv_dim]);
+
+            let keys = cache.keys(layer_idx);
+            let values = cache.values(layer_idx);
+            let tokens_cached = keys.len() / kv_dim;
+
+            let mut attn_out = vec![0.0f32; h];
+            for head in 0..spec.heads {
+                let kv_head = head / group;
+                let q_h = &q[head * head_dim..(head + 1) * head_dim];
+                let mut scores = vec![0.0f32; tokens_cached];
+                for t in 0..tokens_cached {
+                    let k_t = &keys[t * kv_dim + kv_head * head_dim..t * kv_dim + (kv_head + 1) * head_dim];
+                    scores[t] = q_h.iter().zip(k_t).map(|(a, b)| a * b).sum::<f32>() / (head_dim as f32).sqrt();
+                }
+                softmax(&mut scores);
+                for t in 0..tokens_cached {
+                    let v_t = &values[t * kv_dim + kv_head * head_dim..t * kv_dim + (kv_head + 1) * head_dim];
+                    for d in 0..head_dim {
+                        attn_out[head * head_dim + d] += scores[t] * v_t[d];
+                    }
+                }
+            }
+            let projected = layer.wo.matvec(&attn_out);
+            for i in 0..h {
+                x[i] += projected[i];
+            }
+
+            // FFN block.
+            let normed = rms_norm(&x, &layer.ffn_norm);
+            let gate = layer.ffn_gate.matvec(&normed);
+            let up = layer.ffn_up.matvec(&normed);
+            let activated: Vec<f32> = gate.iter().zip(&up).map(|(g, u)| silu(*g) * u).collect();
+            let down = layer.ffn_down.matvec(&activated);
+            for i in 0..h {
+                x[i] += down[i];
+            }
+        }
+
+        let normed = rms_norm(&x, &self.final_norm);
+        self.lm_head.matvec(&normed)
+    }
+
+    /// Runs a prefill over `prompt` followed by greedy generation of
+    /// `max_new_tokens` tokens.  Returns the generated token ids.
+    pub fn generate_greedy(&self, prompt: &[usize], max_new_tokens: usize) -> Vec<usize> {
+        let mut cache = KvCache::new(&self.spec, prompt.len() + max_new_tokens, true);
+        let mut logits = Vec::new();
+        for &tok in prompt {
+            logits = self.forward_token(tok, &mut cache);
+        }
+        let mut out = Vec::with_capacity(max_new_tokens);
+        let mut next = if logits.is_empty() { 0 } else { argmax(&logits) };
+        for _ in 0..max_new_tokens {
+            out.push(next);
+            let logits = self.forward_token(next, &mut cache);
+            next = argmax(&logits);
+        }
+        out
+    }
+
+    /// The computation graph this model corresponds to (used to drive the
+    /// restoration pipeline against a functional model in integration tests).
+    pub fn graph(&self, prompt_len: usize) -> ComputationGraph {
+        ComputationGraph::prefill(&self.spec, prompt_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Device, OpKind};
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut x = vec![1.0, 2.0, 3.0, -5.0];
+        softmax(&mut x);
+        assert!((x.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(x[2] > x[1] && x[1] > x[0] && x[0] > x[3]);
+    }
+
+    #[test]
+    fn rms_norm_produces_unit_scale() {
+        let x = vec![3.0; 64];
+        let w = vec![1.0; 64];
+        let y = rms_norm(&x, &w);
+        assert!((y[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_in_vocab() {
+        let spec = ModelSpec::nano();
+        let model = FunctionalModel::generate(&spec, 1234);
+        let prompt = [1usize, 5, 9, 200];
+        let a = model.generate_greedy(&prompt, 8);
+        let b = model.generate_greedy(&prompt, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|&t| t < spec.vocab));
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let spec = ModelSpec::nano();
+        let a = FunctionalModel::generate(&spec, 1).generate_greedy(&[1, 2, 3], 6);
+        let b = FunctionalModel::generate(&spec, 2).generate_greedy(&[1, 2, 3], 6);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prompt_affects_logits() {
+        // Greedy decoding of a random toy model can collapse onto the same
+        // attractor sequence, so compare the post-prefill logits instead of
+        // the generated tokens.
+        let spec = ModelSpec::nano();
+        let model = FunctionalModel::generate(&spec, 7);
+        let mut cache_a = KvCache::new(&spec, 8, true);
+        let mut cache_b = KvCache::new(&spec, 8, true);
+        let mut logits_a = Vec::new();
+        let mut logits_b = Vec::new();
+        for &t in &[10usize, 20, 30] {
+            logits_a = model.forward_token(t, &mut cache_a);
+        }
+        for &t in &[30usize, 20, 10] {
+            logits_b = model.forward_token(t, &mut cache_b);
+        }
+        assert_ne!(logits_a, logits_b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn refuses_to_materialise_benchmark_models() {
+        let _ = FunctionalModel::generate(&ModelSpec::llama3_8b(), 0);
+    }
+
+    #[test]
+    fn graph_matches_spec() {
+        let spec = ModelSpec::nano();
+        let model = FunctionalModel::generate(&spec, 3);
+        let graph = model.graph(16);
+        assert_eq!(graph.model, spec);
+        graph.validate().unwrap();
+        // Silence "unused" for Device/OpKind re-exports used only here.
+        assert!(graph.ops.iter().any(|o| o.device == Device::Npu));
+        assert!(graph.ops.iter().any(|o| o.kind == OpKind::Attention));
+    }
+}

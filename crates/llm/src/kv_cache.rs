@@ -1,0 +1,150 @@
+//! KV-cache accounting.
+//!
+//! The KV cache lives in the second TZASC region together with activations
+//! and other working data (§4.2): it is initialised to the prompt size during
+//! prefill, grows with each generated token during decoding, and is released
+//! completely after the inference finishes.  This module tracks its size so
+//! the secure-memory manager can size `extend`/`shrink` calls, and (for the
+//! functional executor) stores the actual key/value vectors of small models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ModelSpec;
+
+/// Size accounting (and, for functional models, storage) of the KV cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KvCache {
+    layers: usize,
+    kv_dim: usize,
+    capacity_tokens: usize,
+    tokens: usize,
+    bytes_per_token: u64,
+    /// Per-layer keys, each `tokens * kv_dim` long (functional models only).
+    keys: Vec<Vec<f32>>,
+    /// Per-layer values.
+    values: Vec<Vec<f32>>,
+    store_data: bool,
+}
+
+impl KvCache {
+    /// Creates a cache for `model` with room for `capacity_tokens` tokens.
+    /// `store_data` controls whether actual vectors are kept (small models).
+    pub fn new(model: &ModelSpec, capacity_tokens: usize, store_data: bool) -> Self {
+        let kv_dim = model.kv_heads * model.head_dim();
+        KvCache {
+            layers: model.layers,
+            kv_dim,
+            capacity_tokens,
+            tokens: 0,
+            bytes_per_token: model.kv_bytes_per_token(),
+            keys: vec![Vec::new(); model.layers],
+            values: vec![Vec::new(); model.layers],
+            store_data,
+        }
+    }
+
+    /// Number of tokens currently cached.
+    pub fn len(&self) -> usize {
+        self.tokens
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens == 0
+    }
+
+    /// Capacity in tokens.
+    pub fn capacity(&self) -> usize {
+        self.capacity_tokens
+    }
+
+    /// Bytes currently used.
+    pub fn bytes_used(&self) -> u64 {
+        self.tokens as u64 * self.bytes_per_token
+    }
+
+    /// Bytes needed for the full capacity (what the TA reserves up front).
+    pub fn bytes_capacity(&self) -> u64 {
+        self.capacity_tokens as u64 * self.bytes_per_token
+    }
+
+    /// Appends one token's K/V vectors for a layer.  When the cache stores
+    /// data, `k` and `v` must be `kv_dim` long.
+    pub fn append(&mut self, layer: usize, k: &[f32], v: &[f32]) {
+        if self.store_data {
+            assert_eq!(k.len(), self.kv_dim);
+            assert_eq!(v.len(), self.kv_dim);
+            self.keys[layer].extend_from_slice(k);
+            self.values[layer].extend_from_slice(v);
+        }
+        // Token count advances when the last layer has been appended.
+        if layer == self.layers - 1 {
+            self.tokens += 1;
+        }
+    }
+
+    /// Advances the token count without storing data (cost-model-only runs).
+    pub fn advance_tokens(&mut self, count: usize) {
+        self.tokens = (self.tokens + count).min(self.capacity_tokens);
+    }
+
+    /// Keys of a layer (functional models).
+    pub fn keys(&self, layer: usize) -> &[f32] {
+        &self.keys[layer]
+    }
+
+    /// Values of a layer (functional models).
+    pub fn values(&self, layer: usize) -> &[f32] {
+        &self.values[layer]
+    }
+
+    /// The KV dimension per token per layer.
+    pub fn kv_dim(&self) -> usize {
+        self.kv_dim
+    }
+
+    /// Clears the cache (inference finished; the memory is returned).
+    pub fn clear(&mut self) {
+        self.tokens = 0;
+        for k in &mut self.keys {
+            k.clear();
+        }
+        for v in &mut self.values {
+            v.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting_matches_model() {
+        let model = ModelSpec::llama3_8b();
+        let mut cache = KvCache::new(&model, 512 + 64, false);
+        assert_eq!(cache.bytes_used(), 0);
+        cache.advance_tokens(512);
+        assert_eq!(cache.bytes_used(), 512 * model.kv_bytes_per_token());
+        // Capacity for prompt + generation, ~75 MiB for Llama-3-8B at 576 tokens.
+        assert!(cache.bytes_capacity() > 70 * 1024 * 1024);
+        cache.advance_tokens(10_000);
+        assert_eq!(cache.len(), cache.capacity());
+    }
+
+    #[test]
+    fn functional_cache_stores_vectors() {
+        let model = ModelSpec::nano();
+        let mut cache = KvCache::new(&model, 8, true);
+        let kv_dim = cache.kv_dim();
+        for layer in 0..model.layers {
+            cache.append(layer, &vec![1.0; kv_dim], &vec![2.0; kv_dim]);
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.keys(0).len(), kv_dim);
+        assert_eq!(cache.values(model.layers - 1)[0], 2.0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.keys(0).len(), 0);
+    }
+}

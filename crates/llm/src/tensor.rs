@@ -1,0 +1,293 @@
+//! Tensors and Q8_0 block quantisation.
+//!
+//! The paper evaluates 8-bit quantised models (llama.cpp's `Q8_0` format:
+//! blocks of 32 weights sharing one f32 scale).  This module implements that
+//! format functionally — quantise, dequantise, and quantised matrix-vector
+//! products — for the small models used in correctness tests.  The benchmark
+//! models are shape-only; their byte sizes are computed with the same
+//! [`q8_bytes_for`] accounting so the memory model stays consistent.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of weights per Q8_0 block.
+pub const Q8_BLOCK: usize = 32;
+
+/// Bytes occupied by `elements` weights in Q8_0 (one f32 scale per 32 int8s).
+pub fn q8_bytes_for(elements: u64) -> u64 {
+    let blocks = elements.div_ceil(Q8_BLOCK as u64);
+    blocks * (Q8_BLOCK as u64 + 4)
+}
+
+/// A dense row-major f32 matrix (used for activations and small test weights).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major data, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a tensor from data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_data(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "tensor data length mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Deterministic pseudo-random tensor in `[-scale, scale]` (for test
+    /// models; the generator is a fixed LCG so models are reproducible).
+    pub fn random(rows: usize, cols: usize, seed: u64, scale: f32) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let unit = ((state >> 33) as f64 / (1u64 << 31) as f64) as f32 - 1.0;
+            data.push(unit * scale);
+        }
+        Tensor { rows, cols, data }
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A Q8_0-quantised matrix: per-block scales plus int8 weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTensor {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns (multiple of [`Q8_BLOCK`] after padding).
+    pub cols: usize,
+    /// One scale per block per row.
+    pub scales: Vec<f32>,
+    /// Quantised weights, row-major, padded to a block multiple per row.
+    pub weights: Vec<i8>,
+}
+
+impl QTensor {
+    /// Quantises a dense tensor to Q8_0.
+    pub fn quantize(dense: &Tensor) -> Self {
+        let padded_cols = dense.cols.div_ceil(Q8_BLOCK) * Q8_BLOCK;
+        let blocks_per_row = padded_cols / Q8_BLOCK;
+        let mut scales = Vec::with_capacity(dense.rows * blocks_per_row);
+        let mut weights = Vec::with_capacity(dense.rows * padded_cols);
+        for r in 0..dense.rows {
+            let row = dense.row(r);
+            for b in 0..blocks_per_row {
+                let start = b * Q8_BLOCK;
+                let end = (start + Q8_BLOCK).min(dense.cols);
+                let chunk = &row[start..end];
+                let max_abs = chunk.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+                scales.push(scale);
+                for i in 0..Q8_BLOCK {
+                    let v = if start + i < dense.cols { row[start + i] } else { 0.0 };
+                    weights.push((v / scale).round().clamp(-127.0, 127.0) as i8);
+                }
+            }
+        }
+        QTensor {
+            rows: dense.rows,
+            cols: padded_cols,
+            scales,
+            weights,
+        }
+    }
+
+    /// Dequantises back to a dense tensor (with the padded column count).
+    pub fn dequantize(&self) -> Tensor {
+        let blocks_per_row = self.cols / Q8_BLOCK;
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for b in 0..blocks_per_row {
+                let scale = self.scales[r * blocks_per_row + b];
+                let base = r * self.cols + b * Q8_BLOCK;
+                for i in 0..Q8_BLOCK {
+                    data.push(self.weights[base + i] as f32 * scale);
+                }
+            }
+        }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Quantised matrix-vector product: `y = W x` where `x` has `cols`
+    /// entries (extra padded columns are treated as zero).
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert!(x.len() <= self.cols, "input vector longer than matrix columns");
+        let blocks_per_row = self.cols / Q8_BLOCK;
+        let mut y = vec![0.0f32; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0f32;
+            for b in 0..blocks_per_row {
+                let scale = self.scales[r * blocks_per_row + b];
+                let base = r * self.cols + b * Q8_BLOCK;
+                let mut block_acc = 0.0f32;
+                for i in 0..Q8_BLOCK {
+                    let col = b * Q8_BLOCK + i;
+                    if col >= x.len() {
+                        break;
+                    }
+                    block_acc += self.weights[base + i] as f32 * x[col];
+                }
+                acc += block_acc * scale;
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Size of this tensor when serialised (scales + weights).
+    pub fn serialized_bytes(&self) -> u64 {
+        (self.scales.len() * 4 + self.weights.len()) as u64
+    }
+
+    /// Serialises to bytes (little-endian scales then raw int8 weights).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.serialized_bytes() as usize);
+        out.extend_from_slice(&(self.rows as u32).to_le_bytes());
+        out.extend_from_slice(&(self.cols as u32).to_le_bytes());
+        for s in &self.scales {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        for w in &self.weights {
+            out.push(*w as u8);
+        }
+        out
+    }
+
+    /// Deserialises from bytes produced by [`QTensor::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let rows = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        let cols = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+        if cols % Q8_BLOCK != 0 {
+            return None;
+        }
+        let blocks = rows * cols / Q8_BLOCK;
+        let scales_end = 8 + blocks * 4;
+        let total = scales_end + rows * cols;
+        if bytes.len() != total {
+            return None;
+        }
+        let mut scales = Vec::with_capacity(blocks);
+        for i in 0..blocks {
+            scales.push(f32::from_le_bytes(bytes[8 + i * 4..12 + i * 4].try_into().ok()?));
+        }
+        let weights = bytes[scales_end..].iter().map(|&b| b as i8).collect();
+        Some(QTensor {
+            rows,
+            cols,
+            scales,
+            weights,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q8_bytes_accounting() {
+        assert_eq!(q8_bytes_for(32), 36);
+        assert_eq!(q8_bytes_for(33), 72);
+        assert_eq!(q8_bytes_for(0), 0);
+        // ~1.125 bytes per weight.
+        let per_weight = q8_bytes_for(1_000_000) as f64 / 1_000_000.0;
+        assert!((per_weight - 1.125).abs() < 0.01);
+    }
+
+    #[test]
+    fn quantize_dequantize_is_close() {
+        let dense = Tensor::random(8, 64, 42, 1.0);
+        let q = QTensor::quantize(&dense);
+        let back = q.dequantize();
+        for r in 0..dense.rows {
+            for c in 0..dense.cols {
+                let a = dense.data[r * dense.cols + c];
+                let b = back.data[r * back.cols + c];
+                assert!((a - b).abs() < 0.02, "({r},{c}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_matvec_matches_dense() {
+        let dense = Tensor::random(16, 96, 7, 0.5);
+        let x: Vec<f32> = (0..96).map(|i| ((i as f32) * 0.1).sin()).collect();
+        let q = QTensor::quantize(&dense);
+        let y_q = q.matvec(&x);
+        // Dense reference.
+        let mut y_d = vec![0.0f32; 16];
+        for r in 0..16 {
+            y_d[r] = dense.row(r).iter().zip(&x).map(|(w, xv)| w * xv).sum();
+        }
+        for r in 0..16 {
+            assert!((y_q[r] - y_d[r]).abs() < 0.3, "row {r}: {} vs {}", y_q[r], y_d[r]);
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let dense = Tensor::random(4, 32, 3, 1.0);
+        let q = QTensor::quantize(&dense);
+        let bytes = q.to_bytes();
+        let q2 = QTensor::from_bytes(&bytes).unwrap();
+        assert_eq!(q, q2);
+        assert!(QTensor::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(QTensor::from_bytes(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn random_tensor_is_deterministic() {
+        let a = Tensor::random(3, 5, 9, 1.0);
+        let b = Tensor::random(3, 5, 9, 1.0);
+        assert_eq!(a, b);
+        let c = Tensor::random(3, 5, 10, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn padding_columns_do_not_affect_matvec() {
+        // 40 columns pads to 64; inputs only cover 40.
+        let dense = Tensor::random(4, 40, 11, 1.0);
+        let q = QTensor::quantize(&dense);
+        assert_eq!(q.cols, 64);
+        let x: Vec<f32> = vec![1.0; 40];
+        let y = q.matvec(&x);
+        let expected: f32 = dense.row(0).iter().sum();
+        assert!((y[0] - expected).abs() < 0.5);
+    }
+}

@@ -1,0 +1,200 @@
+//! A small byte-level tokenizer.
+//!
+//! The paper's Figure 1 attributes ≈1.8 s of the cold start to tokenizer
+//! construction; functionally the TA needs a tokenizer to turn prompts into
+//! token ids and generated ids back into text.  This byte-level BPE-style
+//! tokenizer is deliberately small: 256 byte tokens plus a configurable set
+//! of learned merges, which is enough for the examples and for exercising the
+//! checkpointing path (the serialised tokenizer is part of the framework
+//! checkpoint).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A token identifier.
+pub type TokenId = u32;
+
+/// Byte-level tokenizer with greedy longest-match merges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tokenizer {
+    /// Merged multi-byte sequences, token id = 256 + index.
+    merges: Vec<Vec<u8>>,
+    /// Longest-match lookup: byte sequence -> token id.
+    #[serde(skip)]
+    lookup: BTreeMap<Vec<u8>, TokenId>,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with only the 256 byte tokens.
+    pub fn byte_level() -> Self {
+        Tokenizer {
+            merges: Vec::new(),
+            lookup: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a tokenizer with common English/whitespace merges — a stand-in
+    /// for a real learned vocabulary.
+    pub fn with_default_merges() -> Self {
+        let merges: Vec<Vec<u8>> = [
+            " the", " of", " and", " to", " in", " is", " that", " for", " on", " with", "ing", "er",
+            "tion", " a", " be", " are", " as", " at", " it", " this", " an", " or", "ed", "es", "ly",
+            " you", " your", " what", " how", " can", " do", " please", " summarize", " tap", " open",
+        ]
+        .iter()
+        .map(|s| s.as_bytes().to_vec())
+        .collect();
+        let mut t = Tokenizer {
+            merges,
+            lookup: BTreeMap::new(),
+        };
+        t.rebuild_lookup();
+        t
+    }
+
+    fn rebuild_lookup(&mut self) {
+        self.lookup = self
+            .merges
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), 256 + i as TokenId))
+            .collect();
+    }
+
+    /// Vocabulary size (256 byte tokens + merges).
+    pub fn vocab_size(&self) -> usize {
+        256 + self.merges.len()
+    }
+
+    /// Encodes text into token ids (greedy longest match over merges, byte
+    /// fallback).
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        let bytes = text.as_bytes();
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        let max_merge = self.merges.iter().map(Vec::len).max().unwrap_or(0);
+        while i < bytes.len() {
+            let mut matched = None;
+            let upper = (bytes.len() - i).min(max_merge);
+            for len in (2..=upper).rev() {
+                if let Some(&id) = self.lookup.get(&bytes[i..i + len]) {
+                    matched = Some((id, len));
+                    break;
+                }
+            }
+            match matched {
+                Some((id, len)) => {
+                    out.push(id);
+                    i += len;
+                }
+                None => {
+                    out.push(bytes[i] as TokenId);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes token ids back into text (lossy for invalid UTF-8).
+    pub fn decode(&self, tokens: &[TokenId]) -> String {
+        let mut bytes = Vec::new();
+        for &t in tokens {
+            if t < 256 {
+                bytes.push(t as u8);
+            } else if let Some(m) = self.merges.get((t - 256) as usize) {
+                bytes.extend_from_slice(m);
+            }
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// Serialises the tokenizer for inclusion in the framework checkpoint.
+    pub fn to_checkpoint_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.merges.len() as u32).to_le_bytes());
+        for m in &self.merges {
+            out.extend_from_slice(&(m.len() as u32).to_le_bytes());
+            out.extend_from_slice(m);
+        }
+        out
+    }
+
+    /// Restores a tokenizer from checkpoint bytes.
+    pub fn from_checkpoint_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let count = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        let mut merges = Vec::with_capacity(count);
+        let mut pos = 4usize;
+        for _ in 0..count {
+            if pos + 4 > bytes.len() {
+                return None;
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().ok()?) as usize;
+            pos += 4;
+            if pos + len > bytes.len() {
+                return None;
+            }
+            merges.push(bytes[pos..pos + len].to_vec());
+            pos += len;
+        }
+        let mut t = Tokenizer {
+            merges,
+            lookup: BTreeMap::new(),
+        };
+        t.rebuild_lookup();
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = Tokenizer::with_default_merges();
+        for text in [
+            "Summarize the following conversation for me, please.",
+            "What is the weather like in Edinburgh?",
+            "UTF-8 works too: héllo wörld ✓",
+            "",
+        ] {
+            let ids = t.encode(text);
+            assert_eq!(t.decode(&ids), text);
+        }
+    }
+
+    #[test]
+    fn merges_reduce_token_count() {
+        let merged = Tokenizer::with_default_merges();
+        let plain = Tokenizer::byte_level();
+        let text = "What is the point of the merges in the tokenizer?";
+        assert!(merged.encode(text).len() < plain.encode(text).len());
+        assert_eq!(plain.encode(text).len(), text.len());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let t = Tokenizer::with_default_merges();
+        let bytes = t.to_checkpoint_bytes();
+        let restored = Tokenizer::from_checkpoint_bytes(&bytes).unwrap();
+        assert_eq!(restored.vocab_size(), t.vocab_size());
+        let text = "checkpoint restore must preserve the vocabulary";
+        assert_eq!(restored.encode(text), t.encode(text));
+        // Corrupt restores fail cleanly.
+        assert!(Tokenizer::from_checkpoint_bytes(&bytes[..bytes.len() / 2]).is_none());
+        assert!(Tokenizer::from_checkpoint_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn byte_fallback_handles_arbitrary_bytes() {
+        let t = Tokenizer::with_default_merges();
+        let ids = t.encode("\u{0000}\u{0001}binary");
+        assert!(!ids.is_empty());
+        assert_eq!(t.decode(&ids), "\u{0000}\u{0001}binary");
+    }
+}

@@ -1,0 +1,325 @@
+//! The NPU device model.
+//!
+//! Models the Rockchip RK3588 NPU at the level TZ-LLM interacts with it: an
+//! MMIO register block guarded by the TZPC, a DMA engine whose accesses are
+//! filtered by the TZASC, three compute cores that run one job at a time (the
+//! driver schedules jobs sequentially, matching the Rockchip driver's single
+//! hardware queue), and a completion interrupt routed by the GIC.
+//!
+//! The device itself is *mode-less*: whether a launch succeeds depends
+//! entirely on the current TZPC/TZASC/GIC configuration, which is exactly the
+//! property the co-driver switch protocol (§4.3) manipulates.
+
+use sim_core::{SimDuration, SimTime};
+use tz_hal::{DeviceId, Platform, World, NPU_IRQ};
+
+use crate::job::{JobId, NpuJob};
+
+/// Why the NPU refused to launch a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The launching world cannot access the NPU MMIO registers (TZPC).
+    MmioBlocked {
+        /// The world that attempted the launch.
+        world: World,
+    },
+    /// A DMA range in the execution context is not accessible to the NPU
+    /// under the current TZASC configuration.
+    DmaBlocked {
+        /// The offending range index (in `dma_ranges()` order).
+        range_index: usize,
+    },
+    /// Another job is still running.
+    Busy {
+        /// The running job.
+        running: JobId,
+    },
+    /// Shadow jobs carry no work and must never be launched on hardware.
+    ShadowJobNotLaunchable,
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::MmioBlocked { world } => write!(f, "NPU MMIO access from {world} world blocked by TZPC"),
+            LaunchError::DmaBlocked { range_index } => {
+                write!(f, "NPU DMA to execution-context range #{range_index} blocked by TZASC")
+            }
+            LaunchError::Busy { running } => write!(f, "NPU busy running job {}", running.0),
+            LaunchError::ShadowJobNotLaunchable => write!(f, "shadow jobs cannot be launched on the NPU"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// A completed NPU job execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The job that completed.
+    pub job: JobId,
+    /// When it started on the hardware.
+    pub started: SimTime,
+    /// When the completion interrupt fired.
+    pub finished: SimTime,
+    /// The world the completion interrupt was delivered to.
+    pub interrupt_world: World,
+}
+
+/// The running-job register state.
+#[derive(Debug, Clone)]
+struct Running {
+    job: NpuJob,
+    started: SimTime,
+    finishes: SimTime,
+}
+
+/// The NPU device.
+#[derive(Debug)]
+pub struct NpuDevice {
+    cores: usize,
+    running: Option<Running>,
+    completions: Vec<Completion>,
+    launches: u64,
+}
+
+impl NpuDevice {
+    /// Creates an idle NPU with the given number of cores.
+    pub fn new(cores: usize) -> Self {
+        NpuDevice {
+            cores,
+            running: None,
+            completions: Vec::new(),
+            launches: 0,
+        }
+    }
+
+    /// Number of NPU cores (jobs use all cores; the RK3588 driver dispatches
+    /// one multi-core job at a time).
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Whether a job is currently executing at instant `now`.
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        matches!(&self.running, Some(r) if r.finishes > now)
+    }
+
+    /// When the current job (if any) will finish.
+    pub fn busy_until(&self) -> Option<SimTime> {
+        self.running.as_ref().map(|r| r.finishes)
+    }
+
+    /// Total number of successful launches.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// All completions recorded so far (the device retires a completion when
+    /// [`NpuDevice::poll_completion`] observes that its finish time passed).
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Launches `job` from `world` at time `now`.
+    ///
+    /// The launch performs the same checks the hardware + TrustZone
+    /// controllers would:
+    /// 1. the launching world must be able to touch the NPU MMIO block (TZPC);
+    /// 2. every DMA range of the execution context must be accessible to the
+    ///    NPU under the current TZASC configuration;
+    /// 3. the device must be idle.
+    ///
+    /// On success returns the time at which the job will complete.
+    pub fn launch(
+        &mut self,
+        platform: &Platform,
+        world: World,
+        job: NpuJob,
+        now: SimTime,
+    ) -> Result<SimTime, LaunchError> {
+        if job.is_shadow() {
+            return Err(LaunchError::ShadowJobNotLaunchable);
+        }
+        platform
+            .with_tzpc(|tzpc| tzpc.check_mmio_access(world, DeviceId::Npu))
+            .map_err(|v| LaunchError::MmioBlocked { world: v.world })?;
+
+        // Retire a finished job before checking business.
+        self.poll_completion(platform, now);
+        if let Some(running) = &self.running {
+            if running.finishes > now {
+                return Err(LaunchError::Busy { running: running.job.id });
+            }
+        }
+
+        for (i, range) in job.context.dma_ranges().enumerate() {
+            if platform
+                .with_tzasc(|tzasc| tzasc.check_dma_access(DeviceId::Npu, *range))
+                .is_err()
+            {
+                return Err(LaunchError::DmaBlocked { range_index: i });
+            }
+        }
+
+        let finishes = now + job.duration;
+        self.running = Some(Running {
+            job,
+            started: now,
+            finishes,
+        });
+        self.launches += 1;
+        Ok(finishes)
+    }
+
+    /// Checks whether the running job has finished by `now`; if so, raises the
+    /// completion interrupt through the GIC and records the completion.
+    pub fn poll_completion(&mut self, platform: &Platform, now: SimTime) -> Option<Completion> {
+        let finished = match &self.running {
+            Some(r) if r.finishes <= now => true,
+            _ => false,
+        };
+        if !finished {
+            return None;
+        }
+        let r = self.running.take().expect("checked above");
+        let delivered = platform.with_gic(|gic| gic.raise(NPU_IRQ));
+        let completion = Completion {
+            job: r.job.id,
+            started: r.started,
+            finished: r.finishes,
+            interrupt_world: delivered.target,
+        };
+        self.completions.push(completion.clone());
+        Some(completion)
+    }
+
+    /// Blocks (in simulated time) until the running job finishes, returning
+    /// the drain duration.  Used by the world-switch protocol's "wait for the
+    /// ongoing non-secure NPU job" step (§4.3).
+    pub fn drain(&mut self, platform: &Platform, now: SimTime) -> (SimTime, SimDuration) {
+        match self.busy_until() {
+            Some(finishes) if finishes > now => {
+                let waited = finishes - now;
+                self.poll_completion(platform, finishes);
+                (finishes, waited)
+            }
+            _ => {
+                self.poll_completion(platform, now);
+                (now, SimDuration::ZERO)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{ExecutionContext, JobId};
+    use tz_hal::{PhysAddr, PhysRange};
+
+    fn ctx(start: u64, size: u64) -> ExecutionContext {
+        ExecutionContext {
+            command_buffer: PhysRange::new(PhysAddr::new(start), 0x1000),
+            io_page_table: PhysRange::new(PhysAddr::new(start + 0x1000), 0x1000),
+            inputs: vec![PhysRange::new(PhysAddr::new(start + 0x2000), size)],
+            outputs: vec![PhysRange::new(PhysAddr::new(start + 0x2000 + size), 0x1000)],
+        }
+    }
+
+    #[test]
+    fn non_secure_job_runs_when_npu_is_non_secure() {
+        let platform = Platform::rk3588();
+        let mut npu = NpuDevice::new(3);
+        let job = NpuJob::non_secure(JobId(1), ctx(0x8000_0000, 0x10000), SimDuration::from_millis(4), "yolo");
+        let done = npu.launch(&platform, World::NonSecure, job, SimTime::ZERO).unwrap();
+        assert_eq!(done, SimTime::from_millis(4));
+        assert!(npu.is_busy(SimTime::from_millis(2)));
+        let completion = npu.poll_completion(&platform, SimTime::from_millis(5)).unwrap();
+        assert_eq!(completion.job, JobId(1));
+        assert_eq!(completion.interrupt_world, World::NonSecure);
+        assert_eq!(npu.launches(), 1);
+    }
+
+    #[test]
+    fn ree_launch_blocked_when_npu_secured() {
+        let platform = Platform::rk3588();
+        platform.with_tzpc(|t| t.set_secure(World::Secure, DeviceId::Npu, true).unwrap());
+        let mut npu = NpuDevice::new(3);
+        let job = NpuJob::non_secure(JobId(1), ctx(0x8000_0000, 0x1000), SimDuration::from_millis(1), "ree");
+        let err = npu.launch(&platform, World::NonSecure, job, SimTime::ZERO).unwrap_err();
+        assert_eq!(err, LaunchError::MmioBlocked { world: World::NonSecure });
+    }
+
+    #[test]
+    fn dma_into_secure_memory_requires_allowlist() {
+        let platform = Platform::rk3588();
+        // Protect a region but do NOT allow the NPU.
+        platform.with_tzasc(|t| {
+            t.configure_region(
+                World::Secure,
+                PhysRange::new(PhysAddr::new(0x9000_0000), 0x100000),
+                [],
+            )
+            .unwrap()
+        });
+        let mut npu = NpuDevice::new(3);
+        let job = NpuJob::secure(JobId(2), ctx(0x9000_0000, 0x10000), SimDuration::from_millis(1), "llm");
+        let err = npu.launch(&platform, World::Secure, job, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, LaunchError::DmaBlocked { .. }));
+
+        // Now allow the NPU on that region: the launch succeeds.
+        platform.with_tzasc(|t| {
+            t.set_device_access(World::Secure, tz_hal::RegionId(0), DeviceId::Npu, true).unwrap()
+        });
+        let job = NpuJob::secure(JobId(3), ctx(0x9000_0000, 0x10000), SimDuration::from_millis(1), "llm");
+        assert!(npu.launch(&platform, World::Secure, job, SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn busy_device_rejects_second_launch_until_drained() {
+        let platform = Platform::rk3588();
+        let mut npu = NpuDevice::new(3);
+        let a = NpuJob::non_secure(JobId(1), ctx(0x8000_0000, 0x1000), SimDuration::from_millis(10), "a");
+        let b = NpuJob::non_secure(JobId(2), ctx(0x8800_0000, 0x1000), SimDuration::from_millis(1), "b");
+        npu.launch(&platform, World::NonSecure, a, SimTime::ZERO).unwrap();
+        let err = npu
+            .launch(&platform, World::NonSecure, b.clone(), SimTime::from_millis(3))
+            .unwrap_err();
+        assert_eq!(err, LaunchError::Busy { running: JobId(1) });
+        // Drain, then the second launch succeeds.
+        let (now, waited) = npu.drain(&platform, SimTime::from_millis(3));
+        assert_eq!(now, SimTime::from_millis(10));
+        assert_eq!(waited, SimDuration::from_millis(7));
+        assert!(npu.launch(&platform, World::NonSecure, b, now).is_ok());
+    }
+
+    #[test]
+    fn secure_completion_interrupt_goes_to_tee_when_rerouted() {
+        let platform = Platform::rk3588();
+        platform.with_gic(|g| g.route(World::Secure, NPU_IRQ, World::Secure).unwrap());
+        platform.with_tzasc(|t| {
+            t.configure_region(
+                World::Secure,
+                PhysRange::new(PhysAddr::new(0x9000_0000), 0x100000),
+                [DeviceId::Npu],
+            )
+            .unwrap()
+        });
+        let mut npu = NpuDevice::new(3);
+        let job = NpuJob::secure(JobId(9), ctx(0x9000_0000, 0x10000), SimDuration::from_millis(2), "secure");
+        npu.launch(&platform, World::Secure, job, SimTime::ZERO).unwrap();
+        let completion = npu.poll_completion(&platform, SimTime::from_millis(2)).unwrap();
+        assert_eq!(completion.interrupt_world, World::Secure);
+    }
+
+    #[test]
+    fn shadow_jobs_cannot_be_launched() {
+        let platform = Platform::rk3588();
+        let mut npu = NpuDevice::new(3);
+        let err = npu
+            .launch(&platform, World::NonSecure, NpuJob::shadow(JobId(5), JobId(4)), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, LaunchError::ShadowJobNotLaunchable);
+    }
+}

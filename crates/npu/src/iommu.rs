@@ -1,0 +1,181 @@
+//! NPU IOMMU (I/O page table) model.
+//!
+//! The NPU accesses memory through an IOMMU whose page table is part of each
+//! job's execution context.  For secure jobs the TEE data-plane driver builds
+//! the table in secure memory so the REE cannot tamper with the translation;
+//! for non-secure jobs the REE driver builds it in normal memory.  The model
+//! keeps a flat IOVA → physical mapping and validates translations.
+
+use std::collections::BTreeMap;
+
+use tz_hal::{PhysAddr, PhysRange, PAGE_SIZE};
+
+/// An I/O virtual address as seen by the NPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Iova(pub u64);
+
+/// Errors raised by the IOMMU model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IommuError {
+    /// The IOVA is not mapped.
+    NotMapped(Iova),
+    /// The mapping would overlap an existing mapping.
+    AlreadyMapped(Iova),
+    /// Addresses must be page-aligned.
+    Misaligned,
+}
+
+impl std::fmt::Display for IommuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IommuError::NotMapped(iova) => write!(f, "IOVA {:#x} is not mapped", iova.0),
+            IommuError::AlreadyMapped(iova) => write!(f, "IOVA {:#x} is already mapped", iova.0),
+            IommuError::Misaligned => write!(f, "IOMMU mappings must be page aligned"),
+        }
+    }
+}
+
+impl std::error::Error for IommuError {}
+
+/// A flat I/O page table: page-granular IOVA → physical translations.
+#[derive(Debug, Clone, Default)]
+pub struct IoPageTable {
+    entries: BTreeMap<u64, PhysAddr>, // iova page number -> phys page start
+}
+
+impl IoPageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        IoPageTable::default()
+    }
+
+    /// Maps `size` bytes at `iova` to the physical range starting at `phys`.
+    pub fn map(&mut self, iova: Iova, phys: PhysAddr, size: u64) -> Result<(), IommuError> {
+        if iova.0 % PAGE_SIZE != 0 || phys.as_u64() % PAGE_SIZE != 0 || size % PAGE_SIZE != 0 {
+            return Err(IommuError::Misaligned);
+        }
+        let pages = size / PAGE_SIZE;
+        // Validate first so a failed map leaves the table unchanged.
+        for i in 0..pages {
+            let vpn = iova.0 / PAGE_SIZE + i;
+            if self.entries.contains_key(&vpn) {
+                return Err(IommuError::AlreadyMapped(Iova(vpn * PAGE_SIZE)));
+            }
+        }
+        for i in 0..pages {
+            let vpn = iova.0 / PAGE_SIZE + i;
+            self.entries.insert(vpn, PhysAddr::new(phys.as_u64() + i * PAGE_SIZE));
+        }
+        Ok(())
+    }
+
+    /// Unmaps `size` bytes at `iova`.  Unmapped pages are ignored.
+    pub fn unmap(&mut self, iova: Iova, size: u64) -> Result<(), IommuError> {
+        if iova.0 % PAGE_SIZE != 0 || size % PAGE_SIZE != 0 {
+            return Err(IommuError::Misaligned);
+        }
+        for i in 0..size / PAGE_SIZE {
+            self.entries.remove(&(iova.0 / PAGE_SIZE + i));
+        }
+        Ok(())
+    }
+
+    /// Translates a single IOVA to a physical address.
+    pub fn translate(&self, iova: Iova) -> Result<PhysAddr, IommuError> {
+        let vpn = iova.0 / PAGE_SIZE;
+        let offset = iova.0 % PAGE_SIZE;
+        self.entries
+            .get(&vpn)
+            .map(|p| PhysAddr::new(p.as_u64() + offset))
+            .ok_or(IommuError::NotMapped(iova))
+    }
+
+    /// Translates an IOVA range into the physical ranges it maps to
+    /// (coalescing physically contiguous pages).
+    pub fn translate_range(&self, iova: Iova, size: u64) -> Result<Vec<PhysRange>, IommuError> {
+        if size == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out: Vec<PhysRange> = Vec::new();
+        let first_page = iova.0 / PAGE_SIZE;
+        let last_page = (iova.0 + size - 1) / PAGE_SIZE;
+        for vpn in first_page..=last_page {
+            let phys = self
+                .entries
+                .get(&vpn)
+                .ok_or(IommuError::NotMapped(Iova(vpn * PAGE_SIZE)))?;
+            match out.last_mut() {
+                Some(last) if last.end() == *phys => {
+                    last.size += PAGE_SIZE;
+                }
+                _ => out.push(PhysRange::new(*phys, PAGE_SIZE)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_roundtrip() {
+        let mut pt = IoPageTable::new();
+        pt.map(Iova(0x10000), PhysAddr::new(0x8000_0000), 4 * PAGE_SIZE).unwrap();
+        assert_eq!(pt.translate(Iova(0x10000)).unwrap(), PhysAddr::new(0x8000_0000));
+        assert_eq!(
+            pt.translate(Iova(0x10000 + PAGE_SIZE + 17)).unwrap(),
+            PhysAddr::new(0x8000_0000 + PAGE_SIZE + 17)
+        );
+        assert!(pt.translate(Iova(0x20000)).is_err());
+        assert_eq!(pt.mapped_pages(), 4);
+    }
+
+    #[test]
+    fn translate_range_coalesces_contiguous_pages() {
+        let mut pt = IoPageTable::new();
+        pt.map(Iova(0), PhysAddr::new(0x1000_0000), 2 * PAGE_SIZE).unwrap();
+        pt.map(Iova(2 * PAGE_SIZE), PhysAddr::new(0x2000_0000), PAGE_SIZE).unwrap();
+        let ranges = pt.translate_range(Iova(0), 3 * PAGE_SIZE).unwrap();
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges[0], PhysRange::new(PhysAddr::new(0x1000_0000), 2 * PAGE_SIZE));
+        assert_eq!(ranges[1], PhysRange::new(PhysAddr::new(0x2000_0000), PAGE_SIZE));
+    }
+
+    #[test]
+    fn double_map_rejected_atomically() {
+        let mut pt = IoPageTable::new();
+        pt.map(Iova(PAGE_SIZE), PhysAddr::new(0x1000_0000), PAGE_SIZE).unwrap();
+        let err = pt.map(Iova(0), PhysAddr::new(0x3000_0000), 2 * PAGE_SIZE).unwrap_err();
+        assert_eq!(err, IommuError::AlreadyMapped(Iova(PAGE_SIZE)));
+        // The failed map must not have left a partial mapping of page 0.
+        assert!(pt.translate(Iova(0)).is_err());
+    }
+
+    #[test]
+    fn unmap_removes_translations() {
+        let mut pt = IoPageTable::new();
+        pt.map(Iova(0), PhysAddr::new(0x1000_0000), 4 * PAGE_SIZE).unwrap();
+        pt.unmap(Iova(PAGE_SIZE), 2 * PAGE_SIZE).unwrap();
+        assert!(pt.translate(Iova(0)).is_ok());
+        assert!(pt.translate(Iova(PAGE_SIZE)).is_err());
+        assert!(pt.translate(Iova(3 * PAGE_SIZE)).is_ok());
+        assert_eq!(pt.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn misaligned_operations_rejected() {
+        let mut pt = IoPageTable::new();
+        assert_eq!(
+            pt.map(Iova(123), PhysAddr::new(0x1000), PAGE_SIZE),
+            Err(IommuError::Misaligned)
+        );
+        assert_eq!(pt.unmap(Iova(0), 100), Err(IommuError::Misaligned));
+    }
+}

@@ -1,0 +1,203 @@
+//! NPU job descriptors and execution contexts.
+//!
+//! §4.3 of the paper: the data plane of the NPU driver prepares, for each
+//! job, an *execution context* consisting of the I/O page table, the register
+//! commands (the "job code"), and the input/output buffers.  For secure jobs
+//! all of these live in secure memory; for non-secure jobs they live in
+//! normal memory.  The TEE driver additionally stamps secure jobs with a
+//! monotonic sequence number to defeat replay and reordering attacks.
+
+use serde::{Deserialize, Serialize};
+use sim_core::SimDuration;
+use tz_hal::{PhysRange, World};
+
+/// Unique identifier of an NPU job within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// The memory footprint of one NPU job: everything the NPU will touch by DMA.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionContext {
+    /// Register command buffer (the compiled job).
+    pub command_buffer: PhysRange,
+    /// The I/O page table the NPU's IOMMU walks for this job.
+    pub io_page_table: PhysRange,
+    /// Input buffers (model parameters, activations).
+    pub inputs: Vec<PhysRange>,
+    /// Output buffers (activations, logits).
+    pub outputs: Vec<PhysRange>,
+}
+
+impl ExecutionContext {
+    /// An empty context (used by shadow jobs, which carry no real work).
+    pub fn empty() -> Self {
+        ExecutionContext {
+            command_buffer: PhysRange::EMPTY,
+            io_page_table: PhysRange::EMPTY,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Whether the context references no memory at all.
+    pub fn is_empty(&self) -> bool {
+        self.command_buffer.is_empty()
+            && self.io_page_table.is_empty()
+            && self.inputs.is_empty()
+            && self.outputs.is_empty()
+    }
+
+    /// Iterates over every physical range the job will access via DMA.
+    pub fn dma_ranges(&self) -> impl Iterator<Item = &PhysRange> {
+        std::iter::once(&self.command_buffer)
+            .chain(std::iter::once(&self.io_page_table))
+            .chain(self.inputs.iter())
+            .chain(self.outputs.iter())
+            .filter(|r| !r.is_empty())
+    }
+}
+
+/// The security class of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// A normal REE job (object detection, OCR, photo refinement, ...).
+    NonSecure,
+    /// A secure job issued by the LLM TA through the TEE data-plane driver.
+    Secure,
+    /// A shadow job: the placeholder the TEE driver enqueues into the REE
+    /// scheduler for each secure job.  It has an empty execution context and
+    /// is never launched on the hardware itself.
+    Shadow {
+        /// The secure job this shadow represents.
+        paired_secure_job: JobId,
+    },
+}
+
+impl JobKind {
+    /// The world whose driver launches this job on the hardware.
+    pub fn launch_world(self) -> World {
+        match self {
+            JobKind::NonSecure => World::NonSecure,
+            JobKind::Secure => World::Secure,
+            // The shadow job itself is handled by the REE scheduler.
+            JobKind::Shadow { .. } => World::NonSecure,
+        }
+    }
+}
+
+/// A complete NPU job descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NpuJob {
+    /// Unique job identifier.
+    pub id: JobId,
+    /// Security class.
+    pub kind: JobKind,
+    /// Memory the job touches.
+    pub context: ExecutionContext,
+    /// How long the job occupies the NPU (derived from the operator cost
+    /// model for LLM jobs, or from the NN-application profile for REE jobs).
+    pub duration: SimDuration,
+    /// Monotonic sequence number assigned by the TEE driver to secure jobs;
+    /// zero for non-secure and shadow jobs.
+    pub sequence: u64,
+    /// Short human-readable label for traces.
+    pub label: String,
+}
+
+impl NpuJob {
+    /// Creates a non-secure job.
+    pub fn non_secure(id: JobId, context: ExecutionContext, duration: SimDuration, label: impl Into<String>) -> Self {
+        NpuJob {
+            id,
+            kind: JobKind::NonSecure,
+            context,
+            duration,
+            sequence: 0,
+            label: label.into(),
+        }
+    }
+
+    /// Creates a secure job (sequence number assigned later by the TEE driver).
+    pub fn secure(id: JobId, context: ExecutionContext, duration: SimDuration, label: impl Into<String>) -> Self {
+        NpuJob {
+            id,
+            kind: JobKind::Secure,
+            context,
+            duration,
+            sequence: 0,
+            label: label.into(),
+        }
+    }
+
+    /// Creates the shadow counterpart of a secure job.
+    pub fn shadow(id: JobId, secure_job: JobId) -> Self {
+        NpuJob {
+            id,
+            kind: JobKind::Shadow {
+                paired_secure_job: secure_job,
+            },
+            context: ExecutionContext::empty(),
+            duration: SimDuration::ZERO,
+            sequence: 0,
+            label: format!("shadow-of-{}", secure_job.0),
+        }
+    }
+
+    /// Whether this is a secure job.
+    pub fn is_secure(&self) -> bool {
+        matches!(self.kind, JobKind::Secure)
+    }
+
+    /// Whether this is a shadow job.
+    pub fn is_shadow(&self) -> bool {
+        matches!(self.kind, JobKind::Shadow { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tz_hal::PhysAddr;
+
+    fn range(start: u64, size: u64) -> PhysRange {
+        PhysRange::new(PhysAddr::new(start), size)
+    }
+
+    #[test]
+    fn dma_ranges_cover_all_buffers() {
+        let ctx = ExecutionContext {
+            command_buffer: range(0x1000, 0x1000),
+            io_page_table: range(0x2000, 0x1000),
+            inputs: vec![range(0x10000, 0x4000), range(0x20000, 0x4000)],
+            outputs: vec![range(0x30000, 0x4000)],
+        };
+        assert_eq!(ctx.dma_ranges().count(), 5);
+        assert!(!ctx.is_empty());
+    }
+
+    #[test]
+    fn empty_context_has_no_dma_ranges() {
+        let ctx = ExecutionContext::empty();
+        assert!(ctx.is_empty());
+        assert_eq!(ctx.dma_ranges().count(), 0);
+    }
+
+    #[test]
+    fn shadow_jobs_reference_their_secure_job() {
+        let shadow = NpuJob::shadow(JobId(7), JobId(3));
+        assert!(shadow.is_shadow());
+        assert!(!shadow.is_secure());
+        assert_eq!(shadow.duration, SimDuration::ZERO);
+        match shadow.kind {
+            JobKind::Shadow { paired_secure_job } => assert_eq!(paired_secure_job, JobId(3)),
+            _ => panic!("expected shadow"),
+        }
+        assert_eq!(shadow.kind.launch_world(), World::NonSecure);
+    }
+
+    #[test]
+    fn launch_worlds() {
+        assert_eq!(JobKind::Secure.launch_world(), World::Secure);
+        assert_eq!(JobKind::NonSecure.launch_world(), World::NonSecure);
+    }
+}

@@ -1,0 +1,22 @@
+//! # npu
+//!
+//! Model of the Rockchip-like NPU that TZ-LLM time-shares between the REE and
+//! the TEE:
+//!
+//! * [`job`] — job descriptors, execution contexts (command buffer, I/O page
+//!   table, input/output buffers), secure/non-secure/shadow job kinds.
+//! * [`iommu`] — the NPU's I/O page table.
+//! * [`device`] — the device itself: MMIO gate (TZPC), DMA filtering (TZASC),
+//!   single-queue execution, completion interrupts (GIC).
+//!
+//! The REE control-plane driver lives in `ree-kernel::npu_driver` and the TEE
+//! data-plane driver in `tee-kernel::npu_data_plane`, mirroring the paper's
+//! co-driver split (§4.3).
+
+pub mod device;
+pub mod iommu;
+pub mod job;
+
+pub use device::{Completion, LaunchError, NpuDevice};
+pub use iommu::{IoPageTable, Iova, IommuError};
+pub use job::{ExecutionContext, JobId, JobKind, NpuJob};

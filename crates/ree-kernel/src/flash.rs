@@ -1,0 +1,261 @@
+//! Flash storage device and the REE file system.
+//!
+//! Model files live in the REE file system because the TEE has no storage
+//! stack of its own; the LLM TA delegates reads to the client application
+//! (CA), which issues asynchronous I/O against the NVMe flash (§3.2).  Since
+//! the REE is untrusted, everything the TA reads back must be encrypted and
+//! checksummed.
+//!
+//! Two kinds of file content are supported:
+//! * real bytes, for the small functional models used in correctness tests;
+//! * synthetic sizes, for the multi-gigabyte benchmark models where only the
+//!   timing matters.
+
+use std::collections::BTreeMap;
+
+use sim_core::{Bandwidth, SimDuration};
+
+/// Reads smaller than this pay the small-read penalty (command overhead
+/// dominates sequential streaming).
+pub const SMALL_READ_THRESHOLD: u64 = 128 * 1024;
+
+/// Errors from the file system model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No file with the given path.
+    NotFound(String),
+    /// Read past the end of the file.
+    OutOfBounds {
+        /// The file path.
+        path: String,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual file size.
+        size: u64,
+    },
+    /// Requested byte content of a synthetic (size-only) file.
+    SyntheticContent(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "file not found: {p}"),
+            FsError::OutOfBounds { path, offset, len, size } => {
+                write!(f, "read [{offset}, +{len}) out of bounds for {path} ({size} bytes)")
+            }
+            FsError::SyntheticContent(p) => write!(f, "{p} is a synthetic file without byte content"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// The flash device: a constant-bandwidth sequential reader with a penalty
+/// for small random reads.
+#[derive(Debug, Clone)]
+pub struct FlashDevice {
+    bandwidth: Bandwidth,
+    small_read_penalty: f64,
+}
+
+impl FlashDevice {
+    /// Creates a flash device.
+    pub fn new(bandwidth: Bandwidth, small_read_penalty: f64) -> Self {
+        assert!(small_read_penalty >= 1.0);
+        FlashDevice {
+            bandwidth,
+            small_read_penalty,
+        }
+    }
+
+    /// Sequential-read bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Time to read `bytes` in one request.
+    pub fn read_time(&self, bytes: u64) -> SimDuration {
+        let base = self.bandwidth.time_for_bytes(bytes);
+        if bytes < SMALL_READ_THRESHOLD {
+            base * self.small_read_penalty + SimDuration::from_micros(80)
+        } else {
+            base
+        }
+    }
+}
+
+/// Content of a file in the REE file system.
+#[derive(Debug, Clone)]
+pub enum FileContent {
+    /// Real bytes (small functional models, wrapped keys, checkpoints).
+    Bytes(Vec<u8>),
+    /// Size-only content for multi-gigabyte benchmark models.
+    Synthetic {
+        /// Logical size in bytes.
+        size: u64,
+    },
+}
+
+impl FileContent {
+    /// Logical size of the file.
+    pub fn size(&self) -> u64 {
+        match self {
+            FileContent::Bytes(b) => b.len() as u64,
+            FileContent::Synthetic { size } => *size,
+        }
+    }
+}
+
+/// Result of a timed read.
+#[derive(Debug, Clone)]
+pub struct ReadResult {
+    /// The bytes read (`None` for synthetic files).
+    pub data: Option<Vec<u8>>,
+    /// How long the flash transfer took.
+    pub duration: SimDuration,
+}
+
+/// The REE file system: a flat path → content map on one flash device.
+#[derive(Debug, Clone)]
+pub struct FileSystem {
+    device: FlashDevice,
+    files: BTreeMap<String, FileContent>,
+    bytes_read: u64,
+}
+
+impl FileSystem {
+    /// Creates an empty file system on `device`.
+    pub fn new(device: FlashDevice) -> Self {
+        FileSystem {
+            device,
+            files: BTreeMap::new(),
+            bytes_read: 0,
+        }
+    }
+
+    /// The underlying flash device.
+    pub fn device(&self) -> &FlashDevice {
+        &self.device
+    }
+
+    /// Creates or replaces a file.
+    pub fn write_file(&mut self, path: impl Into<String>, content: FileContent) {
+        self.files.insert(path.into(), content);
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Size of a file.
+    pub fn size_of(&self, path: &str) -> Result<u64, FsError> {
+        self.files
+            .get(path)
+            .map(FileContent::size)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    /// Total bytes read since creation (I/O accounting).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Reads `len` bytes at `offset`, returning data when the file has real
+    /// bytes and timing in both cases.
+    pub fn read(&mut self, path: &str, offset: u64, len: u64) -> Result<ReadResult, FsError> {
+        let content = self
+            .files
+            .get(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let size = content.size();
+        if offset + len > size {
+            return Err(FsError::OutOfBounds {
+                path: path.to_string(),
+                offset,
+                len,
+                size,
+            });
+        }
+        let duration = self.device.read_time(len);
+        self.bytes_read += len;
+        let data = match content {
+            FileContent::Bytes(bytes) => Some(bytes[offset as usize..(offset + len) as usize].to_vec()),
+            FileContent::Synthetic { .. } => None,
+        };
+        Ok(ReadResult { data, duration })
+    }
+
+    /// Reads the whole file.
+    pub fn read_all(&mut self, path: &str) -> Result<ReadResult, FsError> {
+        let size = self.size_of(path)?;
+        self.read(path, 0, size)
+    }
+
+    /// Returns the byte content of a real-bytes file without charging I/O
+    /// time (used by the model packer in tests).
+    pub fn raw_bytes(&self, path: &str) -> Result<&[u8], FsError> {
+        match self.files.get(path) {
+            Some(FileContent::Bytes(b)) => Ok(b),
+            Some(FileContent::Synthetic { .. }) => Err(FsError::SyntheticContent(path.to_string())),
+            None => Err(FsError::NotFound(path.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::GIB;
+
+    fn fs() -> FileSystem {
+        FileSystem::new(FlashDevice::new(Bandwidth::from_bytes_per_sec(2.0e9), 2.5))
+    }
+
+    #[test]
+    fn sequential_read_time_matches_bandwidth() {
+        let fs = fs();
+        let t = fs.device().read_time(2 * GIB);
+        assert!((t.as_secs_f64() - (2.0 * GIB as f64) / 2.0e9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_reads_pay_a_penalty() {
+        let fs = fs();
+        let small = fs.device().read_time(4096);
+        let linear = Bandwidth::from_bytes_per_sec(2.0e9).time_for_bytes(4096);
+        assert!(small > linear * 2);
+    }
+
+    #[test]
+    fn read_real_bytes_roundtrip() {
+        let mut fs = fs();
+        fs.write_file("model.bin", FileContent::Bytes((0u8..200).collect()));
+        let r = fs.read("model.bin", 10, 20).unwrap();
+        assert_eq!(r.data.unwrap(), (10u8..30).collect::<Vec<u8>>());
+        assert!(r.duration > SimDuration::ZERO);
+        assert_eq!(fs.bytes_read(), 20);
+    }
+
+    #[test]
+    fn synthetic_files_give_timing_only() {
+        let mut fs = fs();
+        fs.write_file("llama-3-8b.enc", FileContent::Synthetic { size: 8 * GIB });
+        assert_eq!(fs.size_of("llama-3-8b.enc").unwrap(), 8 * GIB);
+        let r = fs.read("llama-3-8b.enc", GIB, GIB).unwrap();
+        assert!(r.data.is_none());
+        assert!((r.duration.as_secs_f64() - GIB as f64 / 2.0e9).abs() < 1e-6);
+        assert!(fs.raw_bytes("llama-3-8b.enc").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut fs = fs();
+        assert!(matches!(fs.read("missing", 0, 1), Err(FsError::NotFound(_))));
+        fs.write_file("small", FileContent::Bytes(vec![0u8; 10]));
+        assert!(matches!(fs.read("small", 5, 10), Err(FsError::OutOfBounds { .. })));
+    }
+}

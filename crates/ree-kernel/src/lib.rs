@@ -1,0 +1,31 @@
+//! # ree-kernel
+//!
+//! Model of the Rich Execution Environment OS (OpenHarmony's Linux kernel in
+//! the paper) at the granularity TZ-LLM interacts with it:
+//!
+//! * [`buddy`] — the ordinary page allocator (used by the REE-LLM-Flash
+//!   baseline and the Figure 3 comparison).
+//! * [`cma`] — the Contiguous Memory Allocator with movable-page migration,
+//!   the mechanism behind dynamic secure-memory scaling.
+//! * [`flash`] — the NVMe flash device and the REE file system holding the
+//!   encrypted model files.
+//! * [`tz_driver`] — the TrustZone driver: CMA delegation and SMC forwarding
+//!   (untrusted; can be made adversarial for Iago-attack tests).
+//! * [`npu_driver`] — the NPU control-plane driver with shadow-job scheduling.
+//! * [`s2pt`] — the rejected stage-2-page-table design, for Figure 2.
+//!
+//! Everything in this crate is *outside* the TCB.
+
+pub mod buddy;
+pub mod cma;
+pub mod flash;
+pub mod npu_driver;
+pub mod s2pt;
+pub mod tz_driver;
+
+pub use buddy::{BuddyAllocation, BuddyAllocator, BuddyError};
+pub use cma::{CmaAllocCost, CmaError, CmaRegion};
+pub use flash::{FileContent, FileSystem, FlashDevice, FsError, ReadResult};
+pub use npu_driver::{DriverStats, ReeNpuDriver, ScheduleDecision};
+pub use s2pt::{S2Granularity, StageTwoConfig};
+pub use tz_driver::{CmaPool, CmaReply, Misbehaviour, TzDriver};

@@ -1,0 +1,238 @@
+//! The REE NPU driver — control plane.
+//!
+//! §4.3: TZ-LLM keeps the full-fledged NPU driver in the REE and extends it
+//! (167 LoC in the paper's prototype) with *shadow-job scheduling*: the
+//! unified scheduling queue holds both non-secure jobs and shadow jobs, and
+//! whenever a shadow job reaches the head of the queue the driver proactively
+//! hands the NPU to the TEE data-plane driver instead of launching anything
+//! itself.
+//!
+//! The control plane owns:
+//! * the scheduling queue (FIFO, like the Rockchip driver's single queue),
+//! * power / frequency management (modelled as the fixed `npu_driver_reinit`
+//!   cost that a detach-attach world switch would pay — the cost the
+//!   co-driver design avoids),
+//! * completion bookkeeping.
+//!
+//! It never touches secure memory and never needs to: that is the whole point
+//! of the control/data-plane split.
+
+use std::collections::VecDeque;
+
+use sim_core::{SimDuration, SimTime};
+use npu::{JobId, JobKind, NpuJob};
+
+/// What the scheduler decided to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleDecision {
+    /// The queue is empty; nothing to do.
+    Idle,
+    /// Launch this non-secure job on the device.
+    LaunchNonSecure(NpuJob),
+    /// A shadow job is at the head: hand the NPU over to the TEE driver so it
+    /// can run the paired secure job.
+    HandoffToTee {
+        /// The shadow job being consumed.
+        shadow: NpuJob,
+        /// The secure job the TEE driver is expected to run.
+        paired_secure_job: JobId,
+    },
+}
+
+/// Statistics the driver keeps for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Non-secure jobs launched.
+    pub non_secure_launched: u64,
+    /// Shadow jobs consumed (secure handoffs).
+    pub handoffs: u64,
+    /// Completions observed.
+    pub completions: u64,
+    /// Full driver re-initialisations (detach/attach baseline only).
+    pub reinits: u64,
+}
+
+/// The REE NPU control-plane driver.
+#[derive(Debug)]
+pub struct ReeNpuDriver {
+    queue: VecDeque<NpuJob>,
+    stats: DriverStats,
+    /// Per-job scheduling overhead on the CPU (queue manipulation, ioctl).
+    schedule_overhead: SimDuration,
+    /// Cost of a full detach-attach reinitialisation (baseline design).
+    reinit_cost: SimDuration,
+    attached: bool,
+}
+
+impl ReeNpuDriver {
+    /// Creates an attached, idle driver.
+    pub fn new(schedule_overhead: SimDuration, reinit_cost: SimDuration) -> Self {
+        ReeNpuDriver {
+            queue: VecDeque::new(),
+            stats: DriverStats::default(),
+            schedule_overhead,
+            reinit_cost,
+            attached: true,
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+
+    /// Number of jobs waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the driver currently owns the device (false while detached in
+    /// the detach-attach baseline).
+    pub fn is_attached(&self) -> bool {
+        self.attached
+    }
+
+    /// Enqueues a non-secure job from an REE application.
+    pub fn enqueue_non_secure(&mut self, job: NpuJob) {
+        assert!(
+            matches!(job.kind, JobKind::NonSecure),
+            "enqueue_non_secure only accepts non-secure jobs"
+        );
+        self.queue.push_back(job);
+    }
+
+    /// Enqueues a shadow job on behalf of the TEE driver (§4.3: "each time the
+    /// LLM TA issues a secure NPU job, the TEE driver issues a paired shadow
+    /// job with an empty execution context to the REE driver").
+    pub fn enqueue_shadow(&mut self, shadow: NpuJob) {
+        assert!(shadow.is_shadow(), "enqueue_shadow only accepts shadow jobs");
+        self.queue.push_back(shadow);
+    }
+
+    /// Pops the next job from the queue and decides what to do with it.
+    /// Returns the decision and the CPU time the scheduling step consumed.
+    pub fn schedule_next(&mut self) -> (ScheduleDecision, SimDuration) {
+        match self.queue.pop_front() {
+            None => (ScheduleDecision::Idle, SimDuration::ZERO),
+            Some(job) => match job.kind {
+                JobKind::NonSecure => {
+                    self.stats.non_secure_launched += 1;
+                    (ScheduleDecision::LaunchNonSecure(job), self.schedule_overhead)
+                }
+                JobKind::Shadow { paired_secure_job } => {
+                    self.stats.handoffs += 1;
+                    (
+                        ScheduleDecision::HandoffToTee {
+                            shadow: job,
+                            paired_secure_job,
+                        },
+                        self.schedule_overhead,
+                    )
+                }
+                JobKind::Secure => {
+                    unreachable!("secure jobs are never placed in the REE queue; only their shadows are")
+                }
+            },
+        }
+    }
+
+    /// Records that a job (non-secure or shadow) completed.
+    pub fn on_completion(&mut self, _job: JobId, _now: SimTime) {
+        self.stats.completions += 1;
+    }
+
+    /// Full detach: relinquish the device, tearing down control-plane state.
+    /// Returns the time it takes.  Part of the rejected detach-attach design
+    /// and of the §2.3 motivation measurement.
+    pub fn detach(&mut self) -> SimDuration {
+        self.attached = false;
+        self.stats.reinits += 1;
+        self.reinit_cost / 2
+    }
+
+    /// Full attach: re-probe the device and rebuild control-plane state.
+    pub fn attach(&mut self) -> SimDuration {
+        self.attached = true;
+        self.reinit_cost / 2
+    }
+
+    /// The cost of a full detach-attach cycle (≈32 ms on the paper's testbed).
+    pub fn full_reinit_cost(&self) -> SimDuration {
+        self.reinit_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu::ExecutionContext;
+
+    fn ns_job(id: u64) -> NpuJob {
+        NpuJob::non_secure(
+            JobId(id),
+            ExecutionContext::empty(),
+            SimDuration::from_millis(5),
+            format!("nn-{id}"),
+        )
+    }
+
+    fn driver() -> ReeNpuDriver {
+        ReeNpuDriver::new(SimDuration::from_micros(30), SimDuration::from_millis(32))
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut d = driver();
+        d.enqueue_non_secure(ns_job(1));
+        d.enqueue_shadow(NpuJob::shadow(JobId(100), JobId(10)));
+        d.enqueue_non_secure(ns_job(2));
+
+        match d.schedule_next().0 {
+            ScheduleDecision::LaunchNonSecure(j) => assert_eq!(j.id, JobId(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match d.schedule_next().0 {
+            ScheduleDecision::HandoffToTee { paired_secure_job, .. } => {
+                assert_eq!(paired_secure_job, JobId(10))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match d.schedule_next().0 {
+            ScheduleDecision::LaunchNonSecure(j) => assert_eq!(j.id, JobId(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(d.schedule_next().0, ScheduleDecision::Idle);
+        assert_eq!(d.stats().non_secure_launched, 2);
+        assert_eq!(d.stats().handoffs, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn secure_jobs_cannot_enter_the_ree_queue() {
+        let mut d = driver();
+        d.enqueue_non_secure(NpuJob::secure(
+            JobId(1),
+            ExecutionContext::empty(),
+            SimDuration::from_millis(1),
+            "secure",
+        ));
+    }
+
+    #[test]
+    fn detach_attach_costs_the_full_reinit() {
+        let mut d = driver();
+        let t = d.detach() + d.attach();
+        assert_eq!(t, SimDuration::from_millis(32));
+        assert!(d.is_attached());
+        assert_eq!(d.stats().reinits, 1);
+    }
+
+    #[test]
+    fn completions_are_counted() {
+        let mut d = driver();
+        d.enqueue_non_secure(ns_job(1));
+        let _ = d.schedule_next();
+        d.on_completion(JobId(1), SimTime::from_millis(5));
+        assert_eq!(d.stats().completions, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Stage-2 page table (S2PT) alternative — the design the paper rejects.
+//!
+//! §2.4.2 examines protecting secure memory with stage-2 translation instead
+//! of CMA + TZASC: run the REE inside a thin hypervisor and unmap secure
+//! pages from the stage-2 tables.  The paper rejects it because (a) stage-2
+//! walks impose a *continuous* overhead on REE applications once mappings
+//! fragment to 4 KiB (up to 9.8 % on Geekbench, Figure 2), (b) disabling it
+//! when idle forfeits parameter caching, and (c) it cannot stop DMA attacks
+//! without additional IOMMU monitoring.
+//!
+//! This module models that alternative so Figure 2 and the design comparison
+//! can be regenerated.
+
+use serde::{Deserialize, Serialize};
+
+/// Stage-2 mapping granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum S2Granularity {
+    /// 4 KiB mappings — what the system degrades to after fragmentation.
+    Page4K,
+    /// 2 MiB block mappings.
+    Block2M,
+    /// 1 GiB block mappings.
+    Block1G,
+}
+
+impl S2Granularity {
+    /// Relative cost of a two-dimensional walk at this granularity, expressed
+    /// as the multiplier applied to a workload's TLB sensitivity.
+    ///
+    /// Calibrated so that 4 KiB mappings reproduce the average 2.0 % /
+    /// maximum 9.8 % Geekbench overhead of Figure 2.
+    pub fn walk_cost_factor(self) -> f64 {
+        match self {
+            S2Granularity::Page4K => 1.0,
+            S2Granularity::Block2M => 0.28,
+            S2Granularity::Block1G => 0.11,
+        }
+    }
+}
+
+/// The stage-2 protection state of the REE.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageTwoConfig {
+    /// Whether stage-2 translation is currently enabled.
+    pub enabled: bool,
+    /// Mapping granularity currently in effect.
+    pub granularity: S2Granularity,
+}
+
+impl StageTwoConfig {
+    /// Stage-2 disabled (the TZ-LLM / CMA design).
+    pub fn disabled() -> Self {
+        StageTwoConfig {
+            enabled: false,
+            granularity: S2Granularity::Block1G,
+        }
+    }
+
+    /// Stage-2 enabled with 4 KiB mappings (the post-fragmentation state the
+    /// paper measures).
+    pub fn enabled_4k() -> Self {
+        StageTwoConfig {
+            enabled: true,
+            granularity: S2Granularity::Page4K,
+        }
+    }
+
+    /// The slowdown factor this configuration imposes on a workload with the
+    /// given TLB sensitivity (0.0 = never misses the TLB, 1.0 = extremely
+    /// walk-heavy).  Returns a multiplicative factor ≥ 1.0 applied to the
+    /// workload's runtime.
+    pub fn slowdown_factor(&self, tlb_sensitivity: f64) -> f64 {
+        if !self.enabled {
+            return 1.0;
+        }
+        let s = tlb_sensitivity.clamp(-0.05, 1.0);
+        1.0 + s * 0.098 * self.granularity.walk_cost_factor() / 1.0
+    }
+
+    /// Disabling stage-2 protection requires scrubbing all protected memory
+    /// first (§2.4.2); returns the number of bytes that must be cleared.
+    pub fn disable_requires_clearing(&self, protected_bytes: u64) -> u64 {
+        if self.enabled {
+            protected_bytes
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_has_no_overhead() {
+        let cfg = StageTwoConfig::disabled();
+        assert_eq!(cfg.slowdown_factor(1.0), 1.0);
+        assert_eq!(cfg.slowdown_factor(0.0), 1.0);
+    }
+
+    #[test]
+    fn enabled_4k_reaches_papers_worst_case() {
+        let cfg = StageTwoConfig::enabled_4k();
+        // The most walk-heavy subtest (Navigation, 9.8 %) has sensitivity 1.0.
+        let worst = cfg.slowdown_factor(1.0);
+        assert!((worst - 1.098).abs() < 1e-9);
+        // A cache-friendly subtest barely notices.
+        let best = cfg.slowdown_factor(0.02);
+        assert!(best < 1.01);
+    }
+
+    #[test]
+    fn huge_pages_reduce_but_do_not_eliminate_overhead() {
+        let four_k = StageTwoConfig::enabled_4k().slowdown_factor(1.0);
+        let two_m = StageTwoConfig {
+            enabled: true,
+            granularity: S2Granularity::Block2M,
+        }
+        .slowdown_factor(1.0);
+        assert!(two_m > 1.0 && two_m < four_k);
+    }
+
+    #[test]
+    fn disabling_requires_clearing_protected_memory() {
+        let cfg = StageTwoConfig::enabled_4k();
+        assert_eq!(cfg.disable_requires_clearing(1024), 1024);
+        assert_eq!(StageTwoConfig::disabled().disable_requires_clearing(1024), 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The REE TrustZone (TZ) driver.
+//!
+//! The TZ driver is the REE kernel's bridge to the TEE (§3.2, Figure 4).  In
+//! TZ-LLM it gains two duties beyond the stock OpenHarmony driver (the paper
+//! adds 197 LoC for this):
+//!
+//! 1. **CMA delegation** — when the TEE OS scales secure memory, the TZ
+//!    driver allocates/frees contiguous blocks from the CMA region on its
+//!    behalf (memory ballooning) and reports the physical address back.
+//! 2. **SMC forwarding** — it forwards client-application invocations and TA
+//!    I/O delegation requests through the secure monitor.
+//!
+//! The TZ driver is *untrusted*: everything it reports is re-validated inside
+//! the TEE (`tee-kernel::secure_memory`).  For the Iago-attack tests it can be
+//! put into an adversarial mode where it returns non-adjacent blocks.
+
+use std::sync::Arc;
+
+use sim_core::SimDuration;
+use tz_hal::{Platform, PhysRange, SmcFunction, World};
+
+use crate::cma::{CmaAllocCost, CmaError, CmaRegion};
+
+/// Identifies one of the CMA pools the TZ driver manages on behalf of the TEE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmaPool {
+    /// The large pool backing the LLM-parameter TZASC region.
+    Parameters,
+    /// The smaller pool backing KV cache / activations / other TA data.
+    Working,
+}
+
+/// A CMA allocation reply sent back to the TEE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmaReply {
+    /// The block the driver claims to have allocated.
+    pub block: PhysRange,
+    /// The time the allocation took (migration + bookkeeping).
+    pub cost: CmaAllocCost,
+}
+
+/// Adversarial behaviours for Iago-attack testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Misbehaviour {
+    /// Behave correctly.
+    #[default]
+    None,
+    /// Return a block that is not adjacent to the previous allocation.
+    NonAdjacentBlock,
+    /// Return a block that overlaps memory the REE still uses.
+    OverlappingBlock,
+}
+
+/// The TZ driver state.
+#[derive(Debug)]
+pub struct TzDriver {
+    platform: Arc<Platform>,
+    param_pool: CmaRegion,
+    working_pool: CmaRegion,
+    misbehaviour: Misbehaviour,
+    migration_threads: usize,
+}
+
+impl TzDriver {
+    /// Creates the TZ driver with its two CMA pools.
+    pub fn new(platform: Arc<Platform>, param_pool: CmaRegion, working_pool: CmaRegion) -> Self {
+        let migration_threads = platform.profile.cma_migration_threads;
+        TzDriver {
+            platform,
+            param_pool,
+            working_pool,
+            misbehaviour: Misbehaviour::None,
+            migration_threads,
+        }
+    }
+
+    /// Switches the driver into an adversarial mode (tests only).
+    pub fn set_misbehaviour(&mut self, m: Misbehaviour) {
+        self.misbehaviour = m;
+    }
+
+    /// Applies REE memory pressure to the parameter pool (stress-ng model).
+    pub fn set_memory_pressure(&mut self, bytes: u64) {
+        self.param_pool.set_memory_pressure(bytes);
+    }
+
+    /// Immutable access to a pool (for assertions and experiment accounting).
+    pub fn pool(&self, pool: CmaPool) -> &CmaRegion {
+        match pool {
+            CmaPool::Parameters => &self.param_pool,
+            CmaPool::Working => &self.working_pool,
+        }
+    }
+
+    fn pool_mut(&mut self, pool: CmaPool) -> &mut CmaRegion {
+        match pool {
+            CmaPool::Parameters => &mut self.param_pool,
+            CmaPool::Working => &mut self.working_pool,
+        }
+    }
+
+    /// Handles a CMA allocation request from the TEE (one SMC round trip).
+    ///
+    /// Returns the reply the TEE will validate plus the SMC transition cost.
+    pub fn cma_alloc(&mut self, pool: CmaPool, bytes: u64) -> Result<(CmaReply, SimDuration), CmaError> {
+        let smc_cost = self
+            .platform
+            .with_smc(|smc| smc.round_trip(World::Secure, SmcFunction::CmaRequest));
+        let threads = self.migration_threads;
+        let misbehaviour = self.misbehaviour;
+        let (block, cost) = self.pool_mut(pool).alloc_contiguous(bytes, threads)?;
+        let block = match misbehaviour {
+            Misbehaviour::None => block,
+            Misbehaviour::NonAdjacentBlock => {
+                // Claim an address one page past where the block should be.
+                PhysRange::new(block.start.add(tz_hal::PAGE_SIZE), block.size)
+            }
+            Misbehaviour::OverlappingBlock => {
+                // Claim the block starts at the very beginning of the pool,
+                // overlapping previously handed-out memory.
+                PhysRange::new(self.pool(pool).range().start, block.size)
+            }
+        };
+        Ok((CmaReply { block, cost }, smc_cost))
+    }
+
+    /// Handles a CMA release request from the TEE.
+    pub fn cma_release(&mut self, pool: CmaPool, bytes: u64) -> Result<SimDuration, CmaError> {
+        let smc_cost = self
+            .platform
+            .with_smc(|smc| smc.round_trip(World::Secure, SmcFunction::CmaRequest));
+        let free_cost = self.pool_mut(pool).release_from_end(bytes)?;
+        Ok(smc_cost + free_cost)
+    }
+
+    /// Forwards a CA → TA invocation through the monitor and returns its cost.
+    pub fn invoke_ta(&self) -> SimDuration {
+        self.platform
+            .with_smc(|smc| smc.round_trip(World::NonSecure, SmcFunction::InvokeTa))
+    }
+
+    /// Forwards a TA → CA I/O delegation (model loading) and returns its cost.
+    pub fn delegate_io(&self) -> SimDuration {
+        self.platform
+            .with_smc(|smc| smc.round_trip(World::Secure, SmcFunction::DelegateIo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{Bandwidth, GIB};
+    use tz_hal::PhysAddr;
+
+    fn driver() -> TzDriver {
+        let platform = Platform::rk3588();
+        let params = CmaRegion::new(
+            PhysRange::new(PhysAddr::new(0x1_0000_0000), 9 * GIB),
+            platform.profile.cma_bandwidth(),
+            platform.profile.page_alloc_ns,
+        );
+        let working = CmaRegion::new(
+            PhysRange::new(PhysAddr::new(0x3_8000_0000), GIB),
+            Bandwidth::from_bytes_per_sec(1.9e9),
+            platform.profile.page_alloc_ns,
+        );
+        TzDriver::new(platform, params, working)
+    }
+
+    #[test]
+    fn allocations_grow_adjacent_blocks() {
+        let mut d = driver();
+        let (a, _) = d.cma_alloc(CmaPool::Parameters, GIB).unwrap();
+        let (b, _) = d.cma_alloc(CmaPool::Parameters, GIB).unwrap();
+        assert!(a.block.is_followed_by(&b.block));
+        assert_eq!(d.pool(CmaPool::Parameters).allocated_bytes(), 2 * GIB);
+    }
+
+    #[test]
+    fn pressure_makes_allocation_slower() {
+        let mut d = driver();
+        let (_, _) = d.cma_alloc(CmaPool::Parameters, GIB).unwrap();
+        let fast = d.pool(CmaPool::Parameters).estimate_alloc(GIB, 4).total();
+        d.set_memory_pressure(8 * GIB);
+        let slow = d.pool(CmaPool::Parameters).estimate_alloc(GIB, 4).total();
+        assert!(slow > fast * 2);
+    }
+
+    #[test]
+    fn misbehaving_driver_returns_non_adjacent_blocks() {
+        let mut d = driver();
+        let (a, _) = d.cma_alloc(CmaPool::Parameters, GIB).unwrap();
+        d.set_misbehaviour(Misbehaviour::NonAdjacentBlock);
+        let (b, _) = d.cma_alloc(CmaPool::Parameters, GIB).unwrap();
+        assert!(!a.block.is_followed_by(&b.block));
+    }
+
+    #[test]
+    fn smc_round_trips_are_counted() {
+        let d = driver();
+        let platform = d.platform.clone();
+        let before = platform.with_smc(|s| s.total_calls());
+        d.invoke_ta();
+        d.delegate_io();
+        assert_eq!(platform.with_smc(|s| s.total_calls()), before + 4);
+    }
+
+    #[test]
+    fn release_returns_memory() {
+        let mut d = driver();
+        d.cma_alloc(CmaPool::Working, GIB / 2).unwrap();
+        d.cma_release(CmaPool::Working, GIB / 2).unwrap();
+        assert_eq!(d.pool(CmaPool::Working).allocated_bytes(), 0);
+        assert!(d.cma_release(CmaPool::Working, GIB).is_err());
+    }
+}

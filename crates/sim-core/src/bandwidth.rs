@@ -1,0 +1,107 @@
+//! Bandwidth / throughput helpers.
+//!
+//! Several devices in the reproduction are modelled as constant-throughput
+//! engines calibrated from the paper's measurements: the NVMe flash performs
+//! sequential reads at ~2 GB/s, single-threaded CMA page migration moves
+//! ~1.9 GB/s, AES decryption of 8 GB of parameters takes ~0.9 s, and so on.
+//! [`Bandwidth`] converts between byte counts and [`SimDuration`]s for such
+//! engines.
+
+use crate::time::SimDuration;
+
+/// Bytes in one binary kibibyte.
+pub const KIB: u64 = 1024;
+/// Bytes in one binary mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// Bytes in one binary gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// A constant data-movement or data-processing rate in bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth {
+    bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth from bytes per second.
+    ///
+    /// # Panics
+    /// Panics if the rate is not finite and strictly positive: a zero-rate
+    /// device would make every transfer take infinitely long, which is always
+    /// a configuration bug in this code base.
+    pub fn from_bytes_per_sec(bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be finite and positive, got {bytes_per_sec}"
+        );
+        Bandwidth { bytes_per_sec }
+    }
+
+    /// Creates a bandwidth from binary gigabytes (GiB) per second.
+    pub fn from_gib_per_sec(gib_per_sec: f64) -> Self {
+        Self::from_bytes_per_sec(gib_per_sec * GIB as f64)
+    }
+
+    /// Creates a bandwidth from binary megabytes (MiB) per second.
+    pub fn from_mib_per_sec(mib_per_sec: f64) -> Self {
+        Self::from_bytes_per_sec(mib_per_sec * MIB as f64)
+    }
+
+    /// The rate in bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// The rate in GiB per second.
+    pub fn gib_per_sec(self) -> f64 {
+        self.bytes_per_sec / GIB as f64
+    }
+
+    /// Time needed to move `bytes` at this rate.
+    pub fn time_for_bytes(self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Bytes moved in `duration` at this rate.
+    pub fn bytes_in(self, duration: SimDuration) -> u64 {
+        (self.bytes_per_sec * duration.as_secs_f64()).floor() as u64
+    }
+
+    /// Scales the rate by `factor` (e.g. multi-threaded CMA migration reaches
+    /// 2x the single-thread throughput with 4 threads in the paper's testbed).
+    pub fn scaled(self, factor: f64) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.bytes_per_sec * factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_for_bytes_matches_rate() {
+        let bw = Bandwidth::from_gib_per_sec(2.0);
+        let t = bw.time_for_bytes(4 * GIB);
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_in_inverts_time_for_bytes() {
+        let bw = Bandwidth::from_mib_per_sec(512.0);
+        let d = bw.time_for_bytes(100 * MIB);
+        let b = bw.bytes_in(d);
+        assert!((b as i64 - (100 * MIB) as i64).abs() < 16);
+    }
+
+    #[test]
+    fn scaled_changes_rate() {
+        let bw = Bandwidth::from_gib_per_sec(1.9);
+        assert!((bw.scaled(2.0).gib_per_sec() - 3.8).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_is_rejected() {
+        let _ = Bandwidth::from_bytes_per_sec(0.0);
+    }
+}

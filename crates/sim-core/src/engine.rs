@@ -1,0 +1,260 @@
+//! A minimal discrete-event simulation engine.
+//!
+//! The engine drives simulations in which many independent actors interleave
+//! on a shared virtual clock — for example the NPU time-sharing experiments
+//! (§7.3) where an REE neural-network application and the LLM TA compete for
+//! the NPU, or the CMA-interference experiments (§7.4) where Geekbench-like
+//! tasks run while CMA migrates pages.
+//!
+//! Events are closures scheduled at a [`SimTime`]; firing an event may mutate
+//! the shared state and schedule further events.  Ties are broken by the
+//! insertion sequence number, which makes runs fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event handler: receives the shared simulation state and a scheduler
+/// handle for enqueueing follow-up events.
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut EventScheduler<S>)>;
+
+struct QueuedEvent<S> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<S>,
+}
+
+impl<S> PartialEq for QueuedEvent<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for QueuedEvent<S> {}
+impl<S> PartialOrd for QueuedEvent<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for QueuedEvent<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest-seq)
+        // event is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Handle passed to event handlers for scheduling new events.
+pub struct EventScheduler<S> {
+    now: SimTime,
+    pending: Vec<(SimTime, EventFn<S>)>,
+}
+
+impl<S> EventScheduler<S> {
+    /// The current simulation time (the time of the event being handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Events scheduled in the past are clamped to fire "now"; this mirrors
+    /// hardware completion interrupts that have already happened by the time
+    /// software observes them.
+    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut S, &mut EventScheduler<S>) + 'static) {
+        let at = at.max(self.now);
+        self.pending.push((at, Box::new(event)));
+    }
+
+    /// Schedules `event` to fire after `delay` from the current time.
+    pub fn schedule_after(
+        &mut self,
+        delay: crate::time::SimDuration,
+        event: impl FnOnce(&mut S, &mut EventScheduler<S>) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.pending.push((at, Box::new(event)));
+    }
+}
+
+/// The discrete-event engine: a priority queue of timed events over a shared
+/// state `S`.
+pub struct Engine<S> {
+    state: S,
+    queue: BinaryHeap<QueuedEvent<S>>,
+    now: SimTime,
+    seq: u64,
+    fired: u64,
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine wrapping the initial simulation state.
+    pub fn new(state: S) -> Self {
+        Engine {
+            state,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            fired: 0,
+        }
+    }
+
+    /// Current simulation time (time of the last fired event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Immutable access to the simulation state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to the simulation state (for setup between runs).
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the engine and returns the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Schedules an event at absolute time `at` from outside a handler.
+    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut S, &mut EventScheduler<S>) + 'static) {
+        let at = at.max(self.now);
+        self.queue.push(QueuedEvent {
+            at,
+            seq: self.seq,
+            run: Box::new(event),
+        });
+        self.seq += 1;
+    }
+
+    /// Runs events until the queue is empty or the clock would pass `horizon`.
+    ///
+    /// Returns the number of events fired by this call.  Events scheduled
+    /// beyond the horizon remain queued so the simulation can be resumed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let mut fired = 0;
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > horizon {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event must exist");
+            self.now = ev.at;
+            let mut sched = EventScheduler {
+                now: self.now,
+                pending: Vec::new(),
+            };
+            (ev.run)(&mut self.state, &mut sched);
+            for (at, run) in sched.pending {
+                self.queue.push(QueuedEvent {
+                    at,
+                    seq: self.seq,
+                    run,
+                });
+                self.seq += 1;
+            }
+            fired += 1;
+            self.fired += 1;
+        }
+        if self.now > horizon {
+            self.now = horizon;
+        }
+        fired
+    }
+
+    /// Runs the simulation to completion (empty event queue).
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Whether any events remain queued.
+    pub fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Default)]
+    struct Counter {
+        log: Vec<(u64, u32)>,
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut engine = Engine::new(Counter::default());
+        engine.schedule_at(SimTime::from_millis(5), |s: &mut Counter, _| s.log.push((5, 0)));
+        engine.schedule_at(SimTime::from_millis(1), |s: &mut Counter, _| s.log.push((1, 1)));
+        engine.schedule_at(SimTime::from_millis(3), |s: &mut Counter, _| s.log.push((3, 2)));
+        engine.run_to_completion();
+        let times: Vec<u64> = engine.state().log.iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut engine = Engine::new(Counter::default());
+        for i in 0..4u32 {
+            engine.schedule_at(SimTime::from_millis(2), move |s: &mut Counter, _| s.log.push((2, i)));
+        }
+        engine.run_to_completion();
+        let order: Vec<u32> = engine.state().log.iter().map(|&(_, i)| i).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut engine = Engine::new(Counter::default());
+        engine.schedule_at(SimTime::ZERO, |s: &mut Counter, sched| {
+            s.log.push((0, 0));
+            sched.schedule_after(SimDuration::from_millis(10), |s: &mut Counter, sched| {
+                s.log.push((10, 1));
+                sched.schedule_after(SimDuration::from_millis(10), |s: &mut Counter, _| {
+                    s.log.push((20, 2));
+                });
+            });
+        });
+        engine.run_to_completion();
+        assert_eq!(engine.state().log.len(), 3);
+        assert_eq!(engine.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut engine = Engine::new(Counter::default());
+        engine.schedule_at(SimTime::from_secs(1), |s: &mut Counter, _| s.log.push((1, 0)));
+        engine.schedule_at(SimTime::from_secs(10), |s: &mut Counter, _| s.log.push((10, 1)));
+        let fired = engine.run_until(SimTime::from_secs(5));
+        assert_eq!(fired, 1);
+        assert!(engine.has_pending());
+        engine.run_to_completion();
+        assert_eq!(engine.state().log.len(), 2);
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut engine = Engine::new(Counter::default());
+        engine.schedule_at(SimTime::from_secs(2), |s: &mut Counter, sched| {
+            s.log.push((2, 0));
+            // Schedule "in the past": must fire at the current time, not earlier.
+            sched.schedule_at(SimTime::from_secs(1), |s: &mut Counter, sched| {
+                s.log.push((sched.now().as_nanos() / 1_000_000_000, 1));
+            });
+        });
+        engine.run_to_completion();
+        assert_eq!(engine.state().log, vec![(2, 0), (2, 1)]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # sim-core
+//!
+//! Discrete-event simulation substrate for the TZ-LLM reproduction.
+//!
+//! The paper's prototype runs on a Rockchip RK3588 board; this reproduction
+//! replaces the physical hardware with a calibrated, fully deterministic
+//! simulation.  This crate provides the building blocks shared by every other
+//! crate in the workspace:
+//!
+//! * [`time`] — virtual nanosecond clock ([`SimTime`], [`SimDuration`]).
+//! * [`bandwidth`] — constant-throughput device helpers ([`Bandwidth`]).
+//! * [`resource`] — server pools for CPU cores / NPU / I/O engine.
+//! * [`engine`] — a generic discrete-event engine for concurrency experiments.
+//! * [`trace`] — span recording for figure generation and ordering assertions.
+//! * [`stats`] — means, geometric means, percentiles, overhead computations.
+//! * [`rng`] — deterministic random streams for workload generation.
+
+pub mod bandwidth;
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use bandwidth::{Bandwidth, GIB, KIB, MIB};
+pub use engine::{Engine, EventScheduler};
+pub use resource::{Reservation, ServerPool};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Span, SpanKind, Trace};

@@ -1,0 +1,183 @@
+//! Small statistics helpers used by the experiment harness.
+//!
+//! The paper reports geometric means of per-prompt overheads (§7.1.1),
+//! percentage overheads/speed-ups between systems, and throughput averages.
+//! These helpers centralise those computations so every figure harness and
+//! test derives them the same way.
+
+/// Arithmetic mean; returns `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Geometric mean; returns `None` if the slice is empty or any value is
+/// non-positive (a geometric mean is undefined there).
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Relative change of `new` versus `base` as a signed fraction:
+/// `+0.25` means `new` is 25 % larger than `base`.
+pub fn relative_change(base: f64, new: f64) -> f64 {
+    assert!(base > 0.0, "relative change needs a positive baseline");
+    (new - base) / base
+}
+
+/// Reduction of `new` versus `base` as a fraction of `base`:
+/// `0.909` means `new` is 90.9 % smaller than `base`.
+pub fn reduction(base: f64, new: f64) -> f64 {
+    assert!(base > 0.0, "reduction needs a positive baseline");
+    (base - new) / base
+}
+
+/// Speed-up of `new` over `base` (`base / new` for latencies).
+pub fn speedup(base_latency: f64, new_latency: f64) -> f64 {
+    assert!(new_latency > 0.0, "speedup needs a positive new latency");
+    base_latency / new_latency
+}
+
+/// Linear interpolation percentile (p in `[0, 100]`); returns `None` for an
+/// empty slice.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+    let p = p.clamp(0.0, 100.0) / 100.0;
+    let idx = p * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = idx - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Sample standard deviation; returns `None` for fewer than two samples.
+pub fn stddev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Running min/max/mean accumulator for streaming measurements.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_geomean() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        let g = geomean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+    }
+
+    #[test]
+    fn change_reduction_speedup() {
+        assert!((relative_change(10.0, 12.5) - 0.25).abs() < 1e-12);
+        assert!((reduction(10.0, 1.0) - 0.9).abs() < 1e-12);
+        assert!((speedup(10.0, 2.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert!((percentile(&v, 50.0).unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        assert!((stddev(&[3.0, 3.0, 3.0]).unwrap()).abs() < 1e-12);
+        assert_eq!(stddev(&[1.0]), None);
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), None);
+        for v in [3.0, 1.0, 2.0] {
+            s.add(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert!((s.mean().unwrap() - 2.0).abs() < 1e-12);
+    }
+}

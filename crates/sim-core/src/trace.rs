@@ -1,0 +1,249 @@
+//! Execution traces.
+//!
+//! Every simulated activity (a restoration operator, an NPU job, a CMA
+//! migration burst, a world switch) can record a [`Span`] into a [`Trace`].
+//! The figure-regeneration harness uses traces to produce the per-step
+//! breakdowns of Figure 1 and the critical-path analysis of Figure 12, and
+//! the tests use them to assert ordering properties (e.g. "no computation
+//! operator starts before its parameters finished decrypting").
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Category of a traced activity, mirroring the operator classes in §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// Contiguous secure-memory allocation (CMA migration) on a CPU core.
+    Allocation,
+    /// Flash read of encrypted parameters on the I/O engine.
+    Loading,
+    /// AES-CTR decryption of parameters on a CPU core.
+    Decryption,
+    /// LLM computation operator on a CPU core.
+    CpuCompute,
+    /// LLM computation operator on the NPU.
+    NpuCompute,
+    /// NPU world switch (TZPC/TZASC/GIC configuration, smc).
+    WorldSwitch,
+    /// Framework initialisation, tokenizer, metadata parsing, checkpoint restore.
+    FrameworkInit,
+    /// Anything else (book-keeping, idle, REE application activity).
+    Other,
+}
+
+impl SpanKind {
+    /// Short label used in textual figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Allocation => "alloc",
+            SpanKind::Loading => "load",
+            SpanKind::Decryption => "decrypt",
+            SpanKind::CpuCompute => "cpu",
+            SpanKind::NpuCompute => "npu",
+            SpanKind::WorldSwitch => "switch",
+            SpanKind::FrameworkInit => "init",
+            SpanKind::Other => "other",
+        }
+    }
+}
+
+/// One traced interval of activity on a named resource.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Span {
+    /// Human-readable name, e.g. `"decrypt layer 12 ffn_down"`.
+    pub name: String,
+    /// Activity category.
+    pub kind: SpanKind,
+    /// Resource the activity ran on, e.g. `"cpu3"`, `"npu"`, `"io"`.
+    pub resource: String,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Length of the span.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Whether this span overlaps `[start, end)` of another span.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// An append-only collection of spans for one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Records a span.
+    pub fn record(
+        &mut self,
+        name: impl Into<String>,
+        kind: SpanKind,
+        resource: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        debug_assert!(end >= start, "span must not end before it starts");
+        self.spans.push(Span {
+            name: name.into(),
+            kind,
+            resource: resource.into(),
+            start,
+            end,
+        });
+    }
+
+    /// All recorded spans in insertion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans of a given kind.
+    pub fn spans_of(&self, kind: SpanKind) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// Total busy time of a given kind (sum of span durations).
+    pub fn total_time(&self, kind: SpanKind) -> SimDuration {
+        self.spans_of(kind).map(Span::duration).sum()
+    }
+
+    /// The instant the last span ends, or zero for an empty trace.
+    pub fn end_time(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// The earliest start instant, or zero for an empty trace.
+    pub fn start_time(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.start)
+            .fold(SimTime::MAX, SimTime::min)
+            .min(self.end_time())
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Merges another trace into this one.
+    pub fn merge(&mut self, other: Trace) {
+        self.spans.extend(other.spans);
+    }
+
+    /// Checks that no two spans on the same resource overlap.  Returns the
+    /// first offending pair if there is one.  Resources that model pools
+    /// (e.g. `"cpu0"` .. `"cpu3"`) must already be distinguished by name.
+    pub fn find_resource_conflict(&self) -> Option<(&Span, &Span)> {
+        let mut by_resource: std::collections::HashMap<&str, Vec<&Span>> = std::collections::HashMap::new();
+        for s in &self.spans {
+            by_resource.entry(s.resource.as_str()).or_default().push(s);
+        }
+        for spans in by_resource.values_mut() {
+            spans.sort_by_key(|s| s.start);
+            for w in spans.windows(2) {
+                if w[0].overlaps(w[1]) {
+                    return Some((w[0], w[1]));
+                }
+            }
+        }
+        None
+    }
+
+    /// A compact textual Gantt-style rendering, useful for debugging pipeline
+    /// schedules from tests and examples.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut spans: Vec<&Span> = self.spans.iter().collect();
+        spans.sort_by_key(|s| (s.resource.clone(), s.start));
+        for s in spans {
+            out.push_str(&format!(
+                "{:<6} [{:>12.6}s - {:>12.6}s] {:<8} {}\n",
+                s.resource,
+                s.start.as_secs_f64(),
+                s.end.as_secs_f64(),
+                s.kind.label(),
+                s.name
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn totals_and_end_time() {
+        let mut trace = Trace::new();
+        trace.record("a", SpanKind::Loading, "io", t(0), t(10));
+        trace.record("b", SpanKind::Loading, "io", t(10), t(30));
+        trace.record("c", SpanKind::CpuCompute, "cpu0", t(5), t(15));
+        assert_eq!(trace.total_time(SpanKind::Loading), SimDuration::from_millis(30));
+        assert_eq!(trace.end_time(), t(30));
+        assert_eq!(trace.start_time(), t(0));
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn conflict_detection_finds_overlap() {
+        let mut trace = Trace::new();
+        trace.record("a", SpanKind::CpuCompute, "cpu0", t(0), t(10));
+        trace.record("b", SpanKind::CpuCompute, "cpu0", t(5), t(15));
+        assert!(trace.find_resource_conflict().is_some());
+
+        let mut ok = Trace::new();
+        ok.record("a", SpanKind::CpuCompute, "cpu0", t(0), t(10));
+        ok.record("b", SpanKind::CpuCompute, "cpu1", t(5), t(15));
+        ok.record("c", SpanKind::CpuCompute, "cpu0", t(10), t(20));
+        assert!(ok.find_resource_conflict().is_none());
+    }
+
+    #[test]
+    fn merge_combines_spans() {
+        let mut a = Trace::new();
+        a.record("a", SpanKind::Other, "x", t(0), t(1));
+        let mut b = Trace::new();
+        b.record("b", SpanKind::Other, "y", t(1), t(2));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn render_text_is_sorted_by_resource_then_time() {
+        let mut trace = Trace::new();
+        trace.record("late", SpanKind::CpuCompute, "cpu0", t(10), t(20));
+        trace.record("early", SpanKind::CpuCompute, "cpu0", t(0), t(5));
+        let text = trace.render_text();
+        let early_pos = text.find("early").unwrap();
+        let late_pos = text.find("late").unwrap();
+        assert!(early_pos < late_pos);
+    }
+}

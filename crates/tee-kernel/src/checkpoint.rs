@@ -1,0 +1,200 @@
+//! Framework-state checkpoint/restore.
+//!
+//! Figure 1 shows that llama.cpp spends ≈2.3 s on metadata parsing, framework
+//! boot and tokenizer construction before it can do any work.  TZ-LLM removes
+//! that from the cold-start path by checkpointing the initialised framework
+//! state to flash once, encrypted under a key derived from the hardware
+//! unique key, and restoring it on every subsequent inference request (§3.2).
+//!
+//! The checkpoint blob is stored in the untrusted REE file system, so it is
+//! encrypted (AES-CTR) and authenticated (HMAC-SHA256); a forged or corrupted
+//! checkpoint is rejected and the TA falls back to a full cold initialisation.
+
+use sim_core::SimDuration;
+use tz_crypto::{hmac_sha256, hmac_verify, AesCtr, HardwareUniqueKey};
+
+use ree_kernel::{FileContent, FileSystem, FsError};
+
+/// Errors from checkpoint save/restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// No checkpoint file exists yet.
+    Missing,
+    /// The checkpoint failed authentication (forged or corrupted).
+    IntegrityFailure,
+    /// The checkpoint file is malformed.
+    Malformed,
+    /// File-system error.
+    Fs(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Missing => write!(f, "no framework checkpoint present"),
+            CheckpointError::IntegrityFailure => write!(f, "framework checkpoint failed verification"),
+            CheckpointError::Malformed => write!(f, "framework checkpoint is malformed"),
+            CheckpointError::Fs(e) => write!(f, "file system error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<FsError> for CheckpointError {
+    fn from(e: FsError) -> Self {
+        match e {
+            FsError::NotFound(_) => CheckpointError::Missing,
+            other => CheckpointError::Fs(other.to_string()),
+        }
+    }
+}
+
+/// Result of a successful restore.
+#[derive(Debug, Clone)]
+pub struct RestoredCheckpoint {
+    /// The decrypted framework state.
+    pub state: Vec<u8>,
+    /// Total time spent (flash read + decrypt + deserialisation).
+    pub duration: SimDuration,
+}
+
+const MAGIC: &[u8; 8] = b"TZLLMCP1";
+const NONCE: [u8; 16] = [0x5a; 16];
+
+/// Save / restore of the initialised framework state.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    path: String,
+    deserialise_cost: SimDuration,
+    decrypt_bytes_per_sec: f64,
+}
+
+impl CheckpointStore {
+    /// Creates a store writing to `path` in the REE file system.
+    /// `deserialise_cost` is the fixed cost of rebuilding in-memory structures
+    /// after decryption (the `checkpoint_restore` profile entry);
+    /// `decrypt_bytes_per_sec` the TEE decryption throughput.
+    pub fn new(path: impl Into<String>, deserialise_cost: SimDuration, decrypt_bytes_per_sec: f64) -> Self {
+        CheckpointStore {
+            path: path.into(),
+            deserialise_cost,
+            decrypt_bytes_per_sec,
+        }
+    }
+
+    fn cipher(huk: &HardwareUniqueKey) -> AesCtr {
+        let key = huk.checkpoint_key();
+        AesCtr::new(key.expose(), &NONCE).expect("derived key has a valid AES length")
+    }
+
+    /// Saves `state` encrypted and authenticated; returns the write latency.
+    pub fn save(&self, huk: &HardwareUniqueKey, fs: &mut FileSystem, state: &[u8]) -> SimDuration {
+        let mut payload = state.to_vec();
+        Self::cipher(huk).apply(&mut payload);
+        let key = huk.checkpoint_key();
+        let tag = hmac_sha256(key.expose(), &payload);
+        let mut blob = MAGIC.to_vec();
+        blob.extend_from_slice(&tag);
+        blob.extend_from_slice(&payload);
+        let write_time = fs.device().read_time(blob.len() as u64); // symmetric write model
+        fs.write_file(self.path.clone(), FileContent::Bytes(blob));
+        write_time
+    }
+
+    /// Restores the framework state, verifying integrity.
+    pub fn restore(&self, huk: &HardwareUniqueKey, fs: &mut FileSystem) -> Result<RestoredCheckpoint, CheckpointError> {
+        let read = fs.read_all(&self.path)?;
+        let blob = read.data.ok_or(CheckpointError::Malformed)?;
+        if blob.len() < MAGIC.len() + 32 || &blob[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::Malformed);
+        }
+        let tag = &blob[MAGIC.len()..MAGIC.len() + 32];
+        let payload = &blob[MAGIC.len() + 32..];
+        let key = huk.checkpoint_key();
+        if !hmac_verify(key.expose(), payload, tag) {
+            return Err(CheckpointError::IntegrityFailure);
+        }
+        let mut state = payload.to_vec();
+        Self::cipher(huk).apply(&mut state);
+        let decrypt = SimDuration::from_secs_f64(state.len() as f64 / self.decrypt_bytes_per_sec);
+        Ok(RestoredCheckpoint {
+            state,
+            duration: read.duration + decrypt + self.deserialise_cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ree_kernel::FlashDevice;
+    use sim_core::Bandwidth;
+
+    fn fs() -> FileSystem {
+        FileSystem::new(FlashDevice::new(Bandwidth::from_bytes_per_sec(2.0e9), 2.5))
+    }
+
+    fn store() -> CheckpointStore {
+        CheckpointStore::new("llm.ckpt", SimDuration::from_millis(140), 9.2e9)
+    }
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let huk = HardwareUniqueKey::provision("dev");
+        let mut fs = fs();
+        let state = b"tokenizer tables + metadata + graph layout".to_vec();
+        store().save(&huk, &mut fs, &state);
+        let restored = store().restore(&huk, &mut fs).unwrap();
+        assert_eq!(restored.state, state);
+        // Restore must be far cheaper than the 2.3 s cold init it replaces.
+        assert!(restored.duration.as_secs_f64() < 0.5);
+    }
+
+    #[test]
+    fn checkpoint_is_encrypted_at_rest() {
+        let huk = HardwareUniqueKey::provision("dev");
+        let mut fs = fs();
+        let state = b"secret tokenizer merges".to_vec();
+        store().save(&huk, &mut fs, &state);
+        let raw = fs.raw_bytes("llm.ckpt").unwrap();
+        // Plaintext must not appear in the on-flash blob.
+        assert!(!raw.windows(state.len()).any(|w| w == &state[..]));
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let huk = HardwareUniqueKey::provision("dev");
+        let mut fs = fs();
+        store().save(&huk, &mut fs, b"state");
+        let mut blob = fs.raw_bytes("llm.ckpt").unwrap().to_vec();
+        let last = blob.len() - 1;
+        blob[last] ^= 0x80;
+        fs.write_file("llm.ckpt", FileContent::Bytes(blob));
+        assert_eq!(
+            store().restore(&huk, &mut fs).unwrap_err(),
+            CheckpointError::IntegrityFailure
+        );
+    }
+
+    #[test]
+    fn missing_or_malformed_checkpoints_are_reported() {
+        let huk = HardwareUniqueKey::provision("dev");
+        let mut fs = fs();
+        assert_eq!(store().restore(&huk, &mut fs).unwrap_err(), CheckpointError::Missing);
+        fs.write_file("llm.ckpt", FileContent::Bytes(b"garbage".to_vec()));
+        assert_eq!(store().restore(&huk, &mut fs).unwrap_err(), CheckpointError::Malformed);
+    }
+
+    #[test]
+    fn wrong_device_cannot_restore() {
+        let huk = HardwareUniqueKey::provision("dev");
+        let other = HardwareUniqueKey::provision("other-dev");
+        let mut fs = fs();
+        store().save(&huk, &mut fs, b"state");
+        assert_eq!(
+            store().restore(&other, &mut fs).unwrap_err(),
+            CheckpointError::IntegrityFailure
+        );
+    }
+}

@@ -1,0 +1,418 @@
+//! The TEE NPU data-plane driver (co-driver design, §4.3).
+//!
+//! The data plane is the ~1 K LoC closure the paper extracts from the 60 K LoC
+//! Rockchip driver: initialise a job's execution context, launch the job via
+//! MMIO, and handle its completion interrupt.  It runs as a deprivileged
+//! user-mode driver inside the TEE and cooperates with the REE control plane:
+//!
+//! * For every secure job the LLM TA issues, the data plane registers the job,
+//!   assigns it a monotonic sequence number, and hands the REE driver a
+//!   *shadow job* to put in its scheduling queue.
+//! * When the REE driver schedules that shadow job it calls back into the TEE
+//!   (`handle_handoff`), which performs the world-switch protocol — TZPC
+//!   isolation, GIC re-routing, draining any in-flight non-secure job, TZASC
+//!   DMA grant — launches the secure job, waits for its secure interrupt, then
+//!   restores the NPU to the non-secure world.
+//! * Before launching, the data plane verifies the job was initialised, has
+//!   not already run (anti-replay) and is the next expected sequence number
+//!   (anti-reordering) — the Iago defences of §6.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sim_core::{SimDuration, SimTime};
+use tz_hal::{DeviceId, Platform, SmcFunction, World, NPU_IRQ};
+
+use npu::{JobId, NpuDevice, NpuJob};
+
+/// Violations detected by the data-plane driver's checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecurityViolation {
+    /// The REE asked to run a job the TEE never initialised.
+    UnknownJob(JobId),
+    /// The job already ran (replay attack).
+    Replay(JobId),
+    /// The job is not the next one in issue order (reordering attack).
+    OutOfOrder {
+        /// Sequence number the hardware expects next.
+        expected: u64,
+        /// Sequence number of the job the REE tried to run.
+        got: u64,
+    },
+    /// The job's execution context is not entirely inside NPU-accessible
+    /// secure memory.
+    ContextNotSecure(JobId),
+    /// The NPU refused the launch (TZPC/TZASC state inconsistent).
+    Launch(String),
+}
+
+impl std::fmt::Display for SecurityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SecurityViolation::UnknownJob(id) => write!(f, "secure job {} was never initialised", id.0),
+            SecurityViolation::Replay(id) => write!(f, "secure job {} was already executed", id.0),
+            SecurityViolation::OutOfOrder { expected, got } => {
+                write!(f, "secure job out of order: expected seq {expected}, got {got}")
+            }
+            SecurityViolation::ContextNotSecure(id) => {
+                write!(f, "execution context of job {} is not in secure memory", id.0)
+            }
+            SecurityViolation::Launch(e) => write!(f, "NPU launch rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SecurityViolation {}
+
+/// Timing breakdown of one NPU world switch (one direction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchCost {
+    /// SMC transition.
+    pub smc: SimDuration,
+    /// TZPC reconfiguration.
+    pub tzpc: SimDuration,
+    /// GIC re-routing.
+    pub gic: SimDuration,
+    /// TZASC DMA-permission update.
+    pub tzasc: SimDuration,
+    /// Waiting for an in-flight non-secure job to drain.
+    pub drain: SimDuration,
+}
+
+impl SwitchCost {
+    /// Total switch latency.
+    pub fn total(&self) -> SimDuration {
+        self.smc + self.tzpc + self.gic + self.tzasc + self.drain
+    }
+}
+
+/// Result of running one secure job through a handoff.
+#[derive(Debug, Clone)]
+pub struct HandoffResult {
+    /// The secure job that ran.
+    pub job: JobId,
+    /// Cost of switching the NPU into the secure world.
+    pub switch_in: SwitchCost,
+    /// Time the job computed on the NPU.
+    pub compute: SimDuration,
+    /// Cost of restoring the NPU to the non-secure world.
+    pub switch_out: SwitchCost,
+    /// When the whole handoff finished.
+    pub finished_at: SimTime,
+}
+
+impl HandoffResult {
+    /// Total wall-clock time of the handoff (switches + compute).
+    pub fn total(&self) -> SimDuration {
+        self.switch_in.total() + self.compute + self.switch_out.total()
+    }
+
+    /// The multiplexing overhead (everything except the compute itself).
+    pub fn overhead(&self) -> SimDuration {
+        self.switch_in.total() + self.switch_out.total()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Issued,
+    Completed,
+}
+
+/// The TEE data-plane driver.
+#[derive(Debug)]
+pub struct TeeNpuDriver {
+    platform: Arc<Platform>,
+    jobs: BTreeMap<JobId, (NpuJob, JobState)>,
+    next_sequence: u64,
+    expected_exec_sequence: u64,
+    next_shadow_id: u64,
+    handoffs: Vec<HandoffResult>,
+}
+
+impl TeeNpuDriver {
+    /// Creates the driver.
+    pub fn new(platform: Arc<Platform>) -> Self {
+        TeeNpuDriver {
+            platform,
+            jobs: BTreeMap::new(),
+            next_sequence: 1,
+            expected_exec_sequence: 1,
+            next_shadow_id: 1_000_000,
+            handoffs: Vec::new(),
+        }
+    }
+
+    /// Completed handoffs (for the §7.3 overhead accounting).
+    pub fn handoffs(&self) -> &[HandoffResult] {
+        &self.handoffs
+    }
+
+    /// Registers a secure job issued by the LLM TA.  Verifies the execution
+    /// context lives in NPU-accessible secure memory, assigns the sequence
+    /// number and returns the shadow job to enqueue with the REE driver.
+    pub fn init_secure_job(&mut self, mut job: NpuJob) -> Result<NpuJob, SecurityViolation> {
+        assert!(job.is_secure(), "init_secure_job only accepts secure jobs");
+        for range in job.context.dma_ranges() {
+            // The first and last byte must lie in secure memory and the NPU
+            // must be allowed to DMA the whole range.
+            let last_byte = tz_hal::PhysAddr::new(range.end().as_u64() - 1);
+            let ok = self.platform.with_tzasc(|t| {
+                t.is_secure_addr(range.start)
+                    && t.is_secure_addr(last_byte)
+                    && t.check_dma_access(DeviceId::Npu, *range).is_ok()
+            });
+            if !ok {
+                return Err(SecurityViolation::ContextNotSecure(job.id));
+            }
+        }
+        job.sequence = self.next_sequence;
+        self.next_sequence += 1;
+        let shadow_id = JobId(self.next_shadow_id);
+        self.next_shadow_id += 1;
+        let shadow = NpuJob::shadow(shadow_id, job.id);
+        self.jobs.insert(job.id, (job, JobState::Issued));
+        Ok(shadow)
+    }
+
+    /// Handles the REE driver scheduling the shadow of `job_id`: performs the
+    /// secure world switch, runs the job, and restores the NPU.
+    pub fn handle_handoff(
+        &mut self,
+        job_id: JobId,
+        device: &mut NpuDevice,
+        now: SimTime,
+    ) -> Result<HandoffResult, SecurityViolation> {
+        let profile = self.platform.profile.clone();
+        let (job, state) = self
+            .jobs
+            .get(&job_id)
+            .cloned()
+            .ok_or(SecurityViolation::UnknownJob(job_id))?;
+        if state == JobState::Completed {
+            return Err(SecurityViolation::Replay(job_id));
+        }
+        if job.sequence != self.expected_exec_sequence {
+            return Err(SecurityViolation::OutOfOrder {
+                expected: self.expected_exec_sequence,
+                got: job.sequence,
+            });
+        }
+
+        // --- Switch the NPU into the secure world. --------------------------
+        let mut switch_in = SwitchCost {
+            smc: self
+                .platform
+                .with_smc(|smc| smc.call(World::NonSecure, SmcFunction::NpuHandoff)),
+            ..SwitchCost::default()
+        };
+        let mut t = now + switch_in.smc;
+
+        // 1. TZPC: hide the NPU MMIO block from the REE.
+        self.platform
+            .with_tzpc(|tzpc| tzpc.set_secure(World::Secure, DeviceId::Npu, true))
+            .expect("secure world may reconfigure the TZPC");
+        switch_in.tzpc = profile.tzpc_config;
+        t += profile.tzpc_config;
+
+        // 2. GIC: route the NPU interrupt to the TEE.
+        self.platform
+            .with_gic(|gic| gic.route(World::Secure, NPU_IRQ, World::Secure))
+            .expect("secure world may reroute interrupts");
+        switch_in.gic = profile.gic_config;
+        t += profile.gic_config;
+
+        // 3. Wait for any in-flight non-secure job to complete.
+        let (after_drain, drained) = device.drain(&self.platform, t);
+        switch_in.drain = drained;
+        t = after_drain;
+
+        // 4. TZASC: the job's regions already list the NPU; the reconfig cost
+        //    models flipping the filter master for the switch.
+        switch_in.tzasc = profile.tzasc_config;
+        t += profile.tzasc_config;
+
+        // --- Launch and wait for the secure interrupt. -----------------------
+        let finish = device
+            .launch(&self.platform, World::Secure, job.clone(), t)
+            .map_err(|e| SecurityViolation::Launch(e.to_string()))?;
+        let compute = finish - t;
+        device.poll_completion(&self.platform, finish);
+        t = finish;
+
+        // --- Restore the NPU to the non-secure world. -------------------------
+        let mut switch_out = SwitchCost::default();
+        self.platform
+            .with_gic(|gic| gic.route(World::Secure, NPU_IRQ, World::NonSecure))
+            .expect("secure world may reroute interrupts");
+        switch_out.gic = profile.gic_config;
+        t += profile.gic_config;
+        self.platform
+            .with_tzpc(|tzpc| tzpc.set_secure(World::Secure, DeviceId::Npu, false))
+            .expect("secure world may reconfigure the TZPC");
+        switch_out.tzpc = profile.tzpc_config;
+        t += profile.tzpc_config;
+        switch_out.tzasc = profile.tzasc_config;
+        t += profile.tzasc_config;
+        switch_out.smc = self
+            .platform
+            .with_smc(|smc| smc.call(World::Secure, SmcFunction::NpuComplete));
+        t += switch_out.smc;
+
+        self.jobs.insert(job_id, (job, JobState::Completed));
+        self.expected_exec_sequence += 1;
+
+        let result = HandoffResult {
+            job: job_id,
+            switch_in,
+            compute,
+            switch_out,
+            finished_at: t,
+        };
+        self.handoffs.push(result.clone());
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu::ExecutionContext;
+    use tz_hal::{PhysAddr, PhysRange};
+
+    /// Sets up a platform with one NPU-accessible secure region and returns a
+    /// context inside it.
+    fn secure_setup() -> (Arc<Platform>, NpuDevice, TeeNpuDriver, ExecutionContext) {
+        let platform = Platform::rk3588();
+        platform.with_tzasc(|t| {
+            t.configure_region(
+                World::Secure,
+                PhysRange::new(PhysAddr::new(0x2_0000_0000), 64 * 1024 * 1024),
+                [DeviceId::Npu],
+            )
+            .unwrap()
+        });
+        let ctx = ExecutionContext {
+            command_buffer: PhysRange::new(PhysAddr::new(0x2_0000_0000), 0x1000),
+            io_page_table: PhysRange::new(PhysAddr::new(0x2_0000_1000), 0x1000),
+            inputs: vec![PhysRange::new(PhysAddr::new(0x2_0010_0000), 0x100000)],
+            outputs: vec![PhysRange::new(PhysAddr::new(0x2_0020_0000), 0x10000)],
+        };
+        let device = NpuDevice::new(platform.profile.npu_cores);
+        let driver = TeeNpuDriver::new(platform.clone());
+        (platform, device, driver, ctx)
+    }
+
+    fn secure_job(id: u64, ctx: &ExecutionContext, ms: u64) -> NpuJob {
+        NpuJob::secure(JobId(id), ctx.clone(), SimDuration::from_millis(ms), format!("matmul-{id}"))
+    }
+
+    #[test]
+    fn full_handoff_runs_job_and_restores_npu() {
+        let (platform, mut device, mut driver, ctx) = secure_setup();
+        let shadow = driver.init_secure_job(secure_job(1, &ctx, 5)).unwrap();
+        assert!(shadow.is_shadow());
+
+        let result = driver.handle_handoff(JobId(1), &mut device, SimTime::ZERO).unwrap();
+        assert_eq!(result.compute, SimDuration::from_millis(5));
+        // Switch overhead is far below the 32 ms full re-init.
+        assert!(result.overhead() < SimDuration::from_millis(1));
+        // The NPU is back to non-secure: an REE job can launch.
+        assert!(!platform.with_tzpc(|t| t.is_secure(DeviceId::Npu)));
+        let ree_job = NpuJob::non_secure(
+            JobId(50),
+            ExecutionContext::empty(),
+            SimDuration::from_millis(1),
+            "yolo",
+        );
+        assert!(device
+            .launch(&platform, World::NonSecure, ree_job, result.finished_at)
+            .is_ok());
+    }
+
+    #[test]
+    fn replay_is_rejected() {
+        let (_platform, mut device, mut driver, ctx) = secure_setup();
+        driver.init_secure_job(secure_job(1, &ctx, 1)).unwrap();
+        driver.handle_handoff(JobId(1), &mut device, SimTime::ZERO).unwrap();
+        assert_eq!(
+            driver.handle_handoff(JobId(1), &mut device, SimTime::from_millis(10)).unwrap_err(),
+            SecurityViolation::Replay(JobId(1))
+        );
+    }
+
+    #[test]
+    fn reordering_is_rejected() {
+        let (_platform, mut device, mut driver, ctx) = secure_setup();
+        driver.init_secure_job(secure_job(1, &ctx, 1)).unwrap();
+        driver.init_secure_job(secure_job(2, &ctx, 1)).unwrap();
+        // The REE tries to run job 2 before job 1.
+        assert_eq!(
+            driver.handle_handoff(JobId(2), &mut device, SimTime::ZERO).unwrap_err(),
+            SecurityViolation::OutOfOrder { expected: 1, got: 2 }
+        );
+        // Running them in order works.
+        driver.handle_handoff(JobId(1), &mut device, SimTime::ZERO).unwrap();
+        driver.handle_handoff(JobId(2), &mut device, SimTime::from_millis(5)).unwrap();
+    }
+
+    #[test]
+    fn unknown_job_is_rejected() {
+        let (_platform, mut device, mut driver, _ctx) = secure_setup();
+        assert_eq!(
+            driver.handle_handoff(JobId(99), &mut device, SimTime::ZERO).unwrap_err(),
+            SecurityViolation::UnknownJob(JobId(99))
+        );
+    }
+
+    #[test]
+    fn context_outside_secure_memory_is_rejected() {
+        let (_platform, _device, mut driver, _ctx) = secure_setup();
+        let bad_ctx = ExecutionContext {
+            command_buffer: PhysRange::new(PhysAddr::new(0x8000_0000), 0x1000), // non-secure
+            io_page_table: PhysRange::new(PhysAddr::new(0x2_0000_1000), 0x1000),
+            inputs: vec![],
+            outputs: vec![],
+        };
+        let err = driver
+            .init_secure_job(NpuJob::secure(JobId(7), bad_ctx, SimDuration::from_millis(1), "bad"))
+            .unwrap_err();
+        assert_eq!(err, SecurityViolation::ContextNotSecure(JobId(7)));
+    }
+
+    #[test]
+    fn handoff_waits_for_inflight_non_secure_job() {
+        let (platform, mut device, mut driver, ctx) = secure_setup();
+        // A non-secure job is still running when the handoff begins.
+        let ns = NpuJob::non_secure(
+            JobId(40),
+            ExecutionContext::empty(),
+            SimDuration::from_millis(8),
+            "mobilenet",
+        );
+        device.launch(&platform, World::NonSecure, ns, SimTime::ZERO).unwrap();
+        driver.init_secure_job(secure_job(1, &ctx, 2)).unwrap();
+        let result = driver
+            .handle_handoff(JobId(1), &mut device, SimTime::from_millis(1))
+            .unwrap();
+        assert!(result.switch_in.drain > SimDuration::from_millis(6));
+        // Secure compute starts only after the drain.
+        assert!(result.finished_at > SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn switch_costs_accumulate_in_handoff_log() {
+        let (_platform, mut device, mut driver, ctx) = secure_setup();
+        for i in 1..=3u64 {
+            driver.init_secure_job(secure_job(i, &ctx, 1)).unwrap();
+        }
+        let mut now = SimTime::ZERO;
+        for i in 1..=3u64 {
+            let r = driver.handle_handoff(JobId(i), &mut device, now).unwrap();
+            now = r.finished_at;
+        }
+        assert_eq!(driver.handoffs().len(), 3);
+        let total_overhead: SimDuration = driver.handoffs().iter().map(|h| h.overhead()).sum();
+        assert!(total_overhead < SimDuration::from_millis(1));
+    }
+}

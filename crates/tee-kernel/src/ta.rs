@@ -1,0 +1,242 @@
+//! Trusted applications and address-space isolation.
+//!
+//! The TEE OS hosts multiple trusted applications (TAs).  TZ-LLM's security
+//! argument (§6) relies on the TEE OS enforcing address-space isolation
+//! between TAs: even a compromised LLM TA cannot read other TAs' memory, and
+//! other (untrusted) TAs cannot read the LLM TA's parameters.  This module
+//! models TAs and their address spaces at physical-range granularity.
+
+use std::collections::BTreeMap;
+
+use tz_hal::PhysRange;
+
+/// Identifier of a trusted application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaId(pub u32);
+
+/// Errors from TA management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaError {
+    /// Unknown TA.
+    NoSuchTa(TaId),
+    /// A TA attempted to access memory outside its address space.
+    IsolationViolation {
+        /// The offending TA.
+        ta: TaId,
+        /// The range it tried to access.
+        range: PhysRange,
+    },
+    /// Mapping would overlap another TA's mapping.
+    AlreadyMapped {
+        /// The TA that already owns the overlapping range.
+        owner: TaId,
+    },
+}
+
+impl std::fmt::Display for TaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaError::NoSuchTa(id) => write!(f, "no such TA {}", id.0),
+            TaError::IsolationViolation { ta, range } => {
+                write!(f, "TA {} attempted to access unmapped range {}", ta.0, range)
+            }
+            TaError::AlreadyMapped { owner } => write!(f, "range already mapped by TA {}", owner.0),
+        }
+    }
+}
+
+impl std::error::Error for TaError {}
+
+/// A trusted application's kernel-visible state.
+#[derive(Debug, Clone)]
+pub struct TrustedApp {
+    /// The TA's identifier.
+    pub id: TaId,
+    /// Human-readable name.
+    pub name: String,
+    /// Whether this TA is the LLM TA (grants access to the model key service).
+    pub is_llm_ta: bool,
+    mappings: Vec<PhysRange>,
+}
+
+impl TrustedApp {
+    /// Physical ranges currently mapped into the TA.
+    pub fn mappings(&self) -> &[PhysRange] {
+        &self.mappings
+    }
+
+    /// Whether `range` is entirely covered by the TA's mappings.
+    ///
+    /// Coverage may span multiple adjacent mappings, which happens naturally
+    /// as secure memory is extended in increments.
+    pub fn covers(&self, range: PhysRange) -> bool {
+        if range.is_empty() {
+            return true;
+        }
+        // Walk from range.start forward through mappings until covered.
+        let mut cursor = range.start;
+        let end = range.end();
+        loop {
+            let next = self
+                .mappings
+                .iter()
+                .filter(|m| m.contains_addr(cursor))
+                .map(|m| m.end())
+                .max();
+            match next {
+                Some(covered_to) => {
+                    if covered_to.as_u64() >= end.as_u64() {
+                        return true;
+                    }
+                    if covered_to.as_u64() == cursor.as_u64() {
+                        return false;
+                    }
+                    cursor = covered_to;
+                }
+                None => return false,
+            }
+        }
+    }
+}
+
+/// The TEE OS's registry of trusted applications.
+#[derive(Debug, Default)]
+pub struct TaRegistry {
+    tas: BTreeMap<TaId, TrustedApp>,
+    next_id: u32,
+}
+
+impl TaRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        TaRegistry::default()
+    }
+
+    /// Registers a TA and returns its id.
+    pub fn register(&mut self, name: impl Into<String>, is_llm_ta: bool) -> TaId {
+        let id = TaId(self.next_id);
+        self.next_id += 1;
+        self.tas.insert(
+            id,
+            TrustedApp {
+                id,
+                name: name.into(),
+                is_llm_ta,
+                mappings: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Looks up a TA.
+    pub fn get(&self, id: TaId) -> Result<&TrustedApp, TaError> {
+        self.tas.get(&id).ok_or(TaError::NoSuchTa(id))
+    }
+
+    /// Maps `range` into `ta`'s address space.  Fails if any other TA already
+    /// maps an overlapping range (TAs never share memory in this design).
+    pub fn map(&mut self, ta: TaId, range: PhysRange) -> Result<(), TaError> {
+        for other in self.tas.values() {
+            if other.id != ta && other.mappings.iter().any(|m| m.overlaps(&range)) {
+                return Err(TaError::AlreadyMapped { owner: other.id });
+            }
+        }
+        let app = self.tas.get_mut(&ta).ok_or(TaError::NoSuchTa(ta))?;
+        app.mappings.push(range);
+        Ok(())
+    }
+
+    /// Unmaps `range` from `ta`.  Mappings that partially overlap are trimmed.
+    pub fn unmap(&mut self, ta: TaId, range: PhysRange) -> Result<(), TaError> {
+        let app = self.tas.get_mut(&ta).ok_or(TaError::NoSuchTa(ta))?;
+        let mut new_mappings = Vec::new();
+        for m in app.mappings.drain(..) {
+            if !m.overlaps(&range) {
+                new_mappings.push(m);
+                continue;
+            }
+            // Keep the parts before and after the unmapped window.
+            if m.start < range.start {
+                new_mappings.push(PhysRange::from_bounds(m.start, range.start));
+            }
+            if range.end() < m.end() {
+                new_mappings.push(PhysRange::from_bounds(range.end(), m.end()));
+            }
+        }
+        app.mappings = new_mappings;
+        Ok(())
+    }
+
+    /// Checks that `ta` may access `range`; models the TA-side page tables the
+    /// TEE OS maintains.
+    pub fn check_access(&self, ta: TaId, range: PhysRange) -> Result<(), TaError> {
+        let app = self.get(ta)?;
+        if app.covers(range) {
+            Ok(())
+        } else {
+            Err(TaError::IsolationViolation { ta, range })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tz_hal::PhysAddr;
+
+    fn range(start: u64, size: u64) -> PhysRange {
+        PhysRange::new(PhysAddr::new(start), size)
+    }
+
+    #[test]
+    fn tas_are_isolated_from_each_other() {
+        let mut reg = TaRegistry::new();
+        let llm = reg.register("llm-ta", true);
+        let other = reg.register("keymaster", false);
+        reg.map(llm, range(0x1000, 0x1000)).unwrap();
+        assert!(reg.check_access(llm, range(0x1000, 0x800)).is_ok());
+        assert!(matches!(
+            reg.check_access(other, range(0x1000, 0x800)),
+            Err(TaError::IsolationViolation { .. })
+        ));
+        // The other TA cannot map the same memory either.
+        assert!(matches!(
+            reg.map(other, range(0x1800, 0x1000)),
+            Err(TaError::AlreadyMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn coverage_spans_adjacent_mappings() {
+        let mut reg = TaRegistry::new();
+        let ta = reg.register("llm-ta", true);
+        reg.map(ta, range(0x1000, 0x1000)).unwrap();
+        reg.map(ta, range(0x2000, 0x1000)).unwrap();
+        assert!(reg.check_access(ta, range(0x1800, 0x1000)).is_ok());
+        assert!(reg.check_access(ta, range(0x2800, 0x1000)).is_err());
+    }
+
+    #[test]
+    fn unmap_trims_partial_overlaps() {
+        let mut reg = TaRegistry::new();
+        let ta = reg.register("llm-ta", true);
+        reg.map(ta, range(0x1000, 0x3000)).unwrap();
+        reg.unmap(ta, range(0x2000, 0x1000)).unwrap();
+        assert!(reg.check_access(ta, range(0x1000, 0x1000)).is_ok());
+        assert!(reg.check_access(ta, range(0x3000, 0x1000)).is_ok());
+        assert!(reg.check_access(ta, range(0x2000, 0x1000)).is_err());
+    }
+
+    #[test]
+    fn unknown_ta_is_an_error() {
+        let reg = TaRegistry::new();
+        assert!(matches!(reg.get(TaId(9)), Err(TaError::NoSuchTa(_))));
+    }
+
+    #[test]
+    fn empty_range_is_always_accessible() {
+        let mut reg = TaRegistry::new();
+        let ta = reg.register("llm-ta", true);
+        assert!(reg.check_access(ta, PhysRange::EMPTY).is_ok());
+    }
+}

@@ -1,0 +1,333 @@
+//! TA multi-threading with shadow threads.
+//!
+//! Traditional TEEs give each TA a single thread; LLM inference needs CPU
+//! multi-threading.  TZ-LLM pairs every TA thread with a *shadow thread* in
+//! the client application: when the REE scheduler runs a shadow thread, it
+//! issues an `smc` that starts or resumes the paired TA thread (§3.2).  The
+//! TA thread contexts and the synchronisation primitives live inside the TEE,
+//! so a malicious REE scheduler can decide *when* threads run but cannot
+//! violate the execution order those primitives enforce (§6, "CPU thread
+//! scheduling").
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sim_core::SimDuration;
+use tz_hal::{Platform, SmcFunction, World};
+
+use crate::ta::TaId;
+
+/// Identifier of a TA thread (and of its paired shadow thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaThreadId(pub u32);
+
+/// Identifier of a TEE-managed synchronisation primitive (mutex).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TeeMutexId(pub u32);
+
+/// State of a TA thread as tracked by the TEE OS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Ready to run when its shadow thread is scheduled.
+    Ready,
+    /// Currently running in the secure world.
+    Running,
+    /// Blocked on a TEE-managed mutex.
+    Blocked(TeeMutexId),
+    /// Finished.
+    Exited,
+}
+
+/// Outcome of the REE scheduler resuming a shadow thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeOutcome {
+    /// The TA thread ran (cost of the smc round trip is returned separately).
+    Ran,
+    /// The TA thread is blocked on a TEE-managed primitive; the TEE refuses
+    /// to run it no matter what the REE scheduler wants.
+    RefusedBlocked(TeeMutexId),
+    /// The thread already exited.
+    RefusedExited,
+}
+
+/// Errors from the thread manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadError {
+    /// Unknown thread.
+    NoSuchThread(TaThreadId),
+    /// Unknown mutex.
+    NoSuchMutex(TeeMutexId),
+    /// Unlock attempted by a thread that does not hold the mutex.
+    NotOwner {
+        /// The mutex in question.
+        mutex: TeeMutexId,
+        /// The thread that attempted the unlock.
+        thread: TaThreadId,
+    },
+}
+
+impl std::fmt::Display for ThreadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadError::NoSuchThread(t) => write!(f, "no such TA thread {}", t.0),
+            ThreadError::NoSuchMutex(m) => write!(f, "no such TEE mutex {}", m.0),
+            ThreadError::NotOwner { mutex, thread } => {
+                write!(f, "thread {} does not own mutex {}", thread.0, mutex.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThreadError {}
+
+#[derive(Debug)]
+struct TaThread {
+    #[allow(dead_code)]
+    owner: TaId,
+    state: ThreadState,
+}
+
+#[derive(Debug, Default)]
+struct TeeMutex {
+    holder: Option<TaThreadId>,
+    waiters: Vec<TaThreadId>,
+}
+
+/// The TEE OS shadow-thread manager.
+#[derive(Debug)]
+pub struct ShadowThreadManager {
+    platform: Arc<Platform>,
+    threads: BTreeMap<TaThreadId, TaThread>,
+    mutexes: BTreeMap<TeeMutexId, TeeMutex>,
+    next_thread: u32,
+    next_mutex: u32,
+    resume_count: u64,
+}
+
+impl ShadowThreadManager {
+    /// Creates a manager.
+    pub fn new(platform: Arc<Platform>) -> Self {
+        ShadowThreadManager {
+            platform,
+            threads: BTreeMap::new(),
+            mutexes: BTreeMap::new(),
+            next_thread: 0,
+            next_mutex: 0,
+            resume_count: 0,
+        }
+    }
+
+    /// Creates a TA thread (and conceptually its paired CA shadow thread).
+    pub fn create_thread(&mut self, owner: TaId) -> TaThreadId {
+        let id = TaThreadId(self.next_thread);
+        self.next_thread += 1;
+        self.threads.insert(
+            id,
+            TaThread {
+                owner,
+                state: ThreadState::Ready,
+            },
+        );
+        id
+    }
+
+    /// Creates a TEE-managed mutex.
+    pub fn create_mutex(&mut self) -> TeeMutexId {
+        let id = TeeMutexId(self.next_mutex);
+        self.next_mutex += 1;
+        self.mutexes.insert(id, TeeMutex::default());
+        id
+    }
+
+    /// The current state of a thread.
+    pub fn state(&self, thread: TaThreadId) -> Result<ThreadState, ThreadError> {
+        self.threads
+            .get(&thread)
+            .map(|t| t.state)
+            .ok_or(ThreadError::NoSuchThread(thread))
+    }
+
+    /// Number of successful resumes (each one is an smc round trip).
+    pub fn resume_count(&self) -> u64 {
+        self.resume_count
+    }
+
+    /// The REE scheduler runs the shadow thread of `thread`: the TEE decides
+    /// whether the TA thread may actually run.
+    pub fn resume(&mut self, thread: TaThreadId) -> Result<(ResumeOutcome, SimDuration), ThreadError> {
+        let smc = self
+            .platform
+            .with_smc(|s| s.round_trip(World::NonSecure, SmcFunction::ShadowThread));
+        let t = self
+            .threads
+            .get_mut(&thread)
+            .ok_or(ThreadError::NoSuchThread(thread))?;
+        let outcome = match t.state {
+            ThreadState::Blocked(m) => ResumeOutcome::RefusedBlocked(m),
+            ThreadState::Exited => ResumeOutcome::RefusedExited,
+            ThreadState::Ready | ThreadState::Running => {
+                t.state = ThreadState::Running;
+                self.resume_count += 1;
+                ResumeOutcome::Ran
+            }
+        };
+        Ok((outcome, smc))
+    }
+
+    /// The running TA thread yields back to the REE (its shadow thread sleeps).
+    pub fn park(&mut self, thread: TaThreadId) -> Result<(), ThreadError> {
+        let t = self
+            .threads
+            .get_mut(&thread)
+            .ok_or(ThreadError::NoSuchThread(thread))?;
+        if t.state == ThreadState::Running {
+            t.state = ThreadState::Ready;
+        }
+        Ok(())
+    }
+
+    /// The thread exits.
+    pub fn exit(&mut self, thread: TaThreadId) -> Result<(), ThreadError> {
+        let t = self
+            .threads
+            .get_mut(&thread)
+            .ok_or(ThreadError::NoSuchThread(thread))?;
+        t.state = ThreadState::Exited;
+        Ok(())
+    }
+
+    /// `thread` attempts to take `mutex`.  If it is held, the thread blocks
+    /// inside the TEE (the REE cannot force it to run past the lock).
+    pub fn mutex_lock(&mut self, mutex: TeeMutexId, thread: TaThreadId) -> Result<bool, ThreadError> {
+        if !self.threads.contains_key(&thread) {
+            return Err(ThreadError::NoSuchThread(thread));
+        }
+        let m = self.mutexes.get_mut(&mutex).ok_or(ThreadError::NoSuchMutex(mutex))?;
+        match m.holder {
+            None => {
+                m.holder = Some(thread);
+                Ok(true)
+            }
+            Some(holder) if holder == thread => Ok(true),
+            Some(_) => {
+                m.waiters.push(thread);
+                self.threads
+                    .get_mut(&thread)
+                    .expect("checked above")
+                    .state = ThreadState::Blocked(mutex);
+                Ok(false)
+            }
+        }
+    }
+
+    /// `thread` releases `mutex`; the longest-waiting thread (if any) becomes
+    /// the new holder and is made ready.
+    pub fn mutex_unlock(&mut self, mutex: TeeMutexId, thread: TaThreadId) -> Result<(), ThreadError> {
+        let m = self.mutexes.get_mut(&mutex).ok_or(ThreadError::NoSuchMutex(mutex))?;
+        if m.holder != Some(thread) {
+            return Err(ThreadError::NotOwner { mutex, thread });
+        }
+        m.holder = None;
+        if !m.waiters.is_empty() {
+            let next = m.waiters.remove(0);
+            m.holder = Some(next);
+            if let Some(t) = self.threads.get_mut(&next) {
+                t.state = ThreadState::Ready;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> (ShadowThreadManager, TaId) {
+        let platform = Platform::rk3588();
+        (ShadowThreadManager::new(platform), TaId(0))
+    }
+
+    #[test]
+    fn resume_runs_ready_threads_and_charges_smc() {
+        let (mut mgr, ta) = manager();
+        let t = mgr.create_thread(ta);
+        let (outcome, cost) = mgr.resume(t).unwrap();
+        assert_eq!(outcome, ResumeOutcome::Ran);
+        assert_eq!(cost, SimDuration::from_micros(24)); // 2 x 12 us smc
+        assert_eq!(mgr.state(t).unwrap(), ThreadState::Running);
+        assert_eq!(mgr.resume_count(), 1);
+    }
+
+    #[test]
+    fn ree_cannot_run_a_thread_blocked_on_a_tee_mutex() {
+        let (mut mgr, ta) = manager();
+        let t1 = mgr.create_thread(ta);
+        let t2 = mgr.create_thread(ta);
+        let m = mgr.create_mutex();
+        assert!(mgr.mutex_lock(m, t1).unwrap());
+        assert!(!mgr.mutex_lock(m, t2).unwrap()); // t2 blocks
+        // A malicious REE scheduler tries to resume t2 anyway.
+        let (outcome, _) = mgr.resume(t2).unwrap();
+        assert_eq!(outcome, ResumeOutcome::RefusedBlocked(m));
+        assert_eq!(mgr.state(t2).unwrap(), ThreadState::Blocked(m));
+        // Once t1 unlocks, t2 becomes ready and can run.
+        mgr.mutex_unlock(m, t1).unwrap();
+        assert_eq!(mgr.state(t2).unwrap(), ThreadState::Ready);
+        assert_eq!(mgr.resume(t2).unwrap().0, ResumeOutcome::Ran);
+    }
+
+    #[test]
+    fn only_the_holder_can_unlock() {
+        let (mut mgr, ta) = manager();
+        let t1 = mgr.create_thread(ta);
+        let t2 = mgr.create_thread(ta);
+        let m = mgr.create_mutex();
+        mgr.mutex_lock(m, t1).unwrap();
+        assert_eq!(
+            mgr.mutex_unlock(m, t2).unwrap_err(),
+            ThreadError::NotOwner { mutex: m, thread: t2 }
+        );
+    }
+
+    #[test]
+    fn exited_threads_never_run_again() {
+        let (mut mgr, ta) = manager();
+        let t = mgr.create_thread(ta);
+        mgr.exit(t).unwrap();
+        assert_eq!(mgr.resume(t).unwrap().0, ResumeOutcome::RefusedExited);
+    }
+
+    #[test]
+    fn reentrant_lock_by_holder_is_allowed() {
+        let (mut mgr, ta) = manager();
+        let t = mgr.create_thread(ta);
+        let m = mgr.create_mutex();
+        assert!(mgr.mutex_lock(m, t).unwrap());
+        assert!(mgr.mutex_lock(m, t).unwrap());
+    }
+
+    #[test]
+    fn park_returns_thread_to_ready() {
+        let (mut mgr, ta) = manager();
+        let t = mgr.create_thread(ta);
+        mgr.resume(t).unwrap();
+        mgr.park(t).unwrap();
+        assert_eq!(mgr.state(t).unwrap(), ThreadState::Ready);
+    }
+
+    #[test]
+    fn unknown_ids_are_errors() {
+        let (mut mgr, _ta) = manager();
+        assert!(matches!(mgr.resume(TaThreadId(9)), Err(ThreadError::NoSuchThread(_))));
+        assert!(matches!(
+            mgr.mutex_lock(TeeMutexId(9), TaThreadId(9)),
+            Err(ThreadError::NoSuchThread(_))
+        ));
+        let t = mgr.create_thread(TaId(0));
+        assert!(matches!(
+            mgr.mutex_lock(TeeMutexId(9), t),
+            Err(ThreadError::NoSuchMutex(_))
+        ));
+    }
+}

@@ -1,0 +1,353 @@
+//! AES block cipher (FIPS-197), supporting 128- and 256-bit keys.
+//!
+//! TZ-LLM stores model files encrypted at rest; the LLM TA decrypts parameter
+//! tensors inside the TEE during pipelined restoration (§4.1).  The paper uses
+//! OpenSSL; since no external crypto crate is on the offline allow-list, this
+//! module implements AES from scratch.  It is a straightforward table-free
+//! byte-oriented implementation: clear, portable and fast enough for the
+//! functional tests (the *timing* of bulk decryption in the simulation comes
+//! from the calibrated device profile, not from this code's wall-clock speed).
+
+/// AES block size in bytes.
+pub const BLOCK_SIZE: usize = 16;
+
+/// Errors returned by the AES layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AesError {
+    /// Key length was not 16 or 32 bytes.
+    InvalidKeyLength(usize),
+    /// Input that must be block-aligned was not.
+    NotBlockAligned(usize),
+}
+
+impl std::fmt::Display for AesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AesError::InvalidKeyLength(n) => write!(f, "invalid AES key length: {n} bytes"),
+            AesError::NotBlockAligned(n) => write!(f, "input length {n} is not a multiple of 16"),
+        }
+    }
+}
+
+impl std::error::Error for AesError {}
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const INV_SBOX: [u8; 256] = [
+    0x52, 0x09, 0x6a, 0xd5, 0x30, 0x36, 0xa5, 0x38, 0xbf, 0x40, 0xa3, 0x9e, 0x81, 0xf3, 0xd7, 0xfb,
+    0x7c, 0xe3, 0x39, 0x82, 0x9b, 0x2f, 0xff, 0x87, 0x34, 0x8e, 0x43, 0x44, 0xc4, 0xde, 0xe9, 0xcb,
+    0x54, 0x7b, 0x94, 0x32, 0xa6, 0xc2, 0x23, 0x3d, 0xee, 0x4c, 0x95, 0x0b, 0x42, 0xfa, 0xc3, 0x4e,
+    0x08, 0x2e, 0xa1, 0x66, 0x28, 0xd9, 0x24, 0xb2, 0x76, 0x5b, 0xa2, 0x49, 0x6d, 0x8b, 0xd1, 0x25,
+    0x72, 0xf8, 0xf6, 0x64, 0x86, 0x68, 0x98, 0x16, 0xd4, 0xa4, 0x5c, 0xcc, 0x5d, 0x65, 0xb6, 0x92,
+    0x6c, 0x70, 0x48, 0x50, 0xfd, 0xed, 0xb9, 0xda, 0x5e, 0x15, 0x46, 0x57, 0xa7, 0x8d, 0x9d, 0x84,
+    0x90, 0xd8, 0xab, 0x00, 0x8c, 0xbc, 0xd3, 0x0a, 0xf7, 0xe4, 0x58, 0x05, 0xb8, 0xb3, 0x45, 0x06,
+    0xd0, 0x2c, 0x1e, 0x8f, 0xca, 0x3f, 0x0f, 0x02, 0xc1, 0xaf, 0xbd, 0x03, 0x01, 0x13, 0x8a, 0x6b,
+    0x3a, 0x91, 0x11, 0x41, 0x4f, 0x67, 0xdc, 0xea, 0x97, 0xf2, 0xcf, 0xce, 0xf0, 0xb4, 0xe6, 0x73,
+    0x96, 0xac, 0x74, 0x22, 0xe7, 0xad, 0x35, 0x85, 0xe2, 0xf9, 0x37, 0xe8, 0x1c, 0x75, 0xdf, 0x6e,
+    0x47, 0xf1, 0x1a, 0x71, 0x1d, 0x29, 0xc5, 0x89, 0x6f, 0xb7, 0x62, 0x0e, 0xaa, 0x18, 0xbe, 0x1b,
+    0xfc, 0x56, 0x3e, 0x4b, 0xc6, 0xd2, 0x79, 0x20, 0x9a, 0xdb, 0xc0, 0xfe, 0x78, 0xcd, 0x5a, 0xf4,
+    0x1f, 0xdd, 0xa8, 0x33, 0x88, 0x07, 0xc7, 0x31, 0xb1, 0x12, 0x10, 0x59, 0x27, 0x80, 0xec, 0x5f,
+    0x60, 0x51, 0x7f, 0xa9, 0x19, 0xb5, 0x4a, 0x0d, 0x2d, 0xe5, 0x7a, 0x9f, 0x93, 0xc9, 0x9c, 0xef,
+    0xa0, 0xe0, 0x3b, 0x4d, 0xae, 0x2a, 0xf5, 0xb0, 0xc8, 0xeb, 0xbb, 0x3c, 0x83, 0x53, 0x99, 0x61,
+    0x17, 0x2b, 0x04, 0x7e, 0xba, 0x77, 0xd6, 0x26, 0xe1, 0x69, 0x14, 0x63, 0x55, 0x21, 0x0c, 0x7d,
+];
+
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+#[inline]
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// Key size of an AES key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySize {
+    /// 128-bit key (10 rounds).
+    Aes128,
+    /// 256-bit key (14 rounds).
+    Aes256,
+}
+
+impl KeySize {
+    fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes256 => 14,
+        }
+    }
+
+    fn key_words(self) -> usize {
+        match self {
+            KeySize::Aes128 => 4,
+            KeySize::Aes256 => 8,
+        }
+    }
+}
+
+/// An expanded AES key ready for block encryption/decryption.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl std::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "Aes {{ rounds: {} }}", self.rounds)
+    }
+}
+
+impl Aes {
+    /// Expands `key` (16 or 32 bytes) into round keys.
+    pub fn new(key: &[u8]) -> Result<Self, AesError> {
+        let size = match key.len() {
+            16 => KeySize::Aes128,
+            32 => KeySize::Aes256,
+            n => return Err(AesError::InvalidKeyLength(n)),
+        };
+        let nk = size.key_words();
+        let rounds = size.rounds();
+        let total_words = 4 * (rounds + 1);
+
+        let mut words: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            words.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = words[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            let prev = words[i - nk];
+            words.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+
+        let mut round_keys = Vec::with_capacity(rounds + 1);
+        for r in 0..=rounds {
+            let mut rk = [0u8; 16];
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&words[4 * r + c]);
+            }
+            round_keys.push(rk);
+        }
+        Ok(Aes { round_keys, rounds })
+    }
+
+    /// Number of rounds (10 for AES-128, 14 for AES-256).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for i in 0..16 {
+            state[i] ^= rk[i];
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = INV_SBOX[*b as usize];
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; 16]) {
+        // State is column-major: state[4*c + r].
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+            state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+            state[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+            state[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+            state[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+        }
+    }
+
+    /// Encrypts a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for r in 1..self.rounds {
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[r]);
+        }
+        Self::sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypts a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[self.rounds]);
+        for r in (1..self.rounds).rev() {
+            Self::inv_shift_rows(block);
+            Self::inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[r]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        Self::inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips197_aes128_vector() {
+        // FIPS-197 Appendix C.1
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let aes = Aes::new(&key).unwrap();
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&hex("00112233445566778899aabbccddeeff"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips197_aes256_vector() {
+        // FIPS-197 Appendix C.3
+        let key = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let aes = Aes::new(&key).unwrap();
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&hex("00112233445566778899aabbccddeeff"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn nist_sp800_38a_aes128_ecb_vector() {
+        // SP 800-38A F.1.1 ECB-AES128.Encrypt, first block
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let aes = Aes::new(&key).unwrap();
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&hex("6bc1bee22e409f96e93d7e117393172a"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("3ad77bb40d7a3660a89ecaf32466ef97"));
+    }
+
+    #[test]
+    fn invalid_key_length_rejected() {
+        assert_eq!(Aes::new(&[0u8; 15]).unwrap_err(), AesError::InvalidKeyLength(15));
+        assert_eq!(Aes::new(&[0u8; 24]).unwrap_err(), AesError::InvalidKeyLength(24));
+    }
+
+    #[test]
+    fn encrypt_then_decrypt_roundtrips_random_blocks() {
+        let key = [7u8; 32];
+        let aes = Aes::new(&key).unwrap();
+        let mut state = 0x1234_5678_u64;
+        for _ in 0..64 {
+            let mut block = [0u8; 16];
+            for b in &mut block {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (state >> 32) as u8;
+            }
+            let original = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, original);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    fn debug_does_not_leak_key_material() {
+        let aes = Aes::new(&[0xAA; 16]).unwrap();
+        let dbg = format!("{aes:?}");
+        assert!(!dbg.contains("170")); // 0xAA
+        assert!(dbg.contains("rounds"));
+    }
+}

@@ -1,0 +1,137 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1) and HKDF-style key derivation.
+//!
+//! The model-key hierarchy (§6) wraps the per-model key with a
+//! hardware-protected TEE key.  The wrapping uses AES-CTR for confidentiality
+//! plus an HMAC tag for integrity, and per-purpose sub-keys are derived with
+//! an HKDF-expand-like construction so the same TEE root key can protect
+//! multiple models and the framework-state checkpoint.
+
+use crate::sha256::{constant_time_eq, Sha256, DIGEST_SIZE};
+
+const BLOCK_SIZE: usize = 64;
+
+/// Computes `HMAC-SHA256(key, data)`.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; DIGEST_SIZE] {
+    let mut key_block = [0u8; BLOCK_SIZE];
+    if key.len() > BLOCK_SIZE {
+        let digest = Sha256::digest(key);
+        key_block[..DIGEST_SIZE].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_SIZE];
+    let mut opad = [0x5cu8; BLOCK_SIZE];
+    for i in 0..BLOCK_SIZE {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Verifies an HMAC tag in constant time.
+pub fn hmac_verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+    constant_time_eq(&hmac_sha256(key, data), tag)
+}
+
+/// Derives `len` bytes of key material from `root` bound to a textual
+/// `purpose` label (HKDF-expand with SHA-256, single-info form).
+pub fn derive_key(root: &[u8], purpose: &str, len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_SIZE, "derive_key output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut msg = previous.clone();
+        msg.extend_from_slice(purpose.as_bytes());
+        msg.push(counter);
+        let block = hmac_sha256(root, &msg);
+        previous = block.to_vec();
+        out.extend_from_slice(&block);
+        counter = counter.wrapping_add(1);
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_3_long_key_data() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_6_oversized_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_good_rejects_bad() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(hmac_verify(b"k", b"m", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!hmac_verify(b"k", b"m", &bad));
+        assert!(!hmac_verify(b"k2", b"m", &tag));
+    }
+
+    #[test]
+    fn derive_key_is_deterministic_and_purpose_separated() {
+        let root = [0x11u8; 32];
+        let a1 = derive_key(&root, "model-key-wrap", 32);
+        let a2 = derive_key(&root, "model-key-wrap", 32);
+        let b = derive_key(&root, "checkpoint", 32);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.len(), 32);
+        let long = derive_key(&root, "long", 100);
+        assert_eq!(long.len(), 100);
+        assert_eq!(&long[..32], &derive_key(&root, "long", 32)[..]);
+    }
+}

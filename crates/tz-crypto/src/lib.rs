@@ -1,0 +1,27 @@
+//! # tz-crypto
+//!
+//! Cryptographic primitives for the TZ-LLM reproduction, implemented from
+//! scratch (no external crypto crates are available in the offline build
+//! environment):
+//!
+//! * [`aes`] — AES-128/256 block cipher (FIPS-197) with test vectors.
+//! * [`ctr`] — AES-CTR streaming mode with random-access decryption, used for
+//!   the encrypted parameter blob so individual tensors can be decrypted
+//!   during pipelined restoration.
+//! * [`sha256`] — SHA-256 and constant-time comparison, used for the
+//!   chunk checksums that defend model loading against Iago attacks.
+//! * [`hmac`] — HMAC-SHA256 and HKDF-style key derivation.
+//! * [`keys`] — the model-key hierarchy (hardware unique key → key-wrapping
+//!   key → per-model key) described in §6 of the paper.
+
+pub mod aes;
+pub mod ctr;
+pub mod hmac;
+pub mod keys;
+pub mod sha256;
+
+pub use aes::{Aes, AesError};
+pub use ctr::AesCtr;
+pub use hmac::{derive_key, hmac_sha256, hmac_verify};
+pub use keys::{HardwareUniqueKey, KeyError, ModelKey, SecretBytes, WrappedModelKey, KEY_LEN, NONCE_LEN};
+pub use sha256::{constant_time_eq, Sha256, DIGEST_SIZE};

@@ -1,0 +1,233 @@
+//! Physical addresses and contiguous physical ranges.
+//!
+//! TrustZone memory protection (TZASC) works on *contiguous physical* ranges,
+//! which is the root cause of the paper's first challenge: secure memory must
+//! be carved out of physically contiguous space, so scaling it at runtime
+//! requires CMA.  [`PhysAddr`] and [`PhysRange`] are the vocabulary types for
+//! that constraint throughout the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a base page (4 KiB), matching the Linux/OpenHarmony configuration
+/// on the paper's testbed.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A physical memory address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The zero address.
+    pub const ZERO: PhysAddr = PhysAddr(0);
+
+    /// Constructs an address from a raw value.
+    pub const fn new(addr: u64) -> Self {
+        PhysAddr(addr)
+    }
+
+    /// The raw address value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the address is aligned to `align` bytes.
+    pub const fn is_aligned(self, align: u64) -> bool {
+        self.0 % align == 0
+    }
+
+    /// Rounds the address down to the nearest multiple of `align`.
+    pub const fn align_down(self, align: u64) -> PhysAddr {
+        PhysAddr(self.0 - self.0 % align)
+    }
+
+    /// Rounds the address up to the nearest multiple of `align`.
+    pub const fn align_up(self, align: u64) -> PhysAddr {
+        let rem = self.0 % align;
+        if rem == 0 {
+            self
+        } else {
+            PhysAddr(self.0 + (align - rem))
+        }
+    }
+
+    /// Adds a byte offset.
+    pub const fn add(self, offset: u64) -> PhysAddr {
+        PhysAddr(self.0 + offset)
+    }
+
+    /// The page frame number containing this address.
+    pub const fn pfn(self) -> u64 {
+        self.0 / PAGE_SIZE
+    }
+}
+
+impl std::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A half-open contiguous physical range `[start, start + size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysRange {
+    /// First byte of the range.
+    pub start: PhysAddr,
+    /// Size of the range in bytes.
+    pub size: u64,
+}
+
+impl PhysRange {
+    /// An empty range at address zero.
+    pub const EMPTY: PhysRange = PhysRange {
+        start: PhysAddr::ZERO,
+        size: 0,
+    };
+
+    /// Creates a range from a start address and size.
+    pub const fn new(start: PhysAddr, size: u64) -> Self {
+        PhysRange { start, size }
+    }
+
+    /// Creates a range covering `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `end < start`.
+    pub fn from_bounds(start: PhysAddr, end: PhysAddr) -> Self {
+        assert!(end.0 >= start.0, "range end before start");
+        PhysRange {
+            start,
+            size: end.0 - start.0,
+        }
+    }
+
+    /// One past the last byte of the range.
+    pub const fn end(&self) -> PhysAddr {
+        PhysAddr(self.start.0 + self.size)
+    }
+
+    /// Whether the range contains no bytes.
+    pub const fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Whether `addr` lies inside the range.
+    pub const fn contains_addr(&self, addr: PhysAddr) -> bool {
+        addr.0 >= self.start.0 && addr.0 < self.start.0 + self.size
+    }
+
+    /// Whether `other` lies entirely inside this range.
+    pub const fn contains_range(&self, other: &PhysRange) -> bool {
+        if other.size == 0 {
+            return true;
+        }
+        other.start.0 >= self.start.0 && other.start.0 + other.size <= self.start.0 + self.size
+    }
+
+    /// Whether the two ranges share at least one byte.
+    pub const fn overlaps(&self, other: &PhysRange) -> bool {
+        if self.size == 0 || other.size == 0 {
+            return false;
+        }
+        self.start.0 < other.start.0 + other.size && other.start.0 < self.start.0 + self.size
+    }
+
+    /// Whether `other` starts exactly where this range ends (used to validate
+    /// that CMA returned memory adjacent to the previously allocated blocks,
+    /// §4.2).
+    pub const fn is_followed_by(&self, other: &PhysRange) -> bool {
+        self.start.0 + self.size == other.start.0
+    }
+
+    /// Extends the range by `bytes` at its end.
+    pub const fn extended(&self, bytes: u64) -> PhysRange {
+        PhysRange {
+            start: self.start,
+            size: self.size + bytes,
+        }
+    }
+
+    /// Shrinks the range by `bytes` from its end, saturating at empty.
+    pub const fn shrunk(&self, bytes: u64) -> PhysRange {
+        let new_size = if bytes > self.size { 0 } else { self.size - bytes };
+        PhysRange {
+            start: self.start,
+            size: new_size,
+        }
+    }
+
+    /// Number of whole pages spanned by the range (the range must be
+    /// page-aligned in both start and size for the count to be exact).
+    pub const fn page_count(&self) -> u64 {
+        self.size.div_ceil(PAGE_SIZE)
+    }
+}
+
+impl std::fmt::Display for PhysRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} .. {}) ({} bytes)", self.start, self.end(), self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_helpers() {
+        let a = PhysAddr::new(0x1234);
+        assert!(!a.is_aligned(PAGE_SIZE));
+        assert_eq!(a.align_down(PAGE_SIZE), PhysAddr::new(0x1000));
+        assert_eq!(a.align_up(PAGE_SIZE), PhysAddr::new(0x2000));
+        assert_eq!(PhysAddr::new(0x2000).align_up(PAGE_SIZE), PhysAddr::new(0x2000));
+        assert_eq!(PhysAddr::new(0x2fff).pfn(), 2);
+    }
+
+    #[test]
+    fn range_contains_and_overlaps() {
+        let r = PhysRange::new(PhysAddr::new(0x1000), 0x2000);
+        assert!(r.contains_addr(PhysAddr::new(0x1000)));
+        assert!(r.contains_addr(PhysAddr::new(0x2fff)));
+        assert!(!r.contains_addr(PhysAddr::new(0x3000)));
+        let inner = PhysRange::new(PhysAddr::new(0x1800), 0x800);
+        assert!(r.contains_range(&inner));
+        let outer = PhysRange::new(PhysAddr::new(0x2800), 0x1000);
+        assert!(!r.contains_range(&outer));
+        assert!(r.overlaps(&outer));
+        let disjoint = PhysRange::new(PhysAddr::new(0x3000), 0x1000);
+        assert!(!r.overlaps(&disjoint));
+        assert!(r.is_followed_by(&disjoint));
+    }
+
+    #[test]
+    fn empty_ranges_never_overlap() {
+        let r = PhysRange::new(PhysAddr::new(0x1000), 0x1000);
+        let empty = PhysRange::new(PhysAddr::new(0x1800), 0);
+        assert!(!r.overlaps(&empty));
+        assert!(r.contains_range(&empty));
+    }
+
+    #[test]
+    fn extend_and_shrink() {
+        let r = PhysRange::new(PhysAddr::new(0x1000), 0x1000);
+        let bigger = r.extended(0x1000);
+        assert_eq!(bigger.size, 0x2000);
+        assert_eq!(bigger.start, r.start);
+        let smaller = bigger.shrunk(0x1800);
+        assert_eq!(smaller.size, 0x800);
+        assert_eq!(bigger.shrunk(0x10000), PhysRange::new(PhysAddr::new(0x1000), 0));
+    }
+
+    #[test]
+    fn page_count_rounds_up() {
+        assert_eq!(PhysRange::new(PhysAddr::ZERO, 0).page_count(), 0);
+        assert_eq!(PhysRange::new(PhysAddr::ZERO, 1).page_count(), 1);
+        assert_eq!(PhysRange::new(PhysAddr::ZERO, PAGE_SIZE).page_count(), 1);
+        assert_eq!(PhysRange::new(PhysAddr::ZERO, PAGE_SIZE + 1).page_count(), 2);
+    }
+
+    #[test]
+    fn from_bounds_matches_new() {
+        let r = PhysRange::from_bounds(PhysAddr::new(0x1000), PhysAddr::new(0x4000));
+        assert_eq!(r, PhysRange::new(PhysAddr::new(0x1000), 0x3000));
+    }
+}

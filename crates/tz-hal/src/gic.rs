@@ -1,0 +1,121 @@
+//! Generic Interrupt Controller (GIC) security-extension model.
+//!
+//! TrustZone "directs interrupts from secure devices to the TEE OS with an
+//! extension in the generic interrupt controller" (§2.2).  The model keeps a
+//! per-interrupt routing target and counts re-routings, which contribute to
+//! the NPU world-switch cost measured in §7.3.
+
+use std::collections::BTreeMap;
+
+use crate::world::{InterruptId, World};
+
+/// Errors raised by the GIC model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GicError {
+    /// Only the secure world may change interrupt grouping.
+    NotSecure,
+}
+
+impl std::fmt::Display for GicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GicError::NotSecure => write!(f, "GIC group reconfiguration requires the secure world"),
+        }
+    }
+}
+
+impl std::error::Error for GicError {}
+
+/// A delivered interrupt, as observed by whichever world received it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveredInterrupt {
+    /// The interrupt line.
+    pub id: InterruptId,
+    /// The world it was delivered to.
+    pub target: World,
+}
+
+/// The GIC routing state.
+#[derive(Debug, Clone, Default)]
+pub struct Gic {
+    routes: BTreeMap<InterruptId, World>,
+    reconfig_count: u64,
+    delivered: Vec<DeliveredInterrupt>,
+}
+
+impl Gic {
+    /// Creates a GIC with every interrupt routed to the non-secure world.
+    pub fn new() -> Self {
+        Gic::default()
+    }
+
+    /// Routes `irq` to `target`.  Only the secure world (or the secure
+    /// monitor acting on its behalf) may change interrupt grouping.
+    pub fn route(&mut self, caller: World, irq: InterruptId, target: World) -> Result<(), GicError> {
+        if !caller.is_secure() {
+            return Err(GicError::NotSecure);
+        }
+        self.routes.insert(irq, target);
+        self.reconfig_count += 1;
+        Ok(())
+    }
+
+    /// The world `irq` is currently routed to (non-secure by default).
+    pub fn target(&self, irq: InterruptId) -> World {
+        self.routes.get(&irq).copied().unwrap_or(World::NonSecure)
+    }
+
+    /// Raises `irq`; returns the world that receives it and records the
+    /// delivery for later inspection by tests.
+    pub fn raise(&mut self, irq: InterruptId) -> DeliveredInterrupt {
+        let delivered = DeliveredInterrupt {
+            id: irq,
+            target: self.target(irq),
+        };
+        self.delivered.push(delivered);
+        delivered
+    }
+
+    /// All deliveries so far, in order.
+    pub fn deliveries(&self) -> &[DeliveredInterrupt] {
+        &self.delivered
+    }
+
+    /// Number of routing reconfigurations.
+    pub fn reconfig_count(&self) -> u64 {
+        self.reconfig_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::NPU_IRQ;
+
+    #[test]
+    fn default_routing_is_non_secure() {
+        let mut gic = Gic::new();
+        assert_eq!(gic.target(NPU_IRQ), World::NonSecure);
+        assert_eq!(gic.raise(NPU_IRQ).target, World::NonSecure);
+    }
+
+    #[test]
+    fn secure_world_can_reroute() {
+        let mut gic = Gic::new();
+        gic.route(World::Secure, NPU_IRQ, World::Secure).unwrap();
+        assert_eq!(gic.raise(NPU_IRQ).target, World::Secure);
+        gic.route(World::Secure, NPU_IRQ, World::NonSecure).unwrap();
+        assert_eq!(gic.raise(NPU_IRQ).target, World::NonSecure);
+        assert_eq!(gic.reconfig_count(), 2);
+        assert_eq!(gic.deliveries().len(), 2);
+    }
+
+    #[test]
+    fn non_secure_cannot_reroute() {
+        let mut gic = Gic::new();
+        assert_eq!(
+            gic.route(World::NonSecure, NPU_IRQ, World::NonSecure),
+            Err(GicError::NotSecure)
+        );
+    }
+}

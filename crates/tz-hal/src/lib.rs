@@ -1,0 +1,38 @@
+//! # tz-hal
+//!
+//! Software model of the Arm TrustZone hardware used by TZ-LLM:
+//!
+//! * [`addr`] — physical addresses and contiguous ranges.
+//! * [`world`] — secure / non-secure worlds, device and interrupt identifiers.
+//! * [`tzasc`] — the TrustZone Address Space Controller (8 contiguous secure
+//!   regions, per-region DMA allow-lists).
+//! * [`tzpc`] — the TrustZone Protection Controller (peripheral MMIO gating).
+//! * [`gic`] — secure interrupt routing.
+//! * [`smc`] — the EL3 secure-monitor-call dispatcher (world-switch cost and
+//!   counting).
+//! * [`profile`] — the calibrated RK3588 timing profile every experiment uses.
+//! * [`platform`] — the assembled board shared by the REE and TEE kernels.
+//!
+//! The models enforce the same access-control rules the hardware would
+//! (non-secure CPUs cannot touch secure regions, devices can only DMA into
+//! regions that allow them, only the secure world can reconfigure the
+//! controllers), so the security tests in higher layers exercise real checks
+//! rather than mocks.
+
+pub mod addr;
+pub mod gic;
+pub mod platform;
+pub mod profile;
+pub mod smc;
+pub mod tzasc;
+pub mod tzpc;
+pub mod world;
+
+pub use addr::{PhysAddr, PhysRange, PAGE_SIZE};
+pub use gic::{DeliveredInterrupt, Gic, GicError};
+pub use platform::{MemoryMap, Platform};
+pub use profile::PlatformProfile;
+pub use smc::{SmcDispatcher, SmcFunction, SmcRecord};
+pub use tzasc::{AccessViolation, Initiator, RegionConfig, RegionId, Tzasc, TzascError, MAX_REGIONS};
+pub use tzpc::{MmioViolation, Tzpc, TzpcError};
+pub use world::{DeviceId, InterruptId, World, FLASH_IRQ, NPU_IRQ};

@@ -1,0 +1,154 @@
+//! The assembled TrustZone platform.
+//!
+//! [`Platform`] bundles the hardware security controllers (TZASC, TZPC, GIC),
+//! the EL3 SMC dispatcher and the calibration profile into the single object
+//! the OS models share.  It corresponds to "the board": both kernels hold a
+//! reference to the same platform, exactly as both worlds see the same
+//! physical hardware.
+
+use std::sync::Arc;
+
+use parking_lot_like::Mutex;
+
+use crate::addr::{PhysAddr, PhysRange};
+use crate::gic::Gic;
+use crate::profile::PlatformProfile;
+use crate::smc::SmcDispatcher;
+use crate::tzasc::Tzasc;
+use crate::tzpc::Tzpc;
+
+/// A tiny `Mutex` alias module so this crate does not need a direct
+/// `parking_lot` dependency: the standard library mutex is sufficient here
+/// (accesses are short and never contended across real threads in the
+/// simulation), but the alias keeps the call sites tidy.
+mod parking_lot_like {
+    /// Re-export of [`std::sync::Mutex`] with a panic-on-poison lock helper.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Wraps a value.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Locks, propagating poisoning as a panic (a poisoned lock means a
+        /// previous test already panicked).
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().expect("platform lock poisoned")
+        }
+    }
+}
+
+/// Physical memory layout of the simulated board.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryMap {
+    /// The DRAM range.
+    pub dram: PhysRange,
+    /// The boot-time reserved region for the TEE OS itself (code, heaps,
+    /// existing TAs) — static carve-out, not part of dynamic scaling.
+    pub tee_static: PhysRange,
+}
+
+impl MemoryMap {
+    /// Builds the default layout: DRAM starts at 1 GiB physical, with a
+    /// 256 MiB static TEE carve-out at its top.
+    pub fn for_dram_bytes(dram_bytes: u64) -> Self {
+        let dram_start = PhysAddr::new(0x4000_0000);
+        let dram = PhysRange::new(dram_start, dram_bytes);
+        let tee_static_size = 256 * sim_core::MIB;
+        let tee_static = PhysRange::new(
+            PhysAddr::new(dram.end().as_u64() - tee_static_size),
+            tee_static_size,
+        );
+        MemoryMap { dram, tee_static }
+    }
+}
+
+/// The simulated board: security hardware + calibration profile.
+#[derive(Debug)]
+pub struct Platform {
+    /// Calibrated timing constants.
+    pub profile: PlatformProfile,
+    /// Physical memory layout.
+    pub memory_map: MemoryMap,
+    tzasc: Mutex<Tzasc>,
+    tzpc: Mutex<Tzpc>,
+    gic: Mutex<Gic>,
+    smc: Mutex<SmcDispatcher>,
+}
+
+impl Platform {
+    /// Creates a platform from a profile.
+    pub fn new(profile: PlatformProfile) -> Arc<Self> {
+        let memory_map = MemoryMap::for_dram_bytes(profile.dram_bytes);
+        let smc = SmcDispatcher::new(profile.smc_switch);
+        Arc::new(Platform {
+            profile,
+            memory_map,
+            tzasc: Mutex::new(Tzasc::new()),
+            tzpc: Mutex::new(Tzpc::new()),
+            gic: Mutex::new(Gic::new()),
+            smc: Mutex::new(smc),
+        })
+    }
+
+    /// The RK3588 platform used by all experiments.
+    pub fn rk3588() -> Arc<Self> {
+        Self::new(PlatformProfile::rk3588())
+    }
+
+    /// Runs `f` with exclusive access to the TZASC.
+    pub fn with_tzasc<R>(&self, f: impl FnOnce(&mut Tzasc) -> R) -> R {
+        f(&mut self.tzasc.lock())
+    }
+
+    /// Runs `f` with exclusive access to the TZPC.
+    pub fn with_tzpc<R>(&self, f: impl FnOnce(&mut Tzpc) -> R) -> R {
+        f(&mut self.tzpc.lock())
+    }
+
+    /// Runs `f` with exclusive access to the GIC.
+    pub fn with_gic<R>(&self, f: impl FnOnce(&mut Gic) -> R) -> R {
+        f(&mut self.gic.lock())
+    }
+
+    /// Runs `f` with exclusive access to the SMC dispatcher.
+    pub fn with_smc<R>(&self, f: impl FnOnce(&mut SmcDispatcher) -> R) -> R {
+        f(&mut self.smc.lock())
+    }
+
+    /// The DRAM range available to the REE OS for general allocation
+    /// (everything except the static TEE carve-out).
+    pub fn ree_dram(&self) -> PhysRange {
+        PhysRange::from_bounds(self.memory_map.dram.start, self.memory_map.tee_static.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{DeviceId, World};
+
+    #[test]
+    fn memory_map_partitions_dram() {
+        let platform = Platform::rk3588();
+        let dram = platform.memory_map.dram;
+        let tee = platform.memory_map.tee_static;
+        let ree = platform.ree_dram();
+        assert!(dram.contains_range(&tee));
+        assert!(dram.contains_range(&ree));
+        assert!(!ree.overlaps(&tee));
+        assert_eq!(ree.size + tee.size, dram.size);
+    }
+
+    #[test]
+    fn controllers_are_shared_state() {
+        let platform = Platform::rk3588();
+        platform.with_tzpc(|tzpc| tzpc.set_secure(World::Secure, DeviceId::Npu, true).unwrap());
+        let secure = platform.with_tzpc(|tzpc| tzpc.is_secure(DeviceId::Npu));
+        assert!(secure);
+        let cost = platform.with_smc(|smc| smc.call(World::NonSecure, crate::smc::SmcFunction::InvokeTa));
+        assert_eq!(cost, platform.profile.smc_switch);
+    }
+}

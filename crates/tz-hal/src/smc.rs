@@ -1,0 +1,148 @@
+//! Secure Monitor Call (SMC) dispatcher model.
+//!
+//! Software switches the CPU between the non-secure and secure states by
+//! calling the EL3 security monitor with an `smc` instruction (§2.2).  In the
+//! reproduction the actual cross-world calls are ordinary Rust function calls
+//! between the `ree-kernel` and `tee-kernel` crates; this module accounts for
+//! the *cost* and *count* of those transitions so the world-switch overhead
+//! breakdown of §7.3 can be measured, and models the monitor's dispatch table.
+
+use std::collections::BTreeMap;
+
+use sim_core::SimDuration;
+
+use crate::world::World;
+
+/// Function identifiers carried in an SMC (subset used by TZ-LLM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SmcFunction {
+    /// CA invokes the LLM TA (submit a prompt, resume a TA thread).
+    InvokeTa,
+    /// TA delegates an I/O request (model loading) to the CA.
+    DelegateIo,
+    /// TZ driver notifies the TEE of a CMA allocation result.
+    CmaAllocated,
+    /// TEE asks the TZ driver to allocate/release CMA memory.
+    CmaRequest,
+    /// REE NPU driver hands the NPU to the TEE driver for a secure job.
+    NpuHandoff,
+    /// TEE NPU driver reports secure-job completion back to the REE driver.
+    NpuComplete,
+    /// Shadow-thread start/resume.
+    ShadowThread,
+    /// Anything else.
+    Other(u32),
+}
+
+/// One recorded SMC transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmcRecord {
+    /// The function invoked.
+    pub function: SmcFunction,
+    /// The world the CPU was in before the call.
+    pub from: World,
+}
+
+/// The EL3 monitor: counts world switches and charges their latency.
+#[derive(Debug, Clone)]
+pub struct SmcDispatcher {
+    switch_cost: SimDuration,
+    records: Vec<SmcRecord>,
+    per_function: BTreeMap<SmcFunction, u64>,
+}
+
+impl SmcDispatcher {
+    /// Creates a dispatcher with the given per-call world-switch latency
+    /// (one direction; a round trip costs twice this).
+    pub fn new(switch_cost: SimDuration) -> Self {
+        SmcDispatcher {
+            switch_cost,
+            records: Vec::new(),
+            per_function: BTreeMap::new(),
+        }
+    }
+
+    /// The latency of a single one-way SMC transition.
+    pub fn switch_cost(&self) -> SimDuration {
+        self.switch_cost
+    }
+
+    /// Records one SMC from `from` invoking `function` and returns its cost.
+    pub fn call(&mut self, from: World, function: SmcFunction) -> SimDuration {
+        self.records.push(SmcRecord { function, from });
+        *self.per_function.entry(function).or_insert(0) += 1;
+        self.switch_cost
+    }
+
+    /// Records a full round trip (call + return) and returns its cost.
+    pub fn round_trip(&mut self, from: World, function: SmcFunction) -> SimDuration {
+        let there = self.call(from, function);
+        let back = self.call(from.other(), function);
+        there + back
+    }
+
+    /// Total number of SMC transitions.
+    pub fn total_calls(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Number of calls for a specific function.
+    pub fn calls_for(&self, function: SmcFunction) -> u64 {
+        self.per_function.get(&function).copied().unwrap_or(0)
+    }
+
+    /// Total simulated time spent crossing worlds.
+    pub fn total_cost(&self) -> SimDuration {
+        self.switch_cost * self.total_calls()
+    }
+
+    /// The full call log.
+    pub fn records(&self) -> &[SmcRecord] {
+        &self.records
+    }
+
+    /// Clears counters between experiment runs.
+    pub fn reset(&mut self) {
+        self.records.clear();
+        self.per_function.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calls_are_counted_and_charged() {
+        let mut smc = SmcDispatcher::new(SimDuration::from_micros(20));
+        let c = smc.call(World::NonSecure, SmcFunction::InvokeTa);
+        assert_eq!(c, SimDuration::from_micros(20));
+        let rt = smc.round_trip(World::Secure, SmcFunction::NpuHandoff);
+        assert_eq!(rt, SimDuration::from_micros(40));
+        assert_eq!(smc.total_calls(), 3);
+        assert_eq!(smc.calls_for(SmcFunction::NpuHandoff), 2);
+        assert_eq!(smc.calls_for(SmcFunction::InvokeTa), 1);
+        assert_eq!(smc.total_cost(), SimDuration::from_micros(60));
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut smc = SmcDispatcher::new(SimDuration::from_micros(10));
+        smc.call(World::NonSecure, SmcFunction::DelegateIo);
+        smc.reset();
+        assert_eq!(smc.total_calls(), 0);
+        assert_eq!(smc.records().len(), 0);
+        assert_eq!(smc.calls_for(SmcFunction::DelegateIo), 0);
+    }
+
+    #[test]
+    fn records_preserve_order_and_origin() {
+        let mut smc = SmcDispatcher::new(SimDuration::from_micros(5));
+        smc.call(World::NonSecure, SmcFunction::InvokeTa);
+        smc.call(World::Secure, SmcFunction::DelegateIo);
+        let r = smc.records();
+        assert_eq!(r[0].from, World::NonSecure);
+        assert_eq!(r[1].from, World::Secure);
+        assert_eq!(r[1].function, SmcFunction::DelegateIo);
+    }
+}

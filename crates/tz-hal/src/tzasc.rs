@@ -1,0 +1,414 @@
+//! TrustZone Address Space Controller (TZASC / TZC-400) model.
+//!
+//! The TZASC protects up to eight *contiguous* physical memory regions as
+//! secure memory (§2.2).  Non-secure CPU accesses to a secure region are
+//! blocked, and per-region DMA filters decide which devices may access the
+//! region.  TZ-LLM relies on two properties of this hardware:
+//!
+//! 1. Regions are contiguous, which forces the "extend and shrink" secure
+//!    memory management design (§4.2).
+//! 2. Per-region device filters let the TEE restrict the NPU to exactly the
+//!    regions holding NPU job execution contexts (§4.3, "Minimal TCB").
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{PhysAddr, PhysRange, PAGE_SIZE};
+use crate::world::{DeviceId, World};
+
+/// Maximum number of TZASC regions supported by the hardware (TZC-400).
+pub const MAX_REGIONS: usize = 8;
+
+/// Identifier of a configured TZASC region (index into the region table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(pub usize);
+
+/// Errors raised by the TZASC model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TzascError {
+    /// All eight region slots are in use.
+    NoFreeRegion,
+    /// The requested region would overlap an existing region.
+    Overlap { existing: RegionId },
+    /// Region id does not refer to a configured region.
+    NoSuchRegion(RegionId),
+    /// Region bounds must be page-aligned.
+    Misaligned,
+    /// Attempted to shrink a region below zero bytes.
+    ShrinkUnderflow,
+    /// Only the secure world may reconfigure the TZASC.
+    NotSecure,
+}
+
+impl std::fmt::Display for TzascError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TzascError::NoFreeRegion => write!(f, "no free TZASC region slot"),
+            TzascError::Overlap { existing } => write!(f, "region overlaps existing region {}", existing.0),
+            TzascError::NoSuchRegion(id) => write!(f, "no such TZASC region {}", id.0),
+            TzascError::Misaligned => write!(f, "TZASC region bounds must be page aligned"),
+            TzascError::ShrinkUnderflow => write!(f, "cannot shrink TZASC region below zero"),
+            TzascError::NotSecure => write!(f, "TZASC reconfiguration requires the secure world"),
+        }
+    }
+}
+
+impl std::error::Error for TzascError {}
+
+/// A memory access that the TZASC rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessViolation {
+    /// The range that was accessed.
+    pub range: PhysRange,
+    /// Who attempted the access.
+    pub initiator: Initiator,
+    /// The region that blocked it.
+    pub region: RegionId,
+}
+
+/// The initiator of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initiator {
+    /// A CPU executing in the given world.
+    Cpu(World),
+    /// A DMA-capable device.
+    Device(DeviceId),
+}
+
+/// Configuration of one TZASC region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionConfig {
+    /// The protected physical range.
+    pub range: PhysRange,
+    /// Devices allowed to DMA into this region while it is secure.
+    pub allowed_devices: BTreeSet<DeviceId>,
+}
+
+/// The TZASC state: up to eight secure regions over the DRAM address space.
+#[derive(Debug, Clone, Default)]
+pub struct Tzasc {
+    regions: Vec<Option<RegionConfig>>,
+    reconfig_count: u64,
+}
+
+impl Tzasc {
+    /// Creates a TZASC with all region slots free.
+    pub fn new() -> Self {
+        Tzasc {
+            regions: vec![None; MAX_REGIONS],
+            reconfig_count: 0,
+        }
+    }
+
+    /// Number of configured regions.
+    pub fn configured_regions(&self) -> usize {
+        self.regions.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Number of reconfiguration operations performed (world-switch cost
+    /// accounting for §7.3).
+    pub fn reconfig_count(&self) -> u64 {
+        self.reconfig_count
+    }
+
+    /// Looks up a configured region.
+    pub fn region(&self, id: RegionId) -> Result<&RegionConfig, TzascError> {
+        self.regions
+            .get(id.0)
+            .and_then(|r| r.as_ref())
+            .ok_or(TzascError::NoSuchRegion(id))
+    }
+
+    fn check_no_overlap(&self, range: &PhysRange, skip: Option<RegionId>) -> Result<(), TzascError> {
+        for (i, region) in self.regions.iter().enumerate() {
+            if Some(RegionId(i)) == skip {
+                continue;
+            }
+            if let Some(cfg) = region {
+                if cfg.range.overlaps(range) {
+                    return Err(TzascError::Overlap { existing: RegionId(i) });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Configures a new secure region.  Only the secure world may do this.
+    pub fn configure_region(
+        &mut self,
+        caller: World,
+        range: PhysRange,
+        allowed_devices: impl IntoIterator<Item = DeviceId>,
+    ) -> Result<RegionId, TzascError> {
+        if !caller.is_secure() {
+            return Err(TzascError::NotSecure);
+        }
+        if !range.start.is_aligned(PAGE_SIZE) || range.size % PAGE_SIZE != 0 {
+            return Err(TzascError::Misaligned);
+        }
+        self.check_no_overlap(&range, None)?;
+        let slot = self
+            .regions
+            .iter()
+            .position(|r| r.is_none())
+            .ok_or(TzascError::NoFreeRegion)?;
+        self.regions[slot] = Some(RegionConfig {
+            range,
+            allowed_devices: allowed_devices.into_iter().collect(),
+        });
+        self.reconfig_count += 1;
+        Ok(RegionId(slot))
+    }
+
+    /// Extends a region by `bytes` at its end (the "extend_protected" path of
+    /// §4.2).
+    pub fn extend_region(&mut self, caller: World, id: RegionId, bytes: u64) -> Result<PhysRange, TzascError> {
+        if !caller.is_secure() {
+            return Err(TzascError::NotSecure);
+        }
+        if bytes % PAGE_SIZE != 0 {
+            return Err(TzascError::Misaligned);
+        }
+        let current = self.region(id)?.range;
+        let extended = current.extended(bytes);
+        self.check_no_overlap(&extended, Some(id))?;
+        self.regions[id.0].as_mut().expect("checked by region()").range = extended;
+        self.reconfig_count += 1;
+        Ok(extended)
+    }
+
+    /// Shrinks a region by `bytes` from its end (the "shrink" path of §4.2).
+    pub fn shrink_region(&mut self, caller: World, id: RegionId, bytes: u64) -> Result<PhysRange, TzascError> {
+        if !caller.is_secure() {
+            return Err(TzascError::NotSecure);
+        }
+        if bytes % PAGE_SIZE != 0 {
+            return Err(TzascError::Misaligned);
+        }
+        let current = self.region(id)?.range;
+        if bytes > current.size {
+            return Err(TzascError::ShrinkUnderflow);
+        }
+        let shrunk = current.shrunk(bytes);
+        self.regions[id.0].as_mut().expect("checked by region()").range = shrunk;
+        self.reconfig_count += 1;
+        Ok(shrunk)
+    }
+
+    /// Removes a region entirely (all its memory becomes non-secure).
+    pub fn remove_region(&mut self, caller: World, id: RegionId) -> Result<(), TzascError> {
+        if !caller.is_secure() {
+            return Err(TzascError::NotSecure);
+        }
+        if self.regions.get(id.0).and_then(|r| r.as_ref()).is_none() {
+            return Err(TzascError::NoSuchRegion(id));
+        }
+        self.regions[id.0] = None;
+        self.reconfig_count += 1;
+        Ok(())
+    }
+
+    /// Grants or revokes a device's DMA permission on a region (used when the
+    /// TEE driver switches the NPU into and out of secure mode, §4.3).
+    pub fn set_device_access(
+        &mut self,
+        caller: World,
+        id: RegionId,
+        device: DeviceId,
+        allowed: bool,
+    ) -> Result<(), TzascError> {
+        if !caller.is_secure() {
+            return Err(TzascError::NotSecure);
+        }
+        let cfg = self
+            .regions
+            .get_mut(id.0)
+            .and_then(|r| r.as_mut())
+            .ok_or(TzascError::NoSuchRegion(id))?;
+        if allowed {
+            cfg.allowed_devices.insert(device);
+        } else {
+            cfg.allowed_devices.remove(&device);
+        }
+        self.reconfig_count += 1;
+        Ok(())
+    }
+
+    /// Checks a CPU access to `range` from the given world.
+    pub fn check_cpu_access(&self, world: World, range: PhysRange) -> Result<(), AccessViolation> {
+        if world.is_secure() {
+            // Secure CPUs may access both secure and non-secure memory.
+            return Ok(());
+        }
+        for (i, region) in self.regions.iter().enumerate() {
+            if let Some(cfg) = region {
+                if cfg.range.overlaps(&range) {
+                    return Err(AccessViolation {
+                        range,
+                        initiator: Initiator::Cpu(world),
+                        region: RegionId(i),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a DMA access by `device` to `range`.
+    ///
+    /// A device may touch a secure region only if it is on that region's
+    /// allow-list; accesses to memory outside every secure region are allowed.
+    pub fn check_dma_access(&self, device: DeviceId, range: PhysRange) -> Result<(), AccessViolation> {
+        for (i, region) in self.regions.iter().enumerate() {
+            if let Some(cfg) = region {
+                if cfg.range.overlaps(&range) && !cfg.allowed_devices.contains(&device) {
+                    return Err(AccessViolation {
+                        range,
+                        initiator: Initiator::Device(device),
+                        region: RegionId(i),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `addr` currently lies in any secure region.
+    pub fn is_secure_addr(&self, addr: PhysAddr) -> bool {
+        self.regions
+            .iter()
+            .flatten()
+            .any(|cfg| cfg.range.contains_addr(addr))
+    }
+
+    /// Total bytes currently protected.
+    pub fn protected_bytes(&self) -> u64 {
+        self.regions.iter().flatten().map(|cfg| cfg.range.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mib(n: u64) -> u64 {
+        n * 1024 * 1024
+    }
+
+    fn range(start_mib: u64, size_mib: u64) -> PhysRange {
+        PhysRange::new(PhysAddr::new(mib(start_mib)), mib(size_mib))
+    }
+
+    #[test]
+    fn only_secure_world_configures() {
+        let mut tzasc = Tzasc::new();
+        assert_eq!(
+            tzasc.configure_region(World::NonSecure, range(0, 16), []),
+            Err(TzascError::NotSecure)
+        );
+        assert!(tzasc.configure_region(World::Secure, range(0, 16), []).is_ok());
+    }
+
+    #[test]
+    fn at_most_eight_regions() {
+        let mut tzasc = Tzasc::new();
+        for i in 0..8 {
+            tzasc
+                .configure_region(World::Secure, range(i * 100, 16), [])
+                .unwrap();
+        }
+        assert_eq!(
+            tzasc.configure_region(World::Secure, range(900, 16), []),
+            Err(TzascError::NoFreeRegion)
+        );
+        assert_eq!(tzasc.configured_regions(), 8);
+    }
+
+    #[test]
+    fn overlapping_regions_rejected() {
+        let mut tzasc = Tzasc::new();
+        let a = tzasc.configure_region(World::Secure, range(0, 64), []).unwrap();
+        assert_eq!(
+            tzasc.configure_region(World::Secure, range(32, 64), []),
+            Err(TzascError::Overlap { existing: a })
+        );
+    }
+
+    #[test]
+    fn nonsecure_cpu_blocked_from_secure_region() {
+        let mut tzasc = Tzasc::new();
+        tzasc.configure_region(World::Secure, range(100, 64), []).unwrap();
+        assert!(tzasc.check_cpu_access(World::NonSecure, range(100, 1)).is_err());
+        assert!(tzasc.check_cpu_access(World::NonSecure, range(50, 16)).is_ok());
+        assert!(tzasc.check_cpu_access(World::Secure, range(100, 64)).is_ok());
+        assert!(tzasc.is_secure_addr(PhysAddr::new(mib(100))));
+        assert!(!tzasc.is_secure_addr(PhysAddr::new(mib(99))));
+    }
+
+    #[test]
+    fn dma_allowlist_enforced() {
+        let mut tzasc = Tzasc::new();
+        let id = tzasc
+            .configure_region(World::Secure, range(200, 64), [DeviceId::Npu])
+            .unwrap();
+        assert!(tzasc.check_dma_access(DeviceId::Npu, range(200, 8)).is_ok());
+        assert!(tzasc.check_dma_access(DeviceId::UsbController, range(200, 8)).is_err());
+        // Revoking the NPU turns its accesses into violations too.
+        tzasc.set_device_access(World::Secure, id, DeviceId::Npu, false).unwrap();
+        assert!(tzasc.check_dma_access(DeviceId::Npu, range(200, 8)).is_err());
+        // Anyone can DMA into memory no region protects.
+        assert!(tzasc.check_dma_access(DeviceId::UsbController, range(500, 8)).is_ok());
+    }
+
+    #[test]
+    fn extend_and_shrink_keep_contiguity() {
+        let mut tzasc = Tzasc::new();
+        let id = tzasc.configure_region(World::Secure, range(0, 16), []).unwrap();
+        let grown = tzasc.extend_region(World::Secure, id, mib(16)).unwrap();
+        assert_eq!(grown.size, mib(32));
+        assert_eq!(tzasc.protected_bytes(), mib(32));
+        let shrunk = tzasc.shrink_region(World::Secure, id, mib(24)).unwrap();
+        assert_eq!(shrunk.size, mib(8));
+        assert_eq!(
+            tzasc.shrink_region(World::Secure, id, mib(64)),
+            Err(TzascError::ShrinkUnderflow)
+        );
+    }
+
+    #[test]
+    fn extend_into_neighbouring_region_rejected() {
+        let mut tzasc = Tzasc::new();
+        let a = tzasc.configure_region(World::Secure, range(0, 16), []).unwrap();
+        let _b = tzasc.configure_region(World::Secure, range(16, 16), []).unwrap();
+        assert!(matches!(
+            tzasc.extend_region(World::Secure, a, mib(8)),
+            Err(TzascError::Overlap { .. })
+        ));
+    }
+
+    #[test]
+    fn misaligned_bounds_rejected() {
+        let mut tzasc = Tzasc::new();
+        let r = PhysRange::new(PhysAddr::new(123), 4096);
+        assert_eq!(
+            tzasc.configure_region(World::Secure, r, []),
+            Err(TzascError::Misaligned)
+        );
+        let id = tzasc.configure_region(World::Secure, range(0, 16), []).unwrap();
+        assert_eq!(
+            tzasc.extend_region(World::Secure, id, 100),
+            Err(TzascError::Misaligned)
+        );
+    }
+
+    #[test]
+    fn remove_region_frees_slot() {
+        let mut tzasc = Tzasc::new();
+        let id = tzasc.configure_region(World::Secure, range(0, 16), []).unwrap();
+        tzasc.remove_region(World::Secure, id).unwrap();
+        assert_eq!(tzasc.configured_regions(), 0);
+        assert!(tzasc.check_cpu_access(World::NonSecure, range(0, 16)).is_ok());
+        assert_eq!(tzasc.remove_region(World::Secure, id), Err(TzascError::NoSuchRegion(id)));
+    }
+}

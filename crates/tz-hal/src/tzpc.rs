@@ -1,0 +1,125 @@
+//! TrustZone Protection Controller (TZPC) model.
+//!
+//! The TZPC decides, per peripheral, whether its MMIO interface is accessible
+//! from the non-secure world.  When the TEE NPU driver takes over the NPU for
+//! a secure job it first flips the NPU to secure via the TZPC so the REE can
+//! no longer touch the NPU's registers (§4.3, "Isolated execution
+//! environment"); after the job it flips it back.
+
+use std::collections::BTreeMap;
+
+use crate::world::{DeviceId, World};
+
+/// Errors raised by the TZPC model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TzpcError {
+    /// Only the secure world may reconfigure the TZPC.
+    NotSecure,
+}
+
+impl std::fmt::Display for TzpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TzpcError::NotSecure => write!(f, "TZPC reconfiguration requires the secure world"),
+        }
+    }
+}
+
+impl std::error::Error for TzpcError {}
+
+/// A rejected MMIO access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmioViolation {
+    /// The device whose registers were accessed.
+    pub device: DeviceId,
+    /// The world that attempted the access.
+    pub world: World,
+}
+
+/// The TZPC state: the security attribute of every peripheral.
+///
+/// Devices not present in the map are non-secure, matching the boot-time
+/// default on the paper's platform where the NPU starts as an REE device.
+#[derive(Debug, Clone, Default)]
+pub struct Tzpc {
+    secure_devices: BTreeMap<DeviceId, bool>,
+    reconfig_count: u64,
+}
+
+impl Tzpc {
+    /// Creates a TZPC with every peripheral non-secure.
+    pub fn new() -> Self {
+        Tzpc::default()
+    }
+
+    /// Marks `device` secure (`true`) or non-secure (`false`).
+    pub fn set_secure(&mut self, caller: World, device: DeviceId, secure: bool) -> Result<(), TzpcError> {
+        if !caller.is_secure() {
+            return Err(TzpcError::NotSecure);
+        }
+        self.secure_devices.insert(device, secure);
+        self.reconfig_count += 1;
+        Ok(())
+    }
+
+    /// Whether `device` is currently a secure device.
+    pub fn is_secure(&self, device: DeviceId) -> bool {
+        self.secure_devices.get(&device).copied().unwrap_or(false)
+    }
+
+    /// Checks an MMIO access to `device`'s register block from `world`.
+    ///
+    /// Secure-world software may access both secure and non-secure devices;
+    /// non-secure software may only access non-secure devices.
+    pub fn check_mmio_access(&self, world: World, device: DeviceId) -> Result<(), MmioViolation> {
+        if !world.is_secure() && self.is_secure(device) {
+            return Err(MmioViolation { device, world });
+        }
+        Ok(())
+    }
+
+    /// Number of reconfiguration operations (world-switch cost accounting).
+    pub fn reconfig_count(&self) -> u64 {
+        self.reconfig_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_start_non_secure() {
+        let tzpc = Tzpc::new();
+        assert!(!tzpc.is_secure(DeviceId::Npu));
+        assert!(tzpc.check_mmio_access(World::NonSecure, DeviceId::Npu).is_ok());
+    }
+
+    #[test]
+    fn securing_a_device_blocks_ree_mmio() {
+        let mut tzpc = Tzpc::new();
+        tzpc.set_secure(World::Secure, DeviceId::Npu, true).unwrap();
+        assert!(tzpc.is_secure(DeviceId::Npu));
+        assert_eq!(
+            tzpc.check_mmio_access(World::NonSecure, DeviceId::Npu),
+            Err(MmioViolation {
+                device: DeviceId::Npu,
+                world: World::NonSecure
+            })
+        );
+        assert!(tzpc.check_mmio_access(World::Secure, DeviceId::Npu).is_ok());
+        // Flip back (world switch on job completion).
+        tzpc.set_secure(World::Secure, DeviceId::Npu, false).unwrap();
+        assert!(tzpc.check_mmio_access(World::NonSecure, DeviceId::Npu).is_ok());
+        assert_eq!(tzpc.reconfig_count(), 2);
+    }
+
+    #[test]
+    fn ree_cannot_reconfigure_tzpc() {
+        let mut tzpc = Tzpc::new();
+        assert_eq!(
+            tzpc.set_secure(World::NonSecure, DeviceId::Npu, false),
+            Err(TzpcError::NotSecure)
+        );
+    }
+}

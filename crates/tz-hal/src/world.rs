@@ -1,0 +1,99 @@
+//! Security worlds and device identifiers.
+//!
+//! TrustZone splits the platform into a Normal (non-secure, REE) world and a
+//! Secure (TEE) world.  CPUs, peripheral devices and interrupts all carry a
+//! world attribute that the TZASC / TZPC / GIC models consult.
+
+use serde::{Deserialize, Serialize};
+
+/// The two TrustZone security states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum World {
+    /// The Rich Execution Environment (untrusted OS and applications).
+    NonSecure,
+    /// The Trusted Execution Environment (TEE OS and trusted applications).
+    Secure,
+}
+
+impl World {
+    /// Whether this is the secure world.
+    pub fn is_secure(self) -> bool {
+        matches!(self, World::Secure)
+    }
+
+    /// The opposite world.
+    pub fn other(self) -> World {
+        match self {
+            World::NonSecure => World::Secure,
+            World::Secure => World::NonSecure,
+        }
+    }
+}
+
+impl std::fmt::Display for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            World::NonSecure => write!(f, "non-secure"),
+            World::Secure => write!(f, "secure"),
+        }
+    }
+}
+
+/// Peripheral devices on the simulated RK3588-like SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DeviceId {
+    /// The neural processing unit (the device TZ-LLM time-shares).
+    Npu,
+    /// The GPU (always a non-secure device in this reproduction).
+    Gpu,
+    /// The NVMe/flash storage controller.
+    FlashController,
+    /// USB host controller (an example untrusted DMA-capable device).
+    UsbController,
+    /// Display controller.
+    Display,
+    /// A catch-all for other peripherals, identified by an index.
+    Other(u16),
+}
+
+impl DeviceId {
+    /// A short name for traces and error messages.
+    pub fn name(self) -> String {
+        match self {
+            DeviceId::Npu => "npu".to_string(),
+            DeviceId::Gpu => "gpu".to_string(),
+            DeviceId::FlashController => "flash".to_string(),
+            DeviceId::UsbController => "usb".to_string(),
+            DeviceId::Display => "display".to_string(),
+            DeviceId::Other(i) => format!("dev{i}"),
+        }
+    }
+}
+
+/// Interrupt identifiers (SPI numbers on the GIC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InterruptId(pub u32);
+
+/// The interrupt line used by the NPU on the simulated platform.
+pub const NPU_IRQ: InterruptId = InterruptId(110);
+/// The interrupt line used by the flash controller.
+pub const FLASH_IRQ: InterruptId = InterruptId(75);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_other_flips() {
+        assert_eq!(World::Secure.other(), World::NonSecure);
+        assert_eq!(World::NonSecure.other(), World::Secure);
+        assert!(World::Secure.is_secure());
+        assert!(!World::NonSecure.is_secure());
+    }
+
+    #[test]
+    fn device_names_are_stable() {
+        assert_eq!(DeviceId::Npu.name(), "npu");
+        assert_eq!(DeviceId::Other(3).name(), "dev3");
+    }
+}

@@ -1,0 +1,184 @@
+//! Partial parameter caching (§4.1).
+//!
+//! After an inference completes, TZ-LLM does not necessarily return all
+//! secure memory: it lazily releases parameters in *reverse* topological
+//! order as REE memory pressure demands, so that the parameters used by the
+//! earliest prefill operators stay resident.  The next inference can then
+//! start computing immediately while the tail of the model is restored in
+//! parallel — eliminating the initial pipeline bubble.
+//!
+//! Because release happens from the end of the blob and the blob is laid out
+//! in topological order, the cached prefix is always a contiguous prefix of
+//! the parameter region, which is exactly what the TZASC's contiguity
+//! constraint needs (§4.2).
+
+use sim_core::SimDuration;
+
+use crate::restore::CriticalPaths;
+
+/// Policy deciding how many parameter bytes remain cached between inferences.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CachePolicy {
+    /// Cache nothing (cold start every time).
+    None,
+    /// Cache a fixed fraction of the parameter blob (the Figure 14 sweep).
+    Proportion(f64),
+    /// Cache as much as fits under the given REE memory headroom in bytes
+    /// (the adaptive policy: release only what the REE actually needs).
+    MemoryHeadroom(u64),
+}
+
+/// The caching controller: tracks the cached prefix across inferences.
+#[derive(Debug, Clone)]
+pub struct CacheController {
+    total_param_bytes: u64,
+    cached_bytes: u64,
+}
+
+impl CacheController {
+    /// Creates a controller for a model with `total_param_bytes` of parameters,
+    /// starting cold.
+    pub fn new(total_param_bytes: u64) -> Self {
+        CacheController {
+            total_param_bytes,
+            cached_bytes: 0,
+        }
+    }
+
+    /// Bytes currently cached (a prefix of the blob).
+    pub fn cached_bytes(&self) -> u64 {
+        self.cached_bytes
+    }
+
+    /// Fraction of the model currently cached.
+    pub fn cached_fraction(&self) -> f64 {
+        if self.total_param_bytes == 0 {
+            return 0.0;
+        }
+        self.cached_bytes as f64 / self.total_param_bytes as f64
+    }
+
+    /// Called when an inference completes: all parameters are resident.
+    pub fn on_inference_complete(&mut self) {
+        self.cached_bytes = self.total_param_bytes;
+    }
+
+    /// Applies the caching policy after an inference, returning how many
+    /// bytes are released back to the REE (in reverse topological order).
+    pub fn apply_policy(&mut self, policy: CachePolicy) -> u64 {
+        let target = match policy {
+            CachePolicy::None => 0,
+            CachePolicy::Proportion(p) => {
+                (self.total_param_bytes as f64 * p.clamp(0.0, 1.0)).round() as u64
+            }
+            CachePolicy::MemoryHeadroom(headroom) => self.total_param_bytes.min(headroom),
+        };
+        let released = self.cached_bytes.saturating_sub(target);
+        self.cached_bytes = self.cached_bytes.min(target);
+        released
+    }
+
+    /// The REE asks for `bytes` of memory back (memory-pressure callback,
+    /// §4.1: "The LLM TA provides an interface to the REE OS to revoke secure
+    /// memory").  Releases from the end of the cached prefix and returns how
+    /// much was actually released.
+    pub fn revoke(&mut self, bytes: u64) -> u64 {
+        let released = bytes.min(self.cached_bytes);
+        self.cached_bytes -= released;
+        released
+    }
+
+    /// Estimates the caching proportion beyond which additional caching stops
+    /// improving TTFT: once the restoration work for the uncached tail fits
+    /// under the computation time, restoration is fully hidden (§7.2.3).
+    ///
+    /// `paths` are the cold-start critical paths; restoration here means the
+    /// non-computation share of the CPU and I/O paths.
+    pub fn saturation_proportion(paths: &CriticalPaths) -> f64 {
+        let restore_cpu = paths.cpu.saturating_sub(paths.compute_cpu_share());
+        let restore = paths.io.max(restore_cpu);
+        if restore.is_zero() {
+            return 0.0;
+        }
+        let compute = paths.compute;
+        if compute >= restore {
+            return 0.0;
+        }
+        1.0 - compute.as_secs_f64() / restore.as_secs_f64()
+    }
+}
+
+/// Internal helper to expose the CPU-compute share of the CPU path.
+trait CpuShare {
+    fn compute_cpu_share(&self) -> SimDuration;
+}
+
+impl CpuShare for CriticalPaths {
+    fn compute_cpu_share(&self) -> SimDuration {
+        // The CPU path is alloc + decrypt + cpu-compute; the compute path is
+        // cpu-compute + npu-compute.  The cpu-compute share cannot exceed
+        // either, so use the smaller as a conservative estimate.
+        self.cpu.min(self.compute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::GIB;
+
+    #[test]
+    fn lifecycle_cold_to_cached_to_revoked() {
+        let mut cache = CacheController::new(8 * GIB);
+        assert_eq!(cache.cached_bytes(), 0);
+        cache.on_inference_complete();
+        assert_eq!(cache.cached_bytes(), 8 * GIB);
+        let released = cache.apply_policy(CachePolicy::Proportion(0.25));
+        assert_eq!(released, 6 * GIB);
+        assert_eq!(cache.cached_bytes(), 2 * GIB);
+        assert!((cache.cached_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn revoke_releases_at_most_whats_cached() {
+        let mut cache = CacheController::new(4 * GIB);
+        cache.on_inference_complete();
+        assert_eq!(cache.revoke(1 * GIB), 1 * GIB);
+        assert_eq!(cache.revoke(10 * GIB), 3 * GIB);
+        assert_eq!(cache.cached_bytes(), 0);
+        assert_eq!(cache.revoke(1), 0);
+    }
+
+    #[test]
+    fn headroom_policy_caps_at_model_size() {
+        let mut cache = CacheController::new(2 * GIB);
+        cache.on_inference_complete();
+        cache.apply_policy(CachePolicy::MemoryHeadroom(10 * GIB));
+        assert_eq!(cache.cached_bytes(), 2 * GIB);
+        cache.apply_policy(CachePolicy::MemoryHeadroom(GIB / 2));
+        assert_eq!(cache.cached_bytes(), GIB / 2);
+        cache.apply_policy(CachePolicy::None);
+        assert_eq!(cache.cached_bytes(), 0);
+    }
+
+    #[test]
+    fn saturation_is_zero_when_compute_dominates() {
+        let paths = CriticalPaths {
+            io: SimDuration::from_secs(4),
+            cpu: SimDuration::from_secs(3),
+            compute: SimDuration::from_secs(14),
+        };
+        assert_eq!(CacheController::saturation_proportion(&paths), 0.0);
+    }
+
+    #[test]
+    fn saturation_grows_when_restoration_dominates() {
+        let paths = CriticalPaths {
+            io: SimDuration::from_secs(4),
+            cpu: SimDuration::from_secs(2),
+            compute: SimDuration::from_secs(1),
+        };
+        let p = CacheController::saturation_proportion(&paths);
+        assert!(p > 0.5 && p < 1.0, "p = {p}");
+    }
+}

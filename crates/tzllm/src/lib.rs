@@ -1,0 +1,31 @@
+//! # tzllm
+//!
+//! The paper's core contribution: protecting on-device LLM inference with Arm
+//! TrustZone while keeping it fast and memory-efficient.
+//!
+//! * [`restore`] — restoration operators and the extended computation graph
+//!   (allocation / loading / decryption inserted before each prefill
+//!   operator), plus the critical-path analysis.
+//! * [`pipeline`] — the pipeline scheduler: sequential, priority-based and
+//!   priority+preemptive policies over {CPU cores, NPU, I/O engine}.
+//! * [`cache`] — partial parameter caching (reverse-topological lazy release).
+//! * [`codriver`] — TEE-REE NPU time-sharing built on the co-driver split,
+//!   driving the real REE control-plane and TEE data-plane drivers.
+//! * [`system`] — end-to-end TZ-LLM evaluation (TTFT, decode speed, breakdown).
+//! * [`baseline`] — the REE-LLM-Memory, REE-LLM-Flash and Strawman baselines.
+//! * [`related`] — the qualitative comparison of Table 1.
+
+pub mod baseline;
+pub mod cache;
+pub mod codriver;
+pub mod pipeline;
+pub mod related;
+pub mod restore;
+pub mod system;
+
+pub use baseline::{decode_uses_npu, evaluate, strawman_breakdown, SystemKind};
+pub use cache::{CacheController, CachePolicy};
+pub use codriver::{LlmPhase, LlmPlacement, NpuSharingSim, SharingConfig, SharingResult};
+pub use pipeline::{simulate, PipelineConfig, PipelineResult, Policy};
+pub use restore::{CriticalPaths, PipeOp, PipeOpKind, RestorePlan, RestoreRates};
+pub use system::{cma_occupancy, evaluate_tzllm, InferenceConfig, InferenceReport, TtftBreakdown};

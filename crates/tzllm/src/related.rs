@@ -1,0 +1,173 @@
+//! The qualitative comparison of TEE-based model-protection approaches
+//! (Table 1 of the paper).
+//!
+//! The table is data, not measurement; reproducing it means regenerating the
+//! same rows and columns so the `table1_comparison` harness can print it.
+
+/// Performance rating (number of stars in Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stars {
+    /// ★
+    One,
+    /// ★★
+    Two,
+    /// ★★★
+    Three,
+}
+
+impl Stars {
+    /// Render as the paper does.
+    pub fn render(self) -> &'static str {
+        match self {
+            Stars::One => "*",
+            Stars::Two => "**",
+            Stars::Three => "***",
+        }
+    }
+}
+
+/// How an approach uses accelerators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceleratorUsage {
+    /// No accelerator at all.
+    No,
+    /// Accelerator only usable from the REE.
+    ReeOnly,
+    /// Accelerator usable from the TEE only (statically secured).
+    TeeOnly,
+    /// Accelerator time-shared between TEE and REE.
+    TeeReeSharing,
+}
+
+impl AcceleratorUsage {
+    /// Table text.
+    pub fn render(self) -> &'static str {
+        match self {
+            AcceleratorUsage::No => "No",
+            AcceleratorUsage::ReeOnly => "REE only",
+            AcceleratorUsage::TeeOnly => "TEE only",
+            AcceleratorUsage::TeeReeSharing => "TEE-REE sharing",
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct ApproachRow {
+    /// Approach name.
+    pub approach: &'static str,
+    /// Overall performance rating.
+    pub performance: Stars,
+    /// Accelerator usage.
+    pub accelerator: AcceleratorUsage,
+    /// End-to-end security guarantee.
+    pub end_to_end_security: bool,
+    /// Works without modifying the model.
+    pub no_model_modification: bool,
+    /// Compatible with quantisation.
+    pub quantization_support: bool,
+    /// Supports dynamic secure-memory scaling.
+    pub memory_scaling: bool,
+}
+
+/// The rows of Table 1, in the paper's order.
+pub fn table1() -> Vec<ApproachRow> {
+    vec![
+        ApproachRow {
+            approach: "Shielding the entire model",
+            performance: Stars::One,
+            accelerator: AcceleratorUsage::No,
+            end_to_end_security: true,
+            no_model_modification: true,
+            quantization_support: true,
+            memory_scaling: false,
+        },
+        ApproachRow {
+            approach: "Obfuscation-based TSLP",
+            performance: Stars::Two,
+            accelerator: AcceleratorUsage::ReeOnly,
+            end_to_end_security: false,
+            no_model_modification: true,
+            quantization_support: false,
+            memory_scaling: false,
+        },
+        ApproachRow {
+            approach: "TSQP",
+            performance: Stars::Two,
+            accelerator: AcceleratorUsage::ReeOnly,
+            end_to_end_security: false,
+            no_model_modification: false,
+            quantization_support: true,
+            memory_scaling: false,
+        },
+        ApproachRow {
+            approach: "TEESlice",
+            performance: Stars::Two,
+            accelerator: AcceleratorUsage::ReeOnly,
+            end_to_end_security: false,
+            no_model_modification: false,
+            quantization_support: false,
+            memory_scaling: false,
+        },
+        ApproachRow {
+            approach: "StrongBox",
+            performance: Stars::Two,
+            accelerator: AcceleratorUsage::TeeReeSharing,
+            end_to_end_security: false,
+            no_model_modification: true,
+            quantization_support: true,
+            memory_scaling: false,
+        },
+        ApproachRow {
+            approach: "SecDeep",
+            performance: Stars::Two,
+            accelerator: AcceleratorUsage::TeeOnly,
+            end_to_end_security: true,
+            no_model_modification: true,
+            quantization_support: true,
+            memory_scaling: false,
+        },
+        ApproachRow {
+            approach: "TZ-LLM (ours)",
+            performance: Stars::Three,
+            accelerator: AcceleratorUsage::TeeReeSharing,
+            end_to_end_security: true,
+            no_model_modification: true,
+            quantization_support: true,
+            memory_scaling: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_seven_rows_and_tzllm_is_the_only_full_row() {
+        let rows = table1();
+        assert_eq!(rows.len(), 7);
+        let full: Vec<&ApproachRow> = rows
+            .iter()
+            .filter(|r| {
+                r.end_to_end_security && r.no_model_modification && r.quantization_support && r.memory_scaling
+            })
+            .collect();
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].approach, "TZ-LLM (ours)");
+        assert_eq!(full[0].performance, Stars::Three);
+        assert_eq!(full[0].accelerator, AcceleratorUsage::TeeReeSharing);
+    }
+
+    #[test]
+    fn only_tzllm_supports_memory_scaling() {
+        assert_eq!(table1().iter().filter(|r| r.memory_scaling).count(), 1);
+    }
+
+    #[test]
+    fn renderers_are_total() {
+        assert_eq!(Stars::Three.render(), "***");
+        assert_eq!(AcceleratorUsage::TeeReeSharing.render(), "TEE-REE sharing");
+        assert_eq!(AcceleratorUsage::No.render(), "No");
+    }
+}

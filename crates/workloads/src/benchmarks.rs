@@ -1,0 +1,155 @@
+//! The three real-world benchmarks of §7: UltraChat, PersonaChat, DroidTask.
+//!
+//! The figures only consume the *prompt length distribution* of each
+//! benchmark (and §7.1.1 explains the differences between them by prompt
+//! length: UltraChat's multi-turn dialogues are short, PersonaChat's
+//! summarisation prompts are medium, DroidTask's UI-automation prompts are
+//! long).  The generator is deterministic per seed, and also produces
+//! synthetic prompt *text* so the examples can run the tokenizer end to end.
+
+use sim_core::DetRng;
+
+/// The three benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Multi-turn dialogues (short prompts).
+    UltraChat,
+    /// Persona-based chat summarisation (medium prompts).
+    PersonaChat,
+    /// LLM-powered UI automation (long prompts).
+    DroidTask,
+}
+
+impl Benchmark {
+    /// All benchmarks in the order the figures plot them.
+    pub fn all() -> [Benchmark; 3] {
+        [Benchmark::UltraChat, Benchmark::PersonaChat, Benchmark::DroidTask]
+    }
+
+    /// Short label used in figures (UC / PC / DT).
+    pub fn short_label(self) -> &'static str {
+        match self {
+            Benchmark::UltraChat => "UC",
+            Benchmark::PersonaChat => "PC",
+            Benchmark::DroidTask => "DT",
+        }
+    }
+
+    /// Full name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::UltraChat => "UltraChat",
+            Benchmark::PersonaChat => "PersonaChat",
+            Benchmark::DroidTask => "DroidTask",
+        }
+    }
+
+    /// Prompt-length distribution parameters (mean, standard deviation,
+    /// minimum) in tokens.
+    fn length_distribution(self) -> (f64, f64, u64) {
+        match self {
+            Benchmark::UltraChat => (72.0, 28.0, 16),
+            Benchmark::PersonaChat => (256.0, 64.0, 96),
+            Benchmark::DroidTask => (420.0, 90.0, 192),
+        }
+    }
+
+    /// Typical output length in tokens (decode phase).
+    pub fn output_len(self) -> usize {
+        match self {
+            Benchmark::UltraChat => 96,
+            Benchmark::PersonaChat => 64,
+            Benchmark::DroidTask => 32,
+        }
+    }
+
+    /// Samples `count` prompt lengths.
+    pub fn sample_prompt_lengths(self, count: usize, rng: &mut DetRng) -> Vec<usize> {
+        let (mean, std, min) = self.length_distribution();
+        (0..count)
+            .map(|_| rng.gen_normal(mean, std).max(min as f64).round() as usize)
+            .collect()
+    }
+
+    /// Generates synthetic prompt text of roughly `tokens` tokens for the
+    /// examples (a few words per token with the default tokenizer merges).
+    pub fn synthetic_prompt(self, tokens: usize, rng: &mut DetRng) -> String {
+        let fragments: &[&str] = match self {
+            Benchmark::UltraChat => &[
+                "what do you think about this",
+                "can you explain it again",
+                "that is interesting, tell me more",
+                "how would you do it",
+            ],
+            Benchmark::PersonaChat => &[
+                "please summarize the conversation between the two speakers",
+                "the first speaker enjoys hiking and photography",
+                "the second speaker talks about their new job in the city",
+                "both agree to meet for coffee next week",
+            ],
+            Benchmark::DroidTask => &[
+                "open the settings application and tap on the display entry",
+                "scroll down until the dark mode toggle is visible",
+                "tap the toggle and verify the theme changed",
+                "return to the home screen and open the clock app",
+            ],
+        };
+        let mut out = String::new();
+        // ~4 tokens per fragment word group with the default merges.
+        while out.split_whitespace().count() < tokens {
+            out.push_str(*rng.choose(fragments));
+            out.push_str(". ");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_ordering_matches_the_paper() {
+        let mut rng = DetRng::new(1);
+        let mut mean = |b: Benchmark| {
+            let v = b.sample_prompt_lengths(500, &mut rng);
+            v.iter().sum::<usize>() as f64 / v.len() as f64
+        };
+        let uc = mean(Benchmark::UltraChat);
+        let pc = mean(Benchmark::PersonaChat);
+        let dt = mean(Benchmark::DroidTask);
+        assert!(uc < pc && pc < dt, "uc {uc}, pc {pc}, dt {dt}");
+        assert!(uc < 120.0 && dt > 300.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = Benchmark::PersonaChat.sample_prompt_lengths(20, &mut DetRng::new(7));
+        let b = Benchmark::PersonaChat.sample_prompt_lengths(20, &mut DetRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prompts_respect_minimums() {
+        let mut rng = DetRng::new(3);
+        for b in Benchmark::all() {
+            for len in b.sample_prompt_lengths(200, &mut rng) {
+                assert!(len >= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_prompts_have_roughly_requested_length() {
+        let mut rng = DetRng::new(9);
+        let text = Benchmark::DroidTask.synthetic_prompt(100, &mut rng);
+        let words = text.split_whitespace().count();
+        assert!(words >= 100 && words < 140, "words = {words}");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Benchmark::UltraChat.short_label(), "UC");
+        assert_eq!(Benchmark::DroidTask.name(), "DroidTask");
+    }
+}

@@ -1,0 +1,20 @@
+//! # workloads
+//!
+//! Workload generators for the evaluation:
+//!
+//! * [`benchmarks`] — UltraChat / PersonaChat / DroidTask prompt-length
+//!   distributions and synthetic prompt text.
+//! * [`geekbench`] — a 16-subtest Geekbench-like REE application suite with
+//!   calibrated stage-2 and CPU-steal sensitivities (Figures 2 and 16).
+//! * [`nn_apps`] — YOLOv5 / MobileNet NPU job profiles (Figure 15).
+//! * [`stress`] — the stress-ng-like memory-pressure generator.
+
+pub mod benchmarks;
+pub mod geekbench;
+pub mod nn_apps;
+pub mod stress;
+
+pub use benchmarks::Benchmark;
+pub use geekbench::{mean_overhead, suite as geekbench_suite, Subtest};
+pub use nn_apps::NnApp;
+pub use stress::MemoryStress;

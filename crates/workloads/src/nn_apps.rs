@@ -1,0 +1,67 @@
+//! REE neural-network applications sharing the NPU with the LLM (§7.3).
+//!
+//! Figure 15 runs YOLOv5 (object detection) and MobileNet (image
+//! classification) concurrently with LLM inference.  For the sharing
+//! simulation each application is characterised by the NPU time of one
+//! inference; the throughputs under exclusive use follow directly, and the
+//! throughputs under sharing come out of the co-driver simulation.
+
+use sim_core::SimDuration;
+
+/// An REE application that submits NPU jobs back to back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NnApp {
+    /// YOLOv5 object detection (≈10 ms of NPU time per frame on the RK3588).
+    YoloV5,
+    /// MobileNet image classification (≈4.3 ms per image).
+    MobileNet,
+}
+
+impl NnApp {
+    /// Both applications, figure order.
+    pub fn all() -> [NnApp; 2] {
+        [NnApp::YoloV5, NnApp::MobileNet]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NnApp::YoloV5 => "YOLOv5",
+            NnApp::MobileNet => "MobileNet",
+        }
+    }
+
+    /// NPU time of one inference.
+    pub fn job_time(self) -> SimDuration {
+        match self {
+            NnApp::YoloV5 => SimDuration::from_micros(10_000),
+            NnApp::MobileNet => SimDuration::from_micros(4_300),
+        }
+    }
+
+    /// Throughput when the application owns the NPU exclusively (ops/s),
+    /// ignoring scheduling overhead.
+    pub fn exclusive_ops_per_sec(self) -> f64 {
+        1.0 / self.job_time().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_throughputs_match_figure_15_scale() {
+        // Figure 15: YOLOv5 ~100 ops/s, MobileNet ~230 ops/s when exclusive.
+        assert!((NnApp::YoloV5.exclusive_ops_per_sec() - 100.0).abs() < 1.0);
+        assert!((NnApp::MobileNet.exclusive_ops_per_sec() - 232.6).abs() < 3.0);
+        assert!(NnApp::MobileNet.exclusive_ops_per_sec() > NnApp::YoloV5.exclusive_ops_per_sec());
+    }
+
+    #[test]
+    fn names_and_order() {
+        let all = NnApp::all();
+        assert_eq!(all[0].name(), "YOLOv5");
+        assert_eq!(all[1].name(), "MobileNet");
+    }
+}

@@ -1,0 +1,74 @@
+//! A stress-ng-like memory-pressure generator.
+//!
+//! §7 uses stress-ng to dirty a configurable amount of movable memory so CMA
+//! allocation has to migrate pages (the worst-case pressures are 13 / 11 / 10
+//! / 6 GB for the four models).  The generator produces the pressure figure
+//! and a deterministic page-touch schedule; the actual effect on allocation
+//! latency is modelled by [`ree_kernel::CmaRegion::set_memory_pressure`].
+
+use sim_core::{DetRng, GIB};
+
+/// The memory-stress configuration for one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStress {
+    /// Bytes of movable memory the stressor keeps mapped and dirty.
+    pub pressure_bytes: u64,
+    /// Number of stressor threads (pinned away from the LLM cores).
+    pub workers: usize,
+}
+
+impl MemoryStress {
+    /// No pressure at all.
+    pub fn none() -> Self {
+        MemoryStress {
+            pressure_bytes: 0,
+            workers: 0,
+        }
+    }
+
+    /// The paper's worst-case pressure for a given model name
+    /// (13 / 11 / 10 / 6 GB for the four catalogue models).
+    pub fn worst_case_for(model_name: &str) -> Self {
+        let gib = match model_name {
+            "tinyllama-1.1b" => 13,
+            "qwen2.5-3b" => 11,
+            "phi-3-3.8b" => 10,
+            "llama-3-8b" => 6,
+            _ => 8,
+        };
+        MemoryStress {
+            pressure_bytes: gib * GIB,
+            workers: 4,
+        }
+    }
+
+    /// A deterministic schedule of page indices the stressor touches, used by
+    /// tests that want a concrete access pattern rather than just a byte count.
+    pub fn touch_schedule(&self, pages: usize, rng: &mut DetRng) -> Vec<u64> {
+        let total_pages = (self.pressure_bytes / 4096).max(1);
+        (0..pages).map(|_| rng.gen_range(0, total_pages)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_pressures_match_the_paper() {
+        assert_eq!(MemoryStress::worst_case_for("tinyllama-1.1b").pressure_bytes, 13 * GIB);
+        assert_eq!(MemoryStress::worst_case_for("llama-3-8b").pressure_bytes, 6 * GIB);
+        assert_eq!(MemoryStress::worst_case_for("unknown").pressure_bytes, 8 * GIB);
+        assert_eq!(MemoryStress::none().pressure_bytes, 0);
+    }
+
+    #[test]
+    fn touch_schedule_is_deterministic_and_in_bounds() {
+        let stress = MemoryStress::worst_case_for("qwen2.5-3b");
+        let a = stress.touch_schedule(100, &mut DetRng::new(5));
+        let b = stress.touch_schedule(100, &mut DetRng::new(5));
+        assert_eq!(a, b);
+        let max_page = stress.pressure_bytes / 4096;
+        assert!(a.iter().all(|&p| p < max_page));
+    }
+}

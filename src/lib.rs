@@ -1,0 +1,19 @@
+//! # tz-llm-repro
+//!
+//! Umbrella crate of the TZ-LLM reproduction.  It re-exports the workspace
+//! crates so the examples and integration tests can use a single dependency,
+//! and hosts those examples (`examples/`) and cross-crate tests (`tests/`).
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the system
+//! inventory and per-experiment index, and `EXPERIMENTS.md` for the
+//! paper-versus-measured comparison of every table and figure.
+
+pub use llm;
+pub use npu;
+pub use ree_kernel;
+pub use sim_core;
+pub use tee_kernel;
+pub use tz_crypto;
+pub use tz_hal;
+pub use tzllm;
+pub use workloads;

@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: the pipeline scheduler, CTR random-access decryption, the
+//! TZASC contiguity rules and the cache controller.
+
+use proptest::prelude::*;
+
+use llm::{ComputationGraph, CostModel, ModelSpec};
+use sim_core::SimDuration;
+use tz_crypto::AesCtr;
+use tz_hal::{PhysAddr, PhysRange, PlatformProfile, Tzasc, World, PAGE_SIZE};
+use tzllm::{simulate, CacheController, CachePolicy, PipelineConfig, Policy, RestorePlan, RestoreRates};
+
+fn small_model(layers: usize, hidden: usize) -> ModelSpec {
+    ModelSpec {
+        name: format!("prop-{layers}-{hidden}"),
+        layers,
+        hidden,
+        heads: 4,
+        kv_heads: 2,
+        ffn: hidden * 2,
+        vocab: 512,
+        context: 1024,
+        ..ModelSpec::nano()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any model shape, prompt length, cache fraction, occupancy and
+    /// policy: the simulated makespan is bounded below by the critical-path
+    /// lower bound and above by the sum of all operator durations, and more
+    /// caching never makes the preemptive schedule slower.
+    #[test]
+    fn pipeline_makespan_is_bounded(
+        layers in 2usize..10,
+        hidden in 32usize..160,
+        prompt in 1usize..256,
+        cached_frac in 0.0f64..1.0,
+        occupancy in 0.0f64..1.0,
+        policy_idx in 0usize..3,
+    ) {
+        let model = small_model(layers, (hidden / 16) * 16);
+        let graph = ComputationGraph::prefill(&model, prompt);
+        let cost = CostModel::rk3588();
+        let profile = PlatformProfile::rk3588();
+        let rates = RestoreRates::from_profile(&profile, occupancy, 4);
+        let times: Vec<SimDuration> = graph.ops.iter().map(|o| cost.op_time(o)).collect();
+        let cached = (graph.total_param_bytes() as f64 * cached_frac) as u64;
+        let plan = RestorePlan::build(&graph, |i| times[i], &rates, cached);
+        plan.validate().unwrap();
+
+        let policy = [Policy::Sequential, Policy::Priority, Policy::PriorityPreemptive][policy_idx];
+        let result = simulate(&plan, &PipelineConfig {
+            cpu_cores: 4,
+            preempt_quantum: SimDuration::from_millis(2),
+            policy,
+        });
+
+        // With four CPU cores the CPU-path total is not by itself a lower
+        // bound (allocation, decryption and CPU compute can overlap on
+        // different cores), so bound by the I/O path, the computation path and
+        // the per-core CPU share.
+        let paths = plan.critical_paths();
+        let lower = paths.io.max(paths.compute).max(paths.cpu / 4);
+        let upper: SimDuration = plan.ops.iter().map(|o| o.duration).sum();
+        prop_assert!(result.makespan >= lower, "makespan {} < lower bound {}", result.makespan, lower);
+        prop_assert!(result.makespan <= upper + SimDuration::from_micros(1),
+            "makespan {} > serial upper bound {}", result.makespan, upper);
+    }
+
+    /// Restoration accounting: cached + restored always equals the model size,
+    /// regardless of where the cache boundary falls.
+    #[test]
+    fn restore_plan_conserves_bytes(
+        layers in 2usize..8,
+        hidden in 32usize..128,
+        cached_frac in 0.0f64..1.0,
+    ) {
+        let model = small_model(layers, (hidden / 16) * 16);
+        let graph = ComputationGraph::prefill(&model, 16);
+        let profile = PlatformProfile::rk3588();
+        let rates = RestoreRates::from_profile(&profile, 0.5, 4);
+        let total = graph.total_param_bytes();
+        let cached = (total as f64 * cached_frac) as u64;
+        let plan = RestorePlan::build(&graph, |_| SimDuration::from_micros(10), &rates, cached);
+        prop_assert_eq!(plan.cached_bytes + plan.restored_bytes, total);
+        prop_assert!(plan.cached_bytes <= cached + 1);
+    }
+
+    /// AES-CTR random-access decryption of any sub-range matches decrypting
+    /// the whole stream.
+    #[test]
+    fn ctr_random_access_matches_full_stream(
+        key_seed in any::<u8>(),
+        len in 1usize..2048,
+        window in any::<(u16, u16)>(),
+    ) {
+        let key = [key_seed; 32];
+        let nonce = [0x11u8; 16];
+        let ctr = AesCtr::new(&key, &nonce).unwrap();
+        let plain: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let mut full = plain.clone();
+        ctr.apply(&mut full);
+
+        let a = (window.0 as usize) % len;
+        let b = (window.1 as usize) % len;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut slice = full[lo..hi].to_vec();
+        ctr.apply_at(lo as u64, &mut slice);
+        prop_assert_eq!(&slice[..], &plain[lo..hi]);
+    }
+
+    /// However the TZASC region is grown and shrunk page-by-page, non-secure
+    /// CPU access to the protected prefix is always denied and access beyond
+    /// it is always allowed.
+    #[test]
+    fn tzasc_extend_shrink_protects_exactly_the_prefix(
+        steps in proptest::collection::vec(1u64..16, 1..20),
+        shrink_every in 2usize..5,
+    ) {
+        let mut tzasc = Tzasc::new();
+        let base = PhysAddr::new(0x1_0000_0000);
+        let id = tzasc.configure_region(World::Secure, PhysRange::new(base, PAGE_SIZE), []).unwrap();
+        let mut size = PAGE_SIZE;
+        for (i, pages) in steps.iter().enumerate() {
+            if i % shrink_every == 0 && size > PAGE_SIZE {
+                tzasc.shrink_region(World::Secure, id, PAGE_SIZE).unwrap();
+                size -= PAGE_SIZE;
+            } else {
+                tzasc.extend_region(World::Secure, id, pages * PAGE_SIZE).unwrap();
+                size += pages * PAGE_SIZE;
+            }
+            // Inside the prefix: denied.  Just past the end: allowed.
+            let inside = PhysRange::new(PhysAddr::new(base.as_u64() + size - PAGE_SIZE), PAGE_SIZE);
+            let outside = PhysRange::new(PhysAddr::new(base.as_u64() + size), PAGE_SIZE);
+            prop_assert!(tzasc.check_cpu_access(World::NonSecure, inside).is_err());
+            prop_assert!(tzasc.check_cpu_access(World::NonSecure, outside).is_ok());
+            prop_assert_eq!(tzasc.protected_bytes(), size);
+        }
+    }
+
+    /// The cache controller never caches more than the model and never
+    /// releases more than it holds.
+    #[test]
+    fn cache_controller_accounting(
+        total in 1u64..(64 * 1024 * 1024),
+        fractions in proptest::collection::vec(0.0f64..1.0, 1..10),
+        revokes in proptest::collection::vec(0u64..(16 * 1024 * 1024), 0..5),
+    ) {
+        let mut cache = CacheController::new(total);
+        for f in fractions {
+            cache.on_inference_complete();
+            let released = cache.apply_policy(CachePolicy::Proportion(f));
+            prop_assert!(cache.cached_bytes() <= total);
+            prop_assert!(released <= total);
+        }
+        for r in revokes {
+            let before = cache.cached_bytes();
+            let released = cache.revoke(r);
+            prop_assert!(released <= before);
+            prop_assert_eq!(cache.cached_bytes(), before - released);
+        }
+    }
+}

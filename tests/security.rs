@@ -1,0 +1,215 @@
+//! Attack-simulation tests covering the threat model of §3.1 and the
+//! defences of §6: direct access, DMA attacks, Iago attacks on every exposed
+//! TEE-REE interface, and TA isolation.
+
+use llm::{ModelSpec, PackedModel};
+use npu::{ExecutionContext, JobId, NpuDevice, NpuJob};
+use ree_kernel::{CmaPool, CmaRegion, FileContent, FileSystem, FlashDevice, Misbehaviour, TzDriver};
+use sim_core::{Bandwidth, SimDuration, SimTime, GIB};
+use tee_kernel::{
+    CheckpointError, CheckpointStore, KeyService, KeyServiceError, ScalingError, SecureMemoryManager,
+    SecurityViolation, ShadowThreadManager, TaRegistry, TeeNpuDriver,
+};
+use tz_crypto::{HardwareUniqueKey, ModelKey, WrappedModelKey};
+use tz_hal::{DeviceId, Platform, PhysAddr, PhysRange, World};
+
+/// Direct access: a non-secure CPU and a non-NPU device cannot touch the
+/// parameter region; even the NPU cannot touch regions that do not list it.
+#[test]
+fn direct_and_dma_access_attacks_are_blocked() {
+    let platform = Platform::rk3588();
+    let param_region = PhysRange::new(PhysAddr::new(0x1_0000_0000), 64 * 1024 * 1024);
+    platform.with_tzasc(|t| {
+        t.configure_region(World::Secure, param_region, [DeviceId::Npu]).unwrap();
+    });
+
+    // Compromised REE OS reads the plaintext parameters: blocked.
+    assert!(platform
+        .with_tzasc(|t| t.check_cpu_access(World::NonSecure, param_region))
+        .is_err());
+    // Malicious USB controller DMA: blocked.
+    assert!(platform
+        .with_tzasc(|t| t.check_dma_access(DeviceId::UsbController, param_region))
+        .is_err());
+    // The GPU (a different accelerator) is blocked too.
+    assert!(platform
+        .with_tzasc(|t| t.check_dma_access(DeviceId::Gpu, param_region))
+        .is_err());
+}
+
+/// Iago attack on secure memory scaling: the TZ driver returns non-adjacent
+/// or overlapping CMA blocks; the TEE OS rejects both.
+#[test]
+fn iago_attack_on_memory_scaling_is_rejected() {
+    let platform = Platform::rk3588();
+    let mk_pool = |start: u64, size: u64| {
+        CmaRegion::new(
+            PhysRange::new(PhysAddr::new(start), size),
+            platform.profile.cma_bandwidth(),
+            platform.profile.page_alloc_ns,
+        )
+    };
+    let mut tz = TzDriver::new(platform.clone(), mk_pool(0x1_0000_0000, 2 * GIB), mk_pool(0x2_0000_0000, GIB));
+    let mut tas = TaRegistry::new();
+    let llm = tas.register("llm-ta", true);
+    let mut secmem = SecureMemoryManager::new(platform);
+    let region = secmem.create_region(CmaPool::Parameters, llm, vec![DeviceId::Npu]);
+
+    secmem.extend_allocated(region, GIB / 4, &mut tz).unwrap();
+    tz.set_misbehaviour(Misbehaviour::NonAdjacentBlock);
+    assert!(matches!(
+        secmem.extend_allocated(region, GIB / 4, &mut tz),
+        Err(ScalingError::NonContiguousReply { .. })
+    ));
+    tz.set_misbehaviour(Misbehaviour::OverlappingBlock);
+    assert!(matches!(
+        secmem.extend_allocated(region, GIB / 4, &mut tz),
+        Err(ScalingError::OverlappingReply)
+    ));
+}
+
+/// Iago attack on NPU job scheduling: replay, reordering and launching
+/// never-initialised jobs are all rejected by the TEE data-plane driver.
+#[test]
+fn iago_attack_on_npu_scheduling_is_rejected() {
+    let platform = Platform::rk3588();
+    platform.with_tzasc(|t| {
+        t.configure_region(
+            World::Secure,
+            PhysRange::new(PhysAddr::new(0x2_0000_0000), 64 * 1024 * 1024),
+            [DeviceId::Npu],
+        )
+        .unwrap();
+    });
+    let ctx = ExecutionContext {
+        command_buffer: PhysRange::new(PhysAddr::new(0x2_0000_0000), 0x1000),
+        io_page_table: PhysRange::new(PhysAddr::new(0x2_0000_1000), 0x1000),
+        inputs: vec![],
+        outputs: vec![],
+    };
+    let mut device = NpuDevice::new(3);
+    let mut tee = TeeNpuDriver::new(platform);
+
+    tee.init_secure_job(NpuJob::secure(JobId(1), ctx.clone(), SimDuration::from_millis(1), "a"))
+        .unwrap();
+    tee.init_secure_job(NpuJob::secure(JobId(2), ctx, SimDuration::from_millis(1), "b"))
+        .unwrap();
+
+    // Unknown job.
+    assert!(matches!(
+        tee.handle_handoff(JobId(42), &mut device, SimTime::ZERO),
+        Err(SecurityViolation::UnknownJob(_))
+    ));
+    // Reordering.
+    assert!(matches!(
+        tee.handle_handoff(JobId(2), &mut device, SimTime::ZERO),
+        Err(SecurityViolation::OutOfOrder { .. })
+    ));
+    // Correct order works; replay of a completed job fails.
+    tee.handle_handoff(JobId(1), &mut device, SimTime::ZERO).unwrap();
+    assert!(matches!(
+        tee.handle_handoff(JobId(1), &mut device, SimTime::from_millis(5)),
+        Err(SecurityViolation::Replay(_))
+    ));
+}
+
+/// Iago attack on model loading: forged file content fails the per-tensor
+/// checksum; a forged header fails authentication.
+#[test]
+fn iago_attack_on_model_loading_is_rejected() {
+    let spec = ModelSpec::nano();
+    let key = ModelKey::derive(b"provider", &spec.name);
+    let packed = PackedModel::pack_functional(&spec, &key, [4u8; 16], 1);
+
+    let mut forged = packed.encrypted_tensor_bytes("layer.2.wo").unwrap();
+    forged[0] ^= 0x01;
+    assert!(packed.decrypt_tensor(&key, "layer.2.wo", &forged).is_err());
+
+    let mut forged_header = packed.clone();
+    forged_header.header.tensors[0].bytes += 1;
+    assert!(forged_header.verify_header(&key).is_err());
+}
+
+/// Model keys in flash are wrapped; only the LLM TA on the right device can
+/// obtain them, and tampered checkpoints are rejected.
+#[test]
+fn key_and_checkpoint_protection() {
+    let huk = HardwareUniqueKey::provision("device-a");
+    let mk = ModelKey::derive(b"provider", "qwen2.5-3b");
+    let wrapped = WrappedModelKey::wrap(&huk, &mk, [8u8; 16]);
+
+    let mut tas = TaRegistry::new();
+    let llm = tas.register("llm-ta", true);
+    let other = tas.register("widevine-ta", false);
+    let mut keys = KeyService::new(huk);
+    keys.register_model_key("qwen2.5-3b", wrapped.clone());
+
+    assert!(keys.unwrap_for(&tas, llm, "qwen2.5-3b").is_ok());
+    assert_eq!(
+        keys.unwrap_for(&tas, other, "qwen2.5-3b").unwrap_err(),
+        KeyServiceError::NotAuthorised(other)
+    );
+
+    // A different physical device cannot unwrap the same blob.
+    let other_device = HardwareUniqueKey::provision("device-b");
+    assert!(wrapped.unwrap(&other_device, true).is_err());
+
+    // Checkpoint tampering is detected.
+    let mut fs = FileSystem::new(FlashDevice::new(Bandwidth::from_gib_per_sec(2.0), 2.5));
+    let huk = HardwareUniqueKey::provision("device-a");
+    let store = CheckpointStore::new("ckpt", SimDuration::from_millis(140), 9.2e9);
+    store.save(&huk, &mut fs, b"framework state");
+    let mut blob = fs.raw_bytes("ckpt").unwrap().to_vec();
+    let last = blob.len() - 1;
+    blob[last] ^= 0xff;
+    fs.write_file("ckpt", FileContent::Bytes(blob));
+    assert_eq!(store.restore(&huk, &mut fs).unwrap_err(), CheckpointError::IntegrityFailure);
+}
+
+/// A compromised LLM TA cannot reach another TA's memory, and a malicious REE
+/// scheduler cannot run a TA thread past a TEE-managed lock.
+#[test]
+fn ta_isolation_and_thread_order_enforcement() {
+    let platform = Platform::rk3588();
+    let mut tas = TaRegistry::new();
+    let llm = tas.register("llm-ta", true);
+    let keymaster = tas.register("keymaster-ta", false);
+    tas.map(keymaster, PhysRange::new(PhysAddr::new(0x3_0000_0000), 0x10000)).unwrap();
+    assert!(tas
+        .check_access(llm, PhysRange::new(PhysAddr::new(0x3_0000_0000), 0x1000))
+        .is_err());
+
+    let mut threads = ShadowThreadManager::new(platform);
+    let t1 = threads.create_thread(llm);
+    let t2 = threads.create_thread(llm);
+    let lock = threads.create_mutex();
+    assert!(threads.mutex_lock(lock, t1).unwrap());
+    assert!(!threads.mutex_lock(lock, t2).unwrap());
+    // The REE scheduler tries to force t2 to run anyway.
+    let (outcome, _) = threads.resume(t2).unwrap();
+    assert_eq!(outcome, tee_kernel::ResumeOutcome::RefusedBlocked(lock));
+}
+
+/// The NPU launch path enforces TZPC/TZASC state: the REE cannot launch while
+/// the NPU is secured, and a secure job whose context lies outside secure
+/// memory is rejected before it ever reaches the device.
+#[test]
+fn npu_launch_respects_world_configuration() {
+    let platform = Platform::rk3588();
+    let mut device = NpuDevice::new(3);
+    platform.with_tzpc(|t| t.set_secure(World::Secure, DeviceId::Npu, true).unwrap());
+    let ree_job = NpuJob::non_secure(JobId(9), ExecutionContext::empty(), SimDuration::from_millis(1), "ree");
+    assert!(device.launch(&platform, World::NonSecure, ree_job, SimTime::ZERO).is_err());
+
+    let mut tee = TeeNpuDriver::new(platform);
+    let outside = ExecutionContext {
+        command_buffer: PhysRange::new(PhysAddr::new(0x8000_0000), 0x1000),
+        io_page_table: PhysRange::new(PhysAddr::new(0x8000_1000), 0x1000),
+        inputs: vec![],
+        outputs: vec![],
+    };
+    assert!(matches!(
+        tee.init_secure_job(NpuJob::secure(JobId(10), outside, SimDuration::from_millis(1), "bad")),
+        Err(SecurityViolation::ContextNotSecure(_))
+    ));
+}
