@@ -21,5 +21,7 @@ fn main() {
     table.push_row(vec!["TOTAL (strawman TTFT)".into(), secs(total)]);
     table.finish();
 
-    println!("Paper anchors: param alloc 4.182 s, load 4.054 s, decrypt 0.892 s, CPU prefill 164.6 s.");
+    println!(
+        "Paper anchors: param alloc 4.182 s, load 4.054 s, decrypt 0.892 s, CPU prefill 164.6 s."
+    );
 }

@@ -13,7 +13,12 @@ fn main() {
 
     let mut table = ResultTable::new(
         "figure02_s2pt_geekbench",
-        &["subtest", "score_s2pt_disabled", "score_s2pt_4k", "overhead_pct"],
+        &[
+            "subtest",
+            "score_s2pt_disabled",
+            "score_s2pt_4k",
+            "overhead_pct",
+        ],
     );
     let mut overheads = Vec::new();
     for t in geekbench_suite() {
@@ -32,5 +37,8 @@ fn main() {
 
     let max = overheads.iter().cloned().fold(f64::MIN, f64::max);
     let avg: f64 = overheads.iter().sum::<f64>() / overheads.len() as f64;
-    println!("max overhead {:.1}% (paper: 9.8%), average {:.1}% (paper: 2.0%)", max, avg);
+    println!(
+        "max overhead {:.1}% (paper: 9.8%), average {:.1}% (paper: 2.0%)",
+        max, avg
+    );
 }

@@ -16,7 +16,11 @@ fn main() {
         2 * GIB,
         profile.page_alloc_ns,
     );
-    let pressures: Vec<u64> = if opts.quick { vec![0, 3, 6] } else { vec![0, 1, 2, 3, 4, 5, 6] };
+    let pressures: Vec<u64> = if opts.quick {
+        vec![0, 3, 6]
+    } else {
+        vec![0, 1, 2, 3, 4, 5, 6]
+    };
 
     let mut table = ResultTable::new(
         "figure03_alloc_time",

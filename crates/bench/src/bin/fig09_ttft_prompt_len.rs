@@ -9,7 +9,11 @@ use tzllm::{evaluate, InferenceConfig, SystemKind};
 fn main() {
     let opts = HarnessOptions::from_args();
     let profile = PlatformProfile::rk3588();
-    let prompts: Vec<usize> = if opts.quick { vec![128] } else { vec![32, 128, 512] };
+    let prompts: Vec<usize> = if opts.quick {
+        vec![128]
+    } else {
+        vec![32, 128, 512]
+    };
 
     let mut table = ResultTable::new(
         "figure09_ttft_prompt_len",

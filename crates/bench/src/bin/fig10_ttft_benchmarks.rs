@@ -65,7 +65,9 @@ fn main() {
         }
     }
     table.finish();
-    println!("Paper: 76.1%-90.9% TTFT reduction vs strawman; 5.2%-28.3% overhead vs REE-LLM-Flash.");
+    println!(
+        "Paper: 76.1%-90.9% TTFT reduction vs strawman; 5.2%-28.3% overhead vs REE-LLM-Flash."
+    );
 }
 
 /// Converts reductions r into ratios (1 - r) so a geometric mean can be taken.

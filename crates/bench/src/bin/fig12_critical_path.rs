@@ -61,5 +61,7 @@ fn main() {
         }
     }
     table.finish();
-    println!("Paper: TZ-LLM is within 0.01%-9.9% of the lower bound with stress, up to 10.4% without.");
+    println!(
+        "Paper: TZ-LLM is within 0.01%-9.9% of the lower bound with stress, up to 10.4% without."
+    );
 }

@@ -9,7 +9,11 @@ use tzllm::{evaluate_tzllm, InferenceConfig, Policy};
 fn main() {
     let opts = HarnessOptions::from_args();
     let profile = PlatformProfile::rk3588();
-    let prompts: Vec<usize> = if opts.quick { vec![128] } else { vec![32, 128, 512] };
+    let prompts: Vec<usize> = if opts.quick {
+        vec![128]
+    } else {
+        vec![32, 128, 512]
+    };
 
     let mut table = ResultTable::new(
         "figure13_preemption",
@@ -33,8 +37,10 @@ fn main() {
             cfg.policy = Policy::Sequential;
             let no_pipeline = evaluate_tzllm(&profile, &cfg);
 
-            let pipeline_gain = (1.0 - no_preempt.ttft.as_secs_f64() / no_pipeline.ttft.as_secs_f64()) * 100.0;
-            let preempt_gain = (1.0 - full.ttft.as_secs_f64() / no_preempt.ttft.as_secs_f64()) * 100.0;
+            let pipeline_gain =
+                (1.0 - no_preempt.ttft.as_secs_f64() / no_pipeline.ttft.as_secs_f64()) * 100.0;
+            let preempt_gain =
+                (1.0 - full.ttft.as_secs_f64() / no_preempt.ttft.as_secs_f64()) * 100.0;
             table.push_row(vec![
                 model.name.clone(),
                 prompt.to_string(),
@@ -47,5 +53,7 @@ fn main() {
         }
     }
     table.finish();
-    println!("Paper: pipelining reduces TTFT by up to 31.7%; preemption adds up to a further 16.2%.");
+    println!(
+        "Paper: pipelining reduces TTFT by up to 31.7%; preemption adds up to a further 16.2%."
+    );
 }

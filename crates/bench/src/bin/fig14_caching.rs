@@ -14,11 +14,21 @@ fn main() {
     } else {
         vec![0.0, 0.25, 0.5, 0.75, 1.0]
     };
-    let prompts: Vec<usize> = if opts.quick { vec![128] } else { vec![32, 128, 256, 384, 512] };
+    let prompts: Vec<usize> = if opts.quick {
+        vec![128]
+    } else {
+        vec![32, 128, 256, 384, 512]
+    };
 
     let mut table = ResultTable::new(
         "figure14_caching",
-        &["model", "prompt_len", "cache_pct", "ttft_s", "normalized_ttft"],
+        &[
+            "model",
+            "prompt_len",
+            "cache_pct",
+            "ttft_s",
+            "normalized_ttft",
+        ],
     );
     for model in [ModelSpec::qwen2_5_3b(), ModelSpec::llama3_8b()] {
         for &prompt in &prompts {

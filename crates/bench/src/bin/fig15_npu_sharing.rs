@@ -38,22 +38,58 @@ fn main() {
         SimDuration::from_secs(30)
     };
     let models = [ModelSpec::qwen2_5_3b(), ModelSpec::llama3_8b()];
-    let phases = [("prefill", LlmPhase::Prefill { prompt_len: 512 }), ("decode", LlmPhase::Decode)];
+    let phases = [
+        ("prefill", LlmPhase::Prefill { prompt_len: 512 }),
+        ("decode", LlmPhase::Decode),
+    ];
 
     let mut table = ResultTable::new(
         "figure15_npu_sharing",
-        &["nn_app", "model", "phase", "setup", "nn_ops_per_s", "llm_tokens_per_s"],
+        &[
+            "nn_app",
+            "model",
+            "phase",
+            "setup",
+            "nn_ops_per_s",
+            "llm_tokens_per_s",
+        ],
     );
     for nn_app in NnApp::all() {
         for model in &models {
             for (phase_name, phase) in phases {
                 // Exclusive runs.
-                let (nn_ex, _) = run(model, phase, LlmPlacement::Ree, false, true, nn_app, horizon);
-                let (_, llm_ree_ex) = run(model, phase, LlmPlacement::Ree, true, false, nn_app, horizon);
-                let (_, llm_tee_ex) = run(model, phase, LlmPlacement::Tee, true, false, nn_app, horizon);
+                let (nn_ex, _) = run(
+                    model,
+                    phase,
+                    LlmPlacement::Ree,
+                    false,
+                    true,
+                    nn_app,
+                    horizon,
+                );
+                let (_, llm_ree_ex) = run(
+                    model,
+                    phase,
+                    LlmPlacement::Ree,
+                    true,
+                    false,
+                    nn_app,
+                    horizon,
+                );
+                let (_, llm_tee_ex) = run(
+                    model,
+                    phase,
+                    LlmPlacement::Tee,
+                    true,
+                    false,
+                    nn_app,
+                    horizon,
+                );
                 // Shared runs.
-                let (nn_ree_sh, llm_ree_sh) = run(model, phase, LlmPlacement::Ree, true, true, nn_app, horizon);
-                let (nn_tee_sh, llm_tee_sh) = run(model, phase, LlmPlacement::Tee, true, true, nn_app, horizon);
+                let (nn_ree_sh, llm_ree_sh) =
+                    run(model, phase, LlmPlacement::Ree, true, true, nn_app, horizon);
+                let (nn_tee_sh, llm_tee_sh) =
+                    run(model, phase, LlmPlacement::Tee, true, true, nn_app, horizon);
 
                 let rows = [
                     ("NN-EX", nn_ex, 0.0),

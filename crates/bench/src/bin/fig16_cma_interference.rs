@@ -24,7 +24,11 @@ fn main() {
     // exceeds the big cores spills onto them (worst case: the whole
     // restoration CPU time competes with the benchmark for memory bandwidth
     // and little-core time).
-    let systems = [SystemKind::ReeLlmMemory, SystemKind::ReeLlmFlash, SystemKind::TzLlm];
+    let systems = [
+        SystemKind::ReeLlmMemory,
+        SystemKind::ReeLlmFlash,
+        SystemKind::TzLlm,
+    ];
     let mut fractions = Vec::new();
     for system in systems {
         let report = evaluate(system, &profile, &cfg);
@@ -39,13 +43,22 @@ fn main() {
 
     let mut table = ResultTable::new(
         "figure16_cma_interference",
-        &["subtest", "ree_memory", "ree_flash", "tzllm", "tzllm_overhead_pct"],
+        &[
+            "subtest",
+            "ree_memory",
+            "ree_flash",
+            "tzllm",
+            "tzllm_overhead_pct",
+        ],
     );
     let suite = geekbench_suite();
     let mut base_scores = Vec::new();
     let mut tz_scores = Vec::new();
     for t in &suite {
-        let scores: Vec<f64> = fractions.iter().map(|&f| t.score_under_cpu_steal(f)).collect();
+        let scores: Vec<f64> = fractions
+            .iter()
+            .map(|&f| t.score_under_cpu_steal(f))
+            .collect();
         let overhead = (scores[0] - scores[2]) / scores[0] * 100.0;
         base_scores.push(scores[0]);
         tz_scores.push(scores[2]);

@@ -6,13 +6,19 @@ use bench::{fmt, HarnessOptions, ResultTable};
 use llm::ModelSpec;
 use sim_core::SimDuration;
 use tz_hal::PlatformProfile;
-use tzllm::{evaluate_tzllm, InferenceConfig, LlmPhase, LlmPlacement, NpuSharingSim, SharingConfig};
+use tzllm::{
+    evaluate_tzllm, InferenceConfig, LlmPhase, LlmPlacement, NpuSharingSim, SharingConfig,
+};
 use workloads::NnApp;
 
 fn main() {
     let opts = HarnessOptions::from_args();
     let profile = PlatformProfile::rk3588();
-    let horizon = if opts.quick { SimDuration::from_secs(5) } else { SimDuration::from_secs(20) };
+    let horizon = if opts.quick {
+        SimDuration::from_secs(5)
+    } else {
+        SimDuration::from_secs(20)
+    };
 
     let mut table = ResultTable::new(
         "sec73_switch_overhead",
@@ -31,7 +37,10 @@ fn main() {
     );
 
     for model in [ModelSpec::qwen2_5_3b(), ModelSpec::llama3_8b()] {
-        for (phase_name, phase) in [("prefill", LlmPhase::Prefill { prompt_len: 512 }), ("decode", LlmPhase::Decode)] {
+        for (phase_name, phase) in [
+            ("prefill", LlmPhase::Prefill { prompt_len: 512 }),
+            ("decode", LlmPhase::Decode),
+        ] {
             let mut sim = NpuSharingSim::new();
             let r = sim.run(&SharingConfig {
                 model: model.clone(),

@@ -1,0 +1,97 @@
+//! Serving benchmark: the latency-throughput curve of one TZ-LLM device.
+//!
+//! Sweeps Poisson arrival rate × model over the standard benchmark mix and
+//! reports fleet throughput, TTFT percentiles (end-to-end, queueing
+//! included), queue depth and the cache hit-fraction.  Two retention
+//! policies are compared at every point: all-cold (`ReleaseAll`, every
+//! request restores from flash) and the adaptive partial-parameter cache —
+//! the serving-scale version of Figure 14's caching sweep.
+//!
+//! Run with: `cargo run --release -p bench --bin serving_throughput`
+//! (`--quick` for a reduced sweep).
+
+use bench::{fmt, HarnessOptions, ResultTable};
+use llm::ModelSpec;
+use tz_hal::PlatformProfile;
+use tzllm::serving::{RetentionPolicy, Server, ServingConfig};
+use workloads::{ArrivalProcess, WorkloadSpec};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let requests = if opts.quick { 30 } else { 120 };
+    let models: Vec<ModelSpec> = if opts.quick {
+        vec![ModelSpec::qwen2_5_3b()]
+    } else {
+        vec![
+            ModelSpec::tinyllama_1_1b(),
+            ModelSpec::qwen2_5_3b(),
+            ModelSpec::llama3_8b(),
+        ]
+    };
+    // Arrival rates around each model's service capacity: the interesting part
+    // of the curve is where utilisation approaches one.
+    let rates: Vec<f64> = if opts.quick {
+        vec![0.02, 0.1, 0.4]
+    } else {
+        vec![0.01, 0.02, 0.05, 0.1, 0.2, 0.4]
+    };
+
+    let mut table = ResultTable::new(
+        "serving_throughput",
+        &[
+            "model",
+            "policy",
+            "rate_rps",
+            "tput_rps",
+            "p50_ttft_s",
+            "p95_ttft_s",
+            "p99_ttft_s",
+            "mean_qdepth",
+            "hit_frac",
+            "rejected",
+        ],
+    );
+
+    for model in &models {
+        for &(label, retention) in &[
+            ("cold", RetentionPolicy::ReleaseAll),
+            (
+                "adaptive",
+                RetentionPolicy::Adaptive {
+                    step_fraction: 0.25,
+                },
+            ),
+        ] {
+            for &rate in &rates {
+                let mut config = ServingConfig::paper_default(PlatformProfile::rk3588());
+                config.retention = retention;
+                let workload = WorkloadSpec::standard(
+                    ArrivalProcess::Poisson { rate_per_sec: rate },
+                    requests,
+                    &model.name,
+                );
+                let report = Server::run_workload(config, vec![model.clone()], &workload, 0xBEEF);
+                let fleet = &report.fleet;
+                let ttft = fleet.ttft_ms.expect("non-empty run");
+                table.push_row(vec![
+                    model.name.clone(),
+                    label.to_string(),
+                    fmt(rate, 2),
+                    fmt(fleet.throughput_rps, 3),
+                    fmt(ttft.p50 / 1e3, 3),
+                    fmt(ttft.p95 / 1e3, 3),
+                    fmt(ttft.p99 / 1e3, 3),
+                    fmt(fleet.mean_queue_depth, 2),
+                    fmt(fleet.mean_cached_fraction, 2),
+                    fleet.rejected.to_string(),
+                ]);
+            }
+        }
+    }
+    table.finish();
+    println!(
+        "Reading the curve: p99 TTFT rises with the arrival rate (queueing) while throughput \
+         tracks the offered load until the device saturates; the adaptive cache keeps warm p50 \
+         TTFT strictly below the all-cold p50 at every rate."
+    );
+}

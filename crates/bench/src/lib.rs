@@ -141,6 +141,6 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(secs(sim_core::SimDuration::from_millis(1500)), "1.500");
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(2.46913, 2), "2.47");
     }
 }

@@ -96,7 +96,13 @@ impl CostModel {
         graph
             .ops
             .iter()
-            .map(|op| if use_npu { self.op_time(op) } else { self.op_time_cpu_only(op) })
+            .map(|op| {
+                if use_npu {
+                    self.op_time(op)
+                } else {
+                    self.op_time_cpu_only(op)
+                }
+            })
             .sum()
     }
 
@@ -104,12 +110,23 @@ impl CostModel {
     ///
     /// Decoding is dominated by streaming all parameters once per token, so
     /// the time is the maximum of the compute time and the memory time.
-    pub fn decode_token_time(&self, model: &ModelSpec, kv_len: usize, use_npu: bool) -> SimDuration {
+    pub fn decode_token_time(
+        &self,
+        model: &ModelSpec,
+        kv_len: usize,
+        use_npu: bool,
+    ) -> SimDuration {
         let graph = ComputationGraph::decode(model, kv_len);
         let compute: SimDuration = graph
             .ops
             .iter()
-            .map(|op| if use_npu { self.op_time(op) } else { self.op_time_cpu_only(op) })
+            .map(|op| {
+                if use_npu {
+                    self.op_time(op)
+                } else {
+                    self.op_time_cpu_only(op)
+                }
+            })
             .sum();
         let memory_secs = model.total_q8_bytes() as f64 / self.params.dram_bytes_per_sec;
         let memory_secs = if use_npu {

@@ -99,7 +99,9 @@ impl FunctionalModel {
             s = s.wrapping_add(0x9E37_79B9);
             s
         };
-        let q = |rows: usize, cols: usize, seed: u64| QTensor::quantize(&Tensor::random(rows, cols, seed, scale));
+        let q = |rows: usize, cols: usize, seed: u64| {
+            QTensor::quantize(&Tensor::random(rows, cols, seed, scale))
+        };
 
         let embeddings = Tensor::random(spec.vocab, h, next(), scale);
         let layers = (0..spec.layers)
@@ -153,12 +155,15 @@ impl FunctionalModel {
                 let q_h = &q[head * head_dim..(head + 1) * head_dim];
                 let mut scores = vec![0.0f32; tokens_cached];
                 for t in 0..tokens_cached {
-                    let k_t = &keys[t * kv_dim + kv_head * head_dim..t * kv_dim + (kv_head + 1) * head_dim];
-                    scores[t] = q_h.iter().zip(k_t).map(|(a, b)| a * b).sum::<f32>() / (head_dim as f32).sqrt();
+                    let k_t = &keys
+                        [t * kv_dim + kv_head * head_dim..t * kv_dim + (kv_head + 1) * head_dim];
+                    scores[t] = q_h.iter().zip(k_t).map(|(a, b)| a * b).sum::<f32>()
+                        / (head_dim as f32).sqrt();
                 }
                 softmax(&mut scores);
                 for t in 0..tokens_cached {
-                    let v_t = &values[t * kv_dim + kv_head * head_dim..t * kv_dim + (kv_head + 1) * head_dim];
+                    let v_t = &values
+                        [t * kv_dim + kv_head * head_dim..t * kv_dim + (kv_head + 1) * head_dim];
                     for d in 0..head_dim {
                         attn_out[head * head_dim + d] += scores[t] * v_t[d];
                     }
@@ -193,7 +198,11 @@ impl FunctionalModel {
             logits = self.forward_token(tok, &mut cache);
         }
         let mut out = Vec::with_capacity(max_new_tokens);
-        let mut next = if logits.is_empty() { 0 } else { argmax(&logits) };
+        let mut next = if logits.is_empty() {
+            0
+        } else {
+            argmax(&logits)
+        };
         for _ in 0..max_new_tokens {
             out.push(next);
             let logits = self.forward_token(next, &mut cache);

@@ -69,7 +69,9 @@ impl std::fmt::Display for FormatError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FormatError::HeaderForged => write!(f, "model header failed authentication"),
-            FormatError::ChecksumMismatch { tensor } => write!(f, "checksum mismatch for tensor {tensor}"),
+            FormatError::ChecksumMismatch { tensor } => {
+                write!(f, "checksum mismatch for tensor {tensor}")
+            }
             FormatError::UnknownTensor(t) => write!(f, "unknown tensor {t}"),
             FormatError::Malformed => write!(f, "malformed model file"),
         }
@@ -93,7 +95,12 @@ pub struct PackedModel {
 impl PackedModel {
     /// Packs a *functional* model: real Q8 tensors generated deterministically
     /// from `seed`, encrypted under `key`.  Only sensible for small specs.
-    pub fn pack_functional(spec: &ModelSpec, key: &ModelKey, nonce: [u8; NONCE_LEN], seed: u64) -> Self {
+    pub fn pack_functional(
+        spec: &ModelSpec,
+        key: &ModelKey,
+        nonce: [u8; NONCE_LEN],
+        seed: u64,
+    ) -> Self {
         let graph = ComputationGraph::prefill(spec, 1);
         let layout = graph.param_layout();
         let cipher = key.blob_cipher(&nonce);
@@ -218,7 +225,8 @@ impl PackedModel {
             });
         }
         let mut plain = encrypted.to_vec();
-        key.blob_cipher(&self.header.nonce).apply_at(entry.offset, &mut plain);
+        key.blob_cipher(&self.header.nonce)
+            .apply_at(entry.offset, &mut plain);
         Ok(plain)
     }
 
@@ -255,7 +263,9 @@ fn synth_tensor_bytes(bytes: u64, seed: u64) -> Vec<u8> {
     // deterministic stream.  Functional tensors used by the executor are
     // packed separately via `QTensor::to_bytes` in `executor::NanoModel`.
     while (out.len() as u64) < bytes {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         out.extend_from_slice(&state.to_le_bytes());
     }
     out.truncate(bytes as usize);
@@ -288,7 +298,10 @@ mod tests {
         let spec = ModelSpec::nano();
         let mut packed = PackedModel::pack_functional(&spec, &key(), [7u8; NONCE_LEN], 99);
         packed.header.blob_bytes += 1;
-        assert_eq!(packed.verify_header(&key()).unwrap_err(), FormatError::HeaderForged);
+        assert_eq!(
+            packed.verify_header(&key()).unwrap_err(),
+            FormatError::HeaderForged
+        );
     }
 
     #[test]
@@ -340,6 +353,9 @@ mod tests {
     #[test]
     fn unknown_tensor_is_an_error() {
         let packed = PackedModel::pack_shape_only(&ModelSpec::nano(), &key(), [1u8; NONCE_LEN]);
-        assert!(matches!(packed.tensor("nope"), Err(FormatError::UnknownTensor(_))));
+        assert!(matches!(
+            packed.tensor("nope"),
+            Err(FormatError::UnknownTensor(_))
+        ));
     }
 }

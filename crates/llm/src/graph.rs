@@ -270,12 +270,19 @@ impl ComputationGraph {
 
     /// Total multiply-accumulates on a given device.
     pub fn total_macs_on(&self, device: Device) -> u64 {
-        self.ops.iter().filter(|o| o.device == device).map(|o| o.macs).sum()
+        self.ops
+            .iter()
+            .filter(|o| o.device == device)
+            .map(|o| o.macs)
+            .sum()
     }
 
     /// All parameter slices in topological (= blob) order.
     pub fn param_layout(&self) -> Vec<ParamSlice> {
-        self.ops.iter().flat_map(|o| o.params.iter().cloned()).collect()
+        self.ops
+            .iter()
+            .flat_map(|o| o.params.iter().cloned())
+            .collect()
     }
 
     /// Verifies the graph's structural invariants: ids are topological,
@@ -333,7 +340,11 @@ mod tests {
         let graph = ComputationGraph::prefill(&ModelSpec::llama3_8b(), 512);
         for op in &graph.ops {
             match op.kind {
-                OpKind::QkvProj | OpKind::OutProj | OpKind::FfnUpGate | OpKind::FfnDown | OpKind::LmHead => {
+                OpKind::QkvProj
+                | OpKind::OutProj
+                | OpKind::FfnUpGate
+                | OpKind::FfnDown
+                | OpKind::LmHead => {
                     assert_eq!(op.device, Device::Npu)
                 }
                 OpKind::Attention | OpKind::RmsNorm | OpKind::Embed | OpKind::FinalNorm => {
@@ -352,7 +363,8 @@ mod tests {
         let model = ModelSpec::qwen2_5_3b();
         let short = ComputationGraph::prefill(&model, 32);
         let long = ComputationGraph::prefill(&model, 512);
-        let ratio = long.total_macs_on(Device::Npu) as f64 / short.total_macs_on(Device::Npu) as f64;
+        let ratio =
+            long.total_macs_on(Device::Npu) as f64 / short.total_macs_on(Device::Npu) as f64;
         assert!((ratio - 16.0).abs() < 0.5, "ratio = {ratio}");
     }
 

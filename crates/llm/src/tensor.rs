@@ -54,7 +54,9 @@ impl Tensor {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut data = Vec::with_capacity(rows * cols);
         for _ in 0..rows * cols {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let unit = ((state >> 33) as f64 / (1u64 << 31) as f64) as f32 - 1.0;
             data.push(unit * scale);
         }
@@ -107,7 +109,11 @@ impl QTensor {
                 let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
                 scales.push(scale);
                 for i in 0..Q8_BLOCK {
-                    let v = if start + i < dense.cols { row[start + i] } else { 0.0 };
+                    let v = if start + i < dense.cols {
+                        row[start + i]
+                    } else {
+                        0.0
+                    };
                     weights.push((v / scale).round().clamp(-127.0, 127.0) as i8);
                 }
             }
@@ -143,10 +149,13 @@ impl QTensor {
     /// Quantised matrix-vector product: `y = W x` where `x` has `cols`
     /// entries (extra padded columns are treated as zero).
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
-        assert!(x.len() <= self.cols, "input vector longer than matrix columns");
+        assert!(
+            x.len() <= self.cols,
+            "input vector longer than matrix columns"
+        );
         let blocks_per_row = self.cols / Q8_BLOCK;
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for b in 0..blocks_per_row {
                 let scale = self.scales[r * blocks_per_row + b];
@@ -161,7 +170,7 @@ impl QTensor {
                 }
                 acc += block_acc * scale;
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -192,7 +201,7 @@ impl QTensor {
         }
         let rows = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
         let cols = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
-        if cols % Q8_BLOCK != 0 {
+        if !cols.is_multiple_of(Q8_BLOCK) {
             return None;
         }
         let blocks = rows * cols / Q8_BLOCK;
@@ -203,7 +212,9 @@ impl QTensor {
         }
         let mut scales = Vec::with_capacity(blocks);
         for i in 0..blocks {
-            scales.push(f32::from_le_bytes(bytes[8 + i * 4..12 + i * 4].try_into().ok()?));
+            scales.push(f32::from_le_bytes(
+                bytes[8 + i * 4..12 + i * 4].try_into().ok()?,
+            ));
         }
         let weights = bytes[scales_end..].iter().map(|&b| b as i8).collect();
         Some(QTensor {
@@ -250,12 +261,17 @@ mod tests {
         let q = QTensor::quantize(&dense);
         let y_q = q.matvec(&x);
         // Dense reference.
-        let mut y_d = vec![0.0f32; 16];
-        for r in 0..16 {
-            y_d[r] = dense.row(r).iter().zip(&x).map(|(w, xv)| w * xv).sum();
+        let mut y_d = [0.0f32; 16];
+        for (r, yd) in y_d.iter_mut().enumerate() {
+            *yd = dense.row(r).iter().zip(&x).map(|(w, xv)| w * xv).sum();
         }
         for r in 0..16 {
-            assert!((y_q[r] - y_d[r]).abs() < 0.3, "row {r}: {} vs {}", y_q[r], y_d[r]);
+            assert!(
+                (y_q[r] - y_d[r]).abs() < 0.3,
+                "row {r}: {} vs {}",
+                y_q[r],
+                y_d[r]
+            );
         }
     }
 

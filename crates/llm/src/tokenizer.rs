@@ -38,9 +38,41 @@ impl Tokenizer {
     /// for a real learned vocabulary.
     pub fn with_default_merges() -> Self {
         let merges: Vec<Vec<u8>> = [
-            " the", " of", " and", " to", " in", " is", " that", " for", " on", " with", "ing", "er",
-            "tion", " a", " be", " are", " as", " at", " it", " this", " an", " or", "ed", "es", "ly",
-            " you", " your", " what", " how", " can", " do", " please", " summarize", " tap", " open",
+            " the",
+            " of",
+            " and",
+            " to",
+            " in",
+            " is",
+            " that",
+            " for",
+            " on",
+            " with",
+            "ing",
+            "er",
+            "tion",
+            " a",
+            " be",
+            " are",
+            " as",
+            " at",
+            " it",
+            " this",
+            " an",
+            " or",
+            "ed",
+            "es",
+            "ly",
+            " you",
+            " your",
+            " what",
+            " how",
+            " can",
+            " do",
+            " please",
+            " summarize",
+            " tap",
+            " open",
         ]
         .iter()
         .map(|s| s.as_bytes().to_vec())

@@ -41,12 +41,19 @@ pub enum LaunchError {
 impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LaunchError::MmioBlocked { world } => write!(f, "NPU MMIO access from {world} world blocked by TZPC"),
+            LaunchError::MmioBlocked { world } => {
+                write!(f, "NPU MMIO access from {world} world blocked by TZPC")
+            }
             LaunchError::DmaBlocked { range_index } => {
-                write!(f, "NPU DMA to execution-context range #{range_index} blocked by TZASC")
+                write!(
+                    f,
+                    "NPU DMA to execution-context range #{range_index} blocked by TZASC"
+                )
             }
             LaunchError::Busy { running } => write!(f, "NPU busy running job {}", running.0),
-            LaunchError::ShadowJobNotLaunchable => write!(f, "shadow jobs cannot be launched on the NPU"),
+            LaunchError::ShadowJobNotLaunchable => {
+                write!(f, "shadow jobs cannot be launched on the NPU")
+            }
         }
     }
 }
@@ -149,7 +156,9 @@ impl NpuDevice {
         self.poll_completion(platform, now);
         if let Some(running) = &self.running {
             if running.finishes > now {
-                return Err(LaunchError::Busy { running: running.job.id });
+                return Err(LaunchError::Busy {
+                    running: running.job.id,
+                });
             }
         }
 
@@ -175,10 +184,7 @@ impl NpuDevice {
     /// Checks whether the running job has finished by `now`; if so, raises the
     /// completion interrupt through the GIC and records the completion.
     pub fn poll_completion(&mut self, platform: &Platform, now: SimTime) -> Option<Completion> {
-        let finished = match &self.running {
-            Some(r) if r.finishes <= now => true,
-            _ => false,
-        };
+        let finished = matches!(&self.running, Some(r) if r.finishes <= now);
         if !finished {
             return None;
         }
@@ -231,11 +237,20 @@ mod tests {
     fn non_secure_job_runs_when_npu_is_non_secure() {
         let platform = Platform::rk3588();
         let mut npu = NpuDevice::new(3);
-        let job = NpuJob::non_secure(JobId(1), ctx(0x8000_0000, 0x10000), SimDuration::from_millis(4), "yolo");
-        let done = npu.launch(&platform, World::NonSecure, job, SimTime::ZERO).unwrap();
+        let job = NpuJob::non_secure(
+            JobId(1),
+            ctx(0x8000_0000, 0x10000),
+            SimDuration::from_millis(4),
+            "yolo",
+        );
+        let done = npu
+            .launch(&platform, World::NonSecure, job, SimTime::ZERO)
+            .unwrap();
         assert_eq!(done, SimTime::from_millis(4));
         assert!(npu.is_busy(SimTime::from_millis(2)));
-        let completion = npu.poll_completion(&platform, SimTime::from_millis(5)).unwrap();
+        let completion = npu
+            .poll_completion(&platform, SimTime::from_millis(5))
+            .unwrap();
         assert_eq!(completion.job, JobId(1));
         assert_eq!(completion.interrupt_world, World::NonSecure);
         assert_eq!(npu.launches(), 1);
@@ -246,9 +261,21 @@ mod tests {
         let platform = Platform::rk3588();
         platform.with_tzpc(|t| t.set_secure(World::Secure, DeviceId::Npu, true).unwrap());
         let mut npu = NpuDevice::new(3);
-        let job = NpuJob::non_secure(JobId(1), ctx(0x8000_0000, 0x1000), SimDuration::from_millis(1), "ree");
-        let err = npu.launch(&platform, World::NonSecure, job, SimTime::ZERO).unwrap_err();
-        assert_eq!(err, LaunchError::MmioBlocked { world: World::NonSecure });
+        let job = NpuJob::non_secure(
+            JobId(1),
+            ctx(0x8000_0000, 0x1000),
+            SimDuration::from_millis(1),
+            "ree",
+        );
+        let err = npu
+            .launch(&platform, World::NonSecure, job, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LaunchError::MmioBlocked {
+                world: World::NonSecure
+            }
+        );
     }
 
     #[test]
@@ -264,27 +291,58 @@ mod tests {
             .unwrap()
         });
         let mut npu = NpuDevice::new(3);
-        let job = NpuJob::secure(JobId(2), ctx(0x9000_0000, 0x10000), SimDuration::from_millis(1), "llm");
-        let err = npu.launch(&platform, World::Secure, job, SimTime::ZERO).unwrap_err();
+        let job = NpuJob::secure(
+            JobId(2),
+            ctx(0x9000_0000, 0x10000),
+            SimDuration::from_millis(1),
+            "llm",
+        );
+        let err = npu
+            .launch(&platform, World::Secure, job, SimTime::ZERO)
+            .unwrap_err();
         assert!(matches!(err, LaunchError::DmaBlocked { .. }));
 
         // Now allow the NPU on that region: the launch succeeds.
         platform.with_tzasc(|t| {
-            t.set_device_access(World::Secure, tz_hal::RegionId(0), DeviceId::Npu, true).unwrap()
+            t.set_device_access(World::Secure, tz_hal::RegionId(0), DeviceId::Npu, true)
+                .unwrap()
         });
-        let job = NpuJob::secure(JobId(3), ctx(0x9000_0000, 0x10000), SimDuration::from_millis(1), "llm");
-        assert!(npu.launch(&platform, World::Secure, job, SimTime::ZERO).is_ok());
+        let job = NpuJob::secure(
+            JobId(3),
+            ctx(0x9000_0000, 0x10000),
+            SimDuration::from_millis(1),
+            "llm",
+        );
+        assert!(npu
+            .launch(&platform, World::Secure, job, SimTime::ZERO)
+            .is_ok());
     }
 
     #[test]
     fn busy_device_rejects_second_launch_until_drained() {
         let platform = Platform::rk3588();
         let mut npu = NpuDevice::new(3);
-        let a = NpuJob::non_secure(JobId(1), ctx(0x8000_0000, 0x1000), SimDuration::from_millis(10), "a");
-        let b = NpuJob::non_secure(JobId(2), ctx(0x8800_0000, 0x1000), SimDuration::from_millis(1), "b");
-        npu.launch(&platform, World::NonSecure, a, SimTime::ZERO).unwrap();
+        let a = NpuJob::non_secure(
+            JobId(1),
+            ctx(0x8000_0000, 0x1000),
+            SimDuration::from_millis(10),
+            "a",
+        );
+        let b = NpuJob::non_secure(
+            JobId(2),
+            ctx(0x8800_0000, 0x1000),
+            SimDuration::from_millis(1),
+            "b",
+        );
+        npu.launch(&platform, World::NonSecure, a, SimTime::ZERO)
+            .unwrap();
         let err = npu
-            .launch(&platform, World::NonSecure, b.clone(), SimTime::from_millis(3))
+            .launch(
+                &platform,
+                World::NonSecure,
+                b.clone(),
+                SimTime::from_millis(3),
+            )
             .unwrap_err();
         assert_eq!(err, LaunchError::Busy { running: JobId(1) });
         // Drain, then the second launch succeeds.
@@ -307,9 +365,17 @@ mod tests {
             .unwrap()
         });
         let mut npu = NpuDevice::new(3);
-        let job = NpuJob::secure(JobId(9), ctx(0x9000_0000, 0x10000), SimDuration::from_millis(2), "secure");
-        npu.launch(&platform, World::Secure, job, SimTime::ZERO).unwrap();
-        let completion = npu.poll_completion(&platform, SimTime::from_millis(2)).unwrap();
+        let job = NpuJob::secure(
+            JobId(9),
+            ctx(0x9000_0000, 0x10000),
+            SimDuration::from_millis(2),
+            "secure",
+        );
+        npu.launch(&platform, World::Secure, job, SimTime::ZERO)
+            .unwrap();
+        let completion = npu
+            .poll_completion(&platform, SimTime::from_millis(2))
+            .unwrap();
         assert_eq!(completion.interrupt_world, World::Secure);
     }
 
@@ -318,7 +384,12 @@ mod tests {
         let platform = Platform::rk3588();
         let mut npu = NpuDevice::new(3);
         let err = npu
-            .launch(&platform, World::NonSecure, NpuJob::shadow(JobId(5), JobId(4)), SimTime::ZERO)
+            .launch(
+                &platform,
+                World::NonSecure,
+                NpuJob::shadow(JobId(5), JobId(4)),
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert_eq!(err, LaunchError::ShadowJobNotLaunchable);
     }

@@ -51,7 +51,10 @@ impl IoPageTable {
 
     /// Maps `size` bytes at `iova` to the physical range starting at `phys`.
     pub fn map(&mut self, iova: Iova, phys: PhysAddr, size: u64) -> Result<(), IommuError> {
-        if iova.0 % PAGE_SIZE != 0 || phys.as_u64() % PAGE_SIZE != 0 || size % PAGE_SIZE != 0 {
+        if !iova.0.is_multiple_of(PAGE_SIZE)
+            || !phys.as_u64().is_multiple_of(PAGE_SIZE)
+            || !size.is_multiple_of(PAGE_SIZE)
+        {
             return Err(IommuError::Misaligned);
         }
         let pages = size / PAGE_SIZE;
@@ -64,14 +67,15 @@ impl IoPageTable {
         }
         for i in 0..pages {
             let vpn = iova.0 / PAGE_SIZE + i;
-            self.entries.insert(vpn, PhysAddr::new(phys.as_u64() + i * PAGE_SIZE));
+            self.entries
+                .insert(vpn, PhysAddr::new(phys.as_u64() + i * PAGE_SIZE));
         }
         Ok(())
     }
 
     /// Unmaps `size` bytes at `iova`.  Unmapped pages are ignored.
     pub fn unmap(&mut self, iova: Iova, size: u64) -> Result<(), IommuError> {
-        if iova.0 % PAGE_SIZE != 0 || size % PAGE_SIZE != 0 {
+        if !iova.0.is_multiple_of(PAGE_SIZE) || !size.is_multiple_of(PAGE_SIZE) {
             return Err(IommuError::Misaligned);
         }
         for i in 0..size / PAGE_SIZE {
@@ -127,8 +131,12 @@ mod tests {
     #[test]
     fn map_translate_roundtrip() {
         let mut pt = IoPageTable::new();
-        pt.map(Iova(0x10000), PhysAddr::new(0x8000_0000), 4 * PAGE_SIZE).unwrap();
-        assert_eq!(pt.translate(Iova(0x10000)).unwrap(), PhysAddr::new(0x8000_0000));
+        pt.map(Iova(0x10000), PhysAddr::new(0x8000_0000), 4 * PAGE_SIZE)
+            .unwrap();
+        assert_eq!(
+            pt.translate(Iova(0x10000)).unwrap(),
+            PhysAddr::new(0x8000_0000)
+        );
         assert_eq!(
             pt.translate(Iova(0x10000 + PAGE_SIZE + 17)).unwrap(),
             PhysAddr::new(0x8000_0000 + PAGE_SIZE + 17)
@@ -140,19 +148,30 @@ mod tests {
     #[test]
     fn translate_range_coalesces_contiguous_pages() {
         let mut pt = IoPageTable::new();
-        pt.map(Iova(0), PhysAddr::new(0x1000_0000), 2 * PAGE_SIZE).unwrap();
-        pt.map(Iova(2 * PAGE_SIZE), PhysAddr::new(0x2000_0000), PAGE_SIZE).unwrap();
+        pt.map(Iova(0), PhysAddr::new(0x1000_0000), 2 * PAGE_SIZE)
+            .unwrap();
+        pt.map(Iova(2 * PAGE_SIZE), PhysAddr::new(0x2000_0000), PAGE_SIZE)
+            .unwrap();
         let ranges = pt.translate_range(Iova(0), 3 * PAGE_SIZE).unwrap();
         assert_eq!(ranges.len(), 2);
-        assert_eq!(ranges[0], PhysRange::new(PhysAddr::new(0x1000_0000), 2 * PAGE_SIZE));
-        assert_eq!(ranges[1], PhysRange::new(PhysAddr::new(0x2000_0000), PAGE_SIZE));
+        assert_eq!(
+            ranges[0],
+            PhysRange::new(PhysAddr::new(0x1000_0000), 2 * PAGE_SIZE)
+        );
+        assert_eq!(
+            ranges[1],
+            PhysRange::new(PhysAddr::new(0x2000_0000), PAGE_SIZE)
+        );
     }
 
     #[test]
     fn double_map_rejected_atomically() {
         let mut pt = IoPageTable::new();
-        pt.map(Iova(PAGE_SIZE), PhysAddr::new(0x1000_0000), PAGE_SIZE).unwrap();
-        let err = pt.map(Iova(0), PhysAddr::new(0x3000_0000), 2 * PAGE_SIZE).unwrap_err();
+        pt.map(Iova(PAGE_SIZE), PhysAddr::new(0x1000_0000), PAGE_SIZE)
+            .unwrap();
+        let err = pt
+            .map(Iova(0), PhysAddr::new(0x3000_0000), 2 * PAGE_SIZE)
+            .unwrap_err();
         assert_eq!(err, IommuError::AlreadyMapped(Iova(PAGE_SIZE)));
         // The failed map must not have left a partial mapping of page 0.
         assert!(pt.translate(Iova(0)).is_err());
@@ -161,7 +180,8 @@ mod tests {
     #[test]
     fn unmap_removes_translations() {
         let mut pt = IoPageTable::new();
-        pt.map(Iova(0), PhysAddr::new(0x1000_0000), 4 * PAGE_SIZE).unwrap();
+        pt.map(Iova(0), PhysAddr::new(0x1000_0000), 4 * PAGE_SIZE)
+            .unwrap();
         pt.unmap(Iova(PAGE_SIZE), 2 * PAGE_SIZE).unwrap();
         assert!(pt.translate(Iova(0)).is_ok());
         assert!(pt.translate(Iova(PAGE_SIZE)).is_err());

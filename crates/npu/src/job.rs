@@ -106,7 +106,12 @@ pub struct NpuJob {
 
 impl NpuJob {
     /// Creates a non-secure job.
-    pub fn non_secure(id: JobId, context: ExecutionContext, duration: SimDuration, label: impl Into<String>) -> Self {
+    pub fn non_secure(
+        id: JobId,
+        context: ExecutionContext,
+        duration: SimDuration,
+        label: impl Into<String>,
+    ) -> Self {
         NpuJob {
             id,
             kind: JobKind::NonSecure,
@@ -118,7 +123,12 @@ impl NpuJob {
     }
 
     /// Creates a secure job (sequence number assigned later by the TEE driver).
-    pub fn secure(id: JobId, context: ExecutionContext, duration: SimDuration, label: impl Into<String>) -> Self {
+    pub fn secure(
+        id: JobId,
+        context: ExecutionContext,
+        duration: SimDuration,
+        label: impl Into<String>,
+    ) -> Self {
         NpuJob {
             id,
             kind: JobKind::Secure,

@@ -18,5 +18,5 @@ pub mod iommu;
 pub mod job;
 
 pub use device::{Completion, LaunchError, NpuDevice};
-pub use iommu::{IoPageTable, Iova, IommuError};
+pub use iommu::{IoPageTable, IommuError, Iova};
 pub use job::{ExecutionContext, JobId, JobKind, NpuJob};

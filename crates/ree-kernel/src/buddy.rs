@@ -33,7 +33,10 @@ impl std::fmt::Display for BuddyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuddyError::OutOfMemory { requested, free } => {
-                write!(f, "out of memory: requested {requested} bytes, {free} bytes free")
+                write!(
+                    f,
+                    "out of memory: requested {requested} bytes, {free} bytes free"
+                )
             }
             BuddyError::NotAllocated(r) => write!(f, "range {r} was not allocated"),
         }
@@ -122,13 +125,18 @@ impl BuddyAllocator {
         let start_pfn = self.next_free_hint;
         let mut out = Vec::with_capacity(pages as usize);
         for i in 0..pages {
-            out.push(PhysAddr::new(self.range.start.as_u64() + (start_pfn + i) * PAGE_SIZE));
+            out.push(PhysAddr::new(
+                self.range.start.as_u64() + (start_pfn + i) * PAGE_SIZE,
+            ));
         }
         self.allocations.insert(start_pfn, pages);
         self.next_free_hint += pages;
         self.allocated_pages += pages;
         let duration = SimDuration::from_nanos(pages * self.page_alloc_ns);
-        Ok(BuddyAllocation { pages: out, duration })
+        Ok(BuddyAllocation {
+            pages: out,
+            duration,
+        })
     }
 
     /// Frees an allocation previously returned by [`BuddyAllocator::alloc_pages`],
@@ -140,7 +148,9 @@ impl BuddyAllocator {
                 self.allocated_pages -= pages;
                 Ok(SimDuration::from_nanos(pages * self.page_alloc_ns / 2))
             }
-            None => Err(BuddyError::NotAllocated(PhysRange::new(first_page, PAGE_SIZE))),
+            None => Err(BuddyError::NotAllocated(PhysRange::new(
+                first_page, PAGE_SIZE,
+            ))),
         }
     }
 
@@ -151,7 +161,11 @@ impl BuddyAllocator {
     }
 
     /// Convenience wrapper that also reports the completion instant.
-    pub fn alloc_pages_at(&mut self, bytes: u64, now: SimTime) -> Result<(BuddyAllocation, SimTime), BuddyError> {
+    pub fn alloc_pages_at(
+        &mut self,
+        bytes: u64,
+        now: SimTime,
+    ) -> Result<(BuddyAllocation, SimTime), BuddyError> {
         let alloc = self.alloc_pages(bytes)?;
         let end = now + alloc.duration;
         Ok((alloc, end))
@@ -172,9 +186,9 @@ mod tests {
     fn accounting_tracks_alloc_and_free() {
         let mut buddy = allocator();
         let before = buddy.free_bytes();
-        let a = buddy.alloc_pages(1 * GIB).unwrap();
-        assert_eq!(a.bytes(), 1 * GIB);
-        assert_eq!(buddy.free_bytes(), before - 1 * GIB);
+        let a = buddy.alloc_pages(GIB).unwrap();
+        assert_eq!(a.bytes(), GIB);
+        assert_eq!(buddy.free_bytes(), before - GIB);
         buddy.free_pages(a.pages[0]).unwrap();
         assert_eq!(buddy.free_bytes(), before);
     }
@@ -190,10 +204,13 @@ mod tests {
     fn allocation_time_scales_with_pages() {
         let buddy = allocator();
         let t8 = buddy.estimate_alloc_time(8 * GIB);
-        let t1 = buddy.estimate_alloc_time(1 * GIB);
+        let t1 = buddy.estimate_alloc_time(GIB);
         assert!((t8.as_secs_f64() / t1.as_secs_f64() - 8.0).abs() < 0.01);
         // ~2M pages at 260 ns each ~ 0.55 s, the flat buddy line in Figure 3.
-        assert!(t8.as_secs_f64() > 0.4 && t8.as_secs_f64() < 0.8, "t8 = {t8}");
+        assert!(
+            t8.as_secs_f64() > 0.4 && t8.as_secs_f64() < 0.8,
+            "t8 = {t8}"
+        );
     }
 
     #[test]
@@ -201,7 +218,10 @@ mod tests {
         let mut buddy = allocator();
         let a = buddy.alloc_pages(PAGE_SIZE).unwrap();
         buddy.free_pages(a.pages[0]).unwrap();
-        assert!(matches!(buddy.free_pages(a.pages[0]), Err(BuddyError::NotAllocated(_))));
+        assert!(matches!(
+            buddy.free_pages(a.pages[0]),
+            Err(BuddyError::NotAllocated(_))
+        ));
     }
 
     #[test]
@@ -209,7 +229,12 @@ mod tests {
         let mut buddy = allocator();
         let a = buddy.alloc_pages(16 * PAGE_SIZE).unwrap();
         let b = buddy.alloc_pages(16 * PAGE_SIZE).unwrap();
-        let mut all: Vec<u64> = a.pages.iter().chain(b.pages.iter()).map(|p| p.as_u64()).collect();
+        let mut all: Vec<u64> = a
+            .pages
+            .iter()
+            .chain(b.pages.iter())
+            .map(|p| p.as_u64())
+            .collect();
         let len = all.len();
         all.sort_unstable();
         all.dedup();

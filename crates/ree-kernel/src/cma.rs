@@ -53,8 +53,14 @@ pub enum CmaError {
 impl std::fmt::Display for CmaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CmaError::OutOfSpace { requested, remaining } => {
-                write!(f, "CMA out of space: requested {requested}, remaining {remaining}")
+            CmaError::OutOfSpace {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "CMA out of space: requested {requested}, remaining {remaining}"
+                )
             }
             CmaError::ReleaseUnderflow => write!(f, "released more CMA bytes than allocated"),
             CmaError::Misaligned => write!(f, "CMA requests must be page aligned"),
@@ -83,7 +89,7 @@ pub struct CmaRegion {
 impl CmaRegion {
     /// Creates a CMA region over `range`.
     pub fn new(range: PhysRange, migration_bw: Bandwidth, page_alloc_ns: u64) -> Self {
-        assert!(range.start.is_aligned(PAGE_SIZE) && range.size % PAGE_SIZE == 0);
+        assert!(range.start.is_aligned(PAGE_SIZE) && range.size.is_multiple_of(PAGE_SIZE));
         CmaRegion {
             range,
             allocated: 0,
@@ -150,8 +156,12 @@ impl CmaRegion {
     ///
     /// `threads` is the number of migration threads the TZ driver uses; the
     /// paper reports 1.9 GB/s single-threaded and 3.8 GB/s with four threads.
-    pub fn alloc_contiguous(&mut self, bytes: u64, threads: usize) -> Result<(PhysRange, CmaAllocCost), CmaError> {
-        if bytes % PAGE_SIZE != 0 {
+    pub fn alloc_contiguous(
+        &mut self,
+        bytes: u64,
+        threads: usize,
+    ) -> Result<(PhysRange, CmaAllocCost), CmaError> {
+        if !bytes.is_multiple_of(PAGE_SIZE) {
             return Err(CmaError::Misaligned);
         }
         if bytes > self.remaining_bytes() {
@@ -167,10 +177,16 @@ impl CmaRegion {
 
         let threads = threads.max(1);
         let scale = 1.0 + (threads.min(4) as f64 - 1.0) / 3.0;
-        let migration = self.migration_bw.scaled(scale).time_for_bytes(migrated_bytes);
+        let migration = self
+            .migration_bw
+            .scaled(scale)
+            .time_for_bytes(migrated_bytes);
         let bookkeeping = SimDuration::from_nanos((bytes / PAGE_SIZE) * self.page_alloc_ns);
 
-        let block = PhysRange::new(PhysAddr::new(self.range.start.as_u64() + self.allocated), bytes);
+        let block = PhysRange::new(
+            PhysAddr::new(self.range.start.as_u64() + self.allocated),
+            bytes,
+        );
         self.allocated += bytes;
         self.occupied_movable -= migrated_bytes;
         // The CPU work is the single-thread-equivalent time (all threads busy).
@@ -190,24 +206,30 @@ impl CmaRegion {
     /// Releases `bytes` from the end of the allocated block back to the CMA
     /// pool (the `shrink` direction of §4.2).
     pub fn release_from_end(&mut self, bytes: u64) -> Result<SimDuration, CmaError> {
-        if bytes % PAGE_SIZE != 0 {
+        if !bytes.is_multiple_of(PAGE_SIZE) {
             return Err(CmaError::Misaligned);
         }
         if bytes > self.allocated {
             return Err(CmaError::ReleaseUnderflow);
         }
         self.allocated -= bytes;
-        Ok(SimDuration::from_nanos((bytes / PAGE_SIZE) * self.page_alloc_ns / 2))
+        Ok(SimDuration::from_nanos(
+            (bytes / PAGE_SIZE) * self.page_alloc_ns / 2,
+        ))
     }
 
     /// Estimates the cost of allocating `bytes` at the current occupancy
     /// without changing any state (Figure 3 sweeps).
     pub fn estimate_alloc(&self, bytes: u64, threads: usize) -> CmaAllocCost {
-        let migrated_bytes = (((bytes.min(self.remaining_bytes())) as f64) * self.occupancy()).round() as u64;
+        let migrated_bytes =
+            (((bytes.min(self.remaining_bytes())) as f64) * self.occupancy()).round() as u64;
         let threads = threads.max(1);
         let scale = 1.0 + (threads.min(4) as f64 - 1.0) / 3.0;
         CmaAllocCost {
-            migration: self.migration_bw.scaled(scale).time_for_bytes(migrated_bytes),
+            migration: self
+                .migration_bw
+                .scaled(scale)
+                .time_for_bytes(migrated_bytes),
             bookkeeping: SimDuration::from_nanos((bytes / PAGE_SIZE) * self.page_alloc_ns),
             migrated_bytes,
         }
@@ -230,7 +252,7 @@ mod tests {
     #[test]
     fn allocations_are_adjacent_and_contiguous() {
         let mut cma = region();
-        let (a, _) = cma.alloc_contiguous(1 * GIB, 1).unwrap();
+        let (a, _) = cma.alloc_contiguous(GIB, 1).unwrap();
         let (b, _) = cma.alloc_contiguous(2 * GIB, 1).unwrap();
         assert!(a.is_followed_by(&b));
         assert_eq!(cma.allocated_range().size, 3 * GIB);
@@ -279,9 +301,12 @@ mod tests {
         let (_, _) = cma.alloc_contiguous(4 * GIB, 1).unwrap();
         cma.release_from_end(2 * GIB).unwrap();
         assert_eq!(cma.allocated_bytes(), 2 * GIB);
-        let (c, _) = cma.alloc_contiguous(1 * GIB, 1).unwrap();
+        let (c, _) = cma.alloc_contiguous(GIB, 1).unwrap();
         assert_eq!(c.start.as_u64(), cma.range().start.as_u64() + 2 * GIB);
-        assert!(matches!(cma.release_from_end(10 * GIB), Err(CmaError::ReleaseUnderflow)));
+        assert!(matches!(
+            cma.release_from_end(10 * GIB),
+            Err(CmaError::ReleaseUnderflow)
+        ));
     }
 
     #[test]
@@ -291,7 +316,10 @@ mod tests {
             cma.alloc_contiguous(10 * GIB, 1),
             Err(CmaError::OutOfSpace { .. })
         ));
-        assert!(matches!(cma.alloc_contiguous(123, 1), Err(CmaError::Misaligned)));
+        assert!(matches!(
+            cma.alloc_contiguous(123, 1),
+            Err(CmaError::Misaligned)
+        ));
     }
 
     #[test]

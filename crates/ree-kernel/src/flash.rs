@@ -43,10 +43,20 @@ impl std::fmt::Display for FsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FsError::NotFound(p) => write!(f, "file not found: {p}"),
-            FsError::OutOfBounds { path, offset, len, size } => {
-                write!(f, "read [{offset}, +{len}) out of bounds for {path} ({size} bytes)")
+            FsError::OutOfBounds {
+                path,
+                offset,
+                len,
+                size,
+            } => {
+                write!(
+                    f,
+                    "read [{offset}, +{len}) out of bounds for {path} ({size} bytes)"
+                )
             }
-            FsError::SyntheticContent(p) => write!(f, "{p} is a synthetic file without byte content"),
+            FsError::SyntheticContent(p) => {
+                write!(f, "{p} is a synthetic file without byte content")
+            }
         }
     }
 }
@@ -183,7 +193,9 @@ impl FileSystem {
         let duration = self.device.read_time(len);
         self.bytes_read += len;
         let data = match content {
-            FileContent::Bytes(bytes) => Some(bytes[offset as usize..(offset + len) as usize].to_vec()),
+            FileContent::Bytes(bytes) => {
+                Some(bytes[offset as usize..(offset + len) as usize].to_vec())
+            }
             FileContent::Synthetic { .. } => None,
         };
         Ok(ReadResult { data, duration })
@@ -254,8 +266,14 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         let mut fs = fs();
-        assert!(matches!(fs.read("missing", 0, 1), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.read("missing", 0, 1),
+            Err(FsError::NotFound(_))
+        ));
         fs.write_file("small", FileContent::Bytes(vec![0u8; 10]));
-        assert!(matches!(fs.read("small", 5, 10), Err(FsError::OutOfBounds { .. })));
+        assert!(matches!(
+            fs.read("small", 5, 10),
+            Err(FsError::OutOfBounds { .. })
+        ));
     }
 }

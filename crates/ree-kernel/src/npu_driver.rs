@@ -19,8 +19,8 @@
 
 use std::collections::VecDeque;
 
-use sim_core::{SimDuration, SimTime};
 use npu::{JobId, JobKind, NpuJob};
+use sim_core::{SimDuration, SimTime};
 
 /// What the scheduler decided to do next.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,7 +105,10 @@ impl ReeNpuDriver {
     /// LLM TA issues a secure NPU job, the TEE driver issues a paired shadow
     /// job with an empty execution context to the REE driver").
     pub fn enqueue_shadow(&mut self, shadow: NpuJob) {
-        assert!(shadow.is_shadow(), "enqueue_shadow only accepts shadow jobs");
+        assert!(
+            shadow.is_shadow(),
+            "enqueue_shadow only accepts shadow jobs"
+        );
         self.queue.push_back(shadow);
     }
 
@@ -117,7 +120,10 @@ impl ReeNpuDriver {
             Some(job) => match job.kind {
                 JobKind::NonSecure => {
                     self.stats.non_secure_launched += 1;
-                    (ScheduleDecision::LaunchNonSecure(job), self.schedule_overhead)
+                    (
+                        ScheduleDecision::LaunchNonSecure(job),
+                        self.schedule_overhead,
+                    )
                 }
                 JobKind::Shadow { paired_secure_job } => {
                     self.stats.handoffs += 1;
@@ -130,7 +136,9 @@ impl ReeNpuDriver {
                     )
                 }
                 JobKind::Secure => {
-                    unreachable!("secure jobs are never placed in the REE queue; only their shadows are")
+                    unreachable!(
+                        "secure jobs are never placed in the REE queue; only their shadows are"
+                    )
                 }
             },
         }
@@ -192,7 +200,9 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match d.schedule_next().0 {
-            ScheduleDecision::HandoffToTee { paired_secure_job, .. } => {
+            ScheduleDecision::HandoffToTee {
+                paired_secure_job, ..
+            } => {
                 assert_eq!(paired_secure_job, JobId(10))
             }
             other => panic!("unexpected {other:?}"),

@@ -126,6 +126,9 @@ mod tests {
     fn disabling_requires_clearing_protected_memory() {
         let cfg = StageTwoConfig::enabled_4k();
         assert_eq!(cfg.disable_requires_clearing(1024), 1024);
-        assert_eq!(StageTwoConfig::disabled().disable_requires_clearing(1024), 0);
+        assert_eq!(
+            StageTwoConfig::disabled().disable_requires_clearing(1024),
+            0
+        );
     }
 }

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use sim_core::SimDuration;
-use tz_hal::{Platform, PhysRange, SmcFunction, World};
+use tz_hal::{PhysRange, Platform, SmcFunction, World};
 
 use crate::cma::{CmaAllocCost, CmaError, CmaRegion};
 
@@ -102,7 +102,11 @@ impl TzDriver {
     /// Handles a CMA allocation request from the TEE (one SMC round trip).
     ///
     /// Returns the reply the TEE will validate plus the SMC transition cost.
-    pub fn cma_alloc(&mut self, pool: CmaPool, bytes: u64) -> Result<(CmaReply, SimDuration), CmaError> {
+    pub fn cma_alloc(
+        &mut self,
+        pool: CmaPool,
+        bytes: u64,
+    ) -> Result<(CmaReply, SimDuration), CmaError> {
         let smc_cost = self
             .platform
             .with_smc(|smc| smc.round_trip(World::Secure, SmcFunction::CmaRequest));

@@ -64,7 +64,11 @@ impl<S> EventScheduler<S> {
     /// Events scheduled in the past are clamped to fire "now"; this mirrors
     /// hardware completion interrupts that have already happened by the time
     /// software observes them.
-    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut S, &mut EventScheduler<S>) + 'static) {
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut S, &mut EventScheduler<S>) + 'static,
+    ) {
         let at = at.max(self.now);
         self.pending.push((at, Box::new(event)));
     }
@@ -128,7 +132,11 @@ impl<S> Engine<S> {
     }
 
     /// Schedules an event at absolute time `at` from outside a handler.
-    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut S, &mut EventScheduler<S>) + 'static) {
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut S, &mut EventScheduler<S>) + 'static,
+    ) {
         let at = at.max(self.now);
         self.queue.push(QueuedEvent {
             at,
@@ -196,9 +204,15 @@ mod tests {
     #[test]
     fn events_fire_in_time_order() {
         let mut engine = Engine::new(Counter::default());
-        engine.schedule_at(SimTime::from_millis(5), |s: &mut Counter, _| s.log.push((5, 0)));
-        engine.schedule_at(SimTime::from_millis(1), |s: &mut Counter, _| s.log.push((1, 1)));
-        engine.schedule_at(SimTime::from_millis(3), |s: &mut Counter, _| s.log.push((3, 2)));
+        engine.schedule_at(SimTime::from_millis(5), |s: &mut Counter, _| {
+            s.log.push((5, 0))
+        });
+        engine.schedule_at(SimTime::from_millis(1), |s: &mut Counter, _| {
+            s.log.push((1, 1))
+        });
+        engine.schedule_at(SimTime::from_millis(3), |s: &mut Counter, _| {
+            s.log.push((3, 2))
+        });
         engine.run_to_completion();
         let times: Vec<u64> = engine.state().log.iter().map(|&(t, _)| t).collect();
         assert_eq!(times, vec![1, 3, 5]);
@@ -208,7 +222,9 @@ mod tests {
     fn ties_break_by_insertion_order() {
         let mut engine = Engine::new(Counter::default());
         for i in 0..4u32 {
-            engine.schedule_at(SimTime::from_millis(2), move |s: &mut Counter, _| s.log.push((2, i)));
+            engine.schedule_at(SimTime::from_millis(2), move |s: &mut Counter, _| {
+                s.log.push((2, i))
+            });
         }
         engine.run_to_completion();
         let order: Vec<u32> = engine.state().log.iter().map(|&(_, i)| i).collect();
@@ -235,8 +251,12 @@ mod tests {
     #[test]
     fn run_until_respects_horizon() {
         let mut engine = Engine::new(Counter::default());
-        engine.schedule_at(SimTime::from_secs(1), |s: &mut Counter, _| s.log.push((1, 0)));
-        engine.schedule_at(SimTime::from_secs(10), |s: &mut Counter, _| s.log.push((10, 1)));
+        engine.schedule_at(SimTime::from_secs(1), |s: &mut Counter, _| {
+            s.log.push((1, 0))
+        });
+        engine.schedule_at(SimTime::from_secs(10), |s: &mut Counter, _| {
+            s.log.push((10, 1))
+        });
         let fired = engine.run_until(SimTime::from_secs(5));
         assert_eq!(fired, 1);
         assert!(engine.has_pending());

@@ -27,5 +27,6 @@ pub use bandwidth::{Bandwidth, GIB, KIB, MIB};
 pub use engine::{Engine, EventScheduler};
 pub use resource::{Reservation, ServerPool};
 pub use rng::DetRng;
+pub use stats::PercentileSummary;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Span, SpanKind, Trace};

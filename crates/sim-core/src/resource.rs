@@ -100,7 +100,12 @@ impl ServerPool {
     /// The caller is responsible for choosing `start` no earlier than the
     /// server's current free instant; this is checked and panics otherwise
     /// because an overlapping reservation indicates a scheduler bug.
-    pub fn acquire_on(&mut self, server: usize, start: SimTime, duration: SimDuration) -> Reservation {
+    pub fn acquire_on(
+        &mut self,
+        server: usize,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> Reservation {
         assert!(
             self.free_at[server] <= start,
             "server {server} of pool {} is busy until {} but reservation starts at {}",
@@ -130,7 +135,10 @@ impl ServerPool {
 
     /// The instant at which every server has drained its queued work.
     pub fn all_free_at(&self) -> SimTime {
-        self.free_at.iter().copied().fold(SimTime::ZERO, SimTime::max)
+        self.free_at
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max)
     }
 
     /// Resets all servers to free-at-zero, keeping the pool size.

@@ -50,16 +50,25 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("percentile input must not contain NaN")
+    });
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// The interpolation rule shared by [`percentile`] and
+/// [`PercentileSummary`]: percentile of an already-sorted, non-empty slice.
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     let p = p.clamp(0.0, 100.0) / 100.0;
     let idx = p * (sorted.len() - 1) as f64;
     let lo = idx.floor() as usize;
     let hi = idx.ceil() as usize;
     if lo == hi {
-        return Some(sorted[lo]);
+        return sorted[lo];
     }
     let frac = idx - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
 /// Sample standard deviation; returns `None` for fewer than two samples.
@@ -70,6 +79,51 @@ pub fn stddev(values: &[f64]) -> Option<f64> {
     let m = mean(values)?;
     let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
     Some(var.sqrt())
+}
+
+/// A percentile summary of a latency (or any) sample set, as the serving
+/// layer reports it: p50/p95/p99 tail latencies plus mean and extremes.
+///
+/// All fields are in whatever unit the input samples were in.  Construction
+/// sorts a copy of the input once and interpolates linearly (same rule as
+/// [`percentile`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PercentileSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl PercentileSummary {
+    /// Summarises `values`; returns `None` for an empty slice or if any value
+    /// is NaN.
+    pub fn from_values(values: &[f64]) -> Option<PercentileSummary> {
+        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Some(PercentileSummary {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            p50: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            max: sorted[sorted.len() - 1],
+        })
+    }
 }
 
 /// Running min/max/mean accumulator for streaming measurements.
@@ -166,6 +220,21 @@ mod tests {
     fn stddev_of_constant_is_zero() {
         assert!((stddev(&[3.0, 3.0, 3.0]).unwrap()).abs() < 1e-12);
         assert_eq!(stddev(&[1.0]), None);
+    }
+
+    #[test]
+    fn percentile_summary_matches_percentile() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = PercentileSummary::from_values(&v).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(Some(s.p50), percentile(&v, 50.0));
+        assert_eq!(Some(s.p95), percentile(&v, 95.0));
+        assert_eq!(Some(s.p99), percentile(&v, 99.0));
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(PercentileSummary::from_values(&[]), None);
+        assert_eq!(PercentileSummary::from_values(&[1.0, f64::NAN]), None);
     }
 
     #[test]

@@ -157,7 +157,8 @@ impl Trace {
     /// first offending pair if there is one.  Resources that model pools
     /// (e.g. `"cpu0"` .. `"cpu3"`) must already be distinguished by name.
     pub fn find_resource_conflict(&self) -> Option<(&Span, &Span)> {
-        let mut by_resource: std::collections::HashMap<&str, Vec<&Span>> = std::collections::HashMap::new();
+        let mut by_resource: std::collections::HashMap<&str, Vec<&Span>> =
+            std::collections::HashMap::new();
         for s in &self.spans {
             by_resource.entry(s.resource.as_str()).or_default().push(s);
         }
@@ -206,7 +207,10 @@ mod tests {
         trace.record("a", SpanKind::Loading, "io", t(0), t(10));
         trace.record("b", SpanKind::Loading, "io", t(10), t(30));
         trace.record("c", SpanKind::CpuCompute, "cpu0", t(5), t(15));
-        assert_eq!(trace.total_time(SpanKind::Loading), SimDuration::from_millis(30));
+        assert_eq!(
+            trace.total_time(SpanKind::Loading),
+            SimDuration::from_millis(30)
+        );
         assert_eq!(trace.end_time(), t(30));
         assert_eq!(trace.start_time(), t(0));
         assert_eq!(trace.len(), 3);

@@ -32,7 +32,9 @@ impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::Missing => write!(f, "no framework checkpoint present"),
-            CheckpointError::IntegrityFailure => write!(f, "framework checkpoint failed verification"),
+            CheckpointError::IntegrityFailure => {
+                write!(f, "framework checkpoint failed verification")
+            }
             CheckpointError::Malformed => write!(f, "framework checkpoint is malformed"),
             CheckpointError::Fs(e) => write!(f, "file system error: {e}"),
         }
@@ -75,7 +77,11 @@ impl CheckpointStore {
     /// `deserialise_cost` is the fixed cost of rebuilding in-memory structures
     /// after decryption (the `checkpoint_restore` profile entry);
     /// `decrypt_bytes_per_sec` the TEE decryption throughput.
-    pub fn new(path: impl Into<String>, deserialise_cost: SimDuration, decrypt_bytes_per_sec: f64) -> Self {
+    pub fn new(
+        path: impl Into<String>,
+        deserialise_cost: SimDuration,
+        decrypt_bytes_per_sec: f64,
+    ) -> Self {
         CheckpointStore {
             path: path.into(),
             deserialise_cost,
@@ -103,7 +109,11 @@ impl CheckpointStore {
     }
 
     /// Restores the framework state, verifying integrity.
-    pub fn restore(&self, huk: &HardwareUniqueKey, fs: &mut FileSystem) -> Result<RestoredCheckpoint, CheckpointError> {
+    pub fn restore(
+        &self,
+        huk: &HardwareUniqueKey,
+        fs: &mut FileSystem,
+    ) -> Result<RestoredCheckpoint, CheckpointError> {
         let read = fs.read_all(&self.path)?;
         let blob = read.data.ok_or(CheckpointError::Malformed)?;
         if blob.len() < MAGIC.len() + 32 || &blob[..MAGIC.len()] != MAGIC {
@@ -181,9 +191,15 @@ mod tests {
     fn missing_or_malformed_checkpoints_are_reported() {
         let huk = HardwareUniqueKey::provision("dev");
         let mut fs = fs();
-        assert_eq!(store().restore(&huk, &mut fs).unwrap_err(), CheckpointError::Missing);
+        assert_eq!(
+            store().restore(&huk, &mut fs).unwrap_err(),
+            CheckpointError::Missing
+        );
         fs.write_file("llm.ckpt", FileContent::Bytes(b"garbage".to_vec()));
-        assert_eq!(store().restore(&huk, &mut fs).unwrap_err(), CheckpointError::Malformed);
+        assert_eq!(
+            store().restore(&huk, &mut fs).unwrap_err(),
+            CheckpointError::Malformed
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@ impl std::fmt::Display for KeyServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KeyServiceError::UnknownModel(m) => write!(f, "no key registered for model {m}"),
-            KeyServiceError::NotAuthorised(ta) => write!(f, "TA {} may not access model keys", ta.0),
+            KeyServiceError::NotAuthorised(ta) => {
+                write!(f, "TA {} may not access model keys", ta.0)
+            }
             KeyServiceError::Unwrap(e) => write!(f, "unwrap failed: {e}"),
         }
     }

@@ -28,4 +28,6 @@ pub use key_service::{KeyService, KeyServiceError};
 pub use npu_data_plane::{HandoffResult, SecurityViolation, SwitchCost, TeeNpuDriver};
 pub use secure_memory::{ScalableRegion, ScalingCost, ScalingError, SecureMemoryManager};
 pub use ta::{TaError, TaId, TaRegistry, TrustedApp};
-pub use thread::{ResumeOutcome, ShadowThreadManager, TaThreadId, TeeMutexId, ThreadError, ThreadState};
+pub use thread::{
+    ResumeOutcome, ShadowThreadManager, TaThreadId, TeeMutexId, ThreadError, ThreadState,
+};

@@ -49,13 +49,22 @@ pub enum SecurityViolation {
 impl std::fmt::Display for SecurityViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SecurityViolation::UnknownJob(id) => write!(f, "secure job {} was never initialised", id.0),
+            SecurityViolation::UnknownJob(id) => {
+                write!(f, "secure job {} was never initialised", id.0)
+            }
             SecurityViolation::Replay(id) => write!(f, "secure job {} was already executed", id.0),
             SecurityViolation::OutOfOrder { expected, got } => {
-                write!(f, "secure job out of order: expected seq {expected}, got {got}")
+                write!(
+                    f,
+                    "secure job out of order: expected seq {expected}, got {got}"
+                )
             }
             SecurityViolation::ContextNotSecure(id) => {
-                write!(f, "execution context of job {} is not in secure memory", id.0)
+                write!(
+                    f,
+                    "execution context of job {} is not in secure memory",
+                    id.0
+                )
             }
             SecurityViolation::Launch(e) => write!(f, "NPU launch rejected: {e}"),
         }
@@ -304,7 +313,12 @@ mod tests {
     }
 
     fn secure_job(id: u64, ctx: &ExecutionContext, ms: u64) -> NpuJob {
-        NpuJob::secure(JobId(id), ctx.clone(), SimDuration::from_millis(ms), format!("matmul-{id}"))
+        NpuJob::secure(
+            JobId(id),
+            ctx.clone(),
+            SimDuration::from_millis(ms),
+            format!("matmul-{id}"),
+        )
     }
 
     #[test]
@@ -313,7 +327,9 @@ mod tests {
         let shadow = driver.init_secure_job(secure_job(1, &ctx, 5)).unwrap();
         assert!(shadow.is_shadow());
 
-        let result = driver.handle_handoff(JobId(1), &mut device, SimTime::ZERO).unwrap();
+        let result = driver
+            .handle_handoff(JobId(1), &mut device, SimTime::ZERO)
+            .unwrap();
         assert_eq!(result.compute, SimDuration::from_millis(5));
         // Switch overhead is far below the 32 ms full re-init.
         assert!(result.overhead() < SimDuration::from_millis(1));
@@ -334,9 +350,13 @@ mod tests {
     fn replay_is_rejected() {
         let (_platform, mut device, mut driver, ctx) = secure_setup();
         driver.init_secure_job(secure_job(1, &ctx, 1)).unwrap();
-        driver.handle_handoff(JobId(1), &mut device, SimTime::ZERO).unwrap();
+        driver
+            .handle_handoff(JobId(1), &mut device, SimTime::ZERO)
+            .unwrap();
         assert_eq!(
-            driver.handle_handoff(JobId(1), &mut device, SimTime::from_millis(10)).unwrap_err(),
+            driver
+                .handle_handoff(JobId(1), &mut device, SimTime::from_millis(10))
+                .unwrap_err(),
             SecurityViolation::Replay(JobId(1))
         );
     }
@@ -348,19 +368,30 @@ mod tests {
         driver.init_secure_job(secure_job(2, &ctx, 1)).unwrap();
         // The REE tries to run job 2 before job 1.
         assert_eq!(
-            driver.handle_handoff(JobId(2), &mut device, SimTime::ZERO).unwrap_err(),
-            SecurityViolation::OutOfOrder { expected: 1, got: 2 }
+            driver
+                .handle_handoff(JobId(2), &mut device, SimTime::ZERO)
+                .unwrap_err(),
+            SecurityViolation::OutOfOrder {
+                expected: 1,
+                got: 2
+            }
         );
         // Running them in order works.
-        driver.handle_handoff(JobId(1), &mut device, SimTime::ZERO).unwrap();
-        driver.handle_handoff(JobId(2), &mut device, SimTime::from_millis(5)).unwrap();
+        driver
+            .handle_handoff(JobId(1), &mut device, SimTime::ZERO)
+            .unwrap();
+        driver
+            .handle_handoff(JobId(2), &mut device, SimTime::from_millis(5))
+            .unwrap();
     }
 
     #[test]
     fn unknown_job_is_rejected() {
         let (_platform, mut device, mut driver, _ctx) = secure_setup();
         assert_eq!(
-            driver.handle_handoff(JobId(99), &mut device, SimTime::ZERO).unwrap_err(),
+            driver
+                .handle_handoff(JobId(99), &mut device, SimTime::ZERO)
+                .unwrap_err(),
             SecurityViolation::UnknownJob(JobId(99))
         );
     }
@@ -375,7 +406,12 @@ mod tests {
             outputs: vec![],
         };
         let err = driver
-            .init_secure_job(NpuJob::secure(JobId(7), bad_ctx, SimDuration::from_millis(1), "bad"))
+            .init_secure_job(NpuJob::secure(
+                JobId(7),
+                bad_ctx,
+                SimDuration::from_millis(1),
+                "bad",
+            ))
             .unwrap_err();
         assert_eq!(err, SecurityViolation::ContextNotSecure(JobId(7)));
     }
@@ -390,7 +426,9 @@ mod tests {
             SimDuration::from_millis(8),
             "mobilenet",
         );
-        device.launch(&platform, World::NonSecure, ns, SimTime::ZERO).unwrap();
+        device
+            .launch(&platform, World::NonSecure, ns, SimTime::ZERO)
+            .unwrap();
         driver.init_secure_job(secure_job(1, &ctx, 2)).unwrap();
         let result = driver
             .handle_handoff(JobId(1), &mut device, SimTime::from_millis(1))

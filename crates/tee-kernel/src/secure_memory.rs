@@ -19,7 +19,7 @@
 use std::sync::Arc;
 
 use sim_core::{SimDuration, SimTime, SpanKind, Trace};
-use tz_hal::{DeviceId, Platform, PhysRange, RegionId, World, PAGE_SIZE};
+use tz_hal::{DeviceId, PhysRange, Platform, RegionId, World, PAGE_SIZE};
 
 use ree_kernel::{CmaPool, TzDriver};
 
@@ -162,7 +162,12 @@ impl SecureMemoryManager {
 
     /// Declares a scalable region backed by `pool`, owned by `owner`.
     /// `dma_devices` lists the devices that may DMA into it when protected.
-    pub fn create_region(&mut self, pool: CmaPool, owner: TaId, dma_devices: Vec<DeviceId>) -> usize {
+    pub fn create_region(
+        &mut self,
+        pool: CmaPool,
+        owner: TaId,
+        dma_devices: Vec<DeviceId>,
+    ) -> usize {
         self.regions.push(ScalableRegion {
             pool,
             tzasc_region: None,
@@ -189,7 +194,7 @@ impl SecureMemoryManager {
         bytes: u64,
         tz_driver: &mut TzDriver,
     ) -> Result<ScalingCost, ScalingError> {
-        if bytes % PAGE_SIZE != 0 {
+        if !bytes.is_multiple_of(PAGE_SIZE) {
             return Err(ScalingError::Misaligned);
         }
         let region = &self.regions[index];
@@ -240,7 +245,7 @@ impl SecureMemoryManager {
         bytes: u64,
         tas: &mut TaRegistry,
     ) -> Result<ScalingCost, ScalingError> {
-        if bytes % PAGE_SIZE != 0 {
+        if !bytes.is_multiple_of(PAGE_SIZE) {
             return Err(ScalingError::Misaligned);
         }
         let platform = self.platform.clone();
@@ -288,7 +293,7 @@ impl SecureMemoryManager {
         tas: &mut TaRegistry,
         tz_driver: &mut TzDriver,
     ) -> Result<ScalingCost, ScalingError> {
-        if bytes % PAGE_SIZE != 0 {
+        if !bytes.is_multiple_of(PAGE_SIZE) {
             return Err(ScalingError::Misaligned);
         }
         let platform = self.platform.clone();
@@ -299,14 +304,17 @@ impl SecureMemoryManager {
         let released = PhysRange::new(region.allocated.start.add(region.protected - bytes), bytes);
 
         // 1. The TEE OS clears all sensitive data before releasing the memory.
-        let clearing = SimDuration::from_nanos((bytes / PAGE_SIZE) * platform.profile.page_clear_ns);
+        let clearing =
+            SimDuration::from_nanos((bytes / PAGE_SIZE) * platform.profile.page_clear_ns);
 
         // 2. Unmap from the TA.
         tas.unmap(region.owner, released)
             .map_err(|e| ScalingError::MappingFailure(e.to_string()))?;
 
         // 3. Shrink the TZASC region.
-        let id = region.tzasc_region.expect("shrink requires a protected region");
+        let id = region
+            .tzasc_region
+            .expect("shrink requires a protected region");
         platform
             .with_tzasc(|t| t.shrink_region(World::Secure, id, bytes))
             .map_err(|e| ScalingError::TzascFailure(e.to_string()))?;
@@ -329,7 +337,13 @@ impl SecureMemoryManager {
 
     /// Records a scaling cost into a trace (helper for the experiment harness).
     pub fn record_cost(trace: &mut Trace, name: &str, start: SimTime, cost: &ScalingCost) {
-        trace.record(name, SpanKind::Allocation, "cpu-ree", start, start + cost.total());
+        trace.record(
+            name,
+            SpanKind::Allocation,
+            "cpu-ree",
+            start,
+            start + cost.total(),
+        );
     }
 }
 
@@ -340,7 +354,14 @@ mod tests {
     use sim_core::GIB;
     use tz_hal::PhysAddr;
 
-    fn setup() -> (Arc<Platform>, SecureMemoryManager, TzDriver, TaRegistry, TaId, usize) {
+    fn setup() -> (
+        Arc<Platform>,
+        SecureMemoryManager,
+        TzDriver,
+        TaRegistry,
+        TaId,
+        usize,
+    ) {
         let platform = Platform::rk3588();
         let params = CmaRegion::new(
             PhysRange::new(PhysAddr::new(0x1_0000_0000), 9 * GIB),
@@ -398,15 +419,14 @@ mod tests {
     fn incremental_extends_stay_contiguous() {
         let (_platform, mut mgr, mut tz, mut tas, _llm, region) = setup();
         for _ in 0..8 {
-            mgr.extend_allocated(region, 256 * 1024 * 1024, &mut tz).unwrap();
-            mgr.extend_protected(region, 256 * 1024 * 1024, &mut tas).unwrap();
+            mgr.extend_allocated(region, 256 * 1024 * 1024, &mut tz)
+                .unwrap();
+            mgr.extend_protected(region, 256 * 1024 * 1024, &mut tas)
+                .unwrap();
         }
         assert_eq!(mgr.region(region).protected_bytes(), 2 * GIB);
         // A single TZASC region covers everything (not 8 fragments).
-        assert_eq!(
-            mgr.region(region).protected_range().size,
-            2 * GIB
-        );
+        assert_eq!(mgr.region(region).protected_range().size, 2 * GIB);
     }
 
     #[test]
@@ -463,9 +483,13 @@ mod tests {
 
         // A second region without the NPU on its allow-list blocks NPU DMA.
         let no_npu = mgr.create_region(CmaPool::Working, llm, vec![]);
-        mgr.extend_allocated(no_npu, 256 * 1024 * 1024, &mut tz).unwrap();
-        mgr.extend_protected(no_npu, 256 * 1024 * 1024, &mut tas).unwrap();
+        mgr.extend_allocated(no_npu, 256 * 1024 * 1024, &mut tz)
+            .unwrap();
+        mgr.extend_protected(no_npu, 256 * 1024 * 1024, &mut tas)
+            .unwrap();
         let r2 = mgr.region(no_npu).protected_range();
-        assert!(platform.with_tzasc(|t| t.check_dma_access(DeviceId::Npu, r2)).is_err());
+        assert!(platform
+            .with_tzasc(|t| t.check_dma_access(DeviceId::Npu, r2))
+            .is_err());
     }
 }

@@ -38,7 +38,11 @@ impl std::fmt::Display for TaError {
         match self {
             TaError::NoSuchTa(id) => write!(f, "no such TA {}", id.0),
             TaError::IsolationViolation { ta, range } => {
-                write!(f, "TA {} attempted to access unmapped range {}", ta.0, range)
+                write!(
+                    f,
+                    "TA {} attempted to access unmapped range {}",
+                    ta.0, range
+                )
             }
             TaError::AlreadyMapped { owner } => write!(f, "range already mapped by TA {}", owner.0),
         }

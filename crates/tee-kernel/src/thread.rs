@@ -154,7 +154,10 @@ impl ShadowThreadManager {
 
     /// The REE scheduler runs the shadow thread of `thread`: the TEE decides
     /// whether the TA thread may actually run.
-    pub fn resume(&mut self, thread: TaThreadId) -> Result<(ResumeOutcome, SimDuration), ThreadError> {
+    pub fn resume(
+        &mut self,
+        thread: TaThreadId,
+    ) -> Result<(ResumeOutcome, SimDuration), ThreadError> {
         let smc = self
             .platform
             .with_smc(|s| s.round_trip(World::NonSecure, SmcFunction::ShadowThread));
@@ -198,11 +201,18 @@ impl ShadowThreadManager {
 
     /// `thread` attempts to take `mutex`.  If it is held, the thread blocks
     /// inside the TEE (the REE cannot force it to run past the lock).
-    pub fn mutex_lock(&mut self, mutex: TeeMutexId, thread: TaThreadId) -> Result<bool, ThreadError> {
+    pub fn mutex_lock(
+        &mut self,
+        mutex: TeeMutexId,
+        thread: TaThreadId,
+    ) -> Result<bool, ThreadError> {
         if !self.threads.contains_key(&thread) {
             return Err(ThreadError::NoSuchThread(thread));
         }
-        let m = self.mutexes.get_mut(&mutex).ok_or(ThreadError::NoSuchMutex(mutex))?;
+        let m = self
+            .mutexes
+            .get_mut(&mutex)
+            .ok_or(ThreadError::NoSuchMutex(mutex))?;
         match m.holder {
             None => {
                 m.holder = Some(thread);
@@ -211,10 +221,8 @@ impl ShadowThreadManager {
             Some(holder) if holder == thread => Ok(true),
             Some(_) => {
                 m.waiters.push(thread);
-                self.threads
-                    .get_mut(&thread)
-                    .expect("checked above")
-                    .state = ThreadState::Blocked(mutex);
+                self.threads.get_mut(&thread).expect("checked above").state =
+                    ThreadState::Blocked(mutex);
                 Ok(false)
             }
         }
@@ -222,8 +230,15 @@ impl ShadowThreadManager {
 
     /// `thread` releases `mutex`; the longest-waiting thread (if any) becomes
     /// the new holder and is made ready.
-    pub fn mutex_unlock(&mut self, mutex: TeeMutexId, thread: TaThreadId) -> Result<(), ThreadError> {
-        let m = self.mutexes.get_mut(&mutex).ok_or(ThreadError::NoSuchMutex(mutex))?;
+    pub fn mutex_unlock(
+        &mut self,
+        mutex: TeeMutexId,
+        thread: TaThreadId,
+    ) -> Result<(), ThreadError> {
+        let m = self
+            .mutexes
+            .get_mut(&mutex)
+            .ok_or(ThreadError::NoSuchMutex(mutex))?;
         if m.holder != Some(thread) {
             return Err(ThreadError::NotOwner { mutex, thread });
         }
@@ -267,7 +282,7 @@ mod tests {
         let m = mgr.create_mutex();
         assert!(mgr.mutex_lock(m, t1).unwrap());
         assert!(!mgr.mutex_lock(m, t2).unwrap()); // t2 blocks
-        // A malicious REE scheduler tries to resume t2 anyway.
+                                                  // A malicious REE scheduler tries to resume t2 anyway.
         let (outcome, _) = mgr.resume(t2).unwrap();
         assert_eq!(outcome, ResumeOutcome::RefusedBlocked(m));
         assert_eq!(mgr.state(t2).unwrap(), ThreadState::Blocked(m));
@@ -286,7 +301,10 @@ mod tests {
         mgr.mutex_lock(m, t1).unwrap();
         assert_eq!(
             mgr.mutex_unlock(m, t2).unwrap_err(),
-            ThreadError::NotOwner { mutex: m, thread: t2 }
+            ThreadError::NotOwner {
+                mutex: m,
+                thread: t2
+            }
         );
     }
 
@@ -319,7 +337,10 @@ mod tests {
     #[test]
     fn unknown_ids_are_errors() {
         let (mut mgr, _ta) = manager();
-        assert!(matches!(mgr.resume(TaThreadId(9)), Err(ThreadError::NoSuchThread(_))));
+        assert!(matches!(
+            mgr.resume(TaThreadId(9)),
+            Err(ThreadError::NoSuchThread(_))
+        ));
         assert!(matches!(
             mgr.mutex_lock(TeeMutexId(9), TaThreadId(9)),
             Err(ThreadError::NoSuchThread(_))

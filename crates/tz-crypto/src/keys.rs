@@ -38,7 +38,9 @@ impl std::fmt::Display for KeyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KeyError::IntegrityFailure => write!(f, "wrapped key failed integrity verification"),
-            KeyError::NotAuthorised => write!(f, "caller is not authorised to unwrap the model key"),
+            KeyError::NotAuthorised => {
+                write!(f, "caller is not authorised to unwrap the model key")
+            }
             KeyError::Malformed => write!(f, "malformed wrapped key blob"),
         }
     }
@@ -115,7 +117,11 @@ impl HardwareUniqueKey {
     /// Derives the key protecting the framework-state checkpoint (§3.2,
     /// "Other techniques for efficient inference").
     pub fn checkpoint_key(&self) -> SecretBytes {
-        SecretBytes::new(derive_key(self.root.expose(), "framework-checkpoint", KEY_LEN))
+        SecretBytes::new(derive_key(
+            self.root.expose(),
+            "framework-checkpoint",
+            KEY_LEN,
+        ))
     }
 }
 
@@ -138,7 +144,11 @@ impl ModelKey {
     /// model name — stands in for the provider generating a random key.
     pub fn derive(provider_secret: &[u8], model_name: &str) -> Self {
         ModelKey {
-            key: SecretBytes::new(derive_key(provider_secret, &format!("model:{model_name}"), KEY_LEN)),
+            key: SecretBytes::new(derive_key(
+                provider_secret,
+                &format!("model:{model_name}"),
+                KEY_LEN,
+            )),
         }
     }
 
@@ -186,12 +196,20 @@ impl WrappedModelKey {
         let mut mac_input = nonce.to_vec();
         mac_input.extend_from_slice(&ciphertext);
         let tag = hmac_sha256(kwk.expose(), &mac_input);
-        WrappedModelKey { nonce, ciphertext, tag }
+        WrappedModelKey {
+            nonce,
+            ciphertext,
+            tag,
+        }
     }
 
     /// Unwraps the model key.  `caller_is_llm_ta` models the TEE OS policy
     /// that only the LLM TA may obtain the model key.
-    pub fn unwrap(&self, huk: &HardwareUniqueKey, caller_is_llm_ta: bool) -> Result<ModelKey, KeyError> {
+    pub fn unwrap(
+        &self,
+        huk: &HardwareUniqueKey,
+        caller_is_llm_ta: bool,
+    ) -> Result<ModelKey, KeyError> {
         if !caller_is_llm_ta {
             return Err(KeyError::NotAuthorised);
         }
@@ -234,7 +252,10 @@ mod tests {
     fn unwrap_requires_llm_ta() {
         let mk = ModelKey::derive(b"provider-secret", "qwen2.5-3b");
         let wrapped = WrappedModelKey::wrap(&huk(), &mk, [1u8; NONCE_LEN]);
-        assert_eq!(wrapped.unwrap(&huk(), false).unwrap_err(), KeyError::NotAuthorised);
+        assert_eq!(
+            wrapped.unwrap(&huk(), false).unwrap_err(),
+            KeyError::NotAuthorised
+        );
     }
 
     #[test]
@@ -242,7 +263,10 @@ mod tests {
         let mk = ModelKey::derive(b"provider-secret", "phi-3-3.8b");
         let mut wrapped = WrappedModelKey::wrap(&huk(), &mk, [2u8; NONCE_LEN]);
         wrapped.ciphertext[0] ^= 0xff;
-        assert_eq!(wrapped.unwrap(&huk(), true).unwrap_err(), KeyError::IntegrityFailure);
+        assert_eq!(
+            wrapped.unwrap(&huk(), true).unwrap_err(),
+            KeyError::IntegrityFailure
+        );
     }
 
     #[test]
@@ -250,7 +274,10 @@ mod tests {
         let mk = ModelKey::derive(b"provider-secret", "tinyllama-1.1b");
         let wrapped = WrappedModelKey::wrap(&huk(), &mk, [3u8; NONCE_LEN]);
         let other = HardwareUniqueKey::provision("some-other-device");
-        assert_eq!(wrapped.unwrap(&other, true).unwrap_err(), KeyError::IntegrityFailure);
+        assert_eq!(
+            wrapped.unwrap(&other, true).unwrap_err(),
+            KeyError::IntegrityFailure
+        );
     }
 
     #[test]
@@ -258,7 +285,10 @@ mod tests {
         let mk = ModelKey::derive(b"s", "m");
         let mut wrapped = WrappedModelKey::wrap(&huk(), &mk, [4u8; NONCE_LEN]);
         wrapped.ciphertext.pop();
-        assert_eq!(wrapped.unwrap(&huk(), true).unwrap_err(), KeyError::Malformed);
+        assert_eq!(
+            wrapped.unwrap(&huk(), true).unwrap_err(),
+            KeyError::Malformed
+        );
     }
 
     #[test]

@@ -23,5 +23,7 @@ pub mod sha256;
 pub use aes::{Aes, AesError};
 pub use ctr::AesCtr;
 pub use hmac::{derive_key, hmac_sha256, hmac_verify};
-pub use keys::{HardwareUniqueKey, KeyError, ModelKey, SecretBytes, WrappedModelKey, KEY_LEN, NONCE_LEN};
+pub use keys::{
+    HardwareUniqueKey, KeyError, ModelKey, SecretBytes, WrappedModelKey, KEY_LEN, NONCE_LEN,
+};
 pub use sha256::{constant_time_eq, Sha256, DIGEST_SIZE};

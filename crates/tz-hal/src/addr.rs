@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 pub const PAGE_SIZE: u64 = 4096;
 
 /// A physical memory address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PhysAddr(pub u64);
 
 impl PhysAddr {
@@ -32,7 +34,7 @@ impl PhysAddr {
 
     /// Whether the address is aligned to `align` bytes.
     pub const fn is_aligned(self, align: u64) -> bool {
-        self.0 % align == 0
+        self.0.is_multiple_of(align)
     }
 
     /// Rounds the address down to the nearest multiple of `align`.
@@ -148,7 +150,7 @@ impl PhysRange {
 
     /// Shrinks the range by `bytes` from its end, saturating at empty.
     pub const fn shrunk(&self, bytes: u64) -> PhysRange {
-        let new_size = if bytes > self.size { 0 } else { self.size - bytes };
+        let new_size = self.size.saturating_sub(bytes);
         PhysRange {
             start: self.start,
             size: new_size,
@@ -164,7 +166,13 @@ impl PhysRange {
 
 impl std::fmt::Display for PhysRange {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{} .. {}) ({} bytes)", self.start, self.end(), self.size)
+        write!(
+            f,
+            "[{} .. {}) ({} bytes)",
+            self.start,
+            self.end(),
+            self.size
+        )
     }
 }
 
@@ -178,7 +186,10 @@ mod tests {
         assert!(!a.is_aligned(PAGE_SIZE));
         assert_eq!(a.align_down(PAGE_SIZE), PhysAddr::new(0x1000));
         assert_eq!(a.align_up(PAGE_SIZE), PhysAddr::new(0x2000));
-        assert_eq!(PhysAddr::new(0x2000).align_up(PAGE_SIZE), PhysAddr::new(0x2000));
+        assert_eq!(
+            PhysAddr::new(0x2000).align_up(PAGE_SIZE),
+            PhysAddr::new(0x2000)
+        );
         assert_eq!(PhysAddr::new(0x2fff).pfn(), 2);
     }
 
@@ -214,7 +225,10 @@ mod tests {
         assert_eq!(bigger.start, r.start);
         let smaller = bigger.shrunk(0x1800);
         assert_eq!(smaller.size, 0x800);
-        assert_eq!(bigger.shrunk(0x10000), PhysRange::new(PhysAddr::new(0x1000), 0));
+        assert_eq!(
+            bigger.shrunk(0x10000),
+            PhysRange::new(PhysAddr::new(0x1000), 0)
+        );
     }
 
     #[test]
@@ -222,7 +236,10 @@ mod tests {
         assert_eq!(PhysRange::new(PhysAddr::ZERO, 0).page_count(), 0);
         assert_eq!(PhysRange::new(PhysAddr::ZERO, 1).page_count(), 1);
         assert_eq!(PhysRange::new(PhysAddr::ZERO, PAGE_SIZE).page_count(), 1);
-        assert_eq!(PhysRange::new(PhysAddr::ZERO, PAGE_SIZE + 1).page_count(), 2);
+        assert_eq!(
+            PhysRange::new(PhysAddr::ZERO, PAGE_SIZE + 1).page_count(),
+            2
+        );
     }
 
     #[test]

@@ -51,7 +51,12 @@ impl Gic {
 
     /// Routes `irq` to `target`.  Only the secure world (or the secure
     /// monitor acting on its behalf) may change interrupt grouping.
-    pub fn route(&mut self, caller: World, irq: InterruptId, target: World) -> Result<(), GicError> {
+    pub fn route(
+        &mut self,
+        caller: World,
+        irq: InterruptId,
+        target: World,
+    ) -> Result<(), GicError> {
         if !caller.is_secure() {
             return Err(GicError::NotSecure);
         }

@@ -33,6 +33,8 @@ pub use gic::{DeliveredInterrupt, Gic, GicError};
 pub use platform::{MemoryMap, Platform};
 pub use profile::PlatformProfile;
 pub use smc::{SmcDispatcher, SmcFunction, SmcRecord};
-pub use tzasc::{AccessViolation, Initiator, RegionConfig, RegionId, Tzasc, TzascError, MAX_REGIONS};
+pub use tzasc::{
+    AccessViolation, Initiator, RegionConfig, RegionId, Tzasc, TzascError, MAX_REGIONS,
+};
 pub use tzpc::{MmioViolation, Tzpc, TzpcError};
 pub use world::{DeviceId, InterruptId, World, FLASH_IRQ, NPU_IRQ};

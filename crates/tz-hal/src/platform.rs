@@ -148,7 +148,8 @@ mod tests {
         platform.with_tzpc(|tzpc| tzpc.set_secure(World::Secure, DeviceId::Npu, true).unwrap());
         let secure = platform.with_tzpc(|tzpc| tzpc.is_secure(DeviceId::Npu));
         assert!(secure);
-        let cost = platform.with_smc(|smc| smc.call(World::NonSecure, crate::smc::SmcFunction::InvokeTa));
+        let cost =
+            platform.with_smc(|smc| smc.call(World::NonSecure, crate::smc::SmcFunction::InvokeTa));
         assert_eq!(cost, platform.profile.smc_switch);
     }
 }

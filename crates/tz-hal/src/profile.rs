@@ -200,7 +200,11 @@ mod tests {
         let four = p.cma_bandwidth_threads(4).bytes_per_sec();
         assert!((single - 1.9e9).abs() < 1e6);
         // 4 threads should roughly double the single-thread throughput (3.8 GB/s).
-        assert!((four / single - 2.0).abs() < 0.1, "ratio = {}", four / single);
+        assert!(
+            (four / single - 2.0).abs() < 0.1,
+            "ratio = {}",
+            four / single
+        );
         // More threads than the cap do not help further.
         assert_eq!(
             p.cma_bandwidth_threads(16).bytes_per_sec(),

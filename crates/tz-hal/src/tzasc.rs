@@ -45,7 +45,9 @@ impl std::fmt::Display for TzascError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TzascError::NoFreeRegion => write!(f, "no free TZASC region slot"),
-            TzascError::Overlap { existing } => write!(f, "region overlaps existing region {}", existing.0),
+            TzascError::Overlap { existing } => {
+                write!(f, "region overlaps existing region {}", existing.0)
+            }
             TzascError::NoSuchRegion(id) => write!(f, "no such TZASC region {}", id.0),
             TzascError::Misaligned => write!(f, "TZASC region bounds must be page aligned"),
             TzascError::ShrinkUnderflow => write!(f, "cannot shrink TZASC region below zero"),
@@ -120,14 +122,20 @@ impl Tzasc {
             .ok_or(TzascError::NoSuchRegion(id))
     }
 
-    fn check_no_overlap(&self, range: &PhysRange, skip: Option<RegionId>) -> Result<(), TzascError> {
+    fn check_no_overlap(
+        &self,
+        range: &PhysRange,
+        skip: Option<RegionId>,
+    ) -> Result<(), TzascError> {
         for (i, region) in self.regions.iter().enumerate() {
             if Some(RegionId(i)) == skip {
                 continue;
             }
             if let Some(cfg) = region {
                 if cfg.range.overlaps(range) {
-                    return Err(TzascError::Overlap { existing: RegionId(i) });
+                    return Err(TzascError::Overlap {
+                        existing: RegionId(i),
+                    });
                 }
             }
         }
@@ -144,7 +152,7 @@ impl Tzasc {
         if !caller.is_secure() {
             return Err(TzascError::NotSecure);
         }
-        if !range.start.is_aligned(PAGE_SIZE) || range.size % PAGE_SIZE != 0 {
+        if !range.start.is_aligned(PAGE_SIZE) || !range.size.is_multiple_of(PAGE_SIZE) {
             return Err(TzascError::Misaligned);
         }
         self.check_no_overlap(&range, None)?;
@@ -163,27 +171,40 @@ impl Tzasc {
 
     /// Extends a region by `bytes` at its end (the "extend_protected" path of
     /// §4.2).
-    pub fn extend_region(&mut self, caller: World, id: RegionId, bytes: u64) -> Result<PhysRange, TzascError> {
+    pub fn extend_region(
+        &mut self,
+        caller: World,
+        id: RegionId,
+        bytes: u64,
+    ) -> Result<PhysRange, TzascError> {
         if !caller.is_secure() {
             return Err(TzascError::NotSecure);
         }
-        if bytes % PAGE_SIZE != 0 {
+        if !bytes.is_multiple_of(PAGE_SIZE) {
             return Err(TzascError::Misaligned);
         }
         let current = self.region(id)?.range;
         let extended = current.extended(bytes);
         self.check_no_overlap(&extended, Some(id))?;
-        self.regions[id.0].as_mut().expect("checked by region()").range = extended;
+        self.regions[id.0]
+            .as_mut()
+            .expect("checked by region()")
+            .range = extended;
         self.reconfig_count += 1;
         Ok(extended)
     }
 
     /// Shrinks a region by `bytes` from its end (the "shrink" path of §4.2).
-    pub fn shrink_region(&mut self, caller: World, id: RegionId, bytes: u64) -> Result<PhysRange, TzascError> {
+    pub fn shrink_region(
+        &mut self,
+        caller: World,
+        id: RegionId,
+        bytes: u64,
+    ) -> Result<PhysRange, TzascError> {
         if !caller.is_secure() {
             return Err(TzascError::NotSecure);
         }
-        if bytes % PAGE_SIZE != 0 {
+        if !bytes.is_multiple_of(PAGE_SIZE) {
             return Err(TzascError::Misaligned);
         }
         let current = self.region(id)?.range;
@@ -191,7 +212,10 @@ impl Tzasc {
             return Err(TzascError::ShrinkUnderflow);
         }
         let shrunk = current.shrunk(bytes);
-        self.regions[id.0].as_mut().expect("checked by region()").range = shrunk;
+        self.regions[id.0]
+            .as_mut()
+            .expect("checked by region()")
+            .range = shrunk;
         self.reconfig_count += 1;
         Ok(shrunk)
     }
@@ -259,7 +283,11 @@ impl Tzasc {
     ///
     /// A device may touch a secure region only if it is on that region's
     /// allow-list; accesses to memory outside every secure region are allowed.
-    pub fn check_dma_access(&self, device: DeviceId, range: PhysRange) -> Result<(), AccessViolation> {
+    pub fn check_dma_access(
+        &self,
+        device: DeviceId,
+        range: PhysRange,
+    ) -> Result<(), AccessViolation> {
         for (i, region) in self.regions.iter().enumerate() {
             if let Some(cfg) = region {
                 if cfg.range.overlaps(&range) && !cfg.allowed_devices.contains(&device) {
@@ -284,7 +312,11 @@ impl Tzasc {
 
     /// Total bytes currently protected.
     pub fn protected_bytes(&self) -> u64 {
-        self.regions.iter().flatten().map(|cfg| cfg.range.size).sum()
+        self.regions
+            .iter()
+            .flatten()
+            .map(|cfg| cfg.range.size)
+            .sum()
     }
 }
 
@@ -307,7 +339,9 @@ mod tests {
             tzasc.configure_region(World::NonSecure, range(0, 16), []),
             Err(TzascError::NotSecure)
         );
-        assert!(tzasc.configure_region(World::Secure, range(0, 16), []).is_ok());
+        assert!(tzasc
+            .configure_region(World::Secure, range(0, 16), [])
+            .is_ok());
     }
 
     #[test]
@@ -328,7 +362,9 @@ mod tests {
     #[test]
     fn overlapping_regions_rejected() {
         let mut tzasc = Tzasc::new();
-        let a = tzasc.configure_region(World::Secure, range(0, 64), []).unwrap();
+        let a = tzasc
+            .configure_region(World::Secure, range(0, 64), [])
+            .unwrap();
         assert_eq!(
             tzasc.configure_region(World::Secure, range(32, 64), []),
             Err(TzascError::Overlap { existing: a })
@@ -338,10 +374,18 @@ mod tests {
     #[test]
     fn nonsecure_cpu_blocked_from_secure_region() {
         let mut tzasc = Tzasc::new();
-        tzasc.configure_region(World::Secure, range(100, 64), []).unwrap();
-        assert!(tzasc.check_cpu_access(World::NonSecure, range(100, 1)).is_err());
-        assert!(tzasc.check_cpu_access(World::NonSecure, range(50, 16)).is_ok());
-        assert!(tzasc.check_cpu_access(World::Secure, range(100, 64)).is_ok());
+        tzasc
+            .configure_region(World::Secure, range(100, 64), [])
+            .unwrap();
+        assert!(tzasc
+            .check_cpu_access(World::NonSecure, range(100, 1))
+            .is_err());
+        assert!(tzasc
+            .check_cpu_access(World::NonSecure, range(50, 16))
+            .is_ok());
+        assert!(tzasc
+            .check_cpu_access(World::Secure, range(100, 64))
+            .is_ok());
         assert!(tzasc.is_secure_addr(PhysAddr::new(mib(100))));
         assert!(!tzasc.is_secure_addr(PhysAddr::new(mib(99))));
     }
@@ -353,18 +397,28 @@ mod tests {
             .configure_region(World::Secure, range(200, 64), [DeviceId::Npu])
             .unwrap();
         assert!(tzasc.check_dma_access(DeviceId::Npu, range(200, 8)).is_ok());
-        assert!(tzasc.check_dma_access(DeviceId::UsbController, range(200, 8)).is_err());
+        assert!(tzasc
+            .check_dma_access(DeviceId::UsbController, range(200, 8))
+            .is_err());
         // Revoking the NPU turns its accesses into violations too.
-        tzasc.set_device_access(World::Secure, id, DeviceId::Npu, false).unwrap();
-        assert!(tzasc.check_dma_access(DeviceId::Npu, range(200, 8)).is_err());
+        tzasc
+            .set_device_access(World::Secure, id, DeviceId::Npu, false)
+            .unwrap();
+        assert!(tzasc
+            .check_dma_access(DeviceId::Npu, range(200, 8))
+            .is_err());
         // Anyone can DMA into memory no region protects.
-        assert!(tzasc.check_dma_access(DeviceId::UsbController, range(500, 8)).is_ok());
+        assert!(tzasc
+            .check_dma_access(DeviceId::UsbController, range(500, 8))
+            .is_ok());
     }
 
     #[test]
     fn extend_and_shrink_keep_contiguity() {
         let mut tzasc = Tzasc::new();
-        let id = tzasc.configure_region(World::Secure, range(0, 16), []).unwrap();
+        let id = tzasc
+            .configure_region(World::Secure, range(0, 16), [])
+            .unwrap();
         let grown = tzasc.extend_region(World::Secure, id, mib(16)).unwrap();
         assert_eq!(grown.size, mib(32));
         assert_eq!(tzasc.protected_bytes(), mib(32));
@@ -379,8 +433,12 @@ mod tests {
     #[test]
     fn extend_into_neighbouring_region_rejected() {
         let mut tzasc = Tzasc::new();
-        let a = tzasc.configure_region(World::Secure, range(0, 16), []).unwrap();
-        let _b = tzasc.configure_region(World::Secure, range(16, 16), []).unwrap();
+        let a = tzasc
+            .configure_region(World::Secure, range(0, 16), [])
+            .unwrap();
+        let _b = tzasc
+            .configure_region(World::Secure, range(16, 16), [])
+            .unwrap();
         assert!(matches!(
             tzasc.extend_region(World::Secure, a, mib(8)),
             Err(TzascError::Overlap { .. })
@@ -395,7 +453,9 @@ mod tests {
             tzasc.configure_region(World::Secure, r, []),
             Err(TzascError::Misaligned)
         );
-        let id = tzasc.configure_region(World::Secure, range(0, 16), []).unwrap();
+        let id = tzasc
+            .configure_region(World::Secure, range(0, 16), [])
+            .unwrap();
         assert_eq!(
             tzasc.extend_region(World::Secure, id, 100),
             Err(TzascError::Misaligned)
@@ -405,10 +465,17 @@ mod tests {
     #[test]
     fn remove_region_frees_slot() {
         let mut tzasc = Tzasc::new();
-        let id = tzasc.configure_region(World::Secure, range(0, 16), []).unwrap();
+        let id = tzasc
+            .configure_region(World::Secure, range(0, 16), [])
+            .unwrap();
         tzasc.remove_region(World::Secure, id).unwrap();
         assert_eq!(tzasc.configured_regions(), 0);
-        assert!(tzasc.check_cpu_access(World::NonSecure, range(0, 16)).is_ok());
-        assert_eq!(tzasc.remove_region(World::Secure, id), Err(TzascError::NoSuchRegion(id)));
+        assert!(tzasc
+            .check_cpu_access(World::NonSecure, range(0, 16))
+            .is_ok());
+        assert_eq!(
+            tzasc.remove_region(World::Secure, id),
+            Err(TzascError::NoSuchRegion(id))
+        );
     }
 }

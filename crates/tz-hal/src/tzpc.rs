@@ -53,7 +53,12 @@ impl Tzpc {
     }
 
     /// Marks `device` secure (`true`) or non-secure (`false`).
-    pub fn set_secure(&mut self, caller: World, device: DeviceId, secure: bool) -> Result<(), TzpcError> {
+    pub fn set_secure(
+        &mut self,
+        caller: World,
+        device: DeviceId,
+        secure: bool,
+    ) -> Result<(), TzpcError> {
         if !caller.is_secure() {
             return Err(TzpcError::NotSecure);
         }
@@ -92,7 +97,9 @@ mod tests {
     fn devices_start_non_secure() {
         let tzpc = Tzpc::new();
         assert!(!tzpc.is_secure(DeviceId::Npu));
-        assert!(tzpc.check_mmio_access(World::NonSecure, DeviceId::Npu).is_ok());
+        assert!(tzpc
+            .check_mmio_access(World::NonSecure, DeviceId::Npu)
+            .is_ok());
     }
 
     #[test]
@@ -109,8 +116,11 @@ mod tests {
         );
         assert!(tzpc.check_mmio_access(World::Secure, DeviceId::Npu).is_ok());
         // Flip back (world switch on job completion).
-        tzpc.set_secure(World::Secure, DeviceId::Npu, false).unwrap();
-        assert!(tzpc.check_mmio_access(World::NonSecure, DeviceId::Npu).is_ok());
+        tzpc.set_secure(World::Secure, DeviceId::Npu, false)
+            .unwrap();
+        assert!(tzpc
+            .check_mmio_access(World::NonSecure, DeviceId::Npu)
+            .is_ok());
         assert_eq!(tzpc.reconfig_count(), 2);
     }
 

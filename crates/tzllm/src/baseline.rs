@@ -13,13 +13,15 @@
 use sim_core::SimDuration;
 use tz_hal::PlatformProfile;
 
-use llm::{ComputationGraph, CostModel};
 #[cfg(test)]
 use llm::ModelSpec;
+use llm::{ComputationGraph, CostModel};
 
 use crate::pipeline::{simulate, PipelineConfig, Policy};
 use crate::restore::{RestorePlan, RestoreRates};
-use crate::system::{cma_occupancy, evaluate_tzllm, InferenceConfig, InferenceReport, TtftBreakdown};
+use crate::system::{
+    cma_occupancy, evaluate_tzllm, InferenceConfig, InferenceReport, TtftBreakdown,
+};
 
 /// The systems compared in the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,7 +72,11 @@ fn ree_flash_rates(profile: &PlatformProfile) -> RestoreRates {
 }
 
 /// Evaluates any of the four systems on one request.
-pub fn evaluate(system: SystemKind, profile: &PlatformProfile, config: &InferenceConfig) -> InferenceReport {
+pub fn evaluate(
+    system: SystemKind,
+    profile: &PlatformProfile,
+    config: &InferenceConfig,
+) -> InferenceReport {
     let cost = CostModel::rk3588();
     match system {
         SystemKind::TzLlm => evaluate_tzllm(profile, config),
@@ -98,8 +104,11 @@ pub fn evaluate(system: SystemKind, profile: &PlatformProfile, config: &Inferenc
             };
             InferenceReport {
                 ttft: breakdown.total(),
-                decode_tokens_per_sec: cost
-                    .decode_tokens_per_sec(&config.model, config.prompt_len + config.output_len, true),
+                decode_tokens_per_sec: cost.decode_tokens_per_sec(
+                    &config.model,
+                    config.prompt_len + config.output_len,
+                    true,
+                ),
                 breakdown,
                 restoration_cpu: SimDuration::ZERO,
                 critical_paths,
@@ -110,7 +119,8 @@ pub fn evaluate(system: SystemKind, profile: &PlatformProfile, config: &Inferenc
             let graph = ComputationGraph::prefill(&config.model, config.prompt_len);
             let times: Vec<SimDuration> = graph.ops.iter().map(|o| cost.op_time(o)).collect();
             let rates = ree_flash_rates(profile);
-            let cached = (graph.total_param_bytes() as f64 * config.cached_fraction.clamp(0.0, 1.0)) as u64;
+            let cached =
+                (graph.total_param_bytes() as f64 * config.cached_fraction.clamp(0.0, 1.0)) as u64;
             let plan = RestorePlan::build(&graph, |i| times[i], &rates, cached);
             let critical_paths = plan.critical_paths();
             let result = simulate(
@@ -129,8 +139,11 @@ pub fn evaluate(system: SystemKind, profile: &PlatformProfile, config: &Inferenc
             };
             InferenceReport {
                 ttft: breakdown.total(),
-                decode_tokens_per_sec: cost
-                    .decode_tokens_per_sec(&config.model, config.prompt_len + config.output_len, true),
+                decode_tokens_per_sec: cost.decode_tokens_per_sec(
+                    &config.model,
+                    config.prompt_len + config.output_len,
+                    true,
+                ),
                 breakdown,
                 restoration_cpu: result.restoration_cpu_time(),
                 critical_paths,
@@ -140,7 +153,8 @@ pub fn evaluate(system: SystemKind, profile: &PlatformProfile, config: &Inferenc
         SystemKind::Strawman => {
             // Cold start, sequential restoration, CPU-only computation.
             let graph = ComputationGraph::prefill(&config.model, config.prompt_len);
-            let times: Vec<SimDuration> = graph.ops.iter().map(|o| cost.op_time_cpu_only(o)).collect();
+            let times: Vec<SimDuration> =
+                graph.ops.iter().map(|o| cost.op_time_cpu_only(o)).collect();
             let occupancy = cma_occupancy(&config.model, config.memory_pressure);
             // The strawman allocates with a single migration thread.
             let rates = RestoreRates::from_profile(profile, occupancy, 1);
@@ -168,8 +182,11 @@ pub fn evaluate(system: SystemKind, profile: &PlatformProfile, config: &Inferenc
             };
             InferenceReport {
                 ttft: breakdown.total(),
-                decode_tokens_per_sec: cost
-                    .decode_tokens_per_sec(&config.model, config.prompt_len + config.output_len, false),
+                decode_tokens_per_sec: cost.decode_tokens_per_sec(
+                    &config.model,
+                    config.prompt_len + config.output_len,
+                    false,
+                ),
                 breakdown,
                 restoration_cpu: result.restoration_cpu_time(),
                 critical_paths,
@@ -179,7 +196,10 @@ pub fn evaluate(system: SystemKind, profile: &PlatformProfile, config: &Inferenc
 }
 
 /// The Figure-1 style cold-start breakdown of the strawman workflow.
-pub fn strawman_breakdown(profile: &PlatformProfile, config: &InferenceConfig) -> Vec<(String, SimDuration)> {
+pub fn strawman_breakdown(
+    profile: &PlatformProfile,
+    config: &InferenceConfig,
+) -> Vec<(String, SimDuration)> {
     let cost = CostModel::rk3588();
     let graph = ComputationGraph::prefill(&config.model, config.prompt_len);
     let total_bytes = graph.total_param_bytes();
@@ -191,14 +211,20 @@ pub fn strawman_breakdown(profile: &PlatformProfile, config: &InferenceConfig) -
         ("llama.cpp meta init".into(), profile.framework_meta_init),
         ("tokenizer init".into(), profile.tokenizer_init),
         ("kv cache allocation (CMA)".into(), profile.kv_cache_alloc),
-        ("activation allocation (CMA)".into(), profile.activation_alloc),
+        (
+            "activation allocation (CMA)".into(),
+            profile.activation_alloc,
+        ),
         (
             "param allocation (CMA)".into(),
             rates.alloc_fixed * graph.ops.len() as u64
                 + SimDuration::from_secs_f64(total_bytes as f64 * rates.alloc_secs_per_byte),
         ),
         ("param load".into(), rates.flash.time_for_bytes(total_bytes)),
-        ("param decryption".into(), rates.decrypt.time_for_bytes(total_bytes)),
+        (
+            "param decryption".into(),
+            rates.decrypt.time_for_bytes(total_bytes),
+        ),
         ("CPU prefill".into(), cpu_prefill),
     ]
 }
@@ -259,7 +285,11 @@ mod tests {
             let tz = evaluate(SystemKind::TzLlm, &profile(), &cfg);
             let flash = evaluate(SystemKind::ReeLlmFlash, &profile(), &cfg);
             let overhead = tz.ttft.as_secs_f64() / flash.ttft.as_secs_f64() - 1.0;
-            assert!(overhead > 0.0 && overhead < 0.7, "{}: overhead {overhead:.3}", model.name);
+            assert!(
+                overhead > 0.0 && overhead < 0.7,
+                "{}: overhead {overhead:.3}",
+                model.name
+            );
         }
     }
 
@@ -272,7 +302,11 @@ mod tests {
             let straw = evaluate(SystemKind::Strawman, &profile(), &cfg);
             // TZ-LLM is slightly slower than the REE baseline...
             let slowdown = 1.0 - tz.decode_tokens_per_sec / ree.decode_tokens_per_sec;
-            assert!(slowdown > 0.0 && slowdown < 0.08, "{}: slowdown {slowdown:.3}", model.name);
+            assert!(
+                slowdown > 0.0 && slowdown < 0.08,
+                "{}: slowdown {slowdown:.3}",
+                model.name
+            );
             // ...and faster than the CPU-only strawman.
             let gain = tz.decode_tokens_per_sec / straw.decode_tokens_per_sec - 1.0;
             assert!(gain > 0.0 && gain < 0.45, "{}: gain {gain:.3}", model.name);
@@ -291,8 +325,16 @@ mod tests {
                 .unwrap()
         };
         // Figure 1 anchors (8-bit Llama-3-8B, 512-token prompt).
-        assert!((get("param load") - 4.05).abs() < 0.6, "{}", get("param load"));
-        assert!((get("decryption") - 0.89).abs() < 0.3, "{}", get("decryption"));
+        assert!(
+            (get("param load") - 4.05).abs() < 0.6,
+            "{}",
+            get("param load")
+        );
+        assert!(
+            (get("decryption") - 0.89).abs() < 0.3,
+            "{}",
+            get("decryption")
+        );
         assert!(get("param allocation") > 2.0 && get("param allocation") < 6.0);
         assert!(get("CPU prefill") > 130.0 && get("CPU prefill") < 210.0);
         assert!((get("tokenizer") - 1.8).abs() < 0.1);

@@ -45,6 +45,16 @@ impl CacheController {
         }
     }
 
+    /// Total parameter bytes of the model this controller tracks.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_param_bytes
+    }
+
+    /// Overwrites the cached prefix (clamped to the model size).
+    pub fn seed(&mut self, cached_bytes: u64) {
+        self.cached_bytes = cached_bytes.min(self.total_param_bytes);
+    }
+
     /// Bytes currently cached (a prefix of the blob).
     pub fn cached_bytes(&self) -> u64 {
         self.cached_bytes
@@ -143,7 +153,7 @@ mod tests {
     fn revoke_releases_at_most_whats_cached() {
         let mut cache = CacheController::new(4 * GIB);
         cache.on_inference_complete();
-        assert_eq!(cache.revoke(1 * GIB), 1 * GIB);
+        assert_eq!(cache.revoke(GIB), GIB);
         assert_eq!(cache.revoke(10 * GIB), 3 * GIB);
         assert_eq!(cache.cached_bytes(), 0);
         assert_eq!(cache.revoke(1), 0);

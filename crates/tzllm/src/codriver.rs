@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use sim_core::{SimDuration, SimTime};
-use tz_hal::{DeviceId, Platform, PhysAddr, PhysRange, World};
+use tz_hal::{DeviceId, PhysAddr, PhysRange, Platform, World};
 
 use llm::{ComputationGraph, CostModel, Device, ModelSpec};
 use npu::{ExecutionContext, JobId, NpuDevice, NpuJob};
@@ -109,7 +109,10 @@ impl NpuSharingSim {
             outputs: vec![PhysRange::new(PhysAddr::new(0x2_0200_0000), 0x10_0000)],
         };
         let device = NpuDevice::new(platform.profile.npu_cores);
-        let ree_driver = ReeNpuDriver::new(SimDuration::from_micros(30), platform.profile.npu_driver_reinit);
+        let ree_driver = ReeNpuDriver::new(
+            SimDuration::from_micros(30),
+            platform.profile.npu_driver_reinit,
+        );
         let tee_driver = TeeNpuDriver::new(platform.clone());
         NpuSharingSim {
             platform,
@@ -147,7 +150,11 @@ impl NpuSharingSim {
                     .map(|o| self.cost.op_time(o))
                     .sum();
                 let jobs = config.model.layers;
-                (npu_time / jobs as u64, prompt_len as f64 / jobs as f64, jobs)
+                (
+                    npu_time / jobs as u64,
+                    prompt_len as f64 / jobs as f64,
+                    jobs,
+                )
             }
         }
     }
@@ -239,7 +246,12 @@ impl NpuSharingSim {
 
         let elapsed = (now - SimTime::ZERO).as_secs_f64().max(1e-9);
         let handoffs = self.tee_driver.handoffs().len() as u64;
-        let switch_overhead: SimDuration = self.tee_driver.handoffs().iter().map(|h| h.overhead()).sum();
+        let switch_overhead: SimDuration = self
+            .tee_driver
+            .handoffs()
+            .iter()
+            .map(|h| h.overhead())
+            .sum();
         let mean_switch = if handoffs > 0 {
             let h = &self.tee_driver.handoffs()[0];
             SwitchCost {
@@ -273,7 +285,13 @@ impl Default for NpuSharingSim {
 mod tests {
     use super::*;
 
-    fn config(model: ModelSpec, phase: LlmPhase, placement: LlmPlacement, llm: bool, nn: bool) -> SharingConfig {
+    fn config(
+        model: ModelSpec,
+        phase: LlmPhase,
+        placement: LlmPlacement,
+        llm: bool,
+        nn: bool,
+    ) -> SharingConfig {
         SharingConfig {
             model,
             phase,
@@ -296,7 +314,11 @@ mod tests {
             true,
         ));
         // 10 ms per inference -> ~100 ops/s minus scheduling overhead.
-        assert!(r.nn_ops_per_sec > 90.0 && r.nn_ops_per_sec <= 100.5, "{}", r.nn_ops_per_sec);
+        assert!(
+            r.nn_ops_per_sec > 90.0 && r.nn_ops_per_sec <= 100.5,
+            "{}",
+            r.nn_ops_per_sec
+        );
         assert_eq!(r.llm_tokens_per_sec, 0.0);
     }
 
@@ -304,15 +326,33 @@ mod tests {
     fn sharing_reduces_both_throughputs() {
         let mut sim_ex = NpuSharingSim::new();
         let nn_ex = sim_ex
-            .run(&config(ModelSpec::qwen2_5_3b(), LlmPhase::Decode, LlmPlacement::Tee, false, true))
+            .run(&config(
+                ModelSpec::qwen2_5_3b(),
+                LlmPhase::Decode,
+                LlmPlacement::Tee,
+                false,
+                true,
+            ))
             .nn_ops_per_sec;
         let mut sim_llm_ex = NpuSharingSim::new();
         let llm_ex = sim_llm_ex
-            .run(&config(ModelSpec::qwen2_5_3b(), LlmPhase::Decode, LlmPlacement::Tee, true, false))
+            .run(&config(
+                ModelSpec::qwen2_5_3b(),
+                LlmPhase::Decode,
+                LlmPlacement::Tee,
+                true,
+                false,
+            ))
             .llm_tokens_per_sec;
 
         let mut sim_sh = NpuSharingSim::new();
-        let shared = sim_sh.run(&config(ModelSpec::qwen2_5_3b(), LlmPhase::Decode, LlmPlacement::Tee, true, true));
+        let shared = sim_sh.run(&config(
+            ModelSpec::qwen2_5_3b(),
+            LlmPhase::Decode,
+            LlmPlacement::Tee,
+            true,
+            true,
+        ));
         assert!(shared.nn_ops_per_sec < nn_ex);
         assert!(shared.llm_tokens_per_sec < llm_ex);
         assert!(shared.nn_ops_per_sec > 0.0 && shared.llm_tokens_per_sec > 0.0);
@@ -322,9 +362,21 @@ mod tests {
     fn tee_sharing_overhead_is_small_relative_to_ree_sharing() {
         let model = ModelSpec::llama3_8b();
         let mut ree = NpuSharingSim::new();
-        let r_ree = ree.run(&config(model.clone(), LlmPhase::Decode, LlmPlacement::Ree, true, true));
+        let r_ree = ree.run(&config(
+            model.clone(),
+            LlmPhase::Decode,
+            LlmPlacement::Ree,
+            true,
+            true,
+        ));
         let mut tee = NpuSharingSim::new();
-        let r_tee = tee.run(&config(model, LlmPhase::Decode, LlmPlacement::Tee, true, true));
+        let r_tee = tee.run(&config(
+            model,
+            LlmPhase::Decode,
+            LlmPlacement::Tee,
+            true,
+            true,
+        ));
         // The paper reports <= 3.8% / 3.0% extra slowdown from TEE sharing.
         let nn_slowdown = 1.0 - r_tee.nn_ops_per_sec / r_ree.nn_ops_per_sec;
         let llm_slowdown = 1.0 - r_tee.llm_tokens_per_sec / r_ree.llm_tokens_per_sec;

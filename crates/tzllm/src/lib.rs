@@ -12,6 +12,8 @@
 //! * [`codriver`] — TEE-REE NPU time-sharing built on the co-driver split,
 //!   driving the real REE control-plane and TEE data-plane drivers.
 //! * [`system`] — end-to-end TZ-LLM evaluation (TTFT, decode speed, breakdown).
+//! * [`serving`] — the multi-session serving layer: request queueing,
+//!   admission, live cache-driven dispatch, fleet statistics.
 //! * [`baseline`] — the REE-LLM-Memory, REE-LLM-Flash and Strawman baselines.
 //! * [`related`] — the qualitative comparison of Table 1.
 
@@ -21,6 +23,7 @@ pub mod codriver;
 pub mod pipeline;
 pub mod related;
 pub mod restore;
+pub mod serving;
 pub mod system;
 
 pub use baseline::{decode_uses_npu, evaluate, strawman_breakdown, SystemKind};
@@ -28,4 +31,7 @@ pub use cache::{CacheController, CachePolicy};
 pub use codriver::{LlmPhase, LlmPlacement, NpuSharingSim, SharingConfig, SharingResult};
 pub use pipeline::{simulate, PipelineConfig, PipelineResult, Policy};
 pub use restore::{CriticalPaths, PipeOp, PipeOpKind, RestorePlan, RestoreRates};
+pub use serving::{
+    FleetStats, Request, RequestRecord, RetentionPolicy, Server, ServingConfig, ServingReport,
+};
 pub use system::{cma_occupancy, evaluate_tzllm, InferenceConfig, InferenceReport, TtftBreakdown};

@@ -85,6 +85,46 @@ impl PipelineResult {
     }
 }
 
+/// Which single-owner resource class an operator occupied while running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ResourceClass {
+    /// One of the CPU cores.
+    Cpu,
+    /// The NPU.
+    Npu,
+    /// The flash I/O engine.
+    Io,
+}
+
+impl ResourceClass {
+    fn for_kind(kind: PipeOpKind) -> ResourceClass {
+        match kind {
+            PipeOpKind::Alloc | PipeOpKind::Decrypt | PipeOpKind::CpuCompute => ResourceClass::Cpu,
+            PipeOpKind::NpuCompute => ResourceClass::Npu,
+            PipeOpKind::Load => ResourceClass::Io,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            ResourceClass::Cpu => "cpu",
+            ResourceClass::Npu => "npu",
+            ResourceClass::Io => "io",
+        }
+    }
+}
+
+/// A typed operator-completion event in the simulation's event heap.
+///
+/// Ordered by completion time, then operator id, so ties pop
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Completion {
+    at: SimTime,
+    id: usize,
+    resource: ResourceClass,
+}
+
 #[derive(Debug, Clone)]
 struct SimOp {
     kind: PipeOpKind,
@@ -149,10 +189,7 @@ pub fn simulate(plan: &RestorePlan, config: &PipelineConfig) -> PipelineResult {
             .ops
             .iter()
             .enumerate()
-            .map(|(i, o)| PipeOp {
-                id: i,
-                ..o.clone()
-            })
+            .map(|(i, o)| PipeOp { id: i, ..o.clone() })
             .collect(),
     };
 
@@ -184,11 +221,11 @@ pub fn simulate(plan: &RestorePlan, config: &PipelineConfig) -> PipelineResult {
     let mut ready_io: BTreeSet<(usize, usize)> = BTreeSet::new();
 
     let add_ready = |id: usize,
-                         op: &SimOp,
-                         ready_cpu_compute: &mut BTreeSet<(usize, usize)>,
-                         ready_cpu_restore: &mut BTreeSet<(usize, usize)>,
-                         ready_npu: &mut BTreeSet<(usize, usize)>,
-                         ready_io: &mut BTreeSet<(usize, usize)>| {
+                     op: &SimOp,
+                     ready_cpu_compute: &mut BTreeSet<(usize, usize)>,
+                     ready_cpu_restore: &mut BTreeSet<(usize, usize)>,
+                     ready_npu: &mut BTreeSet<(usize, usize)>,
+                     ready_io: &mut BTreeSet<(usize, usize)>| {
         let key = (op.compute_index, id);
         match op.kind {
             PipeOpKind::CpuCompute => {
@@ -228,14 +265,7 @@ pub fn simulate(plan: &RestorePlan, config: &PipelineConfig) -> PipelineResult {
     let serial = config.policy == Policy::Sequential;
     let mut running = 0usize;
 
-    // Completion events: (time, op id, resource tag, core index).
-    #[derive(PartialEq, Eq, PartialOrd, Ord)]
-    enum Res {
-        Cpu,
-        Npu,
-        Io,
-    }
-    let mut events: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, usize, u8)>> =
+    let mut events: std::collections::BinaryHeap<std::cmp::Reverse<Completion>> =
         std::collections::BinaryHeap::new();
 
     let mut trace = Trace::new();
@@ -260,35 +290,51 @@ pub fn simulate(plan: &RestorePlan, config: &PipelineConfig) -> PipelineResult {
     let mut makespan = SimTime::ZERO;
 
     // Dispatch as much ready work as resources allow at time `now`.
+    macro_rules! start_op {
+        ($id:expr) => {{
+            let id = $id;
+            let resource = ResourceClass::for_kind(ops[id].kind);
+            let end = now + ops[id].duration;
+            trace.record(
+                ops[id].label.clone(),
+                span_kind(ops[id].kind),
+                resource.label(),
+                now,
+                end,
+            );
+            busy[kind_index(ops[id].kind)] += ops[id].duration;
+            events.push(std::cmp::Reverse(Completion {
+                at: end,
+                id,
+                resource,
+            }));
+            running += 1;
+        }};
+    }
     macro_rules! dispatch {
         () => {{
             // I/O engine: lowest compute-index load first.
             while io_free && !(serial && running > 0) {
-                let Some(&key) = ready_io.iter().next() else { break };
+                let Some(&key) = ready_io.iter().next() else {
+                    break;
+                };
                 ready_io.remove(&key);
-                let id = key.1;
-                let end = now + ops[id].duration;
-                trace.record(ops[id].label.clone(), span_kind(ops[id].kind), "io", now, end);
-                busy[kind_index(ops[id].kind)] += ops[id].duration;
-                events.push(std::cmp::Reverse((end, id, Res::Io as u8)));
+                start_op!(key.1);
                 io_free = false;
-                running += 1;
             }
             // NPU.
             while npu_free && !(serial && running > 0) {
-                let Some(&key) = ready_npu.iter().next() else { break };
+                let Some(&key) = ready_npu.iter().next() else {
+                    break;
+                };
                 ready_npu.remove(&key);
-                let id = key.1;
-                let end = now + ops[id].duration;
-                trace.record(ops[id].label.clone(), span_kind(ops[id].kind), "npu", now, end);
-                busy[kind_index(ops[id].kind)] += ops[id].duration;
-                events.push(std::cmp::Reverse((end, id, Res::Npu as u8)));
+                start_op!(key.1);
                 npu_free = false;
-                running += 1;
             }
             // CPU cores.
             while cpu_free > 0 && !(serial && running > 0) {
-                let sequential_gate = config.policy == Policy::Sequential && restoration_done < restoration_total;
+                let sequential_gate =
+                    config.policy == Policy::Sequential && restoration_done < restoration_total;
                 let pick = if sequential_gate {
                     // No computation until every restoration operator is done.
                     ready_cpu_restore.iter().next().copied()
@@ -304,12 +350,8 @@ pub fn simulate(plan: &RestorePlan, config: &PipelineConfig) -> PipelineResult {
                 } else {
                     ready_cpu_restore.remove(&key);
                 }
-                let end = now + ops[id].duration;
-                trace.record(ops[id].label.clone(), span_kind(ops[id].kind), "cpu", now, end);
-                busy[kind_index(ops[id].kind)] += ops[id].duration;
-                events.push(std::cmp::Reverse((end, id, Res::Cpu as u8)));
+                start_op!(id);
                 cpu_free -= 1;
-                running += 1;
             }
         }};
     }
@@ -317,13 +359,16 @@ pub fn simulate(plan: &RestorePlan, config: &PipelineConfig) -> PipelineResult {
     dispatch!();
 
     while completed < n {
-        let std::cmp::Reverse((t, id, res)) = events.pop().expect("pipeline deadlocked: no runnable operator");
-        now = t;
-        makespan = makespan.max(t);
-        match res {
-            x if x == Res::Cpu as u8 => cpu_free += 1,
-            x if x == Res::Npu as u8 => npu_free = true,
-            _ => io_free = true,
+        let std::cmp::Reverse(event) = events
+            .pop()
+            .expect("pipeline deadlocked: no runnable operator");
+        let Completion { at, id, resource } = event;
+        now = at;
+        makespan = makespan.max(at);
+        match resource {
+            ResourceClass::Cpu => cpu_free += 1,
+            ResourceClass::Npu => npu_free = true,
+            ResourceClass::Io => io_free = true,
         }
         running = running.saturating_sub(1);
         completed += 1;
@@ -389,8 +434,18 @@ mod tests {
         let seq = simulate(&plan, &config(Policy::Sequential));
         let pri = simulate(&plan, &config(Policy::Priority));
         let pre = simulate(&plan, &config(Policy::PriorityPreemptive));
-        assert!(pri.makespan < seq.makespan, "priority {} vs sequential {}", pri.makespan, seq.makespan);
-        assert!(pre.makespan <= pri.makespan, "preemptive {} vs priority {}", pre.makespan, pri.makespan);
+        assert!(
+            pri.makespan < seq.makespan,
+            "priority {} vs sequential {}",
+            pri.makespan,
+            seq.makespan
+        );
+        assert!(
+            pre.makespan <= pri.makespan,
+            "preemptive {} vs priority {}",
+            pre.makespan,
+            pri.makespan
+        );
         // Sequential is at least the sum of the two phases' bottlenecks.
         let cp = plan.critical_paths();
         assert!(seq.makespan >= cp.lower_bound());
@@ -398,11 +453,15 @@ mod tests {
 
     #[test]
     fn preemptive_schedule_is_close_to_the_lower_bound() {
-        for (model, prompt) in [(ModelSpec::qwen2_5_3b(), 256usize), (ModelSpec::llama3_8b(), 512)] {
+        for (model, prompt) in [
+            (ModelSpec::qwen2_5_3b(), 256usize),
+            (ModelSpec::llama3_8b(), 512),
+        ] {
             let plan = plan(&model, prompt, 0.2, 0.8);
             let result = simulate(&plan, &config(Policy::PriorityPreemptive));
             let bound = plan.critical_paths().lower_bound();
-            let overhead = (result.makespan.as_secs_f64() - bound.as_secs_f64()) / bound.as_secs_f64();
+            let overhead =
+                (result.makespan.as_secs_f64() - bound.as_secs_f64()) / bound.as_secs_f64();
             assert!(
                 overhead < 0.15,
                 "{}@{prompt}: makespan {} vs bound {} ({overhead:.3})",
@@ -415,7 +474,11 @@ mod tests {
 
     #[test]
     fn makespan_never_beats_the_lower_bound() {
-        for policy in [Policy::Sequential, Policy::Priority, Policy::PriorityPreemptive] {
+        for policy in [
+            Policy::Sequential,
+            Policy::Priority,
+            Policy::PriorityPreemptive,
+        ] {
             let plan = plan(&ModelSpec::tinyllama_1_1b(), 128, 0.0, 0.5);
             let result = simulate(&plan, &config(policy));
             assert!(result.makespan >= plan.critical_paths().lower_bound());
@@ -457,7 +520,8 @@ mod tests {
         let b = simulate(&plan, &config(Policy::PriorityPreemptive));
         // The same work is done regardless of the schedule.
         let total = |r: &PipelineResult| {
-            (r.busy_alloc + r.busy_load + r.busy_decrypt + r.busy_cpu_compute + r.busy_npu_compute).as_secs_f64()
+            (r.busy_alloc + r.busy_load + r.busy_decrypt + r.busy_cpu_compute + r.busy_npu_compute)
+                .as_secs_f64()
         };
         assert!((total(&a) - total(&b)).abs() < 1e-6);
     }

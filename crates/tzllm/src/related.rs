@@ -150,7 +150,10 @@ mod tests {
         let full: Vec<&ApproachRow> = rows
             .iter()
             .filter(|r| {
-                r.end_to_end_security && r.no_model_modification && r.quantization_support && r.memory_scaling
+                r.end_to_end_security
+                    && r.no_model_modification
+                    && r.quantization_support
+                    && r.memory_scaling
             })
             .collect();
         assert_eq!(full.len(), 1);

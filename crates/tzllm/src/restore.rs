@@ -35,8 +35,14 @@ pub struct RestoreRates {
 impl RestoreRates {
     /// Builds rates from the platform profile and the current CMA occupancy
     /// (fraction of the to-be-allocated range that must be migrated).
-    pub fn from_profile(profile: &tz_hal::PlatformProfile, cma_occupancy: f64, migration_threads: usize) -> Self {
-        let migration_bw = profile.cma_bandwidth_threads(migration_threads).bytes_per_sec();
+    pub fn from_profile(
+        profile: &tz_hal::PlatformProfile,
+        cma_occupancy: f64,
+        migration_threads: usize,
+    ) -> Self {
+        let migration_bw = profile
+            .cma_bandwidth_threads(migration_threads)
+            .bytes_per_sec();
         let per_byte_migration = cma_occupancy.clamp(0.0, 1.0) / migration_bw;
         let per_byte_bookkeeping = profile.page_alloc_ns as f64 * 1e-9 / tz_hal::PAGE_SIZE as f64;
         RestoreRates {
@@ -66,12 +72,18 @@ pub enum PipeOpKind {
 impl PipeOpKind {
     /// Whether this operator is a restoration operator.
     pub fn is_restoration(self) -> bool {
-        matches!(self, PipeOpKind::Alloc | PipeOpKind::Load | PipeOpKind::Decrypt)
+        matches!(
+            self,
+            PipeOpKind::Alloc | PipeOpKind::Load | PipeOpKind::Decrypt
+        )
     }
 
     /// Whether the operator runs on a CPU core.
     pub fn runs_on_cpu(self) -> bool {
-        matches!(self, PipeOpKind::Alloc | PipeOpKind::Decrypt | PipeOpKind::CpuCompute)
+        matches!(
+            self,
+            PipeOpKind::Alloc | PipeOpKind::Decrypt | PipeOpKind::CpuCompute
+        )
     }
 }
 
@@ -159,7 +171,9 @@ impl RestorePlan {
                     kind: PipeOpKind::Alloc,
                     compute_index: ci,
                     duration: rates.alloc_fixed
-                        + SimDuration::from_secs_f64(op_restore_bytes as f64 * rates.alloc_secs_per_byte),
+                        + SimDuration::from_secs_f64(
+                            op_restore_bytes as f64 * rates.alloc_secs_per_byte,
+                        ),
                     bytes: op_restore_bytes,
                     deps: last_alloc.into_iter().collect(),
                     preemptible: true,
@@ -233,7 +247,11 @@ impl RestorePlan {
     /// Total duration of all operators of a given kind (sequential sum — the
     /// critical-path inputs of Figure 12).
     pub fn total_of(&self, kind: PipeOpKind) -> SimDuration {
-        self.ops.iter().filter(|o| o.kind == kind).map(|o| o.duration).sum()
+        self.ops
+            .iter()
+            .filter(|o| o.kind == kind)
+            .map(|o| o.duration)
+            .sum()
     }
 
     /// The three candidate critical paths of §4.1: total loading time, total
@@ -326,11 +344,7 @@ mod tests {
         assert_eq!(plan.restored_bytes, graph.total_param_bytes());
         assert_eq!(plan.cached_bytes, 0);
         // Every computation op appears exactly once.
-        let comps = plan
-            .ops
-            .iter()
-            .filter(|o| !o.kind.is_restoration())
-            .count();
+        let comps = plan.ops.iter().filter(|o| !o.kind.is_restoration()).count();
         assert_eq!(comps, graph.ops.len());
     }
 
@@ -371,7 +385,10 @@ mod tests {
         let (_, long) = plan_for(&model, 512, 0);
         let cp_long = long.critical_paths();
         assert!(cp_long.compute > cp_long.io);
-        assert_eq!(cp_long.lower_bound(), cp_long.io.max(cp_long.cpu).max(cp_long.compute));
+        assert_eq!(
+            cp_long.lower_bound(),
+            cp_long.io.max(cp_long.cpu).max(cp_long.compute)
+        );
     }
 
     #[test]

@@ -1,0 +1,846 @@
+//! Multi-session serving on one TZ-LLM device.
+//!
+//! The paper evaluates one inference at a time; this module turns the same
+//! calibrated machinery into a *serving system*: a [`Server`] owns a
+//! catalogue of models, one shared [`CacheController`] per model, and the
+//! device's CPU/NPU/IO resources, and is driven by [`sim_core::Engine`]
+//! events.  Requests arrive from workload-generated arrival processes
+//! ([`workloads::traffic`]), wait in an admission-bounded FIFO queue, and
+//! execute through exactly the paper's request path — [`RestorePlan`] +
+//! [`crate::pipeline::simulate`] — with one crucial change: the cached
+//! fraction of the parameters is no longer a hand-set knob but is read from
+//! the **live cache controller at dispatch time**, so inter-request cache
+//! warm-up and eviction under REE memory pressure shape each request's TTFT.
+//!
+//! [`RestorePlan`]: crate::restore::RestorePlan
+//!
+//! ## Device model
+//!
+//! The device serves one request at a time (the TA owns all big cores, the
+//! NPU and the I/O engine for the duration of a request, as in the paper's
+//! prototype); concurrency shows up as queueing.  Between requests the
+//! retention policy decides how many parameter bytes stay resident in secure
+//! memory — the serving-layer realisation of §4.1's partial parameter
+//! caching:
+//!
+//! * the first request for a model always cold-starts;
+//! * after each completed request the controller retains a prefix of the
+//!   blob bounded by the policy and by the REE's memory headroom;
+//! * with [`RetentionPolicy::Adaptive`], the retained prefix *grows* with
+//!   every completed request — the server starts conservative (REE memory is
+//!   precious on a phone) and earns the right to keep more resident as
+//!   repeated traffic demonstrates reuse — so consecutive warm requests get
+//!   strictly faster until the cache saturates.
+//!
+//! The TA also stays warm between requests: only the first dispatch of a
+//! model pays the configured framework-initialisation cost; subsequent
+//! dispatches pay the checkpoint-restore cost (the TA is suspended, not torn
+//! down).
+//!
+//! ## Example
+//!
+//! ```
+//! use tz_hal::PlatformProfile;
+//! use workloads::{ArrivalProcess, WorkloadSpec};
+//! use tzllm::serving::{Server, ServingConfig};
+//!
+//! let config = ServingConfig::paper_default(PlatformProfile::rk3588());
+//! let workload = WorkloadSpec::standard(
+//!     ArrivalProcess::Poisson { rate_per_sec: 0.05 },
+//!     10,
+//!     "qwen2.5-3b",
+//! );
+//! let report = Server::run_workload(config, llm::ModelSpec::catalogue(), &workload, 42);
+//! assert_eq!(report.records.len(), 10);
+//! let fleet = &report.fleet;
+//! assert!(fleet.ttft_ms.unwrap().p99 >= fleet.ttft_ms.unwrap().p50);
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+
+use llm::ModelSpec;
+use sim_core::{Engine, EventScheduler, PercentileSummary, SimDuration, SimTime};
+use tz_hal::PlatformProfile;
+use workloads::{SessionScript, WorkloadSpec};
+
+use crate::cache::{CacheController, CachePolicy};
+use crate::pipeline::Policy;
+use crate::system::{self, InferenceConfig, InferenceReport};
+
+/// How many parameter bytes stay resident in secure memory between requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetentionPolicy {
+    /// Release everything after each request (every request cold-starts).
+    ReleaseAll,
+    /// Keep a fixed fraction of the blob resident.
+    Fixed(f64),
+    /// Keep everything resident (no REE memory pressure).
+    KeepAll,
+    /// Start at zero and grow the retained prefix by `step_fraction` of the
+    /// blob with each completed request, up to the REE memory headroom:
+    /// retention is *earned* by demonstrated reuse, so a request sequence
+    /// warms up gradually instead of pinning a whole model after one hit.
+    Adaptive {
+        /// Fraction of the blob added to the retention target per completion.
+        step_fraction: f64,
+    },
+}
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Platform calibration.
+    pub profile: PlatformProfile,
+    /// Pipeline scheduling policy used for every dispatched request.
+    pub policy: Policy,
+    /// Whether the framework-state checkpoint exists for the *first* dispatch
+    /// of each model (later dispatches always restore from the warm TA).
+    pub use_checkpoint: bool,
+    /// REE memory pressure in bytes (drives CMA migration cost and bounds
+    /// adaptive retention).
+    pub memory_pressure: u64,
+    /// Admission policy: arrivals beyond this many waiting requests are
+    /// rejected.
+    pub max_queue_depth: usize,
+    /// Inter-request cache retention policy.
+    pub retention: RetentionPolicy,
+}
+
+impl ServingConfig {
+    /// The default serving setup on the paper's testbed: preemptive
+    /// pipelining, checkpoints on, 8 GiB of REE pressure, a 64-deep queue and
+    /// adaptive retention in 25 % steps.
+    pub fn paper_default(profile: PlatformProfile) -> Self {
+        ServingConfig {
+            profile,
+            policy: Policy::PriorityPreemptive,
+            use_checkpoint: true,
+            memory_pressure: 8 * sim_core::GIB,
+            max_queue_depth: 64,
+            retention: RetentionPolicy::Adaptive {
+                step_fraction: 0.25,
+            },
+        }
+    }
+}
+
+/// One serving request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Dense id in submission order.
+    pub id: u64,
+    /// Session the request belongs to.
+    pub session: u64,
+    /// Catalogue model name.
+    pub model: String,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Tokens to generate.
+    pub output_len: usize,
+}
+
+/// The full latency record of one completed request.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// The request.
+    pub request: Request,
+    /// When it arrived.
+    pub arrival: SimTime,
+    /// When the device started serving it.
+    pub dispatched: SimTime,
+    /// When its first token was produced (end-to-end TTFT = this − arrival).
+    pub first_token: SimTime,
+    /// When its last token was produced.
+    pub completed: SimTime,
+    /// Fraction of the parameters that were resident when it was dispatched.
+    pub cached_fraction: f64,
+    /// The per-request evaluation (service-time TTFT, decode speed, breakdown).
+    pub report: InferenceReport,
+}
+
+impl RequestRecord {
+    /// Time spent waiting in the queue.
+    pub fn queue_wait(&self) -> SimDuration {
+        self.dispatched.saturating_since(self.arrival)
+    }
+
+    /// End-to-end TTFT as the user sees it (queueing included).
+    pub fn ttft_e2e(&self) -> SimDuration {
+        self.first_token.saturating_since(self.arrival)
+    }
+}
+
+/// Fleet-level statistics over one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Completed requests.
+    pub completed: usize,
+    /// Requests rejected by admission control.
+    pub rejected: usize,
+    /// Completion time of the last request.
+    pub horizon: SimTime,
+    /// Completed requests per second of simulated time.
+    pub throughput_rps: f64,
+    /// End-to-end TTFT (arrival → first token), milliseconds.
+    pub ttft_ms: Option<PercentileSummary>,
+    /// Service TTFT (dispatch → first token), milliseconds.
+    pub service_ttft_ms: Option<PercentileSummary>,
+    /// Queue wait, milliseconds.
+    pub queue_wait_ms: Option<PercentileSummary>,
+    /// Time-weighted mean number of waiting requests.
+    pub mean_queue_depth: f64,
+    /// Maximum number of waiting requests.
+    pub max_queue_depth: usize,
+    /// Mean cached fraction observed at dispatch (the cache hit-fraction).
+    pub mean_cached_fraction: f64,
+    /// Dispatches that found a completely cold cache.
+    pub cold_starts: usize,
+    /// Mean decode speed across requests, tokens/s.
+    pub mean_decode_tps: f64,
+}
+
+/// Everything a serving run produced.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Per-request records in completion order.
+    pub records: Vec<RequestRecord>,
+    /// Requests rejected by admission control, in arrival order.
+    pub rejected: Vec<Request>,
+    /// Fleet-level statistics.
+    pub fleet: FleetStats,
+}
+
+struct ModelEntry {
+    spec: ModelSpec,
+    cache: CacheController,
+    /// Current adaptive retention target in bytes.
+    retained_target: u64,
+    /// Whether the TA for this model has dispatched at least once (warm).
+    warm: bool,
+}
+
+struct ServerState {
+    config: ServingConfig,
+    models: BTreeMap<String, ModelEntry>,
+    queue: VecDeque<(Request, SimTime)>,
+    busy: bool,
+    records: Vec<RequestRecord>,
+    rejected: Vec<Request>,
+    /// Session scripts with per-session cursors (closed-loop continuations).
+    scripts: Vec<SessionScript>,
+    cursors: Vec<usize>,
+    next_id: u64,
+    // Time-weighted queue-depth accounting.
+    depth_integral: f64,
+    depth_last_change: SimTime,
+    max_depth: usize,
+}
+
+impl ServerState {
+    fn note_depth(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.depth_last_change).as_secs_f64();
+        self.depth_integral += self.queue.len() as f64 * dt;
+        self.depth_last_change = now;
+        self.max_depth = self.max_depth.max(self.queue.len());
+    }
+}
+
+fn on_arrival(state: &mut ServerState, sched: &mut EventScheduler<ServerState>, request: Request) {
+    state.note_depth(sched.now());
+    if state.queue.len() >= state.config.max_queue_depth {
+        // The session lives on even though this request was turned away: a
+        // closed-loop user sees the rejection immediately, thinks, and sends
+        // their next request.
+        let session = request.session;
+        state.rejected.push(request);
+        schedule_session_continuation(state, sched, session);
+    } else {
+        state.queue.push_back((request, sched.now()));
+        state.note_depth(sched.now());
+    }
+    try_dispatch(state, sched);
+}
+
+/// Schedules the next scripted request of `session`, if any remains — one
+/// think-time after the point the session observed its previous outcome
+/// (response completion or admission rejection).
+fn schedule_session_continuation(
+    state: &mut ServerState,
+    sched: &mut EventScheduler<ServerState>,
+    session: u64,
+) {
+    if let Some(script_idx) = state.scripts.iter().position(|s| s.session == session) {
+        let cursor = state.cursors[script_idx];
+        if let Some(next) = state.scripts[script_idx].requests.get(cursor) {
+            state.cursors[script_idx] += 1;
+            let request = Request {
+                id: state.next_id,
+                session,
+                model: next.model.clone(),
+                prompt_len: next.prompt_len,
+                output_len: next.output_len,
+            };
+            state.next_id += 1;
+            let at = sched.now() + next.delay;
+            sched.schedule_at(at, move |state, sched| on_arrival(state, sched, request));
+        }
+    }
+}
+
+fn try_dispatch(state: &mut ServerState, sched: &mut EventScheduler<ServerState>) {
+    if state.busy {
+        return;
+    }
+    let now = sched.now();
+    state.note_depth(now);
+    let Some((request, arrival)) = state.queue.pop_front() else {
+        return;
+    };
+    state.note_depth(now);
+    state.busy = true;
+
+    let entry = state
+        .models
+        .get_mut(&request.model)
+        .expect("submit validated the model name");
+
+    // The serving-path cache wiring: the cached fraction comes from the live
+    // controller, not a knob.
+    let mut config =
+        InferenceConfig::from_cache(entry.spec.clone(), request.prompt_len, &entry.cache);
+    config.output_len = request.output_len;
+    config.memory_pressure = state.config.memory_pressure;
+    config.policy = state.config.policy;
+
+    // A warm TA restores its suspended framework state; a cold one needs the
+    // checkpoint (if it exists) or a full framework initialisation.
+    let framework_init = if entry.warm || state.config.use_checkpoint {
+        state.config.profile.checkpoint_restore
+    } else {
+        state.config.profile.framework_init_total()
+    };
+    entry.warm = true;
+
+    let cached_fraction = config.cached_fraction;
+    let report = system::evaluate_service(&state.config.profile, &config, framework_init);
+
+    let first_token = now + report.ttft;
+    // The first output token is produced by the prefill (that is what TTFT
+    // measures); decoding generates the remaining output_len - 1 tokens.
+    let remaining_tokens = request.output_len.saturating_sub(1);
+    let decode_time =
+        SimDuration::from_secs_f64(remaining_tokens as f64 / report.decode_tokens_per_sec);
+    let completed = first_token + decode_time;
+
+    let record = RequestRecord {
+        request,
+        arrival,
+        dispatched: now,
+        first_token,
+        completed,
+        cached_fraction,
+        report,
+    };
+    sched.schedule_at(completed, move |state, sched| {
+        on_complete(state, sched, record)
+    });
+}
+
+fn on_complete(
+    state: &mut ServerState,
+    sched: &mut EventScheduler<ServerState>,
+    record: RequestRecord,
+) {
+    let session = record.request.session;
+    {
+        let config = &state.config;
+        let entry = state
+            .models
+            .get_mut(&record.request.model)
+            .expect("model entry exists");
+        // All parameters are resident right after an inference; the retention
+        // policy then decides what survives until the next dispatch.
+        entry.cache.on_inference_complete();
+        let total = entry.cache.total_bytes();
+        let headroom = config
+            .profile
+            .dram_bytes
+            .saturating_sub(config.memory_pressure);
+        let target = match config.retention {
+            RetentionPolicy::ReleaseAll => 0,
+            RetentionPolicy::Fixed(fraction) => {
+                ((total as f64 * fraction.clamp(0.0, 1.0)) as u64).min(headroom)
+            }
+            RetentionPolicy::KeepAll => total,
+            RetentionPolicy::Adaptive { step_fraction } => {
+                let step = (total as f64 * step_fraction.clamp(0.0, 1.0)) as u64;
+                entry
+                    .retained_target
+                    .saturating_add(step)
+                    .min(total)
+                    .min(headroom)
+            }
+        };
+        entry.retained_target = target;
+        entry
+            .cache
+            .apply_policy(CachePolicy::MemoryHeadroom(target));
+    }
+    state.records.push(record);
+    state.busy = false;
+
+    // Closed-loop continuation: the session thinks, then sends its next
+    // request.
+    schedule_session_continuation(state, sched, session);
+
+    try_dispatch(state, sched);
+}
+
+/// A multi-session TZ-LLM serving instance.
+pub struct Server {
+    engine: Engine<ServerState>,
+}
+
+impl Server {
+    /// Creates a server over a model catalogue. Each model gets its own cold
+    /// [`CacheController`].
+    pub fn new(config: ServingConfig, catalogue: Vec<ModelSpec>) -> Server {
+        let models = catalogue
+            .into_iter()
+            .map(|spec| {
+                let total = spec.total_q8_bytes();
+                (
+                    spec.name.clone(),
+                    ModelEntry {
+                        spec,
+                        cache: CacheController::new(total),
+                        retained_target: 0,
+                        warm: false,
+                    },
+                )
+            })
+            .collect();
+        Server {
+            engine: Engine::new(ServerState {
+                config,
+                models,
+                queue: VecDeque::new(),
+                busy: false,
+                records: Vec::new(),
+                rejected: Vec::new(),
+                scripts: Vec::new(),
+                cursors: Vec::new(),
+                next_id: 0,
+                depth_integral: 0.0,
+                depth_last_change: SimTime::ZERO,
+                max_depth: 0,
+            }),
+        }
+    }
+
+    /// Seeds the cache of `model` with `cached_bytes` resident parameter
+    /// bytes (clamped to the model size).
+    ///
+    /// # Panics
+    /// Panics if `model` is not in the catalogue.
+    pub fn seed_cache(&mut self, model: &str, cached_bytes: u64) {
+        let state = self.engine.state_mut();
+        let entry = state
+            .models
+            .get_mut(model)
+            .unwrap_or_else(|| panic!("unknown model {model:?}"));
+        entry.cache.seed(cached_bytes);
+        entry.retained_target = entry.cache.cached_bytes();
+    }
+
+    /// Submits one request arriving at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if the model is not in the catalogue.
+    pub fn submit_at(
+        &mut self,
+        at: SimTime,
+        session: u64,
+        model: &str,
+        prompt_len: usize,
+        output_len: usize,
+    ) {
+        let state = self.engine.state_mut();
+        assert!(state.models.contains_key(model), "unknown model {model:?}");
+        let request = Request {
+            id: state.next_id,
+            session,
+            model: model.to_string(),
+            prompt_len,
+            output_len,
+        };
+        state.next_id += 1;
+        self.engine
+            .schedule_at(at, move |state, sched| on_arrival(state, sched, request));
+    }
+
+    /// Submits a session script: the first request is scheduled at its
+    /// `delay` from time zero, each later request one think-time after the
+    /// session's previous response completes.
+    ///
+    /// # Panics
+    /// Panics if any scripted request names a model outside the catalogue, or
+    /// if a script with the same session id was already submitted (session
+    /// continuations are resolved by id, so ids must be unique — renumber
+    /// when merging several workloads onto one server).
+    pub fn submit_script(&mut self, script: SessionScript) {
+        let state = self.engine.state_mut();
+        assert!(
+            state.scripts.iter().all(|s| s.session != script.session),
+            "duplicate session id {}: renumber scripts when merging workloads",
+            script.session
+        );
+        for r in &script.requests {
+            assert!(
+                state.models.contains_key(&r.model),
+                "unknown model {:?} in session {}",
+                r.model,
+                script.session
+            );
+        }
+        let Some(first) = script.requests.first().cloned() else {
+            return;
+        };
+        let session = script.session;
+        let request = Request {
+            id: state.next_id,
+            session,
+            model: first.model.clone(),
+            prompt_len: first.prompt_len,
+            output_len: first.output_len,
+        };
+        state.next_id += 1;
+        state.scripts.push(SessionScript {
+            session,
+            requests: script.requests,
+        });
+        state.cursors.push(1); // the first request is scheduled below
+        self.engine
+            .schedule_at(SimTime::ZERO + first.delay, move |state, sched| {
+                on_arrival(state, sched, request)
+            });
+    }
+
+    /// Runs the simulation to completion and summarises the fleet.
+    pub fn run(mut self) -> ServingReport {
+        self.engine.run_to_completion();
+        let state = self.engine.into_state();
+        let fleet = fleet_stats(&state);
+        ServingReport {
+            records: state.records,
+            rejected: state.rejected,
+            fleet,
+        }
+    }
+
+    /// Convenience: generate `workload` with `seed`, submit every session and
+    /// run to completion.
+    pub fn run_workload(
+        config: ServingConfig,
+        catalogue: Vec<ModelSpec>,
+        workload: &WorkloadSpec,
+        seed: u64,
+    ) -> ServingReport {
+        let mut server = Server::new(config, catalogue);
+        for script in workload.generate(seed) {
+            server.submit_script(script);
+        }
+        server.run()
+    }
+}
+
+fn fleet_stats(state: &ServerState) -> FleetStats {
+    let records = &state.records;
+    let horizon = records
+        .iter()
+        .map(|r| r.completed)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let ms = |v: Vec<f64>| PercentileSummary::from_values(&v);
+    let ttft: Vec<f64> = records
+        .iter()
+        .map(|r| r.ttft_e2e().as_millis_f64())
+        .collect();
+    let service: Vec<f64> = records
+        .iter()
+        .map(|r| r.report.ttft.as_millis_f64())
+        .collect();
+    let wait: Vec<f64> = records
+        .iter()
+        .map(|r| r.queue_wait().as_millis_f64())
+        .collect();
+    let horizon_secs = horizon.as_secs_f64();
+    FleetStats {
+        completed: records.len(),
+        rejected: state.rejected.len(),
+        horizon,
+        throughput_rps: if horizon_secs > 0.0 {
+            records.len() as f64 / horizon_secs
+        } else {
+            0.0
+        },
+        ttft_ms: ms(ttft),
+        service_ttft_ms: ms(service),
+        queue_wait_ms: ms(wait),
+        mean_queue_depth: if horizon_secs > 0.0 {
+            state.depth_integral / horizon_secs
+        } else {
+            0.0
+        },
+        max_queue_depth: state.max_depth,
+        mean_cached_fraction: if records.is_empty() {
+            0.0
+        } else {
+            records.iter().map(|r| r.cached_fraction).sum::<f64>() / records.len() as f64
+        },
+        cold_starts: records.iter().filter(|r| r.cached_fraction == 0.0).count(),
+        mean_decode_tps: if records.is_empty() {
+            0.0
+        } else {
+            records
+                .iter()
+                .map(|r| r.report.decode_tokens_per_sec)
+                .sum::<f64>()
+                / records.len() as f64
+        },
+    }
+}
+
+/// Runs one request through a one-model serving instance — the serving-path
+/// implementation behind [`crate::system::evaluate_tzllm`].
+pub fn single_request(profile: &PlatformProfile, config: &InferenceConfig) -> InferenceReport {
+    let serving_config = ServingConfig {
+        profile: profile.clone(),
+        policy: config.policy,
+        use_checkpoint: config.use_checkpoint,
+        memory_pressure: config.memory_pressure,
+        max_queue_depth: 1,
+        retention: RetentionPolicy::ReleaseAll,
+    };
+    let mut server = Server::new(serving_config, vec![config.model.clone()]);
+    // Seed in the controller's own unit (the model's Q8 blob size) so the
+    // fraction read back at dispatch equals the configured knob exactly.
+    let seed_bytes =
+        (config.model.total_q8_bytes() as f64 * config.cached_fraction.clamp(0.0, 1.0)) as u64;
+    server.seed_cache(&config.model.name, seed_bytes);
+    server.submit_at(
+        SimTime::ZERO,
+        0,
+        &config.model.name,
+        config.prompt_len,
+        config.output_len,
+    );
+    let report = server.run();
+    report
+        .records
+        .into_iter()
+        .next()
+        .expect("the single request completes")
+        .report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::ArrivalProcess;
+
+    fn catalogue() -> Vec<ModelSpec> {
+        vec![ModelSpec::qwen2_5_3b()]
+    }
+
+    fn quiet_poisson(requests: usize) -> WorkloadSpec {
+        WorkloadSpec::standard(
+            ArrivalProcess::Poisson { rate_per_sec: 0.02 },
+            requests,
+            "qwen2.5-3b",
+        )
+    }
+
+    #[test]
+    fn all_requests_complete_under_light_load() {
+        let report = Server::run_workload(
+            ServingConfig::paper_default(PlatformProfile::rk3588()),
+            catalogue(),
+            &quiet_poisson(12),
+            1,
+        );
+        assert_eq!(report.fleet.completed, 12);
+        assert_eq!(report.fleet.rejected, 0);
+        // Light load: hardly any queueing, so e2e TTFT ~= service TTFT.
+        let e2e = report.fleet.ttft_ms.unwrap();
+        let service = report.fleet.service_ttft_ms.unwrap();
+        assert!(e2e.p50 >= service.p50);
+    }
+
+    #[test]
+    fn adaptive_retention_warms_the_cache() {
+        let mut config = ServingConfig::paper_default(PlatformProfile::rk3588());
+        config.retention = RetentionPolicy::Adaptive {
+            step_fraction: 0.25,
+        };
+        let report = Server::run_workload(config, catalogue(), &quiet_poisson(8), 3);
+        let fractions: Vec<f64> = report.records.iter().map(|r| r.cached_fraction).collect();
+        assert_eq!(fractions[0], 0.0, "first request must be cold");
+        // Warm-up: strictly increasing until saturation.
+        assert!(fractions[1] > 0.0);
+        assert!(report.fleet.mean_cached_fraction > 0.3);
+        assert_eq!(report.fleet.cold_starts, 1);
+        // Warm requests are faster than the cold one.
+        let cold = report.records[0].report.ttft;
+        let last = report.records.last().unwrap().report.ttft;
+        assert!(last < cold, "warm {last} vs cold {cold}");
+    }
+
+    #[test]
+    fn release_all_means_every_request_cold_starts() {
+        let mut config = ServingConfig::paper_default(PlatformProfile::rk3588());
+        config.retention = RetentionPolicy::ReleaseAll;
+        let report = Server::run_workload(config, catalogue(), &quiet_poisson(5), 3);
+        assert_eq!(report.fleet.cold_starts, 5);
+    }
+
+    #[test]
+    fn overload_rejects_beyond_queue_depth() {
+        let mut config = ServingConfig::paper_default(PlatformProfile::rk3588());
+        config.max_queue_depth = 2;
+        let mut server = Server::new(config, catalogue());
+        // A stampede of simultaneous arrivals: one dispatches, two queue, the
+        // rest are rejected.
+        for i in 0..8 {
+            server.submit_at(SimTime::ZERO, i, "qwen2.5-3b", 128, 16);
+        }
+        let report = server.run();
+        assert_eq!(report.fleet.completed, 3);
+        assert_eq!(report.fleet.rejected, 5);
+        assert_eq!(report.fleet.max_queue_depth, 2);
+    }
+
+    #[test]
+    fn queueing_inflates_e2e_ttft_not_service_ttft() {
+        let config = ServingConfig::paper_default(PlatformProfile::rk3588());
+        let mut server = Server::new(config, catalogue());
+        for i in 0..4 {
+            server.submit_at(SimTime::ZERO, i, "qwen2.5-3b", 128, 8);
+        }
+        let report = server.run();
+        // Completion order follows FIFO dispatch order.
+        let waits: Vec<SimDuration> = report.records.iter().map(|r| r.queue_wait()).collect();
+        assert_eq!(waits[0], SimDuration::ZERO);
+        for w in waits.windows(2) {
+            assert!(w[1] > w[0], "{:?}", waits);
+        }
+        let e2e = report.fleet.ttft_ms.unwrap();
+        let service = report.fleet.service_ttft_ms.unwrap();
+        assert!(e2e.max > service.max);
+    }
+
+    #[test]
+    fn closed_loop_sessions_interleave_on_one_device() {
+        let config = ServingConfig::paper_default(PlatformProfile::rk3588());
+        let workload = WorkloadSpec::standard(
+            ArrivalProcess::ClosedLoop {
+                sessions: 3,
+                mean_think: SimDuration::from_secs(5),
+            },
+            9,
+            "qwen2.5-3b",
+        );
+        let report = Server::run_workload(config, catalogue(), &workload, 17);
+        assert_eq!(report.fleet.completed, 9);
+        // All three sessions made progress.
+        for s in 0..3u64 {
+            assert_eq!(
+                report
+                    .records
+                    .iter()
+                    .filter(|r| r.request.session == s)
+                    .count(),
+                3
+            );
+        }
+        // Requests of one session never overlap: its n-th request arrives
+        // after its (n-1)-th completed.
+        for s in 0..3u64 {
+            let mut last_completed = SimTime::ZERO;
+            for r in report.records.iter().filter(|r| r.request.session == s) {
+                assert!(r.arrival >= last_completed);
+                last_completed = r.completed;
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_closed_loop_requests_do_not_kill_their_session() {
+        let mut config = ServingConfig::paper_default(PlatformProfile::rk3588());
+        config.max_queue_depth = 1;
+        // 6 sessions stampede a queue of depth 1: early first-requests are
+        // rejected, but every session must still play out its full script.
+        let workload = WorkloadSpec::standard(
+            ArrivalProcess::ClosedLoop {
+                sessions: 6,
+                mean_think: SimDuration::from_millis(10),
+            },
+            18,
+            "qwen2.5-3b",
+        );
+        let report = Server::run_workload(config, catalogue(), &workload, 9);
+        assert!(
+            report.fleet.rejected > 0,
+            "the stampede must overflow the queue"
+        );
+        assert_eq!(
+            report.fleet.completed + report.fleet.rejected,
+            18,
+            "every scripted request is either served or rejected — none vanish"
+        );
+    }
+
+    #[test]
+    fn completion_frees_the_device_after_the_last_token_only() {
+        // output_len = 1: the single output token is the prefill's first
+        // token, so the device is free again exactly at first_token.
+        let config = ServingConfig::paper_default(PlatformProfile::rk3588());
+        let mut server = Server::new(config, catalogue());
+        server.submit_at(SimTime::ZERO, 0, "qwen2.5-3b", 128, 1);
+        let report = server.run();
+        let r = &report.records[0];
+        assert_eq!(r.completed, r.first_token);
+
+        // output_len = 9: eight more tokens decode after the first.
+        let config = ServingConfig::paper_default(PlatformProfile::rk3588());
+        let mut server = Server::new(config, catalogue());
+        server.submit_at(SimTime::ZERO, 0, "qwen2.5-3b", 128, 9);
+        let report = server.run();
+        let r = &report.records[0];
+        let decode = r.completed.saturating_since(r.first_token);
+        let expected = SimDuration::from_secs_f64(8.0 / r.report.decode_tokens_per_sec);
+        let diff = (decode.as_secs_f64() - expected.as_secs_f64()).abs();
+        assert!(diff < 1e-9, "decode {decode} vs expected {expected}");
+    }
+
+    #[test]
+    fn multi_model_catalogue_keeps_separate_caches() {
+        let config = ServingConfig::paper_default(PlatformProfile::rk3588());
+        let mut server = Server::new(
+            config,
+            vec![ModelSpec::tinyllama_1_1b(), ModelSpec::qwen2_5_3b()],
+        );
+        // Alternate between the two models; each model's *own* second request
+        // should be warm.
+        let t = |s| SimTime::from_secs(s);
+        server.submit_at(t(0), 0, "tinyllama-1.1b", 64, 8);
+        server.submit_at(t(200), 1, "qwen2.5-3b", 64, 8);
+        server.submit_at(t(400), 2, "tinyllama-1.1b", 64, 8);
+        server.submit_at(t(600), 3, "qwen2.5-3b", 64, 8);
+        let report = server.run();
+        assert_eq!(report.fleet.completed, 4);
+        assert_eq!(report.fleet.cold_starts, 2, "one cold start per model");
+        assert!(report.records[2].cached_fraction > 0.0);
+        assert!(report.records[3].cached_fraction > 0.0);
+    }
+}

@@ -23,7 +23,11 @@ pub enum Benchmark {
 impl Benchmark {
     /// All benchmarks in the order the figures plot them.
     pub fn all() -> [Benchmark; 3] {
-        [Benchmark::UltraChat, Benchmark::PersonaChat, Benchmark::DroidTask]
+        [
+            Benchmark::UltraChat,
+            Benchmark::PersonaChat,
+            Benchmark::DroidTask,
+        ]
     }
 
     /// Short label used in figures (UC / PC / DT).
@@ -97,7 +101,8 @@ impl Benchmark {
         let mut out = String::new();
         // ~4 tokens per fragment word group with the default merges.
         while out.split_whitespace().count() < tokens {
-            out.push_str(*rng.choose(fragments));
+            let fragment = *rng.choose(fragments);
+            out.push_str(fragment);
             out.push_str(". ");
         }
         out
@@ -144,7 +149,7 @@ mod tests {
         let mut rng = DetRng::new(9);
         let text = Benchmark::DroidTask.synthetic_prompt(100, &mut rng);
         let words = text.split_whitespace().count();
-        assert!(words >= 100 && words < 140, "words = {words}");
+        assert!((100..140).contains(&words), "words = {words}");
     }
 
     #[test]

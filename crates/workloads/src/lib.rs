@@ -8,13 +8,17 @@
 //!   calibrated stage-2 and CPU-steal sensitivities (Figures 2 and 16).
 //! * [`nn_apps`] — YOLOv5 / MobileNet NPU job profiles (Figure 15).
 //! * [`stress`] — the stress-ng-like memory-pressure generator.
+//! * [`traffic`] — serving arrival processes (Poisson / bursty / closed-loop
+//!   session patterns) over the benchmark prompt distributions.
 
 pub mod benchmarks;
 pub mod geekbench;
 pub mod nn_apps;
 pub mod stress;
+pub mod traffic;
 
 pub use benchmarks::Benchmark;
 pub use geekbench::{mean_overhead, suite as geekbench_suite, Subtest};
 pub use nn_apps::NnApp;
 pub use stress::MemoryStress;
+pub use traffic::{ArrivalProcess, ScriptedRequest, SessionScript, WorkloadSpec};

@@ -56,9 +56,18 @@ mod tests {
 
     #[test]
     fn worst_case_pressures_match_the_paper() {
-        assert_eq!(MemoryStress::worst_case_for("tinyllama-1.1b").pressure_bytes, 13 * GIB);
-        assert_eq!(MemoryStress::worst_case_for("llama-3-8b").pressure_bytes, 6 * GIB);
-        assert_eq!(MemoryStress::worst_case_for("unknown").pressure_bytes, 8 * GIB);
+        assert_eq!(
+            MemoryStress::worst_case_for("tinyllama-1.1b").pressure_bytes,
+            13 * GIB
+        );
+        assert_eq!(
+            MemoryStress::worst_case_for("llama-3-8b").pressure_bytes,
+            6 * GIB
+        );
+        assert_eq!(
+            MemoryStress::worst_case_for("unknown").pressure_bytes,
+            8 * GIB
+        );
         assert_eq!(MemoryStress::none().pressure_bytes, 0);
     }
 

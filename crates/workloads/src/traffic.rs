@@ -1,0 +1,338 @@
+//! Serving traffic generators.
+//!
+//! The paper evaluates TZ-LLM one inference at a time; the serving layer
+//! (`tzllm::serving`) instead drives the device with a *stream* of requests.
+//! This module turns the existing benchmark prompt distributions
+//! ([`Benchmark`]) into arrival processes:
+//!
+//! * [`ArrivalProcess::Poisson`] — open-loop, exponentially distributed
+//!   inter-arrival times (independent users hitting the device);
+//! * [`ArrivalProcess::Bursty`] — open-loop, Poisson-spaced *bursts* of
+//!   back-to-back requests (notification fan-outs, screen-on surges);
+//! * [`ArrivalProcess::ClosedLoop`] — a fixed population of sessions, each
+//!   submitting its next request one think-time after the previous response
+//!   finished (interactive chat users).
+//!
+//! All randomness is drawn up-front from a [`DetRng`] seeded explicitly, so a
+//! workload is fully described by `(spec, seed)`: generating it twice yields
+//! byte-identical session scripts, which the serving layer's deterministic
+//! replay test relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{Benchmark, traffic::{ArrivalProcess, WorkloadSpec}};
+//!
+//! let spec = WorkloadSpec {
+//!     process: ArrivalProcess::Poisson { rate_per_sec: 0.5 },
+//!     requests: 20,
+//!     models: vec!["qwen2.5-3b".into()],
+//!     mix: vec![(Benchmark::UltraChat, 0.7), (Benchmark::PersonaChat, 0.3)],
+//! };
+//! let a = spec.generate(42);
+//! let b = spec.generate(42);
+//! assert_eq!(a, b); // same seed, same traffic
+//! assert_eq!(a.iter().map(|s| s.requests.len()).sum::<usize>(), 20);
+//! ```
+
+use sim_core::{DetRng, SimDuration, SimTime};
+
+use crate::benchmarks::Benchmark;
+
+/// How request arrivals are spaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Open-loop Poisson arrivals at `rate_per_sec` requests per second.
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_per_sec: f64,
+    },
+    /// Open-loop bursts: burst *starts* are Poisson at `bursts_per_sec`, and
+    /// each burst delivers `burst_size` requests spaced `intra_gap` apart.
+    Bursty {
+        /// Mean burst arrival rate in bursts per second.
+        bursts_per_sec: f64,
+        /// Requests per burst.
+        burst_size: usize,
+        /// Gap between consecutive requests inside one burst.
+        intra_gap: SimDuration,
+    },
+    /// Closed-loop: `sessions` concurrent users, each waiting a think time
+    /// (exponential with mean `mean_think`) after a response before sending
+    /// the next request.
+    ClosedLoop {
+        /// Number of concurrent sessions.
+        sessions: usize,
+        /// Mean think time between a response and the next request.
+        mean_think: SimDuration,
+    },
+}
+
+/// A complete workload description: arrival process, request budget, and what
+/// each request looks like (model, benchmark-derived prompt/output lengths).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Arrival process.
+    pub process: ArrivalProcess,
+    /// Total number of requests across all sessions.
+    pub requests: usize,
+    /// Catalogue model names to draw from, uniformly. Must be non-empty.
+    pub models: Vec<String>,
+    /// Benchmark mix with relative weights. Must be non-empty; weights are
+    /// normalised internally.
+    pub mix: Vec<(Benchmark, f64)>,
+}
+
+/// One scripted request of a session: everything the serving layer needs to
+/// know, decided ahead of time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptedRequest {
+    /// Delay before this request is issued: for the first request of a
+    /// session, measured from simulation start; for subsequent requests,
+    /// from the completion of the session's previous response (think time).
+    pub delay: SimDuration,
+    /// Catalogue model name this request targets.
+    pub model: String,
+    /// Benchmark the prompt was drawn from.
+    pub benchmark: Benchmark,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Output length in tokens.
+    pub output_len: usize,
+}
+
+/// The scripted lifetime of one session.
+///
+/// Open-loop processes produce one single-request session per arrival (each
+/// request is an independent user); the closed-loop process produces
+/// `sessions` scripts with many requests each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionScript {
+    /// Session identifier, dense from zero.
+    pub session: u64,
+    /// The session's requests in order.
+    pub requests: Vec<ScriptedRequest>,
+}
+
+impl WorkloadSpec {
+    /// Generates the deterministic session scripts for this workload.
+    ///
+    /// # Panics
+    /// Panics if `models` or `mix` is empty, or if a rate is non-positive.
+    pub fn generate(&self, seed: u64) -> Vec<SessionScript> {
+        assert!(!self.models.is_empty(), "workload needs at least one model");
+        assert!(!self.mix.is_empty(), "workload needs a benchmark mix");
+        let mut rng = DetRng::new(seed);
+        match self.process {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                assert!(rate_per_sec > 0.0, "Poisson rate must be positive");
+                let mut at = 0.0f64;
+                (0..self.requests)
+                    .map(|i| {
+                        at += rng.gen_exp(1.0 / rate_per_sec);
+                        let mut req = self.draw_request(&mut rng);
+                        req.delay = SimDuration::from_secs_f64(at);
+                        SessionScript {
+                            session: i as u64,
+                            requests: vec![req],
+                        }
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Bursty {
+                bursts_per_sec,
+                burst_size,
+                intra_gap,
+            } => {
+                assert!(bursts_per_sec > 0.0, "burst rate must be positive");
+                assert!(burst_size > 0, "bursts must contain requests");
+                let mut scripts = Vec::with_capacity(self.requests);
+                let mut burst_start = 0.0f64;
+                while scripts.len() < self.requests {
+                    burst_start += rng.gen_exp(1.0 / bursts_per_sec);
+                    for k in 0..burst_size {
+                        if scripts.len() >= self.requests {
+                            break;
+                        }
+                        let mut req = self.draw_request(&mut rng);
+                        req.delay = SimDuration::from_secs_f64(burst_start) + intra_gap * k as u64;
+                        scripts.push(SessionScript {
+                            session: scripts.len() as u64,
+                            requests: vec![req],
+                        });
+                    }
+                }
+                scripts
+            }
+            ArrivalProcess::ClosedLoop {
+                sessions,
+                mean_think,
+            } => {
+                assert!(sessions > 0, "closed loop needs at least one session");
+                let per_session = self.requests.div_ceil(sessions);
+                (0..sessions)
+                    .map(|s| {
+                        let budget = per_session.min(self.requests.saturating_sub(s * per_session));
+                        let requests = (0..budget)
+                            .map(|i| {
+                                let mut req = self.draw_request(&mut rng);
+                                req.delay = if i == 0 {
+                                    // Stagger session starts a little so the
+                                    // opening stampede is not a single instant.
+                                    SimDuration::from_secs_f64(
+                                        rng.gen_exp(mean_think.as_secs_f64().max(1e-9) / 4.0),
+                                    )
+                                } else {
+                                    SimDuration::from_secs_f64(
+                                        rng.gen_exp(mean_think.as_secs_f64().max(1e-9)),
+                                    )
+                                };
+                                req
+                            })
+                            .collect();
+                        SessionScript {
+                            session: s as u64,
+                            requests,
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Draws one request (model, benchmark, prompt/output lengths); the
+    /// caller fills in `delay`.
+    fn draw_request(&self, rng: &mut DetRng) -> ScriptedRequest {
+        let model = rng.choose(&self.models).clone();
+        let benchmark = self.pick_benchmark(rng);
+        let prompt_len = benchmark.sample_prompt_lengths(1, rng)[0];
+        ScriptedRequest {
+            delay: SimDuration::ZERO,
+            model,
+            benchmark,
+            prompt_len,
+            output_len: benchmark.output_len(),
+        }
+    }
+
+    fn pick_benchmark(&self, rng: &mut DetRng) -> Benchmark {
+        let total: f64 = self.mix.iter().map(|&(_, w)| w.max(0.0)).sum();
+        let mut draw = rng.next_f64() * total;
+        for &(b, w) in &self.mix {
+            draw -= w.max(0.0);
+            if draw <= 0.0 {
+                return b;
+            }
+        }
+        self.mix.last().expect("mix is non-empty").0
+    }
+
+    /// An equal-weight UltraChat/PersonaChat/DroidTask mix over one model —
+    /// the default fleet workload of the serving benchmarks.
+    pub fn standard(process: ArrivalProcess, requests: usize, model: &str) -> WorkloadSpec {
+        WorkloadSpec {
+            process,
+            requests,
+            models: vec![model.to_string()],
+            mix: Benchmark::all().iter().map(|&b| (b, 1.0)).collect(),
+        }
+    }
+}
+
+/// Flattens open-loop scripts into `(arrival, request)` pairs sorted by
+/// arrival time — convenient for tests and for plotting arrival traces.
+/// Closed-loop sessions only have a defined arrival for their *first*
+/// request (later arrivals depend on response times), so those are skipped
+/// beyond the first.
+pub fn open_arrivals(scripts: &[SessionScript]) -> Vec<(SimTime, &ScriptedRequest)> {
+    let mut out: Vec<(SimTime, &ScriptedRequest)> = scripts
+        .iter()
+        .filter_map(|s| s.requests.first().map(|r| (SimTime::ZERO + r.delay, r)))
+        .collect();
+    out.sort_by_key(|&(t, _)| t);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(process: ArrivalProcess) -> WorkloadSpec {
+        WorkloadSpec::standard(process, 100, "qwen2.5-3b")
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_respected() {
+        let s = spec(ArrivalProcess::Poisson { rate_per_sec: 2.0 });
+        let scripts = s.generate(7);
+        assert_eq!(scripts.len(), 100);
+        let last = open_arrivals(&scripts).last().unwrap().0;
+        // 100 requests at 2 req/s should span ~50 s.
+        let span = last.as_secs_f64();
+        assert!(span > 30.0 && span < 75.0, "span = {span}");
+    }
+
+    #[test]
+    fn bursty_produces_back_to_back_clusters() {
+        let s = spec(ArrivalProcess::Bursty {
+            bursts_per_sec: 0.2,
+            burst_size: 5,
+            intra_gap: SimDuration::from_millis(50),
+        });
+        let scripts = s.generate(3);
+        let arrivals = open_arrivals(&scripts);
+        assert_eq!(arrivals.len(), 100);
+        // Inside a burst the gap is exactly 50 ms.
+        let gap = arrivals[1].0.saturating_since(arrivals[0].0);
+        assert_eq!(gap, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn closed_loop_splits_budget_across_sessions() {
+        let s = spec(ArrivalProcess::ClosedLoop {
+            sessions: 8,
+            mean_think: SimDuration::from_secs(4),
+        });
+        let scripts = s.generate(11);
+        assert_eq!(scripts.len(), 8);
+        let total: usize = scripts.iter().map(|x| x.requests.len()).sum();
+        assert_eq!(total, 100);
+        // Every non-first request has a positive think delay.
+        for script in &scripts {
+            for r in &script.requests[1..] {
+                assert!(r.delay > SimDuration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for process in [
+            ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+            ArrivalProcess::ClosedLoop {
+                sessions: 4,
+                mean_think: SimDuration::from_secs(2),
+            },
+        ] {
+            let s = spec(process);
+            assert_eq!(s.generate(42), s.generate(42));
+            assert_ne!(s.generate(42), s.generate(43));
+        }
+    }
+
+    #[test]
+    fn mix_weights_bias_the_draw() {
+        let s = WorkloadSpec {
+            process: ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+            requests: 300,
+            models: vec!["m".into()],
+            mix: vec![(Benchmark::UltraChat, 0.9), (Benchmark::DroidTask, 0.1)],
+        };
+        let scripts = s.generate(5);
+        let uc = scripts
+            .iter()
+            .filter(|x| x.requests[0].benchmark == Benchmark::UltraChat)
+            .count();
+        assert!(uc > 220, "uc = {uc}");
+    }
+}

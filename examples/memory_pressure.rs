@@ -42,7 +42,10 @@ fn main() {
     }
 
     println!("\nEffect on the 512-token TTFT (pipelined restoration hides most of it):\n");
-    println!("{:>12} {:>14} {:>14}", "pressure", "TZ-LLM TTFT", "REE-Flash TTFT");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "pressure", "TZ-LLM TTFT", "REE-Flash TTFT"
+    );
     for pressure_gib in [0u64, 2, 4, 6] {
         let mut cfg = InferenceConfig::paper_default(model.clone(), 512);
         cfg.memory_pressure = pressure_gib * GIB;

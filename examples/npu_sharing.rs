@@ -12,7 +12,12 @@ use sim_core::SimDuration;
 use tzllm::{LlmPhase, LlmPlacement, NpuSharingSim, SharingConfig, SharingResult};
 use workloads::NnApp;
 
-fn run(model: &ModelSpec, llm_active: bool, nn_active: bool, placement: LlmPlacement) -> SharingResult {
+fn run(
+    model: &ModelSpec,
+    llm_active: bool,
+    nn_active: bool,
+    placement: LlmPlacement,
+) -> SharingResult {
     let mut sim = NpuSharingSim::new();
     sim.run(&SharingConfig {
         model: model.clone(),
@@ -37,8 +42,14 @@ fn main() {
     let shared_ree = run(&model, true, true, LlmPlacement::Ree);
     let shared_tee = run(&model, true, true, LlmPlacement::Tee);
 
-    println!("{:<28} {:>12} {:>14}", "setup", "YOLOv5 ops/s", "LLM tokens/s");
-    println!("{:<28} {:>12.1} {:>14.2}", "YOLOv5 exclusive", nn_only.nn_ops_per_sec, 0.0);
+    println!(
+        "{:<28} {:>12} {:>14}",
+        "setup", "YOLOv5 ops/s", "LLM tokens/s"
+    );
+    println!(
+        "{:<28} {:>12.1} {:>14.2}",
+        "YOLOv5 exclusive", nn_only.nn_ops_per_sec, 0.0
+    );
     println!(
         "{:<28} {:>12.1} {:>14.2}",
         "LLM exclusive (TEE)", 0.0, llm_only.llm_tokens_per_sec

@@ -31,7 +31,10 @@ fn main() {
     );
 
     // The encrypted blob lives in the untrusted REE file system.
-    let mut fs = FileSystem::new(FlashDevice::new(sim_core::Bandwidth::from_gib_per_sec(2.0), 2.5));
+    let mut fs = FileSystem::new(FlashDevice::new(
+        sim_core::Bandwidth::from_gib_per_sec(2.0),
+        2.5,
+    ));
     fs.write_file(
         format!("{}.enc", spec.name),
         FileContent::Bytes(packed.blob.clone().expect("functional model has a blob")),
@@ -68,7 +71,11 @@ fn main() {
     // --- 4. Run a real (tiny) inference. -------------------------------------
     let tokenizer = Tokenizer::with_default_merges();
     let prompt = "please summarize the conversation";
-    let prompt_ids: Vec<usize> = tokenizer.encode(prompt).iter().map(|&t| t as usize).collect();
+    let prompt_ids: Vec<usize> = tokenizer
+        .encode(prompt)
+        .iter()
+        .map(|&t| t as usize)
+        .collect();
     let model = FunctionalModel::generate(&spec, 2026);
     let generated = model.generate_greedy(&prompt_ids, 12);
     println!("prompt {:?} -> generated token ids {:?}", prompt, generated);

@@ -1,0 +1,112 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the small API surface `benches/micro.rs` uses — [`Criterion`],
+//! [`Bencher`], [`BatchSize`], [`criterion_group!`] and [`criterion_main!`] —
+//! backed by a deliberately simple wall-clock harness: a short warm-up, then
+//! a fixed-duration measurement loop reporting the mean iteration time.  It
+//! has none of criterion's statistics, but it runs offline, supports
+//! `cargo bench`, and keeps the real benchmark bodies exercised (they are
+//! also run once under `cargo test --benches`).
+
+use std::time::{Duration, Instant};
+
+/// How a batched benchmark's setup output is sized (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few unmeasured calls.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Measures `routine` on fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            std::hint::black_box(routine(setup()));
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name:<40} (no iterations)");
+        } else {
+            let mean_ns = b.total.as_nanos() as f64 / b.iters as f64;
+            println!("{name:<40} {:>12.1} ns/iter ({} iters)", mean_ns, b.iters);
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

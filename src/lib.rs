@@ -4,9 +4,8 @@
 //! crates so the examples and integration tests can use a single dependency,
 //! and hosts those examples (`examples/`) and cross-crate tests (`tests/`).
 //!
-//! See `README.md` for the architecture overview, `DESIGN.md` for the system
-//! inventory and per-experiment index, and `EXPERIMENTS.md` for the
-//! paper-versus-measured comparison of every table and figure.
+//! See `README.md` for the architecture overview, the crate map, the serving
+//! layer's design, and how to run the examples and benchmarks.
 
 pub use llm;
 pub use npu;

@@ -7,7 +7,7 @@ use ree_kernel::{CmaPool, CmaRegion, FileContent, FileSystem, FlashDevice, TzDri
 use sim_core::{Bandwidth, GIB};
 use tee_kernel::{CheckpointStore, KeyService, SecureMemoryManager, TaRegistry};
 use tz_crypto::{HardwareUniqueKey, ModelKey, WrappedModelKey};
-use tz_hal::{DeviceId, Platform, PhysAddr, PhysRange, PlatformProfile, World};
+use tz_hal::{DeviceId, PhysAddr, PhysRange, Platform, PlatformProfile, World};
 use tzllm::{evaluate, InferenceConfig, SystemKind};
 
 fn device_fs() -> FileSystem {
@@ -54,7 +54,9 @@ fn protected_inference_lifecycle() {
 
     // Scale up enough secure memory for the whole nano model.
     let need = (packed.header.blob_bytes).div_ceil(tz_hal::PAGE_SIZE) * tz_hal::PAGE_SIZE;
-    secmem.extend_allocated(region, need, &mut tz_driver).unwrap();
+    secmem
+        .extend_allocated(region, need, &mut tz_driver)
+        .unwrap();
     secmem.extend_protected(region, need, &mut tas).unwrap();
     let protected = secmem.region(region).protected_range();
 
@@ -78,7 +80,11 @@ fn protected_inference_lifecycle() {
 
     // A functional forward pass generates deterministic tokens.
     let tokenizer = Tokenizer::with_default_merges();
-    let prompt: Vec<usize> = tokenizer.encode("open the settings app").iter().map(|&t| t as usize).collect();
+    let prompt: Vec<usize> = tokenizer
+        .encode("open the settings app")
+        .iter()
+        .map(|&t| t as usize)
+        .collect();
     let model = FunctionalModel::generate(&spec, 77);
     let out_a = model.generate_greedy(&prompt, 6);
     let out_b = model.generate_greedy(&prompt, 6);
@@ -86,7 +92,9 @@ fn protected_inference_lifecycle() {
     assert_eq!(out_a.len(), 6);
 
     // Tear down: shrink everything back; the REE regains access.
-    secmem.shrink(region, need, &mut tas, &mut tz_driver).unwrap();
+    secmem
+        .shrink(region, need, &mut tas, &mut tz_driver)
+        .unwrap();
     assert!(platform
         .with_tzasc(|t| t.check_cpu_access(World::NonSecure, protected))
         .is_ok());
@@ -100,7 +108,11 @@ fn checkpoint_cycle_through_ree_storage() {
     let profile = PlatformProfile::rk3588();
     let huk = HardwareUniqueKey::provision("integration-device");
     let mut fs = device_fs();
-    let store = CheckpointStore::new("llm.ckpt", profile.checkpoint_restore, profile.decrypt_bytes_per_sec);
+    let store = CheckpointStore::new(
+        "llm.ckpt",
+        profile.checkpoint_restore,
+        profile.decrypt_bytes_per_sec,
+    );
 
     let tokenizer = Tokenizer::with_default_merges();
     let state = tokenizer.to_checkpoint_bytes();

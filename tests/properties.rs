@@ -1,14 +1,21 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants: the pipeline scheduler, CTR random-access decryption, the
-//! TZASC contiguity rules and the cache controller.
-
-use proptest::prelude::*;
+//! Property-based tests over the core data structures and invariants: the
+//! pipeline scheduler, CTR random-access decryption, the TZASC contiguity
+//! rules and the cache controller.
+//!
+//! The properties are exercised over many randomly drawn cases, but the
+//! randomness comes from [`sim_core::DetRng`] with fixed seeds, so every run
+//! checks exactly the same cases (no external proptest dependency, no
+//! shrinking — a failing case prints its inputs instead).
 
 use llm::{ComputationGraph, CostModel, ModelSpec};
-use sim_core::SimDuration;
+use sim_core::{DetRng, SimDuration};
 use tz_crypto::AesCtr;
 use tz_hal::{PhysAddr, PhysRange, PlatformProfile, Tzasc, World, PAGE_SIZE};
-use tzllm::{simulate, CacheController, CachePolicy, PipelineConfig, Policy, RestorePlan, RestoreRates};
+use tzllm::{
+    simulate, CacheController, CachePolicy, PipelineConfig, Policy, RestorePlan, RestoreRates,
+};
+
+const CASES: usize = 48;
 
 fn small_model(layers: usize, hidden: usize) -> ModelSpec {
     ModelSpec {
@@ -20,27 +27,28 @@ fn small_model(layers: usize, hidden: usize) -> ModelSpec {
         ffn: hidden * 2,
         vocab: 512,
         context: 1024,
-        ..ModelSpec::nano()
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// For any model shape, prompt length, cache fraction, occupancy and policy:
+/// the simulated makespan is bounded below by the critical-path lower bound
+/// and above by the sum of all operator durations.
+#[test]
+fn pipeline_makespan_is_bounded() {
+    let mut rng = DetRng::new(0x70726f70); // "prop"
+    for case in 0..CASES {
+        let layers = rng.gen_range(2, 10) as usize;
+        let hidden = ((rng.gen_range(32, 160) as usize) / 16) * 16;
+        let prompt = rng.gen_range(1, 256) as usize;
+        let cached_frac = rng.next_f64();
+        let occupancy = rng.next_f64();
+        let policy = *rng.choose(&[
+            Policy::Sequential,
+            Policy::Priority,
+            Policy::PriorityPreemptive,
+        ]);
 
-    /// For any model shape, prompt length, cache fraction, occupancy and
-    /// policy: the simulated makespan is bounded below by the critical-path
-    /// lower bound and above by the sum of all operator durations, and more
-    /// caching never makes the preemptive schedule slower.
-    #[test]
-    fn pipeline_makespan_is_bounded(
-        layers in 2usize..10,
-        hidden in 32usize..160,
-        prompt in 1usize..256,
-        cached_frac in 0.0f64..1.0,
-        occupancy in 0.0f64..1.0,
-        policy_idx in 0usize..3,
-    ) {
-        let model = small_model(layers, (hidden / 16) * 16);
+        let model = small_model(layers, hidden);
         let graph = ComputationGraph::prefill(&model, prompt);
         let cost = CostModel::rk3588();
         let profile = PlatformProfile::rk3588();
@@ -50,12 +58,14 @@ proptest! {
         let plan = RestorePlan::build(&graph, |i| times[i], &rates, cached);
         plan.validate().unwrap();
 
-        let policy = [Policy::Sequential, Policy::Priority, Policy::PriorityPreemptive][policy_idx];
-        let result = simulate(&plan, &PipelineConfig {
-            cpu_cores: 4,
-            preempt_quantum: SimDuration::from_millis(2),
-            policy,
-        });
+        let result = simulate(
+            &plan,
+            &PipelineConfig {
+                cpu_cores: 4,
+                preempt_quantum: SimDuration::from_millis(2),
+                policy,
+            },
+        );
 
         // With four CPU cores the CPU-path total is not by itself a lower
         // bound (allocation, decryption and CPU compute can overlap on
@@ -64,38 +74,60 @@ proptest! {
         let paths = plan.critical_paths();
         let lower = paths.io.max(paths.compute).max(paths.cpu / 4);
         let upper: SimDuration = plan.ops.iter().map(|o| o.duration).sum();
-        prop_assert!(result.makespan >= lower, "makespan {} < lower bound {}", result.makespan, lower);
-        prop_assert!(result.makespan <= upper + SimDuration::from_micros(1),
-            "makespan {} > serial upper bound {}", result.makespan, upper);
+        assert!(
+            result.makespan >= lower,
+            "case {case} ({layers}l/{hidden}h/{prompt}p/{cached_frac:.3}c/{occupancy:.3}o/{policy:?}): \
+             makespan {} < lower bound {}",
+            result.makespan,
+            lower
+        );
+        assert!(
+            result.makespan <= upper + SimDuration::from_micros(1),
+            "case {case} ({layers}l/{hidden}h/{prompt}p/{cached_frac:.3}c/{occupancy:.3}o/{policy:?}): \
+             makespan {} > serial upper bound {}",
+            result.makespan,
+            upper
+        );
     }
+}
 
-    /// Restoration accounting: cached + restored always equals the model size,
-    /// regardless of where the cache boundary falls.
-    #[test]
-    fn restore_plan_conserves_bytes(
-        layers in 2usize..8,
-        hidden in 32usize..128,
-        cached_frac in 0.0f64..1.0,
-    ) {
-        let model = small_model(layers, (hidden / 16) * 16);
+/// Restoration accounting: cached + restored always equals the model size,
+/// regardless of where the cache boundary falls.
+#[test]
+fn restore_plan_conserves_bytes() {
+    let mut rng = DetRng::new(0x62797465); // "byte"
+    for case in 0..CASES {
+        let layers = rng.gen_range(2, 8) as usize;
+        let hidden = ((rng.gen_range(32, 128) as usize) / 16) * 16;
+        let cached_frac = rng.next_f64();
+
+        let model = small_model(layers, hidden);
         let graph = ComputationGraph::prefill(&model, 16);
         let profile = PlatformProfile::rk3588();
         let rates = RestoreRates::from_profile(&profile, 0.5, 4);
         let total = graph.total_param_bytes();
         let cached = (total as f64 * cached_frac) as u64;
         let plan = RestorePlan::build(&graph, |_| SimDuration::from_micros(10), &rates, cached);
-        prop_assert_eq!(plan.cached_bytes + plan.restored_bytes, total);
-        prop_assert!(plan.cached_bytes <= cached + 1);
+        assert_eq!(
+            plan.cached_bytes + plan.restored_bytes,
+            total,
+            "case {case}"
+        );
+        assert!(plan.cached_bytes <= cached + 1, "case {case}");
     }
+}
 
-    /// AES-CTR random-access decryption of any sub-range matches decrypting
-    /// the whole stream.
-    #[test]
-    fn ctr_random_access_matches_full_stream(
-        key_seed in any::<u8>(),
-        len in 1usize..2048,
-        window in any::<(u16, u16)>(),
-    ) {
+/// AES-CTR random-access decryption of any sub-range matches decrypting the
+/// whole stream.
+#[test]
+fn ctr_random_access_matches_full_stream() {
+    let mut rng = DetRng::new(0x637472); // "ctr"
+    for case in 0..CASES {
+        let key_seed = rng.gen_range(0, 256) as u8;
+        let len = rng.gen_range(1, 2048) as usize;
+        let a = (rng.gen_range(0, u16::MAX as u64 + 1) as usize) % len;
+        let b = (rng.gen_range(0, u16::MAX as u64 + 1) as usize) % len;
+
         let key = [key_seed; 32];
         let nonce = [0x11u8; 16];
         let ctr = AesCtr::new(&key, &nonce).unwrap();
@@ -103,63 +135,84 @@ proptest! {
         let mut full = plain.clone();
         ctr.apply(&mut full);
 
-        let a = (window.0 as usize) % len;
-        let b = (window.1 as usize) % len;
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let mut slice = full[lo..hi].to_vec();
         ctr.apply_at(lo as u64, &mut slice);
-        prop_assert_eq!(&slice[..], &plain[lo..hi]);
+        assert_eq!(
+            &slice[..],
+            &plain[lo..hi],
+            "case {case}: range {lo}..{hi} of {len}"
+        );
     }
+}
 
-    /// However the TZASC region is grown and shrunk page-by-page, non-secure
-    /// CPU access to the protected prefix is always denied and access beyond
-    /// it is always allowed.
-    #[test]
-    fn tzasc_extend_shrink_protects_exactly_the_prefix(
-        steps in proptest::collection::vec(1u64..16, 1..20),
-        shrink_every in 2usize..5,
-    ) {
+/// However the TZASC region is grown and shrunk page-by-page, non-secure CPU
+/// access to the protected prefix is always denied and access beyond it is
+/// always allowed.
+#[test]
+fn tzasc_extend_shrink_protects_exactly_the_prefix() {
+    let mut rng = DetRng::new(0x747a6173); // "tzas"
+    for case in 0..CASES {
+        let step_count = rng.gen_range(1, 20) as usize;
+        let steps: Vec<u64> = (0..step_count).map(|_| rng.gen_range(1, 16)).collect();
+        let shrink_every = rng.gen_range(2, 5) as usize;
+
         let mut tzasc = Tzasc::new();
         let base = PhysAddr::new(0x1_0000_0000);
-        let id = tzasc.configure_region(World::Secure, PhysRange::new(base, PAGE_SIZE), []).unwrap();
+        let id = tzasc
+            .configure_region(World::Secure, PhysRange::new(base, PAGE_SIZE), [])
+            .unwrap();
         let mut size = PAGE_SIZE;
         for (i, pages) in steps.iter().enumerate() {
             if i % shrink_every == 0 && size > PAGE_SIZE {
                 tzasc.shrink_region(World::Secure, id, PAGE_SIZE).unwrap();
                 size -= PAGE_SIZE;
             } else {
-                tzasc.extend_region(World::Secure, id, pages * PAGE_SIZE).unwrap();
+                tzasc
+                    .extend_region(World::Secure, id, pages * PAGE_SIZE)
+                    .unwrap();
                 size += pages * PAGE_SIZE;
             }
             // Inside the prefix: denied.  Just past the end: allowed.
             let inside = PhysRange::new(PhysAddr::new(base.as_u64() + size - PAGE_SIZE), PAGE_SIZE);
             let outside = PhysRange::new(PhysAddr::new(base.as_u64() + size), PAGE_SIZE);
-            prop_assert!(tzasc.check_cpu_access(World::NonSecure, inside).is_err());
-            prop_assert!(tzasc.check_cpu_access(World::NonSecure, outside).is_ok());
-            prop_assert_eq!(tzasc.protected_bytes(), size);
+            assert!(
+                tzasc.check_cpu_access(World::NonSecure, inside).is_err(),
+                "case {case} step {i}"
+            );
+            assert!(
+                tzasc.check_cpu_access(World::NonSecure, outside).is_ok(),
+                "case {case} step {i}"
+            );
+            assert_eq!(tzasc.protected_bytes(), size, "case {case} step {i}");
         }
     }
+}
 
-    /// The cache controller never caches more than the model and never
-    /// releases more than it holds.
-    #[test]
-    fn cache_controller_accounting(
-        total in 1u64..(64 * 1024 * 1024),
-        fractions in proptest::collection::vec(0.0f64..1.0, 1..10),
-        revokes in proptest::collection::vec(0u64..(16 * 1024 * 1024), 0..5),
-    ) {
+/// The cache controller never caches more than the model and never releases
+/// more than it holds.
+#[test]
+fn cache_controller_accounting() {
+    let mut rng = DetRng::new(0x6361636865); // "cache"
+    for case in 0..CASES {
+        let total = rng.gen_range(1, 64 * 1024 * 1024);
+        let fraction_count = rng.gen_range(1, 10) as usize;
+        let revoke_count = rng.gen_range(0, 5) as usize;
+
         let mut cache = CacheController::new(total);
-        for f in fractions {
+        for _ in 0..fraction_count {
+            let f = rng.next_f64();
             cache.on_inference_complete();
             let released = cache.apply_policy(CachePolicy::Proportion(f));
-            prop_assert!(cache.cached_bytes() <= total);
-            prop_assert!(released <= total);
+            assert!(cache.cached_bytes() <= total, "case {case}");
+            assert!(released <= total, "case {case}");
         }
-        for r in revokes {
+        for _ in 0..revoke_count {
+            let r = rng.gen_range(0, 16 * 1024 * 1024);
             let before = cache.cached_bytes();
             let released = cache.revoke(r);
-            prop_assert!(released <= before);
-            prop_assert_eq!(cache.cached_bytes(), before - released);
+            assert!(released <= before, "case {case}");
+            assert_eq!(cache.cached_bytes(), before - released, "case {case}");
         }
     }
 }

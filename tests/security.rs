@@ -4,14 +4,16 @@
 
 use llm::{ModelSpec, PackedModel};
 use npu::{ExecutionContext, JobId, NpuDevice, NpuJob};
-use ree_kernel::{CmaPool, CmaRegion, FileContent, FileSystem, FlashDevice, Misbehaviour, TzDriver};
+use ree_kernel::{
+    CmaPool, CmaRegion, FileContent, FileSystem, FlashDevice, Misbehaviour, TzDriver,
+};
 use sim_core::{Bandwidth, SimDuration, SimTime, GIB};
 use tee_kernel::{
-    CheckpointError, CheckpointStore, KeyService, KeyServiceError, ScalingError, SecureMemoryManager,
-    SecurityViolation, ShadowThreadManager, TaRegistry, TeeNpuDriver,
+    CheckpointError, CheckpointStore, KeyService, KeyServiceError, ScalingError,
+    SecureMemoryManager, SecurityViolation, ShadowThreadManager, TaRegistry, TeeNpuDriver,
 };
 use tz_crypto::{HardwareUniqueKey, ModelKey, WrappedModelKey};
-use tz_hal::{DeviceId, Platform, PhysAddr, PhysRange, World};
+use tz_hal::{DeviceId, PhysAddr, PhysRange, Platform, World};
 
 /// Direct access: a non-secure CPU and a non-NPU device cannot touch the
 /// parameter region; even the NPU cannot touch regions that do not list it.
@@ -20,7 +22,8 @@ fn direct_and_dma_access_attacks_are_blocked() {
     let platform = Platform::rk3588();
     let param_region = PhysRange::new(PhysAddr::new(0x1_0000_0000), 64 * 1024 * 1024);
     platform.with_tzasc(|t| {
-        t.configure_region(World::Secure, param_region, [DeviceId::Npu]).unwrap();
+        t.configure_region(World::Secure, param_region, [DeviceId::Npu])
+            .unwrap();
     });
 
     // Compromised REE OS reads the plaintext parameters: blocked.
@@ -49,7 +52,11 @@ fn iago_attack_on_memory_scaling_is_rejected() {
             platform.profile.page_alloc_ns,
         )
     };
-    let mut tz = TzDriver::new(platform.clone(), mk_pool(0x1_0000_0000, 2 * GIB), mk_pool(0x2_0000_0000, GIB));
+    let mut tz = TzDriver::new(
+        platform.clone(),
+        mk_pool(0x1_0000_0000, 2 * GIB),
+        mk_pool(0x2_0000_0000, GIB),
+    );
     let mut tas = TaRegistry::new();
     let llm = tas.register("llm-ta", true);
     let mut secmem = SecureMemoryManager::new(platform);
@@ -90,10 +97,20 @@ fn iago_attack_on_npu_scheduling_is_rejected() {
     let mut device = NpuDevice::new(3);
     let mut tee = TeeNpuDriver::new(platform);
 
-    tee.init_secure_job(NpuJob::secure(JobId(1), ctx.clone(), SimDuration::from_millis(1), "a"))
-        .unwrap();
-    tee.init_secure_job(NpuJob::secure(JobId(2), ctx, SimDuration::from_millis(1), "b"))
-        .unwrap();
+    tee.init_secure_job(NpuJob::secure(
+        JobId(1),
+        ctx.clone(),
+        SimDuration::from_millis(1),
+        "a",
+    ))
+    .unwrap();
+    tee.init_secure_job(NpuJob::secure(
+        JobId(2),
+        ctx,
+        SimDuration::from_millis(1),
+        "b",
+    ))
+    .unwrap();
 
     // Unknown job.
     assert!(matches!(
@@ -106,7 +123,8 @@ fn iago_attack_on_npu_scheduling_is_rejected() {
         Err(SecurityViolation::OutOfOrder { .. })
     ));
     // Correct order works; replay of a completed job fails.
-    tee.handle_handoff(JobId(1), &mut device, SimTime::ZERO).unwrap();
+    tee.handle_handoff(JobId(1), &mut device, SimTime::ZERO)
+        .unwrap();
     assert!(matches!(
         tee.handle_handoff(JobId(1), &mut device, SimTime::from_millis(5)),
         Err(SecurityViolation::Replay(_))
@@ -163,7 +181,10 @@ fn key_and_checkpoint_protection() {
     let last = blob.len() - 1;
     blob[last] ^= 0xff;
     fs.write_file("ckpt", FileContent::Bytes(blob));
-    assert_eq!(store.restore(&huk, &mut fs).unwrap_err(), CheckpointError::IntegrityFailure);
+    assert_eq!(
+        store.restore(&huk, &mut fs).unwrap_err(),
+        CheckpointError::IntegrityFailure
+    );
 }
 
 /// A compromised LLM TA cannot reach another TA's memory, and a malicious REE
@@ -174,7 +195,11 @@ fn ta_isolation_and_thread_order_enforcement() {
     let mut tas = TaRegistry::new();
     let llm = tas.register("llm-ta", true);
     let keymaster = tas.register("keymaster-ta", false);
-    tas.map(keymaster, PhysRange::new(PhysAddr::new(0x3_0000_0000), 0x10000)).unwrap();
+    tas.map(
+        keymaster,
+        PhysRange::new(PhysAddr::new(0x3_0000_0000), 0x10000),
+    )
+    .unwrap();
     assert!(tas
         .check_access(llm, PhysRange::new(PhysAddr::new(0x3_0000_0000), 0x1000))
         .is_err());
@@ -198,8 +223,15 @@ fn npu_launch_respects_world_configuration() {
     let platform = Platform::rk3588();
     let mut device = NpuDevice::new(3);
     platform.with_tzpc(|t| t.set_secure(World::Secure, DeviceId::Npu, true).unwrap());
-    let ree_job = NpuJob::non_secure(JobId(9), ExecutionContext::empty(), SimDuration::from_millis(1), "ree");
-    assert!(device.launch(&platform, World::NonSecure, ree_job, SimTime::ZERO).is_err());
+    let ree_job = NpuJob::non_secure(
+        JobId(9),
+        ExecutionContext::empty(),
+        SimDuration::from_millis(1),
+        "ree",
+    );
+    assert!(device
+        .launch(&platform, World::NonSecure, ree_job, SimTime::ZERO)
+        .is_err());
 
     let mut tee = TeeNpuDriver::new(platform);
     let outside = ExecutionContext {
@@ -209,7 +241,12 @@ fn npu_launch_respects_world_configuration() {
         outputs: vec![],
     };
     assert!(matches!(
-        tee.init_secure_job(NpuJob::secure(JobId(10), outside, SimDuration::from_millis(1), "bad")),
+        tee.init_secure_job(NpuJob::secure(
+            JobId(10),
+            outside,
+            SimDuration::from_millis(1),
+            "bad"
+        )),
         Err(SecurityViolation::ContextNotSecure(_))
     ));
 }
