@@ -23,6 +23,7 @@ fn bench_pipeline(c: &mut Criterion) {
         cpu_cores: 4,
         preempt_quantum: SimDuration::from_millis(2),
         policy: Policy::PriorityPreemptive,
+        record_trace: true,
     };
     c.bench_function("pipeline_simulate_qwen_128", |b| {
         b.iter(|| simulate(std::hint::black_box(&plan), std::hint::black_box(&config)))

@@ -1,0 +1,192 @@
+//! Wall-clock perf smoke: tracks the serving layer's simulation performance
+//! and the overlap dispatcher's latency wins from PR to PR.
+//!
+//! Three measurements, written to `BENCH_serving.json` (current directory)
+//! and echoed to stdout:
+//!
+//! 1. **`pipeline::simulate` micro-latency** — the per-dispatch cost of
+//!    simulating one cold restoration plan (the quantity the plan cache
+//!    amortises).
+//! 2. **10k-request serving sweep wall-clock**, plan cache off vs on — the
+//!    end-to-end speedup of memoised dispatch on a fixed multi-model Poisson
+//!    workload.
+//! 3. **Cold-heavy latency/throughput comparison** — p95 end-to-end TTFT at
+//!    a fixed arrival rate and saturation throughput, serial dispatcher vs
+//!    overlapped dispatcher (restore-ahead + multi-slot).
+//!
+//! Run with: `cargo run --release -p bench --bin perf_smoke` (`--quick`
+//! shrinks the sweep for CI).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bench::HarnessOptions;
+use llm::{ComputationGraph, CostModel, ModelSpec};
+use sim_core::SimDuration;
+use tz_hal::PlatformProfile;
+use tzllm::serving::{Server, ServingConfig, ServingReport};
+use tzllm::{simulate, PipelineConfig, Policy, RestorePlan, RestoreRates};
+use workloads::{ArrivalProcess, WorkloadSpec};
+
+const MODELS: [&str; 3] = ["tinyllama-1.1b", "qwen2.5-3b", "phi-3-3.8b"];
+
+fn catalogue() -> Vec<ModelSpec> {
+    MODELS
+        .iter()
+        .map(|m| ModelSpec::by_name(m).expect("catalogue model"))
+        .collect()
+}
+
+fn pipeline_simulate_us(iters: u32) -> f64 {
+    let model = ModelSpec::qwen2_5_3b();
+    let graph = ComputationGraph::prefill(&model, 128);
+    let cost = CostModel::rk3588();
+    let profile = PlatformProfile::rk3588();
+    let rates = RestoreRates::from_profile(&profile, 0.8, 4);
+    let times: Vec<SimDuration> = graph.ops.iter().map(|o| cost.op_time(o)).collect();
+    let plan = RestorePlan::build(&graph, |i| times[i], &rates, 0);
+    let config = PipelineConfig {
+        cpu_cores: 4,
+        preempt_quantum: SimDuration::from_millis(2),
+        policy: Policy::PriorityPreemptive,
+        record_trace: false,
+    };
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(simulate(std::hint::black_box(&plan), &config));
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn sweep(requests: usize, plan_cache_capacity: usize) -> (f64, ServingReport) {
+    let mut config = ServingConfig::paper_default(PlatformProfile::rk3588());
+    config.plan_cache_capacity = plan_cache_capacity;
+    let workload = WorkloadSpec::standard_multi(
+        ArrivalProcess::Poisson { rate_per_sec: 0.1 },
+        requests,
+        &MODELS,
+    );
+    let start = Instant::now();
+    let report = Server::run_workload(config, catalogue(), &workload, 0xBEEF);
+    (start.elapsed().as_secs_f64() * 1e3, report)
+}
+
+fn cold_heavy(config: ServingConfig, rate: f64, requests: usize) -> ServingReport {
+    let workload = WorkloadSpec::standard_multi(
+        ArrivalProcess::Poisson { rate_per_sec: rate },
+        requests,
+        &MODELS,
+    );
+    Server::run_workload(config, catalogue(), &workload, 0xC01D)
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let profile = PlatformProfile::rk3588();
+    let sweep_requests = if opts.quick { 2_000 } else { 10_000 };
+    let latency_requests = if opts.quick { 150 } else { 400 };
+
+    let sim_us = pipeline_simulate_us(if opts.quick { 50 } else { 200 });
+    println!("pipeline::simulate (qwen2.5-3b @128, cold): {sim_us:.1} us/iter");
+
+    let (off_ms, off_report) = sweep(sweep_requests, 0);
+    let (on_ms, on_report) = sweep(sweep_requests, 4096);
+    assert_eq!(
+        format!("{:?}", off_report.fleet.ttft_ms),
+        format!("{:?}", on_report.fleet.ttft_ms),
+        "the plan cache must be semantically transparent"
+    );
+    let speedup = off_ms / on_ms;
+    let hits = on_report.fleet.plan_cache_hits;
+    let misses = on_report.fleet.plan_cache_misses;
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    println!(
+        "{sweep_requests}-request sweep: plan cache off {off_ms:.0} ms, on {on_ms:.0} ms \
+         ({speedup:.1}x, hit rate {hit_rate:.3})"
+    );
+
+    // Cold-heavy comparison at a fixed sub-saturation rate, and saturation
+    // throughput at an overload rate.
+    let fixed_rate = 0.06;
+    let serial = cold_heavy(
+        ServingConfig::serial(profile.clone()),
+        fixed_rate,
+        latency_requests,
+    );
+    let overlap = cold_heavy(
+        ServingConfig::paper_default(profile.clone()),
+        fixed_rate,
+        latency_requests,
+    );
+    let p95_serial = serial.fleet.ttft_ms.expect("records").p95 / 1e3;
+    let p95_overlap = overlap.fleet.ttft_ms.expect("records").p95 / 1e3;
+    let sat_rate = 0.5;
+    let sat_serial = cold_heavy(
+        ServingConfig::serial(profile.clone()),
+        sat_rate,
+        latency_requests,
+    );
+    let sat_overlap = cold_heavy(
+        ServingConfig::paper_default(profile),
+        sat_rate,
+        latency_requests,
+    );
+    println!(
+        "cold-heavy @{fixed_rate} rps: p95 TTFT serial {p95_serial:.2} s, overlap {p95_overlap:.2} s"
+    );
+    println!(
+        "saturation @{sat_rate} rps: throughput serial {:.4} rps, overlap {:.4} rps",
+        sat_serial.fleet.throughput_rps, sat_overlap.fleet.throughput_rps
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(json, "  \"pipeline_simulate_us\": {sim_us:.1},");
+    let _ = writeln!(json, "  \"sweep_requests\": {sweep_requests},");
+    let _ = writeln!(
+        json,
+        "  \"sweep_wallclock_ms_plan_cache_off\": {off_ms:.0},"
+    );
+    let _ = writeln!(json, "  \"sweep_wallclock_ms_plan_cache_on\": {on_ms:.0},");
+    let _ = writeln!(json, "  \"plan_cache_speedup\": {speedup:.2},");
+    let _ = writeln!(json, "  \"plan_cache_hit_rate\": {hit_rate:.4},");
+    let _ = writeln!(json, "  \"cold_heavy\": {{");
+    let _ = writeln!(json, "    \"rate_rps\": {fixed_rate},");
+    let _ = writeln!(json, "    \"requests\": {latency_requests},");
+    let _ = writeln!(json, "    \"p95_ttft_s_serial\": {p95_serial:.3},");
+    let _ = writeln!(json, "    \"p95_ttft_s_overlap\": {p95_overlap:.3},");
+    let _ = writeln!(
+        json,
+        "    \"p95_improvement_pct\": {:.1}",
+        100.0 * (1.0 - p95_overlap / p95_serial)
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"saturation\": {{");
+    let _ = writeln!(json, "    \"rate_rps\": {sat_rate},");
+    let _ = writeln!(
+        json,
+        "    \"throughput_rps_serial\": {:.4},",
+        sat_serial.fleet.throughput_rps
+    );
+    let _ = writeln!(
+        json,
+        "    \"throughput_rps_overlap\": {:.4}",
+        sat_overlap.fleet.throughput_rps
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("wrote BENCH_serving.json");
+
+    // The perf smoke fails CI on a *semantic* regression (the wall-clock
+    // numbers are recorded, not asserted — CI machines vary).
+    assert!(
+        p95_overlap < p95_serial,
+        "overlap dispatcher must improve cold-heavy p95 TTFT ({p95_overlap} vs {p95_serial})"
+    );
+    assert!(
+        sat_overlap.fleet.throughput_rps >= sat_serial.fleet.throughput_rps * 0.95,
+        "overlap dispatcher must not regress saturation throughput"
+    );
+}

@@ -263,7 +263,10 @@ impl ComputationGraph {
         }
     }
 
-    /// Total parameter bytes across all operators.
+    /// Total parameter bytes across all operators.  Prompt-length
+    /// independent: every graph built for the same model reports the same
+    /// total (the serving layer computes it once per model from a
+    /// minimal-prompt graph).
     pub fn total_param_bytes(&self) -> u64 {
         self.ops.iter().map(ComputeOp::param_bytes).sum()
     }
@@ -324,6 +327,22 @@ mod tests {
             let model_bytes = model.total_q8_bytes();
             let ratio = graph_bytes as f64 / model_bytes as f64;
             assert!((ratio - 1.0).abs() < 0.02, "{}: ratio {ratio}", model.name);
+        }
+    }
+
+    #[test]
+    fn param_bytes_are_prompt_length_independent() {
+        for model in ModelSpec::catalogue() {
+            let reference = ComputationGraph::prefill(&model, 1).total_param_bytes();
+            for prompt in [64, 512] {
+                let graph = ComputationGraph::prefill(&model, prompt);
+                assert_eq!(
+                    graph.total_param_bytes(),
+                    reference,
+                    "{} @ {prompt}",
+                    model.name
+                );
+            }
         }
     }
 

@@ -25,7 +25,7 @@ pub mod trace;
 
 pub use bandwidth::{Bandwidth, GIB, KIB, MIB};
 pub use engine::{Engine, EventScheduler};
-pub use resource::{Reservation, ServerPool};
+pub use resource::{CapacityLedger, LaneId, LaneUsage, Reservation, ServerPool};
 pub use rng::DetRng;
 pub use stats::PercentileSummary;
 pub use time::{SimDuration, SimTime};

@@ -5,6 +5,14 @@
 //! [`ServerPool`] models a pool of identical servers whose availability is
 //! tracked as a "free-at" instant per server; the pipeline simulator asks the
 //! pool when the next server becomes free and reserves busy intervals on it.
+//!
+//! [`CapacityLedger`] is the complementary view used by the serving layer's
+//! overlapped dispatcher: instead of per-server free-at instants it tracks,
+//! for a set of named lanes (CPU cores, the NPU, the flash channel), how many
+//! units are in use *right now*, the peak ever in use, and the busy-time
+//! integral — and it refuses over-subscription outright, so any scheduling
+//! bug that would double-book a lane fails loudly instead of silently
+//! overlapping work.
 
 use crate::time::{SimDuration, SimTime};
 
@@ -201,5 +209,196 @@ mod tests {
         assert_eq!(pool.all_free_at(), SimTime::ZERO);
         assert_eq!(pool.busy_time(), SimDuration::ZERO);
         assert_eq!(pool.idle_count(SimTime::ZERO), 3);
+    }
+
+    #[test]
+    fn ledger_tracks_peaks_and_busy_integral() {
+        let mut ledger = CapacityLedger::new();
+        let cpu = ledger.add_lane("cpu", 4);
+        ledger.acquire(cpu, 3, SimTime::ZERO);
+        ledger.release(cpu, 2, SimTime::from_secs(2));
+        ledger.release(cpu, 1, SimTime::from_secs(3));
+        let usage = &ledger.usage(SimTime::from_secs(4))[0];
+        assert_eq!(usage.peak_in_use, 3);
+        assert_eq!(usage.in_use, 0);
+        // 3 units × 2 s + 1 unit × 1 s = 7 unit-seconds.
+        assert_eq!(usage.busy_unit_time, SimDuration::from_secs(7));
+        assert!((usage.utilisation(SimTime::from_secs(4)) - 7.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ledger_panics_on_over_subscription() {
+        let mut ledger = CapacityLedger::new();
+        let npu = ledger.add_lane("npu", 1);
+        ledger.acquire(npu, 1, SimTime::ZERO);
+        ledger.acquire(npu, 1, SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn ledger_handover_at_one_instant_is_legal() {
+        let mut ledger = CapacityLedger::new();
+        let flash = ledger.add_lane("flash", 1);
+        ledger.acquire(flash, 1, SimTime::ZERO);
+        let t = SimTime::from_millis(5);
+        ledger.release(flash, 1, t);
+        ledger.acquire(flash, 1, t);
+        assert_eq!(ledger.available(flash), 0);
+        assert_eq!(ledger.usage(t)[0].peak_in_use, 1);
+    }
+}
+
+/// Identifier of one lane inside a [`CapacityLedger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneId(usize);
+
+impl LaneId {
+    /// The lane's position in the ledger's [`CapacityLedger::usage`] output.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A snapshot of one lane's accounting, as reported back to callers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneUsage {
+    /// Lane name (e.g. `"npu"`, `"flash"`, `"cpu"`).
+    pub name: String,
+    /// Total units the lane offers.
+    pub capacity: u64,
+    /// Units in use at the time of the snapshot.
+    pub in_use: u64,
+    /// The largest number of units ever simultaneously in use.
+    pub peak_in_use: u64,
+    /// Unit-time integral of usage (`in_use × dt` summed over the run); with
+    /// capacity 1 this is plain busy time.
+    pub busy_unit_time: SimDuration,
+}
+
+impl LaneUsage {
+    /// Mean utilisation over `[0, horizon)` in `[0, 1]`.
+    pub fn utilisation(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO || self.capacity == 0 {
+            return 0.0;
+        }
+        let denom = horizon.as_secs_f64() * self.capacity as f64;
+        (self.busy_unit_time.as_secs_f64() / denom).min(1.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Lane {
+    name: String,
+    capacity: u64,
+    in_use: u64,
+    peak_in_use: u64,
+    busy_nanos_x_units: u128,
+    last_change: SimTime,
+}
+
+/// Instantaneous capacity accounting over a set of named lanes.
+///
+/// Time must advance monotonically across calls (the discrete-event engine
+/// guarantees this); within one instant, release before acquire so handover
+/// at an event boundary does not trip the capacity check.
+#[derive(Debug, Clone, Default)]
+pub struct CapacityLedger {
+    lanes: Vec<Lane>,
+}
+
+impl CapacityLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        CapacityLedger::default()
+    }
+
+    /// Registers a lane with `capacity` units, all free.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn add_lane(&mut self, name: impl Into<String>, capacity: u64) -> LaneId {
+        assert!(capacity > 0, "a lane needs at least one unit");
+        self.lanes.push(Lane {
+            name: name.into(),
+            capacity,
+            in_use: 0,
+            peak_in_use: 0,
+            busy_nanos_x_units: 0,
+            last_change: SimTime::ZERO,
+        });
+        LaneId(self.lanes.len() - 1)
+    }
+
+    fn advance(lane: &mut Lane, now: SimTime) {
+        let dt = now.saturating_since(lane.last_change).as_nanos() as u128;
+        lane.busy_nanos_x_units += dt * lane.in_use as u128;
+        lane.last_change = now;
+    }
+
+    /// Units currently free on `lane`.
+    pub fn available(&self, lane: LaneId) -> u64 {
+        let l = &self.lanes[lane.0];
+        l.capacity - l.in_use
+    }
+
+    /// Units currently in use on `lane`.
+    pub fn in_use(&self, lane: LaneId) -> u64 {
+        self.lanes[lane.0].in_use
+    }
+
+    /// Takes `units` on `lane` starting at instant `now`.
+    ///
+    /// # Panics
+    /// Panics if the lane would exceed its capacity — the caller is expected
+    /// to check [`CapacityLedger::available`] first; exceeding capacity means
+    /// the dispatcher double-booked hardware.
+    pub fn acquire(&mut self, lane: LaneId, units: u64, now: SimTime) {
+        let l = &mut self.lanes[lane.0];
+        Self::advance(l, now);
+        assert!(
+            l.in_use + units <= l.capacity,
+            "lane {} over-subscribed at {now}: {} + {units} > capacity {}",
+            l.name,
+            l.in_use,
+            l.capacity
+        );
+        l.in_use += units;
+        l.peak_in_use = l.peak_in_use.max(l.in_use);
+    }
+
+    /// Returns `units` on `lane` at instant `now`.
+    ///
+    /// # Panics
+    /// Panics if more units are released than are in use.
+    pub fn release(&mut self, lane: LaneId, units: u64, now: SimTime) {
+        let l = &mut self.lanes[lane.0];
+        Self::advance(l, now);
+        assert!(
+            units <= l.in_use,
+            "lane {} released {units} units but only {} in use",
+            l.name,
+            l.in_use
+        );
+        l.in_use -= units;
+    }
+
+    /// Snapshots every lane's accounting as of instant `now`.
+    pub fn usage(&self, now: SimTime) -> Vec<LaneUsage> {
+        self.lanes
+            .iter()
+            .map(|l| {
+                let dt = now.saturating_since(l.last_change).as_nanos() as u128;
+                let busy = l.busy_nanos_x_units + dt * l.in_use as u128;
+                LaneUsage {
+                    name: l.name.clone(),
+                    capacity: l.capacity,
+                    in_use: l.in_use,
+                    peak_in_use: l.peak_in_use,
+                    busy_unit_time: SimDuration::from_nanos(
+                        u64::try_from(busy).unwrap_or(u64::MAX),
+                    ),
+                }
+            })
+            .collect()
     }
 }

@@ -94,6 +94,7 @@ pub fn evaluate(
                     cpu_cores: profile.big_cores,
                     preempt_quantum: SimDuration::from_millis(2),
                     policy: Policy::PriorityPreemptive,
+                    record_trace: false,
                 },
             );
             let breakdown = TtftBreakdown {
@@ -112,6 +113,8 @@ pub fn evaluate(
                 breakdown,
                 restoration_cpu: SimDuration::ZERO,
                 critical_paths,
+                npu_busy: result.busy_npu_compute,
+                restored_bytes: 0,
             }
         }
 
@@ -129,6 +132,7 @@ pub fn evaluate(
                     cpu_cores: profile.big_cores,
                     preempt_quantum: SimDuration::from_millis(2),
                     policy: Policy::PriorityPreemptive,
+                    record_trace: false,
                 },
             );
             let breakdown = TtftBreakdown {
@@ -147,6 +151,8 @@ pub fn evaluate(
                 breakdown,
                 restoration_cpu: result.restoration_cpu_time(),
                 critical_paths,
+                npu_busy: result.busy_npu_compute,
+                restored_bytes: plan.restored_bytes,
             }
         }
 
@@ -172,6 +178,7 @@ pub fn evaluate(
                     cpu_cores: profile.big_cores,
                     preempt_quantum: SimDuration::from_millis(2),
                     policy: Policy::Sequential,
+                    record_trace: false,
                 },
             );
             let breakdown = TtftBreakdown {
@@ -190,6 +197,8 @@ pub fn evaluate(
                 breakdown,
                 restoration_cpu: result.restoration_cpu_time(),
                 critical_paths,
+                npu_busy: result.busy_npu_compute,
+                restored_bytes: plan.restored_bytes,
             }
         }
     }

@@ -30,8 +30,11 @@ pub use baseline::{decode_uses_npu, evaluate, strawman_breakdown, SystemKind};
 pub use cache::{CacheController, CachePolicy};
 pub use codriver::{LlmPhase, LlmPlacement, NpuSharingSim, SharingConfig, SharingResult};
 pub use pipeline::{simulate, PipelineConfig, PipelineResult, Policy};
-pub use restore::{CriticalPaths, PipeOp, PipeOpKind, RestorePlan, RestoreRates};
+pub use restore::{CriticalPaths, OpLabel, PipeOp, PipeOpKind, RestorePlan, RestoreRates};
 pub use serving::{
-    FleetStats, Request, RequestRecord, RetentionPolicy, Server, ServingConfig, ServingReport,
+    FleetStats, ModelId, Request, RequestRecord, RetentionPolicy, Server, ServingConfig,
+    ServingReport,
 };
-pub use system::{cma_occupancy, evaluate_tzllm, InferenceConfig, InferenceReport, TtftBreakdown};
+pub use system::{
+    cma_occupancy, evaluate_tzllm, InferenceConfig, InferenceReport, PlanCache, TtftBreakdown,
+};

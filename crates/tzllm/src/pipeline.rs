@@ -25,7 +25,7 @@ use sim_core::{SimDuration, SimTime, SpanKind, Trace};
 use crate::restore::{PipeOp, PipeOpKind, RestorePlan};
 
 /// Scheduling policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// Restore everything, then compute (no overlap).
     Sequential,
@@ -44,15 +44,22 @@ pub struct PipelineConfig {
     pub preempt_quantum: SimDuration,
     /// Scheduling policy.
     pub policy: Policy,
+    /// Whether to record a per-operator span trace.  Figure generation and
+    /// the ordering tests want the trace; the serving layer simulates plans
+    /// on every dispatch and turns it off — span recording (and label
+    /// rendering) is pure overhead on that path.
+    pub record_trace: bool,
 }
 
 impl PipelineConfig {
-    /// The TZ-LLM default on the RK3588 testbed: four big cores, 2 ms quantum.
+    /// The TZ-LLM default on the RK3588 testbed: four big cores, 2 ms
+    /// quantum, trace recording on.
     pub fn tzllm_default(cpu_cores: usize) -> Self {
         PipelineConfig {
             cpu_cores,
             preempt_quantum: SimDuration::from_millis(2),
             policy: Policy::PriorityPreemptive,
+            record_trace: true,
         }
     }
 }
@@ -132,7 +139,7 @@ struct SimOp {
     duration: SimDuration,
     deps_remaining: usize,
     dependents: Vec<usize>,
-    label: String,
+    label: crate::restore::OpLabel,
 }
 
 /// Expands preemptible operators into chained micro-operators.
@@ -172,7 +179,7 @@ fn expand_micro_ops(plan: &RestorePlan, quantum: SimDuration) -> Vec<PipeOp> {
                 bytes: 0,
                 deps,
                 preemptible: true,
-                label: format!("{}#{}", op.label, i),
+                label: op.label.with_micro(i),
             });
             prev = Some(id);
         }
@@ -202,7 +209,7 @@ pub fn simulate(plan: &RestorePlan, config: &PipelineConfig) -> PipelineResult {
             duration: o.duration,
             deps_remaining: o.deps.len(),
             dependents: Vec::new(),
-            label: o.label.clone(),
+            label: o.label,
         })
         .collect();
     for o in &ops_src {
@@ -295,13 +302,15 @@ pub fn simulate(plan: &RestorePlan, config: &PipelineConfig) -> PipelineResult {
             let id = $id;
             let resource = ResourceClass::for_kind(ops[id].kind);
             let end = now + ops[id].duration;
-            trace.record(
-                ops[id].label.clone(),
-                span_kind(ops[id].kind),
-                resource.label(),
-                now,
-                end,
-            );
+            if config.record_trace {
+                trace.record(
+                    ops[id].label.to_string(),
+                    span_kind(ops[id].kind),
+                    resource.label(),
+                    now,
+                    end,
+                );
+            }
             busy[kind_index(ops[id].kind)] += ops[id].duration;
             events.push(std::cmp::Reverse(Completion {
                 at: end,
@@ -425,6 +434,7 @@ mod tests {
             cpu_cores: 4,
             preempt_quantum: SimDuration::from_millis(2),
             policy,
+            record_trace: true,
         }
     }
 

@@ -87,6 +87,55 @@ impl PipeOpKind {
     }
 }
 
+/// A lazily-rendered operator label.
+///
+/// Plans for real models carry hundreds of operators and the serving layer
+/// builds (or replays) plans on every dispatch, so labels must cost nothing
+/// until somebody actually reads them: the label is a `Copy` bundle of static
+/// strings and indices, and the full `"alloc[3] qkv#2"` form is only
+/// materialised by its [`std::fmt::Display`] impl (trace recording, test
+/// failure messages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpLabel {
+    stage: &'static str,
+    op: &'static str,
+    compute_index: u32,
+    /// Micro-operator ordinal within a split preemptible operator;
+    /// `u32::MAX` means the operator was not split.
+    micro: u32,
+}
+
+impl OpLabel {
+    /// A label for stage `stage` (e.g. `"alloc"`) serving computation
+    /// operator `compute_index` of kind `op` (e.g. `"qkv"`).
+    pub fn new(stage: &'static str, op: &'static str, compute_index: usize) -> Self {
+        OpLabel {
+            stage,
+            op,
+            compute_index: compute_index as u32,
+            micro: u32::MAX,
+        }
+    }
+
+    /// The same label tagged as the `i`-th micro-operator of its chain.
+    pub fn with_micro(self, i: usize) -> Self {
+        OpLabel {
+            micro: i as u32,
+            ..self
+        }
+    }
+}
+
+impl std::fmt::Display for OpLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}] {}", self.stage, self.compute_index, self.op)?;
+        if self.micro != u32::MAX {
+            write!(f, "#{}", self.micro)?;
+        }
+        Ok(())
+    }
+}
+
 /// One operator of the extended (restoration + computation) graph.
 #[derive(Debug, Clone)]
 pub struct PipeOp {
@@ -108,8 +157,8 @@ pub struct PipeOp {
     /// Whether the operator may be split into micro-operators and preempted
     /// (allocation and decryption, §4.1 "Preemptive pipeline scheduling").
     pub preemptible: bool,
-    /// Human-readable label.
-    pub label: String,
+    /// Human-readable label, rendered lazily.
+    pub label: OpLabel,
 }
 
 /// The extended graph handed to the pipeline scheduler.
@@ -177,7 +226,7 @@ impl RestorePlan {
                     bytes: op_restore_bytes,
                     deps: last_alloc.into_iter().collect(),
                     preemptible: true,
-                    label: format!("alloc[{ci}] {}", cop.kind_label()),
+                    label: OpLabel::new("alloc", cop.kind_label(), ci),
                 });
                 last_alloc = Some(alloc_id);
 
@@ -195,7 +244,7 @@ impl RestorePlan {
                     bytes: op_restore_bytes,
                     deps: load_deps,
                     preemptible: false,
-                    label: format!("load[{ci}] {}", cop.kind_label()),
+                    label: OpLabel::new("load", cop.kind_label(), ci),
                 });
                 last_load = Some(load_id);
 
@@ -209,7 +258,7 @@ impl RestorePlan {
                     bytes: op_restore_bytes,
                     deps: vec![load_id],
                     preemptible: true,
-                    label: format!("decrypt[{ci}] {}", cop.kind_label()),
+                    label: OpLabel::new("decrypt", cop.kind_label(), ci),
                 });
                 decrypt_id = Some(dec_id);
             }
@@ -232,7 +281,7 @@ impl RestorePlan {
                 bytes: 0,
                 deps,
                 preemptible: false,
-                label: format!("compute[{ci}] {}", cop.kind_label()),
+                label: OpLabel::new("compute", cop.kind_label(), ci),
             });
             last_compute = Some(comp_id);
         }

@@ -237,6 +237,23 @@ impl WorkloadSpec {
             mix: Benchmark::all().iter().map(|&b| (b, 1.0)).collect(),
         }
     }
+
+    /// The standard benchmark mix over *several* models drawn uniformly per
+    /// request.  Alternating models keeps every dispatch's working set
+    /// partially evicted, which makes this the cold-heavy traffic shape the
+    /// restore-ahead benchmarks and regression tests sweep.
+    pub fn standard_multi(
+        process: ArrivalProcess,
+        requests: usize,
+        models: &[&str],
+    ) -> WorkloadSpec {
+        WorkloadSpec {
+            process,
+            requests,
+            models: models.iter().map(|m| m.to_string()).collect(),
+            mix: Benchmark::all().iter().map(|&b| (b, 1.0)).collect(),
+        }
+    }
 }
 
 /// Flattens open-loop scripts into `(arrival, request)` pairs sorted by

@@ -64,6 +64,7 @@ fn pipeline_makespan_is_bounded() {
                 cpu_cores: 4,
                 preempt_quantum: SimDuration::from_millis(2),
                 policy,
+                record_trace: true,
             },
         );
 

@@ -15,8 +15,10 @@ fn catalogue() -> Vec<llm::ModelSpec> {
 }
 
 /// The same traffic seed through the serving layer yields *byte-identical*
-/// fleet stats across two runs: the `sim_core::rng` streams and the engine's
-/// insertion-order tie-breaking are a determinism contract this test guards.
+/// fleet stats across two runs — under both the serial dispatcher and the
+/// overlapped dispatcher (multi-slot + restore-ahead + plan cache): the
+/// `sim_core::rng` streams and the engine's insertion-order tie-breaking are
+/// a determinism contract this test guards.
 #[test]
 fn deterministic_replay_yields_byte_identical_fleet_stats() {
     let workloads = [
@@ -43,24 +45,30 @@ fn deterministic_replay_yields_byte_identical_fleet_stats() {
             "tinyllama-1.1b",
         ),
     ];
+    let dispatchers = [
+        ("overlap", config()),
+        ("serial", ServingConfig::serial(PlatformProfile::rk3588())),
+    ];
     for (i, workload) in workloads.iter().enumerate() {
-        let seed = 1000 + i as u64;
-        let a = Server::run_workload(config(), catalogue(), workload, seed);
-        let b = Server::run_workload(config(), catalogue(), workload, seed);
-        assert_eq!(
-            format!("{:?}", a.fleet),
-            format!("{:?}", b.fleet),
-            "workload {i}: fleet stats must replay byte-identically"
-        );
-        // The per-request records replay too (order, timing, cache state).
-        assert_eq!(
-            format!("{:?}", a.records),
-            format!("{:?}", b.records),
-            "workload {i}: records must replay byte-identically"
-        );
-        // A different seed actually changes the run (the test is not vacuous).
-        let c = Server::run_workload(config(), catalogue(), workload, seed + 1);
-        assert_ne!(format!("{:?}", a.fleet), format!("{:?}", c.fleet));
+        for (name, cfg) in &dispatchers {
+            let seed = 1000 + i as u64;
+            let a = Server::run_workload(cfg.clone(), catalogue(), workload, seed);
+            let b = Server::run_workload(cfg.clone(), catalogue(), workload, seed);
+            assert_eq!(
+                format!("{:?}", a.fleet),
+                format!("{:?}", b.fleet),
+                "workload {i} ({name}): fleet stats must replay byte-identically"
+            );
+            // The per-request records replay too (order, timing, cache state).
+            assert_eq!(
+                format!("{:?}", a.records),
+                format!("{:?}", b.records),
+                "workload {i} ({name}): records must replay byte-identically"
+            );
+            // A different seed actually changes the run (not vacuous).
+            let c = Server::run_workload(cfg.clone(), catalogue(), workload, seed + 1);
+            assert_ne!(format!("{:?}", a.fleet), format!("{:?}", c.fleet));
+        }
     }
 }
 
