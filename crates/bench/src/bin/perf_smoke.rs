@@ -13,6 +13,9 @@
 //! 3. **Cold-heavy latency/throughput comparison** — p95 end-to-end TTFT at
 //!    a fixed arrival rate and saturation throughput, serial dispatcher vs
 //!    overlapped dispatcher (restore-ahead + multi-slot).
+//! 4. **Chat-heavy KV comparison** — follow-up-turn p95 TTFT and KV hit
+//!    rate on growing multi-turn conversations, secure KV-cache manager on
+//!    vs the paper's release-everything baseline.
 //!
 //! Run with: `cargo run --release -p bench --bin perf_smoke` (`--quick`
 //! shrinks the sweep for CI).
@@ -80,6 +83,12 @@ fn cold_heavy(config: ServingConfig, rate: f64, requests: usize) -> ServingRepor
     Server::run_workload(config, catalogue(), &workload, 0xC01D)
 }
 
+fn chat_heavy(config: ServingConfig, sessions: usize, requests: usize) -> ServingReport {
+    let workload = WorkloadSpec::chat(sessions, requests, SimDuration::from_secs(30), "qwen2.5-3b");
+    let models = vec![ModelSpec::qwen2_5_3b()];
+    Server::run_workload(config, models, &workload, 0xCAA7)
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
     let profile = PlatformProfile::rk3588();
@@ -127,7 +136,7 @@ fn main() {
         latency_requests,
     );
     let sat_overlap = cold_heavy(
-        ServingConfig::paper_default(profile),
+        ServingConfig::paper_default(profile.clone()),
         sat_rate,
         latency_requests,
     );
@@ -137,6 +146,48 @@ fn main() {
     println!(
         "saturation @{sat_rate} rps: throughput serial {:.4} rps, overlap {:.4} rps",
         sat_serial.fleet.throughput_rps, sat_overlap.fleet.throughput_rps
+    );
+
+    // Chat-heavy comparison: multi-turn conversations with the secure
+    // KV-cache manager on vs the release-everything baseline.  Quick mode
+    // keeps the request budget small but the conversations deep (fewer
+    // sessions, same turns per session) — reuse wins grow with depth.
+    let chat_sessions = if opts.quick { 3 } else { 6 };
+    let chat_requests = if opts.quick { 60 } else { 120 };
+    let chat_base = chat_heavy(
+        ServingConfig::paper_default(profile.clone()),
+        chat_sessions,
+        chat_requests,
+    );
+    let chat_kv = chat_heavy(
+        ServingConfig::chat_default(profile),
+        chat_sessions,
+        chat_requests,
+    );
+    let followup_p95_base = chat_base
+        .fleet
+        .followup_ttft_ms
+        .expect("chat runs follow-ups")
+        .p95
+        / 1e3;
+    let followup_p95_kv = chat_kv
+        .fleet
+        .followup_ttft_ms
+        .expect("chat runs follow-ups")
+        .p95
+        / 1e3;
+    let followup_improvement = followup_p95_base / followup_p95_kv;
+    let kv_hit_rate = chat_kv.fleet.kv_hit_rate;
+    println!(
+        "chat-heavy ({chat_sessions} sessions): follow-up p95 TTFT baseline \
+         {followup_p95_base:.2} s, KV reuse {followup_p95_kv:.2} s \
+         ({followup_improvement:.1}x, hit rate {kv_hit_rate:.3})"
+    );
+    println!(
+        "  KV bytes: spilled {:.1} MiB, unsealed {:.1} MiB, restore-ahead {:.1} MiB",
+        chat_kv.fleet.kv_spilled_bytes as f64 / sim_core::MIB as f64,
+        chat_kv.fleet.kv_unsealed_bytes as f64 / sim_core::MIB as f64,
+        chat_kv.fleet.kv_restore_ahead_bytes as f64 / sim_core::MIB as f64,
     );
 
     let mut json = String::new();
@@ -174,6 +225,33 @@ fn main() {
         "    \"throughput_rps_overlap\": {:.4}",
         sat_overlap.fleet.throughput_rps
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"chat\": {{");
+    let _ = writeln!(json, "    \"sessions\": {chat_sessions},");
+    let _ = writeln!(json, "    \"requests\": {chat_requests},");
+    let _ = writeln!(json, "    \"kv_hit_rate\": {kv_hit_rate:.4},");
+    let _ = writeln!(
+        json,
+        "    \"followup_p95_ttft_s_baseline\": {followup_p95_base:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"followup_p95_ttft_s_kv\": {followup_p95_kv:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"followup_improvement_x\": {followup_improvement:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"kv_spilled_mib\": {:.1},",
+        chat_kv.fleet.kv_spilled_bytes as f64 / sim_core::MIB as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"kv_restore_ahead_mib\": {:.1}",
+        chat_kv.fleet.kv_restore_ahead_bytes as f64 / sim_core::MIB as f64
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
@@ -188,5 +266,14 @@ fn main() {
     assert!(
         sat_overlap.fleet.throughput_rps >= sat_serial.fleet.throughput_rps * 0.95,
         "overlap dispatcher must not regress saturation throughput"
+    );
+    assert!(
+        followup_improvement >= 2.0,
+        "KV reuse must improve follow-up p95 TTFT >= 2x \
+         ({followup_p95_kv:.2} s vs {followup_p95_base:.2} s)"
+    );
+    assert!(
+        kv_hit_rate > 0.8,
+        "chat-heavy KV hit rate must stay high ({kv_hit_rate:.3})"
     );
 }

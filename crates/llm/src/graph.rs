@@ -112,6 +112,14 @@ impl ComputationGraph {
         Self::build(model, prompt_len, prompt_len)
     }
 
+    /// Builds the prefill graph for the last `new_tokens` of a
+    /// `context_len`-token prompt whose leading tokens' KV state is already
+    /// cached (multi-turn prefix reuse): every operator processes only the
+    /// new tokens, but attention still spans the full context.
+    pub fn prefill_suffix(model: &ModelSpec, new_tokens: usize, context_len: usize) -> Self {
+        Self::build(model, new_tokens, context_len.max(new_tokens))
+    }
+
     /// Builds a single-token decode graph with `kv_len` tokens already in the
     /// KV cache (affects only the attention cost).
     pub fn decode(model: &ModelSpec, kv_len: usize) -> Self {

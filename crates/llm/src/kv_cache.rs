@@ -2,10 +2,12 @@
 //!
 //! The KV cache lives in the second TZASC region together with activations
 //! and other working data (§4.2): it is initialised to the prompt size during
-//! prefill, grows with each generated token during decoding, and is released
-//! completely after the inference finishes.  This module tracks its size so
-//! the secure-memory manager can size `extend`/`shrink` calls, and (for the
-//! functional executor) stores the actual key/value vectors of small models.
+//! prefill, grows with each generated token during decoding, and — in the
+//! paper's prototype — is released completely after the inference finishes.
+//! This module tracks its size so the secure-memory manager can size
+//! `extend`/`shrink` calls, provides the page-granular accounting the secure
+//! KV pool retains and spills at, and (for the functional executor) stores
+//! the actual key/value vectors of small models.
 
 use serde::{Deserialize, Serialize};
 
@@ -29,16 +31,20 @@ pub struct KvCache {
 impl KvCache {
     /// Creates a cache for `model` with room for `capacity_tokens` tokens.
     /// `store_data` controls whether actual vectors are kept (small models).
+    /// Cost-model-only caches (`store_data == false`) allocate nothing: the
+    /// serving layer creates one per simulated request, so the per-layer
+    /// vectors exist only when a functional model will actually fill them.
     pub fn new(model: &ModelSpec, capacity_tokens: usize, store_data: bool) -> Self {
         let kv_dim = model.kv_heads * model.head_dim();
+        let per_layer = if store_data { model.layers } else { 0 };
         KvCache {
             layers: model.layers,
             kv_dim,
             capacity_tokens,
             tokens: 0,
             bytes_per_token: model.kv_bytes_per_token(),
-            keys: vec![Vec::new(); model.layers],
-            values: vec![Vec::new(); model.layers],
+            keys: vec![Vec::new(); per_layer],
+            values: vec![Vec::new(); per_layer],
             store_data,
         }
     }
@@ -68,6 +74,37 @@ impl KvCache {
         self.capacity_tokens as u64 * self.bytes_per_token
     }
 
+    /// How many whole tokens fit in one `page_bytes`-sized KV page (at least
+    /// one: a token larger than a page still occupies a page per token).
+    pub fn tokens_per_page(&self, page_bytes: u64) -> usize {
+        (page_bytes / self.bytes_per_token.max(1)).max(1) as usize
+    }
+
+    /// Pages occupied by the current contents under `page_bytes`-sized pages
+    /// (the granularity at which the secure KV pool retains and spills).
+    pub fn pages_used(&self, page_bytes: u64) -> usize {
+        self.tokens.div_ceil(self.tokens_per_page(page_bytes))
+    }
+
+    /// Truncates the cache to its first `tokens` tokens, dropping the tail —
+    /// the page-spill path releases KV state from the end so the retained
+    /// part stays a contiguous prefix (mirroring the parameter cache).
+    pub fn retain_prefix(&mut self, tokens: usize) {
+        if tokens >= self.tokens {
+            return;
+        }
+        self.tokens = tokens;
+        if self.store_data {
+            let keep = tokens * self.kv_dim;
+            for k in &mut self.keys {
+                k.truncate(keep);
+            }
+            for v in &mut self.values {
+                v.truncate(keep);
+            }
+        }
+    }
+
     /// Appends one token's K/V vectors for a layer.  When the cache stores
     /// data, `k` and `v` must be `kv_dim` long.
     pub fn append(&mut self, layer: usize, k: &[f32], v: &[f32]) {
@@ -88,14 +125,25 @@ impl KvCache {
         self.tokens = (self.tokens + count).min(self.capacity_tokens);
     }
 
-    /// Keys of a layer (functional models).
+    /// Keys of a layer (functional models; empty for cost-model-only caches,
+    /// which store nothing).  Functional caches still panic on a bad layer
+    /// index — that is a caller bug, not a storage mode.
     pub fn keys(&self, layer: usize) -> &[f32] {
-        &self.keys[layer]
+        if self.store_data {
+            &self.keys[layer]
+        } else {
+            &[]
+        }
     }
 
-    /// Values of a layer (functional models).
+    /// Values of a layer (functional models; empty for cost-model-only
+    /// caches).  Panics on a bad layer index for functional caches.
     pub fn values(&self, layer: usize) -> &[f32] {
-        &self.values[layer]
+        if self.store_data {
+            &self.values[layer]
+        } else {
+            &[]
+        }
     }
 
     /// The KV dimension per token per layer.
@@ -130,6 +178,54 @@ mod tests {
         assert!(cache.bytes_capacity() > 70 * 1024 * 1024);
         cache.advance_tokens(10_000);
         assert_eq!(cache.len(), cache.capacity());
+    }
+
+    #[test]
+    fn cost_model_cache_allocates_no_layer_storage() {
+        let model = ModelSpec::llama3_8b();
+        let cache = KvCache::new(&model, 4096, false);
+        // No per-layer vectors exist; the accessors still answer safely.
+        assert_eq!(cache.keys.len(), 0);
+        assert_eq!(cache.values.len(), 0);
+        assert!(cache.keys(0).is_empty());
+        assert!(cache.values(model.layers - 1).is_empty());
+    }
+
+    #[test]
+    fn page_accounting_is_ceil_granular() {
+        let model = ModelSpec::qwen2_5_3b();
+        let mut cache = KvCache::new(&model, 4096, false);
+        let page = 2 * 1024 * 1024u64;
+        let per_page = cache.tokens_per_page(page);
+        assert_eq!(per_page as u64, page / model.kv_bytes_per_token());
+        assert_eq!(cache.pages_used(page), 0);
+        cache.advance_tokens(1);
+        assert_eq!(
+            cache.pages_used(page),
+            1,
+            "a partial page still occupies one"
+        );
+        cache.advance_tokens(per_page);
+        assert_eq!(cache.pages_used(page), 2);
+    }
+
+    #[test]
+    fn retain_prefix_truncates_tail() {
+        let model = ModelSpec::nano();
+        let mut cache = KvCache::new(&model, 8, true);
+        let kv_dim = cache.kv_dim();
+        for t in 0..4 {
+            for layer in 0..model.layers {
+                cache.append(layer, &vec![t as f32; kv_dim], &vec![t as f32; kv_dim]);
+            }
+        }
+        cache.retain_prefix(2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.keys(0).len(), 2 * kv_dim);
+        assert_eq!(cache.values(0).last().copied(), Some(1.0));
+        // Growing requests are a no-op.
+        cache.retain_prefix(10);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

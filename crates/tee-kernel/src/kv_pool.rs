@@ -1,0 +1,433 @@
+//! Paged secure KV-cache pool with encrypted spill (the functional half of
+//! the KV-cache manager).
+//!
+//! TZ-LLM's prototype releases the whole KV cache after every inference
+//! (§4.2), so each follow-up turn of a conversation re-prefills everything it
+//! already computed.  The KV pool instead retains per-session KV state as
+//! fixed-size pages inside the working [`ScalableRegion`]:
+//!
+//! * pages are allocated by growing the region through the normal
+//!   `extend_allocated`/`extend_protected` path (page-aligned, contiguous,
+//!   Iago-validated);
+//! * under secure-memory pressure, cold pages are *spilled*: sealed with
+//!   AES-256-CTR + HMAC-SHA256 ([`tz_crypto::seal`]) and handed to
+//!   normal-world CMA memory, then the plaintext page is scrubbed;
+//! * on a follow-up turn the sealed pages are verified and decrypted back
+//!   into fresh secure pages — a tampered blob is rejected before a single
+//!   byte is decrypted.
+//!
+//! The serving-layer twin of this module ([`tzllm`'s `kv`] in the tzllm
+//! crate) does the byte/time *accounting* of the same lifecycle; this module
+//! is the byte-exact data path the security tests attack.
+
+use tz_crypto::seal::{open, seal, SealKey, SealedBlob};
+use tz_crypto::SealError;
+use tz_hal::PAGE_SIZE;
+
+use ree_kernel::TzDriver;
+
+use crate::secure_memory::{ScalingError, SecureMemoryManager};
+use crate::ta::TaRegistry;
+
+/// Errors from the KV pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvPoolError {
+    /// Growing or shrinking the secure region failed.
+    Scaling(ScalingError),
+    /// A sealed page failed integrity verification on restore.
+    Integrity,
+    /// Page data does not match the pool's page size.
+    BadPageSize {
+        /// What the pool expects.
+        expected: u64,
+        /// What the caller provided.
+        got: u64,
+    },
+    /// The referenced slot is empty or out of range.
+    NoSuchPage(usize),
+}
+
+impl From<ScalingError> for KvPoolError {
+    fn from(e: ScalingError) -> Self {
+        KvPoolError::Scaling(e)
+    }
+}
+
+impl From<SealError> for KvPoolError {
+    fn from(_: SealError) -> Self {
+        KvPoolError::Integrity
+    }
+}
+
+impl std::fmt::Display for KvPoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvPoolError::Scaling(e) => write!(f, "secure region scaling failed: {e}"),
+            KvPoolError::Integrity => write!(f, "sealed KV page failed integrity verification"),
+            KvPoolError::BadPageSize { expected, got } => {
+                write!(f, "page data is {got} bytes, pool pages are {expected}")
+            }
+            KvPoolError::NoSuchPage(slot) => write!(f, "no resident page in slot {slot}"),
+        }
+    }
+}
+
+impl std::error::Error for KvPoolError {}
+
+/// A resident (plaintext, secure-memory) KV page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvPageData {
+    /// Session the page belongs to.
+    pub session: u64,
+    /// Position of the page within the session's KV prefix.
+    pub seq: u32,
+    /// The raw K/V bytes.
+    pub data: Vec<u8>,
+}
+
+/// A sealed KV page as it sits in normal-world CMA memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedKvPage {
+    /// Session the page belongs to (authenticated, not secret).
+    pub session: u64,
+    /// Position of the page within the session's KV prefix (authenticated).
+    pub seq: u32,
+    /// The sealed payload.
+    pub blob: SealedBlob,
+}
+
+impl SealedKvPage {
+    fn aad(session: u64, seq: u32, len: u64) -> Vec<u8> {
+        let mut aad = Vec::with_capacity(20);
+        aad.extend_from_slice(&session.to_le_bytes());
+        aad.extend_from_slice(&seq.to_le_bytes());
+        aad.extend_from_slice(&len.to_le_bytes());
+        aad
+    }
+}
+
+/// Normal-world staging area for spilled KV pages: everything stored here is
+/// readable and writable by a compromised REE, which is exactly what the
+/// security tests exercise.
+#[derive(Debug, Default)]
+pub struct NormalWorldSpill {
+    blobs: Vec<SealedKvPage>,
+}
+
+impl NormalWorldSpill {
+    /// An empty spill area.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sealed pages currently spilled.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Whether nothing is spilled.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Stores a sealed page, returning its index.
+    pub fn push(&mut self, page: SealedKvPage) -> usize {
+        self.blobs.push(page);
+        self.blobs.len() - 1
+    }
+
+    /// Borrow a sealed page (REE read access).
+    pub fn get(&self, index: usize) -> &SealedKvPage {
+        &self.blobs[index]
+    }
+
+    /// Mutable access — the REE can tamper with anything it stores.
+    pub fn get_mut(&mut self, index: usize) -> &mut SealedKvPage {
+        &mut self.blobs[index]
+    }
+
+    /// Removes and returns a sealed page (handed back to the TEE on restore).
+    pub fn take(&mut self, index: usize) -> SealedKvPage {
+        self.blobs.remove(index)
+    }
+
+    /// Every byte of normal-world memory the spill occupies, concatenated —
+    /// the attacker's full view.
+    pub fn observable_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for page in &self.blobs {
+            out.extend_from_slice(&page.session.to_le_bytes());
+            out.extend_from_slice(&page.seq.to_le_bytes());
+            out.extend_from_slice(&page.blob.observable_bytes());
+        }
+        out
+    }
+}
+
+/// The paged KV allocator over one [`ScalableRegion`].
+#[derive(Debug)]
+pub struct KvPagePool {
+    region: usize,
+    page_bytes: u64,
+    slots: Vec<Option<KvPageData>>,
+    key: SealKey,
+    seal_counter: u64,
+}
+
+impl KvPagePool {
+    /// Creates a pool of `page_bytes`-sized pages inside secure-memory region
+    /// `region`, sealing spilled pages under a key derived from `root_key`.
+    ///
+    /// # Panics
+    /// Panics if `page_bytes` is not a positive multiple of the platform page
+    /// size (region scaling is page-granular).
+    pub fn new(region: usize, page_bytes: u64, root_key: &[u8]) -> Self {
+        assert!(
+            page_bytes > 0 && page_bytes.is_multiple_of(PAGE_SIZE),
+            "KV pages must be a positive multiple of the {PAGE_SIZE}-byte platform page"
+        );
+        KvPagePool {
+            region,
+            page_bytes,
+            slots: Vec::new(),
+            key: SealKey::derive(root_key, "kv-page-seal"),
+            seal_counter: 0,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Number of pages currently resident in secure memory.
+    pub fn resident_pages(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total secure bytes the pool has claimed from its region (resident and
+    /// free slots alike — freed slots are reused before the region grows).
+    pub fn claimed_bytes(&self) -> u64 {
+        self.slots.len() as u64 * self.page_bytes
+    }
+
+    /// A resident page, if the slot holds one.
+    pub fn page(&self, slot: usize) -> Option<&KvPageData> {
+        self.slots.get(slot).and_then(|s| s.as_ref())
+    }
+
+    /// Installs one page of KV data for `(session, seq)`, growing the secure
+    /// region if no freed slot is available.  Returns the slot index.
+    pub fn install(
+        &mut self,
+        session: u64,
+        seq: u32,
+        data: Vec<u8>,
+        mgr: &mut SecureMemoryManager,
+        tz_driver: &mut TzDriver,
+        tas: &mut TaRegistry,
+    ) -> Result<usize, KvPoolError> {
+        if data.len() as u64 != self.page_bytes {
+            return Err(KvPoolError::BadPageSize {
+                expected: self.page_bytes,
+                got: data.len() as u64,
+            });
+        }
+        let page = KvPageData { session, seq, data };
+        if let Some(slot) = self.slots.iter().position(|s| s.is_none()) {
+            self.slots[slot] = Some(page);
+            return Ok(slot);
+        }
+        mgr.extend_allocated(self.region, self.page_bytes, tz_driver)?;
+        mgr.extend_protected(self.region, self.page_bytes, tas)?;
+        self.slots.push(Some(page));
+        Ok(self.slots.len() - 1)
+    }
+
+    /// Spills the page in `slot` to normal-world memory: seals it, scrubs the
+    /// plaintext, frees the slot, and returns the spill index.
+    pub fn spill(
+        &mut self,
+        slot: usize,
+        spill: &mut NormalWorldSpill,
+    ) -> Result<usize, KvPoolError> {
+        let page = self
+            .slots
+            .get_mut(slot)
+            .and_then(Option::take)
+            .ok_or(KvPoolError::NoSuchPage(slot))?;
+        // A monotonic counter plus the session id keeps nonces unique per key
+        // even when the same (session, seq) page is spilled repeatedly.
+        let mut nonce = [0u8; 16];
+        nonce[..8].copy_from_slice(&self.seal_counter.to_le_bytes());
+        nonce[8..].copy_from_slice(&page.session.to_le_bytes());
+        self.seal_counter += 1;
+        let aad = SealedKvPage::aad(page.session, page.seq, page.data.len() as u64);
+        let blob = seal(&self.key, &nonce, &aad, &page.data);
+        // `page.data` is dropped here — the secure copy is scrubbed.
+        Ok(spill.push(SealedKvPage {
+            session: page.session,
+            seq: page.seq,
+            blob,
+        }))
+    }
+
+    /// Restores a sealed page handed back by the normal world: verifies the
+    /// tag over the page identity and ciphertext, decrypts into a fresh
+    /// secure page, and returns its slot.
+    pub fn restore(
+        &mut self,
+        sealed: SealedKvPage,
+        mgr: &mut SecureMemoryManager,
+        tz_driver: &mut TzDriver,
+        tas: &mut TaRegistry,
+    ) -> Result<usize, KvPoolError> {
+        let aad = SealedKvPage::aad(sealed.session, sealed.seq, self.page_bytes);
+        let data = open(&self.key, &aad, &sealed.blob)?;
+        if data.len() as u64 != self.page_bytes {
+            return Err(KvPoolError::BadPageSize {
+                expected: self.page_bytes,
+                got: data.len() as u64,
+            });
+        }
+        self.install(sealed.session, sealed.seq, data, mgr, tz_driver, tas)
+    }
+
+    /// Frees every resident page of `session` (conversation reset or session
+    /// eviction), returning how many pages were scrubbed.
+    pub fn release_session(&mut self, session: u64) -> usize {
+        let mut freed = 0;
+        for slot in &mut self.slots {
+            if slot.as_ref().is_some_and(|p| p.session == session) {
+                *slot = None;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Returns trailing free slots' memory to the REE by shrinking the
+    /// region; interior free slots stay claimed for reuse (the region must
+    /// stay contiguous).  Returns the bytes released.
+    pub fn shrink_to_fit(
+        &mut self,
+        mgr: &mut SecureMemoryManager,
+        tz_driver: &mut TzDriver,
+        tas: &mut TaRegistry,
+    ) -> Result<u64, KvPoolError> {
+        let mut tail_free = 0u64;
+        while self.slots.last().is_some_and(Option::is_none) {
+            self.slots.pop();
+            tail_free += self.page_bytes;
+        }
+        if tail_free > 0 {
+            mgr.shrink(self.region, tail_free, tas, tz_driver)?;
+        }
+        Ok(tail_free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ree_kernel::{CmaPool, CmaRegion};
+    use sim_core::GIB;
+    use tz_hal::{DeviceId, PhysAddr, PhysRange, Platform};
+
+    const PAGE: u64 = 4 * PAGE_SIZE;
+
+    fn setup() -> (
+        SecureMemoryManager,
+        TzDriver,
+        TaRegistry,
+        KvPagePool,
+        NormalWorldSpill,
+    ) {
+        let platform = Platform::rk3588();
+        let params = CmaRegion::new(
+            PhysRange::new(PhysAddr::new(0x1_0000_0000), GIB),
+            platform.profile.cma_bandwidth(),
+            platform.profile.page_alloc_ns,
+        );
+        let working = CmaRegion::new(
+            PhysRange::new(PhysAddr::new(0x3_8000_0000), GIB),
+            platform.profile.cma_bandwidth(),
+            platform.profile.page_alloc_ns,
+        );
+        let tz = TzDriver::new(platform.clone(), params, working);
+        let mut tas = TaRegistry::new();
+        let llm = tas.register("llm-ta", true);
+        let mut mgr = SecureMemoryManager::new(platform);
+        let region = mgr.create_region(CmaPool::Working, llm, vec![DeviceId::Npu]);
+        let pool = KvPagePool::new(region, PAGE, &[0x33u8; 32]);
+        (mgr, tz, tas, pool, NormalWorldSpill::new())
+    }
+
+    fn page_data(tag: u8) -> Vec<u8> {
+        (0..PAGE).map(|i| tag ^ (i % 256) as u8).collect()
+    }
+
+    #[test]
+    fn install_grows_region_and_reuses_freed_slots() {
+        let (mut mgr, mut tz, mut tas, mut pool, mut spill) = setup();
+        let a = pool
+            .install(1, 0, page_data(1), &mut mgr, &mut tz, &mut tas)
+            .unwrap();
+        let b = pool
+            .install(1, 1, page_data(2), &mut mgr, &mut tz, &mut tas)
+            .unwrap();
+        assert_eq!(mgr.region(0).protected_bytes(), 2 * PAGE);
+        assert_eq!(pool.resident_pages(), 2);
+
+        // Spill page `a`; the next install reuses its slot without growing.
+        pool.spill(a, &mut spill).unwrap();
+        assert_eq!(pool.resident_pages(), 1);
+        let c = pool
+            .install(2, 0, page_data(3), &mut mgr, &mut tz, &mut tas)
+            .unwrap();
+        assert_eq!(c, a);
+        assert_eq!(mgr.region(0).protected_bytes(), 2 * PAGE);
+        assert_eq!(pool.page(b).unwrap().seq, 1);
+    }
+
+    #[test]
+    fn spill_and_restore_roundtrip() {
+        let (mut mgr, mut tz, mut tas, mut pool, mut spill) = setup();
+        let original = page_data(7);
+        let slot = pool
+            .install(9, 4, original.clone(), &mut mgr, &mut tz, &mut tas)
+            .unwrap();
+        let idx = pool.spill(slot, &mut spill).unwrap();
+        assert!(pool.page(slot).is_none(), "spilled plaintext must be gone");
+
+        let sealed = spill.take(idx);
+        let restored = pool.restore(sealed, &mut mgr, &mut tz, &mut tas).unwrap();
+        let page = pool.page(restored).unwrap();
+        assert_eq!(page.session, 9);
+        assert_eq!(page.seq, 4);
+        assert_eq!(page.data, original);
+    }
+
+    #[test]
+    fn release_and_shrink_return_memory() {
+        let (mut mgr, mut tz, mut tas, mut pool, _spill) = setup();
+        for seq in 0..3 {
+            pool.install(5, seq, page_data(seq as u8), &mut mgr, &mut tz, &mut tas)
+                .unwrap();
+        }
+        assert_eq!(pool.release_session(5), 3);
+        let released = pool.shrink_to_fit(&mut mgr, &mut tz, &mut tas).unwrap();
+        assert_eq!(released, 3 * PAGE);
+        assert_eq!(mgr.region(0).protected_bytes(), 0);
+        assert_eq!(pool.claimed_bytes(), 0);
+    }
+
+    #[test]
+    fn wrong_sized_data_is_rejected() {
+        let (mut mgr, mut tz, mut tas, mut pool, _spill) = setup();
+        let err = pool
+            .install(1, 0, vec![0u8; 17], &mut mgr, &mut tz, &mut tas)
+            .unwrap_err();
+        assert!(matches!(err, KvPoolError::BadPageSize { .. }));
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`npu_data_plane`] — the user-mode TEE NPU data-plane driver and the
 //!   world-switch protocol (§4.3).
 //! * [`checkpoint`] — encrypted framework-state checkpoint/restore (§3.2).
+//! * [`kv_pool`] — the paged secure KV-cache pool with sealed spill to
+//!   normal-world memory (the functional half of the KV-cache manager).
 //! * [`thread`] — shadow-thread scheduling with TEE-managed synchronisation.
 //!
 //! Everything in this crate is inside the TCB, and the paper's goal of
@@ -18,6 +20,7 @@
 
 pub mod checkpoint;
 pub mod key_service;
+pub mod kv_pool;
 pub mod npu_data_plane;
 pub mod secure_memory;
 pub mod ta;
@@ -25,6 +28,7 @@ pub mod thread;
 
 pub use checkpoint::{CheckpointError, CheckpointStore, RestoredCheckpoint};
 pub use key_service::{KeyService, KeyServiceError};
+pub use kv_pool::{KvPageData, KvPagePool, KvPoolError, NormalWorldSpill, SealedKvPage};
 pub use npu_data_plane::{HandoffResult, SecurityViolation, SwitchCost, TeeNpuDriver};
 pub use secure_memory::{ScalableRegion, ScalingCost, ScalingError, SecureMemoryManager};
 pub use ta::{TaError, TaId, TaRegistry, TrustedApp};

@@ -13,11 +13,15 @@
 //! * [`hmac`] — HMAC-SHA256 and HKDF-style key derivation.
 //! * [`keys`] — the model-key hierarchy (hardware unique key → key-wrapping
 //!   key → per-model key) described in §6 of the paper.
+//! * [`seal`] — authenticated sealing (AES-CTR + HMAC, encrypt-then-MAC) for
+//!   secure state spilled into normal-world memory, used by the KV-cache
+//!   page spill path.
 
 pub mod aes;
 pub mod ctr;
 pub mod hmac;
 pub mod keys;
+pub mod seal;
 pub mod sha256;
 
 pub use aes::{Aes, AesError};
@@ -26,4 +30,5 @@ pub use hmac::{derive_key, hmac_sha256, hmac_verify};
 pub use keys::{
     HardwareUniqueKey, KeyError, ModelKey, SecretBytes, WrappedModelKey, KEY_LEN, NONCE_LEN,
 };
+pub use seal::{open, seal, SealError, SealKey, SealedBlob, SEAL_NONCE_LEN, SEAL_TAG_LEN};
 pub use sha256::{constant_time_eq, Sha256, DIGEST_SIZE};

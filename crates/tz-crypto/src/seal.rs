@@ -1,0 +1,201 @@
+//! Authenticated sealing of secure data spilled to the normal world.
+//!
+//! When the TEE evicts state (e.g. cold KV-cache pages) into REE-visible
+//! memory, confidentiality and integrity must survive a fully compromised
+//! normal world.  This module provides the encrypt-then-MAC construction the
+//! KV spill path uses: AES-256-CTR under a derived encryption key, then
+//! HMAC-SHA256 over the nonce, the caller's associated data (the page's
+//! identity header) and the ciphertext under an *independent* derived MAC
+//! key.  Opening verifies the tag in constant time before any decryption.
+
+use crate::ctr::AesCtr;
+use crate::hmac::{derive_key, hmac_sha256};
+use crate::sha256::constant_time_eq;
+
+/// Length of the authentication tag (HMAC-SHA256).
+pub const SEAL_TAG_LEN: usize = 32;
+
+/// Length of the CTR nonce.
+pub const SEAL_NONCE_LEN: usize = 16;
+
+/// Errors from [`open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealError {
+    /// The tag did not verify: the blob, its nonce or its associated data
+    /// were tampered with (or the wrong key was used).
+    IntegrityFailure,
+}
+
+impl std::fmt::Display for SealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SealError::IntegrityFailure => write!(f, "sealed blob failed integrity verification"),
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+/// A sealed blob as it sits in normal-world memory: everything here is
+/// observable by (and writable from) a compromised REE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlob {
+    /// CTR nonce (unique per seal under one key).
+    pub nonce: [u8; SEAL_NONCE_LEN],
+    /// The encrypted payload.
+    pub ciphertext: Vec<u8>,
+    /// HMAC-SHA256 over nonce ‖ aad-length ‖ aad ‖ ciphertext.
+    pub tag: [u8; SEAL_TAG_LEN],
+}
+
+impl SealedBlob {
+    /// The blob exactly as the normal world sees it, serialised to bytes
+    /// (nonce ‖ ciphertext ‖ tag) — what an attacker scanning CMA memory
+    /// observes.
+    pub fn observable_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SEAL_NONCE_LEN + self.ciphertext.len() + SEAL_TAG_LEN);
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.ciphertext);
+        out.extend_from_slice(&self.tag);
+        out
+    }
+}
+
+/// The pair of independent sub-keys one sealing domain uses.
+#[derive(Clone)]
+pub struct SealKey {
+    enc: Vec<u8>,
+    mac: Vec<u8>,
+}
+
+impl std::fmt::Debug for SealKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SealKey {{ .. }}")
+    }
+}
+
+impl SealKey {
+    /// Derives the encryption and MAC sub-keys from a root key, bound to a
+    /// textual purpose label (different purposes never share key material).
+    pub fn derive(root: &[u8], purpose: &str) -> SealKey {
+        SealKey {
+            enc: derive_key(root, &format!("{purpose}/enc"), 32),
+            mac: derive_key(root, &format!("{purpose}/mac"), 32),
+        }
+    }
+}
+
+fn tag_for(
+    key: &SealKey,
+    nonce: &[u8; SEAL_NONCE_LEN],
+    aad: &[u8],
+    ciphertext: &[u8],
+) -> [u8; SEAL_TAG_LEN] {
+    let mut msg = Vec::with_capacity(SEAL_NONCE_LEN + 8 + aad.len() + ciphertext.len());
+    msg.extend_from_slice(nonce);
+    msg.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+    msg.extend_from_slice(aad);
+    msg.extend_from_slice(ciphertext);
+    hmac_sha256(&key.mac, &msg)
+}
+
+/// Seals `plaintext` with associated data `aad` under `key` and `nonce`.
+///
+/// The nonce must be unique per seal under one key (the KV pool uses a
+/// monotonic counter); `aad` is authenticated but not encrypted — the page
+/// identity header lives there so a swapped blob fails verification.
+pub fn seal(
+    key: &SealKey,
+    nonce: &[u8; SEAL_NONCE_LEN],
+    aad: &[u8],
+    plaintext: &[u8],
+) -> SealedBlob {
+    let ctr = AesCtr::new(&key.enc, nonce).expect("derived key has a valid AES length");
+    let mut ciphertext = plaintext.to_vec();
+    ctr.apply(&mut ciphertext);
+    let tag = tag_for(key, nonce, aad, &ciphertext);
+    SealedBlob {
+        nonce: *nonce,
+        ciphertext,
+        tag,
+    }
+}
+
+/// Verifies and opens a sealed blob, returning the plaintext.
+///
+/// The tag is checked (in constant time) over the nonce, `aad` and the
+/// ciphertext *before* decryption; any bit flipped anywhere is rejected.
+pub fn open(key: &SealKey, aad: &[u8], blob: &SealedBlob) -> Result<Vec<u8>, SealError> {
+    let expected = tag_for(key, &blob.nonce, aad, &blob.ciphertext);
+    if !constant_time_eq(&expected, &blob.tag) {
+        return Err(SealError::IntegrityFailure);
+    }
+    let ctr = AesCtr::new(&key.enc, &blob.nonce).expect("derived key has a valid AES length");
+    let mut plaintext = blob.ciphertext.clone();
+    ctr.apply(&mut plaintext);
+    Ok(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> SealKey {
+        SealKey::derive(&[0x42u8; 32], "test-seal")
+    }
+
+    #[test]
+    fn roundtrip_restores_plaintext() {
+        let k = key();
+        let aad = b"session=7 seq=3";
+        let blob = seal(&k, &[1u8; 16], aad, b"attention keys and values");
+        assert_eq!(open(&k, aad, &blob).unwrap(), b"attention keys and values");
+    }
+
+    #[test]
+    fn ciphertext_never_equals_plaintext_blocks() {
+        let k = key();
+        let plaintext: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let blob = seal(&k, &[9u8; 16], b"", &plaintext);
+        assert_eq!(blob.ciphertext.len(), plaintext.len());
+        for (c, p) in blob.ciphertext.chunks(16).zip(plaintext.chunks(16)) {
+            assert_ne!(c, p, "a keystream block left plaintext exposed");
+        }
+    }
+
+    #[test]
+    fn any_tampering_is_rejected() {
+        let k = key();
+        let aad = b"page-header";
+        let blob = seal(&k, &[5u8; 16], aad, b"secret kv bytes");
+
+        let mut bad = blob.clone();
+        bad.ciphertext[0] ^= 1;
+        assert_eq!(open(&k, aad, &bad), Err(SealError::IntegrityFailure));
+
+        let mut bad = blob.clone();
+        bad.tag[31] ^= 1;
+        assert_eq!(open(&k, aad, &bad), Err(SealError::IntegrityFailure));
+
+        let mut bad = blob.clone();
+        bad.nonce[3] ^= 1;
+        assert_eq!(open(&k, aad, &bad), Err(SealError::IntegrityFailure));
+
+        // Same blob under different associated data (a swapped page id).
+        assert_eq!(
+            open(&k, b"other-header", &blob),
+            Err(SealError::IntegrityFailure)
+        );
+
+        // And the original still opens.
+        assert!(open(&k, aad, &blob).is_ok());
+    }
+
+    #[test]
+    fn distinct_purposes_use_distinct_keys() {
+        let a = SealKey::derive(&[7u8; 32], "kv-pages");
+        let b = SealKey::derive(&[7u8; 32], "checkpoints");
+        let blob = seal(&a, &[0u8; 16], b"", b"payload");
+        assert_eq!(open(&b, b"", &blob), Err(SealError::IntegrityFailure));
+    }
+}

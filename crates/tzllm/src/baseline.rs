@@ -102,6 +102,7 @@ pub fn evaluate(
                 working_alloc: profile.kv_cache_alloc + profile.activation_alloc,
                 pipeline: result.makespan,
                 npu_overhead: SimDuration::ZERO,
+                ..TtftBreakdown::default()
             };
             InferenceReport {
                 ttft: breakdown.total(),
@@ -140,6 +141,7 @@ pub fn evaluate(
                 working_alloc: profile.kv_cache_alloc + profile.activation_alloc,
                 pipeline: result.makespan,
                 npu_overhead: SimDuration::ZERO,
+                ..TtftBreakdown::default()
             };
             InferenceReport {
                 ttft: breakdown.total(),
@@ -186,6 +188,7 @@ pub fn evaluate(
                 working_alloc: profile.kv_cache_alloc + profile.activation_alloc,
                 pipeline: result.makespan,
                 npu_overhead: SimDuration::ZERO,
+                ..TtftBreakdown::default()
             };
             InferenceReport {
                 ttft: breakdown.total(),

@@ -1,0 +1,503 @@
+//! Secure paged KV-cache retention across requests (the accounting half of
+//! the KV-cache manager).
+//!
+//! The paper releases the whole KV cache after every inference (§4.2), so a
+//! multi-turn conversation re-prefills its entire history on every turn.
+//! [`KvPool`] instead retains each session's KV state between requests, at
+//! page granularity, under an explicit secure-memory budget:
+//!
+//! * after a request completes, the session's KV pages (prompt + generated
+//!   tokens) stay resident in the secure working region;
+//! * when resident KV exceeds the budget, cold sessions' pages are *spilled*
+//!   from the tail: sealed (AES-CTR + HMAC, see [`tee_kernel::kv_pool`] for
+//!   the byte-exact path) and moved to normal-world CMA memory;
+//! * when the sealed spill area exceeds its own budget, the coldest sealed
+//!   tails are dropped outright (those tokens re-prefill on reuse);
+//! * on a follow-up turn, the request's shared conversation prefix is served
+//!   from the retained pages: resident tokens are free, sealed tokens pay
+//!   the unseal (decrypt-lane) time, and only the genuinely new tokens are
+//!   prefilled.
+//!
+//! The retained prefix of a session is always contiguous from token zero —
+//! `[resident][sealed]` in that order — mirroring the parameter cache's
+//! contiguous-prefix invariant, so reuse never has holes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sim_core::SimTime;
+
+/// Serving-layer configuration of the KV-cache manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvConfig {
+    /// Master switch: `false` reproduces the paper's release-everything
+    /// behaviour (no KV state survives a request).
+    pub enabled: bool,
+    /// Spill/retention page size in bytes.
+    pub page_bytes: u64,
+    /// Fraction of the secure-memory headroom *left over by parameter
+    /// retention* that KV pages may occupy.  Parameters are senior: the KV
+    /// budget only ever uses memory the parameter policy did not claim, so
+    /// enabling KV reuse never shrinks the parameter cache.
+    pub budget_fraction: f64,
+    /// Whether cold pages are sealed and spilled to normal-world CMA memory
+    /// (`false` drops them immediately — spill-free ablation).
+    pub spill: bool,
+    /// Maximum sealed bytes resident in normal-world CMA memory.
+    pub spill_budget: u64,
+    /// Maximum sessions with retained KV state; the coldest beyond this are
+    /// dropped entirely.
+    pub max_sessions: usize,
+}
+
+impl KvConfig {
+    /// KV retention off: the paper's behaviour, and the baseline the chat
+    /// benchmarks compare against.
+    pub fn disabled() -> Self {
+        KvConfig {
+            enabled: false,
+            page_bytes: 2 * sim_core::MIB,
+            budget_fraction: 0.5,
+            spill: true,
+            spill_budget: sim_core::GIB,
+            max_sessions: 64,
+        }
+    }
+
+    /// KV retention on with the default knobs — the chat-serving setup.
+    pub fn chat_default() -> Self {
+        KvConfig {
+            enabled: true,
+            ..Self::disabled()
+        }
+    }
+}
+
+/// What a dispatch gets out of the pool for one request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvReuse {
+    /// Prefix tokens served from retained KV state (no prefill needed).
+    pub reused_tokens: usize,
+    /// Bytes of that prefix that were sealed and must be unsealed (verified
+    /// + decrypted) on the CPU decrypt lane before use.
+    pub unseal_bytes: u64,
+}
+
+/// Cumulative byte counters of the pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// Bytes sealed and spilled to normal-world memory.
+    pub spilled_bytes: u64,
+    /// Sealed bytes unsealed at dispatch time (on the service's CPU lane).
+    pub unsealed_bytes: u64,
+    /// Sealed bytes unsealed ahead of dispatch on idle lanes.
+    pub prewarmed_bytes: u64,
+    /// Retained bytes dropped (budget pressure, divergence, eviction) — the
+    /// tokens they held re-prefill on their next use.
+    pub dropped_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SessionKv {
+    /// Interned model identity the KV belongs to (a prefix is only reusable
+    /// by the same model).
+    model: u32,
+    bytes_per_token: u64,
+    /// Contiguous prefix resident in secure pages, in tokens.
+    resident_tokens: usize,
+    /// Tokens sealed in normal-world memory, contiguous after the resident
+    /// prefix.
+    sealed_tokens: usize,
+    last_use: SimTime,
+}
+
+impl SessionKv {
+    fn resident_bytes(&self) -> u64 {
+        self.resident_tokens as u64 * self.bytes_per_token
+    }
+
+    fn sealed_bytes(&self) -> u64 {
+        self.sealed_tokens as u64 * self.bytes_per_token
+    }
+}
+
+/// The per-server KV retention pool: pure accounting (tokens, bytes, time is
+/// charged by the serving layer), deterministic by construction.
+#[derive(Debug)]
+pub struct KvPool {
+    page_bytes: u64,
+    spill: bool,
+    spill_budget: u64,
+    max_sessions: usize,
+    sessions: BTreeMap<u64, SessionKv>,
+    resident_bytes: u64,
+    sealed_bytes: u64,
+    stats: KvStats,
+}
+
+impl KvPool {
+    /// An empty pool with `config`'s knobs.
+    pub fn new(config: &KvConfig) -> Self {
+        KvPool {
+            page_bytes: config.page_bytes.max(1),
+            spill: config.spill,
+            spill_budget: config.spill_budget,
+            max_sessions: config.max_sessions.max(1),
+            sessions: BTreeMap::new(),
+            resident_bytes: 0,
+            sealed_bytes: 0,
+            stats: KvStats::default(),
+        }
+    }
+
+    /// Bytes of KV currently resident in the secure region.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Bytes currently sealed in normal-world memory.
+    pub fn sealed_bytes(&self) -> u64 {
+        self.sealed_bytes
+    }
+
+    /// Sessions with retained state.
+    pub fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    /// Sealed bytes retained for `session` (what restore-ahead could unseal
+    /// on idle lanes before the session's queued request dispatches).
+    pub fn sealed_bytes_of(&self, session: u64) -> u64 {
+        self.sessions
+            .get(&session)
+            .map_or(0, SessionKv::sealed_bytes)
+    }
+
+    fn tokens_per_page(&self, bytes_per_token: u64) -> usize {
+        (self.page_bytes / bytes_per_token.max(1)).max(1) as usize
+    }
+
+    fn drop_session(&mut self, session: u64) {
+        if let Some(kv) = self.sessions.remove(&session) {
+            self.resident_bytes -= kv.resident_bytes();
+            self.sealed_bytes -= kv.sealed_bytes();
+            self.stats.dropped_bytes += kv.resident_bytes() + kv.sealed_bytes();
+        }
+    }
+
+    /// Claims the reusable prefix for a dispatch of `session` on `model`.
+    ///
+    /// `shared_prefix` is the number of leading prompt tokens the workload
+    /// declares identical to the session's previous context; `max_reuse`
+    /// caps reuse so at least one prompt token is always prefilled.  Tokens
+    /// retained beyond the reusable prefix (conversation reset, divergence,
+    /// model switch) are dropped.  The sealed part of the claimed prefix is
+    /// moved to resident — the serving layer charges its unseal time.
+    pub fn reuse_plan(
+        &mut self,
+        session: u64,
+        model: u32,
+        shared_prefix: usize,
+        max_reuse: usize,
+        now: SimTime,
+    ) -> KvReuse {
+        let Some(kv) = self.sessions.get_mut(&session) else {
+            return KvReuse::default();
+        };
+        if shared_prefix == 0 || kv.model != model {
+            // The conversation restarted (or switched models): nothing of the
+            // retained state matches the new prompt.
+            self.drop_session(session);
+            return KvReuse::default();
+        }
+        let available = kv.resident_tokens + kv.sealed_tokens;
+        let reused = available.min(shared_prefix).min(max_reuse);
+        let resident_part = reused.min(kv.resident_tokens);
+        let sealed_part = reused - resident_part;
+        let unseal_bytes = sealed_part as u64 * kv.bytes_per_token;
+        let dropped = (available - reused) as u64 * kv.bytes_per_token;
+
+        self.resident_bytes -= kv.resident_bytes();
+        self.sealed_bytes -= kv.sealed_bytes();
+        kv.resident_tokens = reused;
+        kv.sealed_tokens = 0;
+        kv.last_use = now;
+        self.resident_bytes += kv.resident_bytes();
+        self.stats.unsealed_bytes += unseal_bytes;
+        self.stats.dropped_bytes += dropped;
+        KvReuse {
+            reused_tokens: reused,
+            unseal_bytes,
+        }
+    }
+
+    /// Records the completed request's KV state: the session now retains
+    /// `total_tokens` (prompt + generated) resident tokens.
+    pub fn on_complete(
+        &mut self,
+        session: u64,
+        model: u32,
+        total_tokens: usize,
+        bytes_per_token: u64,
+        now: SimTime,
+    ) {
+        // Replace (not "drop") any previous accounting: the old prefix is
+        // subsumed by the completed request's full KV, not lost.
+        if let Some(old) = self.sessions.remove(&session) {
+            self.resident_bytes -= old.resident_bytes();
+            self.sealed_bytes -= old.sealed_bytes();
+        }
+        let kv = SessionKv {
+            model,
+            bytes_per_token: bytes_per_token.max(1),
+            resident_tokens: total_tokens,
+            sealed_tokens: 0,
+            last_use: now,
+        };
+        self.resident_bytes += kv.resident_bytes();
+        self.sessions.insert(session, kv);
+    }
+
+    /// Unseals up to `bytes` of `session`'s sealed prefix ahead of dispatch
+    /// (restore-ahead on idle lanes), returning the bytes actually credited.
+    pub fn prewarm(&mut self, session: u64, bytes: u64) -> u64 {
+        let Some(kv) = self.sessions.get_mut(&session) else {
+            return 0;
+        };
+        let tokens = ((bytes / kv.bytes_per_token.max(1)) as usize).min(kv.sealed_tokens);
+        if tokens == 0 {
+            return 0;
+        }
+        let credited = tokens as u64 * kv.bytes_per_token;
+        kv.sealed_tokens -= tokens;
+        kv.resident_tokens += tokens;
+        self.sealed_bytes -= credited;
+        self.resident_bytes += credited;
+        self.stats.prewarmed_bytes += credited;
+        credited
+    }
+
+    /// Coldest session satisfying `filter`, by `(last_use, id)` — the spill
+    /// and drop victim order.
+    fn coldest(&self, active: &BTreeSet<u64>, filter: impl Fn(&SessionKv) -> bool) -> Option<u64> {
+        self.sessions
+            .iter()
+            .filter(|(id, kv)| !active.contains(id) && filter(kv))
+            .min_by_key(|(id, kv)| (kv.last_use, **id))
+            .map(|(id, _)| *id)
+    }
+
+    /// Enforces the secure and spill budgets: spills (or drops) whole pages
+    /// from the coldest inactive sessions' tails until resident KV fits
+    /// under `secure_budget`, then drops the coldest sealed tails until the
+    /// spill area fits its budget, then evicts sessions beyond the cap.
+    /// Sessions in `active` (requests in flight) are never victims.
+    pub fn enforce(&mut self, secure_budget: u64, active: &BTreeSet<u64>, _now: SimTime) {
+        while self.resident_bytes > secure_budget {
+            let Some(victim) = self.coldest(active, |kv| kv.resident_tokens > 0) else {
+                break; // everything resident belongs to in-flight requests
+            };
+            let page_tokens = self.tokens_per_page(self.sessions[&victim].bytes_per_token);
+            let kv = self.sessions.get_mut(&victim).expect("victim exists");
+            let take = kv.resident_tokens.min(page_tokens);
+            let bytes = take as u64 * kv.bytes_per_token;
+            kv.resident_tokens -= take;
+            self.resident_bytes -= bytes;
+            if self.spill {
+                // The spilled page sits directly after the (shrunk) resident
+                // prefix, so `[resident][sealed]` stays contiguous.
+                kv.sealed_tokens += take;
+                self.sealed_bytes += bytes;
+                self.stats.spilled_bytes += bytes;
+            } else {
+                // Without spill the tail is dropped outright; the sealed
+                // region is always empty in this mode, so no hole can form.
+                self.stats.dropped_bytes += bytes;
+            }
+            let empty = kv.resident_tokens == 0 && kv.sealed_tokens == 0;
+            if empty {
+                self.sessions.remove(&victim);
+            }
+        }
+        while self.sealed_bytes > self.spill_budget {
+            let Some(victim) = self.coldest(active, |kv| kv.sealed_tokens > 0) else {
+                break;
+            };
+            let page_tokens = self.tokens_per_page(self.sessions[&victim].bytes_per_token);
+            let kv = self.sessions.get_mut(&victim).expect("victim exists");
+            let take = kv.sealed_tokens.min(page_tokens);
+            let bytes = take as u64 * kv.bytes_per_token;
+            kv.sealed_tokens -= take;
+            self.sealed_bytes -= bytes;
+            self.stats.dropped_bytes += bytes;
+            if kv.resident_tokens == 0 && kv.sealed_tokens == 0 {
+                self.sessions.remove(&victim);
+            }
+        }
+        while self.sessions.len() > self.max_sessions {
+            let Some(victim) = self.coldest(active, |_| true) else {
+                break;
+            };
+            self.drop_session(victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BPT: u64 = 1024; // bytes per token, for round numbers
+
+    fn pool(page_tokens: u64, spill: bool) -> KvPool {
+        KvPool::new(&KvConfig {
+            enabled: true,
+            page_bytes: page_tokens * BPT,
+            budget_fraction: 1.0,
+            spill,
+            spill_budget: 1 << 40,
+            max_sessions: 8,
+        })
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn retain_and_reuse_full_prefix() {
+        let mut p = pool(16, true);
+        p.on_complete(1, 0, 100, BPT, t(0));
+        assert_eq!(p.resident_bytes(), 100 * BPT);
+        let reuse = p.reuse_plan(1, 0, 100, 139, t(1));
+        assert_eq!(reuse.reused_tokens, 100);
+        assert_eq!(reuse.unseal_bytes, 0);
+    }
+
+    #[test]
+    fn reuse_is_capped_and_model_checked() {
+        let mut p = pool(16, true);
+        p.on_complete(1, 0, 100, BPT, t(0));
+        // max_reuse caps (at least one token must prefill).
+        let reuse = p.reuse_plan(1, 0, 100, 99, t(1));
+        assert_eq!(reuse.reused_tokens, 99);
+
+        p.on_complete(2, 0, 50, BPT, t(0));
+        // Different model: state dropped, nothing reused.
+        let reuse = p.reuse_plan(2, 1, 50, 49, t(1));
+        assert_eq!(reuse.reused_tokens, 0);
+        assert_eq!(p.sealed_bytes_of(2), 0);
+        assert_eq!(p.sessions(), 1);
+    }
+
+    #[test]
+    fn conversation_reset_drops_state() {
+        let mut p = pool(16, true);
+        p.on_complete(1, 0, 80, BPT, t(0));
+        let reuse = p.reuse_plan(1, 0, 0, 200, t(1));
+        assert_eq!(reuse, KvReuse::default());
+        assert_eq!(p.resident_bytes(), 0);
+        assert_eq!(p.stats().dropped_bytes, 80 * BPT);
+    }
+
+    #[test]
+    fn budget_pressure_spills_coldest_tail_pages() {
+        let mut p = pool(16, true);
+        p.on_complete(1, 0, 64, BPT, t(0)); // cold
+        p.on_complete(2, 0, 64, BPT, t(10)); // warm
+        let active = BTreeSet::new();
+        p.enforce(96 * BPT, &active, t(11));
+        assert_eq!(p.resident_bytes(), 96 * BPT);
+        assert_eq!(p.sealed_bytes(), 32 * BPT);
+        // Session 1 (colder) lost two 16-token pages from its tail.
+        assert_eq!(p.sealed_bytes_of(1), 32 * BPT);
+        assert_eq!(p.sealed_bytes_of(2), 0);
+        assert_eq!(p.stats().spilled_bytes, 32 * BPT);
+
+        // Reusing the full prefix pays unseal only for the sealed tail.
+        let reuse = p.reuse_plan(1, 0, 64, 1000, t(12));
+        assert_eq!(reuse.reused_tokens, 64);
+        assert_eq!(reuse.unseal_bytes, 32 * BPT);
+    }
+
+    #[test]
+    fn no_spill_mode_drops_instead() {
+        let mut p = pool(16, false);
+        p.on_complete(1, 0, 64, BPT, t(0));
+        p.enforce(32 * BPT, &BTreeSet::new(), t(1));
+        assert_eq!(p.resident_bytes(), 32 * BPT);
+        assert_eq!(p.sealed_bytes(), 0);
+        assert_eq!(p.stats().dropped_bytes, 32 * BPT);
+        // The surviving resident prefix still reuses.
+        let reuse = p.reuse_plan(1, 0, 64, 1000, t(2));
+        assert_eq!(reuse.reused_tokens, 32);
+    }
+
+    #[test]
+    fn active_sessions_are_never_victims() {
+        let mut p = pool(16, true);
+        p.on_complete(1, 0, 64, BPT, t(0));
+        p.on_complete(2, 0, 64, BPT, t(10));
+        let active: BTreeSet<u64> = [1u64].into_iter().collect();
+        p.enforce(0, &active, t(11));
+        // Session 2 spilled fully; session 1 (active) untouched.
+        assert_eq!(p.resident_bytes(), 64 * BPT);
+        assert_eq!(p.sealed_bytes_of(2), 64 * BPT);
+        assert_eq!(p.sealed_bytes_of(1), 0);
+    }
+
+    #[test]
+    fn spill_budget_drops_sealed_tails() {
+        let mut p = KvPool::new(&KvConfig {
+            enabled: true,
+            page_bytes: 16 * BPT,
+            budget_fraction: 1.0,
+            spill: true,
+            spill_budget: 16 * BPT,
+            max_sessions: 8,
+        });
+        p.on_complete(1, 0, 64, BPT, t(0));
+        p.enforce(16 * BPT, &BTreeSet::new(), t(1));
+        assert_eq!(p.resident_bytes(), 16 * BPT);
+        assert_eq!(p.sealed_bytes(), 16 * BPT, "spill area capped");
+        assert_eq!(p.stats().dropped_bytes, 32 * BPT);
+    }
+
+    #[test]
+    fn prewarm_moves_sealed_to_resident() {
+        let mut p = pool(16, true);
+        p.on_complete(1, 0, 64, BPT, t(0));
+        p.enforce(16 * BPT, &BTreeSet::new(), t(1));
+        assert_eq!(p.sealed_bytes_of(1), 48 * BPT);
+        let credited = p.prewarm(1, 20 * BPT);
+        assert_eq!(credited, 20 * BPT);
+        assert_eq!(p.sealed_bytes_of(1), 28 * BPT);
+        assert_eq!(p.stats().prewarmed_bytes, 20 * BPT);
+        // Prewarming more than remains credits only what exists.
+        assert_eq!(p.prewarm(1, 1 << 40), 28 * BPT);
+        assert_eq!(p.sealed_bytes_of(1), 0);
+    }
+
+    #[test]
+    fn session_cap_evicts_coldest() {
+        let mut p = KvPool::new(&KvConfig {
+            enabled: true,
+            page_bytes: 16 * BPT,
+            budget_fraction: 1.0,
+            spill: true,
+            spill_budget: 1 << 40,
+            max_sessions: 2,
+        });
+        for s in 0..3u64 {
+            p.on_complete(s, 0, 10, BPT, t(s));
+        }
+        p.enforce(1 << 40, &BTreeSet::new(), t(10));
+        assert_eq!(p.sessions(), 2);
+        assert_eq!(p.reuse_plan(0, 0, 10, 9, t(11)).reused_tokens, 0);
+        assert_eq!(p.reuse_plan(2, 0, 10, 9, t(11)).reused_tokens, 9);
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`pipeline`] — the pipeline scheduler: sequential, priority-based and
 //!   priority+preemptive policies over {CPU cores, NPU, I/O engine}.
 //! * [`cache`] — partial parameter caching (reverse-topological lazy release).
+//! * [`kv`] — the secure paged KV-cache manager: per-session prefix
+//!   retention, sealed spill under memory pressure, multi-turn reuse.
 //! * [`codriver`] — TEE-REE NPU time-sharing built on the co-driver split,
 //!   driving the real REE control-plane and TEE data-plane drivers.
 //! * [`system`] — end-to-end TZ-LLM evaluation (TTFT, decode speed, breakdown).
@@ -20,6 +22,7 @@
 pub mod baseline;
 pub mod cache;
 pub mod codriver;
+pub mod kv;
 pub mod pipeline;
 pub mod related;
 pub mod restore;
@@ -29,6 +32,7 @@ pub mod system;
 pub use baseline::{decode_uses_npu, evaluate, strawman_breakdown, SystemKind};
 pub use cache::{CacheController, CachePolicy};
 pub use codriver::{LlmPhase, LlmPlacement, NpuSharingSim, SharingConfig, SharingResult};
+pub use kv::{KvConfig, KvPool, KvReuse, KvStats};
 pub use pipeline::{simulate, PipelineConfig, PipelineResult, Policy};
 pub use restore::{CriticalPaths, OpLabel, PipeOp, PipeOpKind, RestorePlan, RestoreRates};
 pub use serving::{

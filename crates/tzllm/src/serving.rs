@@ -62,6 +62,16 @@
 //! model pays the configured framework-initialisation cost; subsequent
 //! dispatches pay the checkpoint-restore cost.
 //!
+//! ## KV retention between turns
+//!
+//! With [`crate::kv::KvConfig::enabled`], per-session KV prefixes survive
+//! request completion in a paged [`crate::kv::KvPool`]: a follow-up turn
+//! whose prompt extends the session's previous context prefills only the
+//! new tokens, sealed (spilled) pages pay unseal time on the decrypt lane,
+//! and restore-ahead unseals a queued session's pages on idle lanes
+//! alongside parameter restore.  Parameters are senior in the memory
+//! budget; see the [`crate::kv`] module docs for the spill/retention rules.
+//!
 //! ## Example
 //!
 //! ```
@@ -81,7 +91,7 @@
 //! assert!(fleet.ttft_ms.unwrap().p99 >= fleet.ttft_ms.unwrap().p50);
 //! ```
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use llm::{ComputationGraph, ModelSpec};
 use sim_core::{
@@ -92,6 +102,7 @@ use tz_hal::PlatformProfile;
 use workloads::{SessionScript, WorkloadSpec};
 
 use crate::cache::{CacheController, CachePolicy};
+use crate::kv::{KvConfig, KvPool};
 use crate::pipeline::Policy;
 use crate::restore::RestoreRates;
 use crate::system::{self, InferenceReport, PlanCache, ServiceParams};
@@ -156,6 +167,9 @@ pub struct ServingConfig {
     /// Capacity of the restoration-plan cache (entries); `0` disables it and
     /// every dispatch rebuilds and resimulates its plan.
     pub plan_cache_capacity: usize,
+    /// The secure KV-cache manager's knobs (retention, spill, budgets).
+    /// Disabled by default — [`ServingConfig::chat_default`] turns it on.
+    pub kv: KvConfig,
 }
 
 impl ServingConfig {
@@ -176,6 +190,17 @@ impl ServingConfig {
             max_inflight: 2,
             restore_ahead: true,
             plan_cache_capacity: 4096,
+            kv: KvConfig::disabled(),
+        }
+    }
+
+    /// The chat-serving setup: the paper default plus the secure KV-cache
+    /// manager, so multi-turn sessions reuse their conversation prefix
+    /// instead of re-prefilling it (sealed spill under memory pressure).
+    pub fn chat_default(profile: PlatformProfile) -> Self {
+        ServingConfig {
+            kv: KvConfig::chat_default(),
+            ..Self::paper_default(profile)
         }
     }
 
@@ -202,6 +227,10 @@ pub struct Request {
     pub model: String,
     /// Prompt length in tokens.
     pub prompt_len: usize,
+    /// Leading prompt tokens identical to the session's previous context
+    /// (conversation history): the KV manager can serve them from retained
+    /// state.  Zero for independent requests.
+    pub shared_prefix_len: usize,
     /// Tokens to generate.
     pub output_len: usize,
 }
@@ -214,6 +243,7 @@ struct QueuedRequest {
     session: u64,
     model: ModelId,
     prompt_len: usize,
+    shared_prefix_len: usize,
     output_len: usize,
 }
 
@@ -232,6 +262,11 @@ pub struct RequestRecord {
     pub completed: SimTime,
     /// Fraction of the parameters that were resident when it was dispatched.
     pub cached_fraction: f64,
+    /// Prompt tokens served from the session's retained KV prefix (skipped
+    /// by the prefill).
+    pub kv_reused_tokens: usize,
+    /// Sealed KV bytes unsealed at dispatch for this request.
+    pub kv_unsealed_bytes: u64,
     /// The per-request evaluation (service-time TTFT, decode speed, breakdown).
     pub report: InferenceReport,
 }
@@ -303,6 +338,24 @@ pub struct FleetStats {
     /// Mean per-request decode time lost to NPU sharing and prefill
     /// preemption, milliseconds.
     pub mean_decode_stall_ms: f64,
+    /// KV hit rate: reused prefix tokens over the shared-prefix tokens the
+    /// workload declared reusable (0 when no request had a shared prefix).
+    pub kv_hit_rate: f64,
+    /// Total prompt tokens served from retained KV state.
+    pub kv_reused_tokens: u64,
+    /// KV bytes sealed and spilled to normal-world memory.
+    pub kv_spilled_bytes: u64,
+    /// Sealed KV bytes unsealed at dispatch time.
+    pub kv_unsealed_bytes: u64,
+    /// Sealed KV bytes unsealed ahead of dispatch on idle lanes.
+    pub kv_restore_ahead_bytes: u64,
+    /// Retained KV bytes dropped (budget pressure, divergence, eviction).
+    pub kv_dropped_bytes: u64,
+    /// End-to-end TTFT of follow-up turns (requests with a shared prefix),
+    /// milliseconds — the KV manager's headline metric.
+    pub followup_ttft_ms: Option<PercentileSummary>,
+    /// Service TTFT (dispatch → first token) of follow-up turns, ms.
+    pub followup_service_ttft_ms: Option<PercentileSummary>,
 }
 
 /// Everything a serving run produced.
@@ -337,6 +390,8 @@ struct ModelEntry {
     /// `ComputationGraph::total_param_bytes()` for this model, precomputed
     /// once (prompt-length independent) for the dispatch hot path.
     graph_param_bytes: u64,
+    /// KV bytes per token of this model (for the KV pool's accounting).
+    kv_bytes_per_token: u64,
 }
 
 /// The request currently in its service (restore + prefill) phase.
@@ -344,8 +399,12 @@ struct ActiveService {
     record: RequestRecord,
     model: ModelId,
     /// Whether this service restores bytes (and therefore occupies the flash
-    /// channel and all big cores for the pipeline window).
+    /// channel for the pipeline window).
     restoring: bool,
+    /// CPU cores held for the service window (all big cores when restoring
+    /// or unsealing KV pages — the decrypt threads are really busy — else
+    /// one core for the CPU-resident operators).
+    cores_held: u64,
 }
 
 /// A request past its first token, processor-sharing the NPU with its peers.
@@ -356,12 +415,20 @@ struct ActiveDecode {
     remaining: SimDuration,
 }
 
-/// An in-progress background restoration of a queued request's parameters.
+/// An in-progress background restoration of a queued request's missing
+/// parameters and (for a follow-up turn) its session's sealed KV prefix —
+/// the parameters stream first, then the KV pages unseal on the same lanes.
 struct ActiveRestore {
     model: ModelId,
     started: SimTime,
     rate: f64,
-    missing: u64,
+    param_bytes: u64,
+    kv_session: Option<u64>,
+    kv_bytes: u64,
+    kv_rate: f64,
+    /// Whether the flash lane is held: parameters stream from flash, but a
+    /// KV-only restore unseals DRAM-resident pages (decrypt threads only).
+    holds_flash: bool,
 }
 
 struct ServerState {
@@ -382,6 +449,14 @@ struct ServerState {
     restore: Option<ActiveRestore>,
     restore_epoch: u64,
     restore_ahead_bytes: u64,
+    /// The secure KV-cache manager (per-session retained prefixes).
+    kv: KvPool,
+    /// Steady-state unseal bandwidth for sealed KV pages (decrypt threads;
+    /// the pages live in DRAM, so no flash read is involved).
+    kv_unseal_rate: f64,
+    kv_requested_tokens: u64,
+    kv_reused_tokens: u64,
+    kv_restore_ahead_bytes: u64,
     ledger: CapacityLedger,
     lane_npu: LaneId,
     lane_flash: LaneId,
@@ -415,8 +490,28 @@ impl ServerState {
             session: q.session,
             model: self.models[q.model.0 as usize].spec.name.clone(),
             prompt_len: q.prompt_len,
+            shared_prefix_len: q.shared_prefix_len,
             output_len: q.output_len,
         }
+    }
+
+    /// Sessions whose retained KV is pinned (never a spill/drop victim):
+    /// requests currently in flight, plus the session whose sealed pages a
+    /// restore-ahead is unsealing right now.
+    fn active_sessions(&self) -> BTreeSet<u64> {
+        let mut active = BTreeSet::new();
+        if let Some(svc) = &self.service {
+            active.insert(svc.record.request.session);
+        }
+        for d in &self.decodes {
+            active.insert(d.record.request.session);
+        }
+        if let Some(r) = &self.restore {
+            if let Some(s) = r.kv_session {
+                active.insert(s);
+            }
+        }
+        active
     }
 
     /// Books decode progress up to `now` (processor sharing: each of the `n`
@@ -478,6 +573,7 @@ fn schedule_session_continuation(
             session,
             model: state.model_ids[&next.model],
             prompt_len: next.prompt_len,
+            shared_prefix_len: next.shared_prefix_len,
             output_len: next.output_len,
         };
         state.next_id += 1;
@@ -507,18 +603,34 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
     };
     state.note_depth(now);
 
-    // If the dispatched model is being restored ahead, bank the progress
-    // *before* reading the cache state.
+    // If the dispatched model (or this request's session KV) is being
+    // restored ahead, bank the progress *before* reading the cache state.
     if state
         .restore
         .as_ref()
-        .is_some_and(|r| r.model == qreq.model)
+        .is_some_and(|r| r.model == qreq.model || r.kv_session == Some(qreq.session))
     {
         interrupt_restore_ahead(state, now);
     }
 
     let midx = qreq.model.0 as usize;
     let cached_fraction = state.models[midx].cache.cached_fraction();
+
+    // KV prefix reuse: a follow-up turn serves its shared conversation
+    // prefix from the session's retained pages instead of re-prefilling it.
+    // Resident tokens are free; sealed tokens pay the unseal (decrypt) time.
+    let kv_reuse = if state.config.kv.enabled {
+        let max_reuse = qreq.prompt_len.saturating_sub(1);
+        let requested = qreq.shared_prefix_len.min(max_reuse);
+        state.kv_requested_tokens += requested as u64;
+        state
+            .kv
+            .reuse_plan(qreq.session, qreq.model.0, requested, max_reuse, now)
+    } else {
+        crate::kv::KvReuse::default()
+    };
+    state.kv_reused_tokens += kv_reuse.reused_tokens as u64;
+    let kv_unseal = SimDuration::from_secs_f64(kv_reuse.unseal_bytes as f64 / state.kv_unseal_rate);
     // A warm TA restores its suspended framework state; a cold one needs the
     // checkpoint (if it exists) or a full framework initialisation.
     let framework_init = if state.models[midx].warm || state.config.use_checkpoint {
@@ -532,6 +644,7 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
             model_key: qreq.model.0,
             total_param_bytes: state.models[midx].graph_param_bytes,
             prompt_len: qreq.prompt_len,
+            reused_prefix: kv_reuse.reused_tokens,
             output_len: qreq.output_len,
             memory_pressure: state.config.memory_pressure,
             cached_fraction,
@@ -541,6 +654,7 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
             &state.config.profile,
             &params,
             framework_init,
+            kv_unseal,
             Some(&mut state.plan_cache),
         )
     };
@@ -549,13 +663,14 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
 
     let restoring = report.restored_bytes > 0;
     let (lane_flash, lane_cpu) = (state.lane_flash, state.lane_cpu);
-    // A cold service owns the restoration lanes for its pipeline; a
-    // fully-cached prefill only needs one core for the CPU-resident
-    // operators.  Either way, if a background restore-ahead holds cores the
-    // service needs, it yields first (its progress is banked) — a restoring
-    // service always conflicts, and on a 1-big-core profile even the warm
-    // path does.
-    let cores_needed = if restoring {
+    // A cold service owns the restoration lanes for its pipeline, and a
+    // service that unseals sealed KV pages owns the decrypt threads for its
+    // window; only a fully-cached, fully-resident prefill needs just one
+    // core for the CPU-resident operators.  Either way, if a background
+    // restore-ahead holds cores the service needs, it yields first (its
+    // progress is banked) — a restoring service always conflicts, and on a
+    // 1-big-core profile even the warm path does.
+    let cores_needed = if restoring || kv_reuse.unseal_bytes > 0 {
         state.config.profile.big_cores as u64
     } else {
         1
@@ -579,12 +694,15 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
         first_token,
         completed: first_token, // placeholder until decoding finishes
         cached_fraction,
+        kv_reused_tokens: kv_reuse.reused_tokens,
+        kv_unsealed_bytes: kv_reuse.unseal_bytes,
         report,
     };
     state.service = Some(ActiveService {
         record,
         model: qreq.model,
         restoring,
+        cores_held: cores_needed,
     });
     state.inflight += 1;
     // `hold_start <= first_token`, and both events are inserted in this
@@ -621,12 +739,8 @@ fn on_service_first_token(state: &mut ServerState, sched: &mut EventScheduler<Se
     state.ledger.release(lane_npu, 1, now);
     if svc.restoring {
         state.ledger.release(lane_flash, 1, now);
-        state
-            .ledger
-            .release(lane_cpu, state.config.profile.big_cores as u64, now);
-    } else {
-        state.ledger.release(lane_cpu, 1, now);
     }
+    state.ledger.release(lane_cpu, svc.cores_held, now);
 
     state.decodes_paused = false;
     state.decode_last = now;
@@ -732,6 +846,31 @@ fn complete_request(
             .cache
             .apply_policy(CachePolicy::MemoryHeadroom(target));
     }
+    if state.config.kv.enabled {
+        // Retain the session's full KV (prompt + generated tokens), then
+        // enforce the budgets.  Parameters are senior: the KV pool only gets
+        // the headroom the retention policy's targets left unclaimed, so KV
+        // reuse never shrinks the parameter cache.
+        let entry = &state.models[decode.model.0 as usize];
+        let total_tokens = record.request.prompt_len + record.request.output_len;
+        state.kv.on_complete(
+            session,
+            decode.model.0,
+            total_tokens,
+            entry.kv_bytes_per_token,
+            now,
+        );
+        let headroom = state
+            .config
+            .profile
+            .dram_bytes
+            .saturating_sub(state.config.memory_pressure);
+        let params_retained: u64 = state.models.iter().map(|m| m.retained_target).sum();
+        let secure_budget = (headroom.saturating_sub(params_retained) as f64
+            * state.config.kv.budget_fraction.clamp(0.0, 1.0)) as u64;
+        let active = state.active_sessions();
+        state.kv.enforce(secure_budget, &active, now);
+    }
     state.records.push(record);
     state.inflight -= 1;
 
@@ -740,35 +879,56 @@ fn complete_request(
     schedule_session_continuation(state, sched, session);
 }
 
-/// Starts restoring the first eligible queued request's missing parameters
-/// on the idle flash/decrypt/alloc lanes.  Eligible means: the model has no
+/// Starts restoring the first eligible queued request's missing parameters —
+/// and, for a follow-up turn, its session's sealed KV prefix — on the idle
+/// flash/decrypt/alloc lanes.  Parameter eligibility means: the model has no
 /// request currently in flight (an in-flight request's completion refreshes
-/// the cache anyway) and some of its parameters are missing.
+/// the cache anyway) and some of its parameters are missing.  KV eligibility
+/// is independent: any queued follow-up whose session holds sealed pages can
+/// have them unsealed ahead of dispatch, streaming after the parameters on
+/// the same lanes.
 fn maybe_start_restore_ahead(state: &mut ServerState, sched: &mut EventScheduler<ServerState>) {
     if !state.config.restore_ahead || state.restore.is_some() {
         return;
     }
     let cores = state.restore_cores();
-    if state.ledger.available(state.lane_flash) == 0
-        || state.ledger.available(state.lane_cpu) < cores
-    {
+    if state.ledger.available(state.lane_cpu) < cores {
         return;
     }
-    let mut pick: Option<ModelId> = None;
+    let flash_free = state.ledger.available(state.lane_flash) > 0;
+    let mut pick: Option<(ModelId, u64, Option<u64>, u64)> = None;
     for (q, _) in &state.queue {
         let entry = &state.models[q.model.0 as usize];
-        if entry.active == 0 && entry.cache.cached_bytes() < entry.cache.total_bytes() {
-            pick = Some(q.model);
+        // Parameter restore needs the flash channel; a KV-only restore
+        // (decrypt threads over DRAM-resident sealed pages) does not, so it
+        // can proceed while a service's restoration owns the flash lane.
+        let param_bytes = if entry.active == 0 && flash_free {
+            entry.cache.total_bytes() - entry.cache.cached_bytes()
+        } else {
+            0
+        };
+        let kv_bytes = if state.config.kv.enabled && q.shared_prefix_len > 0 {
+            state.kv.sealed_bytes_of(q.session)
+        } else {
+            0
+        };
+        if param_bytes > 0 || kv_bytes > 0 {
+            let kv_session = (kv_bytes > 0).then_some(q.session);
+            pick = Some((q.model, param_bytes, kv_session, kv_bytes));
             break;
         }
     }
-    let Some(model) = pick else { return };
+    let Some((model, param_bytes, kv_session, kv_bytes)) = pick else {
+        return;
+    };
     let now = sched.now();
-    let entry = &state.models[model.0 as usize];
-    let missing = entry.cache.total_bytes() - entry.cache.cached_bytes();
-    let rate = entry.restore_rate;
+    let rate = state.models[model.0 as usize].restore_rate;
+    let kv_rate = state.kv_unseal_rate;
+    let holds_flash = param_bytes > 0;
     let (lane_flash, lane_cpu) = (state.lane_flash, state.lane_cpu);
-    state.ledger.acquire(lane_flash, 1, now);
+    if holds_flash {
+        state.ledger.acquire(lane_flash, 1, now);
+    }
     state.ledger.acquire(lane_cpu, cores, now);
     state.restore_epoch += 1;
     let epoch = state.restore_epoch;
@@ -776,28 +936,49 @@ fn maybe_start_restore_ahead(state: &mut ServerState, sched: &mut EventScheduler
         model,
         started: now,
         rate,
-        missing,
+        param_bytes,
+        kv_session,
+        kv_bytes,
+        kv_rate,
+        holds_flash,
     });
-    let eta = now + SimDuration::from_secs_f64(missing as f64 / rate);
+    let eta =
+        now + SimDuration::from_secs_f64(param_bytes as f64 / rate + kv_bytes as f64 / kv_rate);
     sched.schedule_at(eta, move |state, sched| {
         on_restore_ahead_done(state, sched, epoch)
     });
 }
 
+/// Credits a (possibly partial) restore-ahead: parameter bytes stream first,
+/// then sealed KV pages unseal on the freed decrypt threads; both credits
+/// are floored to the crediting quantum.
+fn credit_restore_progress(state: &mut ServerState, r: &ActiveRestore, elapsed_secs: f64) {
+    let mut param_credit = ((elapsed_secs * r.rate) as u64).min(r.param_bytes);
+    param_credit -= param_credit % RESTORE_AHEAD_QUANTUM;
+    credit_restore(state, r.model, param_credit);
+    if let Some(session) = r.kv_session {
+        let param_secs = r.param_bytes as f64 / r.rate;
+        let kv_elapsed = (elapsed_secs - param_secs).max(0.0);
+        let mut kv_credit = ((kv_elapsed * r.kv_rate) as u64).min(r.kv_bytes);
+        kv_credit -= kv_credit % RESTORE_AHEAD_QUANTUM;
+        state.kv_restore_ahead_bytes += state.kv.prewarm(session, kv_credit);
+    }
+}
+
 /// Stops an in-progress restore-ahead, crediting the bytes restored so far
-/// (floored to the crediting quantum) to the model's cached prefix.
+/// to the model's cached prefix and the session's resident KV.
 fn interrupt_restore_ahead(state: &mut ServerState, now: SimTime) {
     let Some(r) = state.restore.take() else {
         return;
     };
     state.restore_epoch += 1; // invalidate the scheduled completion
     let elapsed = now.saturating_since(r.started).as_secs_f64();
-    let mut credited = ((elapsed * r.rate) as u64).min(r.missing);
-    credited -= credited % RESTORE_AHEAD_QUANTUM;
-    credit_restore(state, r.model, credited);
+    credit_restore_progress(state, &r, elapsed);
     let (lane_flash, lane_cpu) = (state.lane_flash, state.lane_cpu);
     let cores = state.restore_cores();
-    state.ledger.release(lane_flash, 1, now);
+    if r.holds_flash {
+        state.ledger.release(lane_flash, 1, now);
+    }
     state.ledger.release(lane_cpu, cores, now);
 }
 
@@ -811,10 +992,15 @@ fn on_restore_ahead_done(
     }
     let now = sched.now();
     let r = state.restore.take().expect("restore-ahead is active");
-    credit_restore(state, r.model, r.missing);
+    credit_restore(state, r.model, r.param_bytes);
+    if let Some(session) = r.kv_session {
+        state.kv_restore_ahead_bytes += state.kv.prewarm(session, r.kv_bytes);
+    }
     let (lane_flash, lane_cpu) = (state.lane_flash, state.lane_cpu);
     let cores = state.restore_cores();
-    state.ledger.release(lane_flash, 1, now);
+    if r.holds_flash {
+        state.ledger.release(lane_flash, 1, now);
+    }
     state.ledger.release(lane_cpu, cores, now);
     try_progress(state, sched);
 }
@@ -852,6 +1038,7 @@ impl Server {
             let restore_rate = 1.0 / flash_per_byte.max(cpu_per_byte);
             let total = spec.total_q8_bytes();
             let graph_param_bytes = ComputationGraph::prefill(&spec, 1).total_param_bytes();
+            let kv_bytes_per_token = spec.kv_bytes_per_token();
             model_ids.insert(spec.name.clone(), ModelId(models.len() as u32));
             models.push(ModelEntry {
                 spec,
@@ -861,9 +1048,14 @@ impl Server {
                 active: 0,
                 restore_rate,
                 graph_param_bytes,
+                kv_bytes_per_token,
             });
         }
         let plan_cache = PlanCache::new(config.plan_cache_capacity);
+        let kv = KvPool::new(&config.kv);
+        // Sealed KV pages sit in DRAM, so unsealing is decrypt-bound on the
+        // restore threads (no flash read).
+        let kv_unseal_rate = config.profile.decrypt_bytes_per_sec;
         Server {
             engine: Engine::new(ServerState {
                 config,
@@ -879,6 +1071,11 @@ impl Server {
                 restore: None,
                 restore_epoch: 0,
                 restore_ahead_bytes: 0,
+                kv,
+                kv_unseal_rate,
+                kv_requested_tokens: 0,
+                kv_reused_tokens: 0,
+                kv_restore_ahead_bytes: 0,
                 ledger,
                 lane_npu,
                 lane_flash,
@@ -937,6 +1134,7 @@ impl Server {
             session,
             model,
             prompt_len,
+            shared_prefix_len: 0,
             output_len,
         };
         state.next_id += 1;
@@ -977,6 +1175,7 @@ impl Server {
             session,
             model: state.model_ids[&first.model],
             prompt_len: first.prompt_len,
+            shared_prefix_len: first.shared_prefix_len,
             output_len: first.output_len,
         };
         state.next_id += 1;
@@ -1042,6 +1241,17 @@ fn fleet_stats(state: &ServerState) -> FleetStats {
         .iter()
         .map(|r| r.queue_wait().as_millis_f64())
         .collect();
+    let followup: Vec<f64> = records
+        .iter()
+        .filter(|r| r.request.shared_prefix_len > 0)
+        .map(|r| r.ttft_e2e().as_millis_f64())
+        .collect();
+    let followup_service: Vec<f64> = records
+        .iter()
+        .filter(|r| r.request.shared_prefix_len > 0)
+        .map(|r| r.report.ttft.as_millis_f64())
+        .collect();
+    let kv_stats = state.kv.stats();
     let horizon_secs = horizon.as_secs_f64();
     let usage = state.ledger.usage(horizon);
     let lane_util = |id: LaneId| usage[id.index()].utilisation(horizon);
@@ -1092,6 +1302,18 @@ fn fleet_stats(state: &ServerState) -> FleetStats {
                 .sum::<f64>()
                 / records.len() as f64
         },
+        kv_hit_rate: if state.kv_requested_tokens > 0 {
+            state.kv_reused_tokens as f64 / state.kv_requested_tokens as f64
+        } else {
+            0.0
+        },
+        kv_reused_tokens: state.kv_reused_tokens,
+        kv_spilled_bytes: kv_stats.spilled_bytes,
+        kv_unsealed_bytes: kv_stats.unsealed_bytes,
+        kv_restore_ahead_bytes: state.kv_restore_ahead_bytes,
+        kv_dropped_bytes: kv_stats.dropped_bytes,
+        followup_ttft_ms: ms(followup),
+        followup_service_ttft_ms: ms(followup_service),
     }
 }
 
@@ -1113,6 +1335,7 @@ pub fn single_request(
         max_inflight: 1,
         restore_ahead: false,
         plan_cache_capacity: 0,
+        kv: KvConfig::disabled(),
     };
     let mut server = Server::new(serving_config, vec![config.model.clone()]);
     // Seed in the controller's own unit (the model's Q8 blob size) so the

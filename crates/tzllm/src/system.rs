@@ -81,12 +81,20 @@ pub struct TtftBreakdown {
     pub pipeline: SimDuration,
     /// NPU world-switch overhead attributable to the prefill.
     pub npu_overhead: SimDuration,
+    /// KV-prefix unsealing time *not* hidden behind the pipeline: sealed KV
+    /// pages decrypt on the CPU while the (shorter) prefill computes on the
+    /// NPU, so only the excess beyond the NPU-busy window surfaces in TTFT.
+    pub kv_restore: SimDuration,
 }
 
 impl TtftBreakdown {
     /// The total TTFT.
     pub fn total(&self) -> SimDuration {
-        self.framework_init + self.working_alloc + self.pipeline + self.npu_overhead
+        self.framework_init
+            + self.working_alloc
+            + self.pipeline
+            + self.npu_overhead
+            + self.kv_restore
     }
 }
 
@@ -139,6 +147,9 @@ struct PlanKey {
     /// Interned model identity (the serving layer's `ModelId`).
     model: u32,
     prompt_len: u32,
+    /// Prompt tokens served from a reused KV prefix (the prefill graph only
+    /// covers the remaining `prompt_len - reused_prefix` tokens).
+    reused_prefix: u32,
     output_len: u32,
     cached_bytes: u64,
     memory_pressure: u64,
@@ -214,6 +225,11 @@ pub(crate) struct ServiceParams<'a> {
     /// a graph just to turn the cached fraction into a byte count.
     pub total_param_bytes: u64,
     pub prompt_len: usize,
+    /// Leading prompt tokens whose KV state is reused from the secure KV
+    /// pool (multi-turn prefix reuse): the prefill graph only processes the
+    /// remaining suffix, while decoding still attends over the full context.
+    /// Always `< prompt_len` — at least one token is prefilled.
+    pub reused_prefix: usize,
     pub output_len: usize,
     pub memory_pressure: u64,
     pub cached_fraction: f64,
@@ -237,20 +253,30 @@ pub fn cma_occupancy(model: &ModelSpec, memory_pressure: u64) -> f64 {
 /// source of truth for the cache state — the serving layer sets it from the
 /// live [`CacheController`] at dispatch time.  `framework_init` is
 /// dispatch-time state (a warm TA restores cheaply), so the caller decides
-/// it.  `plan_cache` (if any) memoises the graph/plan/pipeline work, which is
-/// deterministic in the remaining inputs; `framework_init` is added on top of
-/// the cached pipeline numbers so warm and cold dispatches share entries.
+/// it, as is `kv_unseal` (the time to verify + decrypt the sealed part of a
+/// reused KV prefix; it overlaps the prefill's NPU window and only its
+/// excess surfaces in the TTFT).  `plan_cache` (if any) memoises the
+/// graph/plan/pipeline work, which is deterministic in the remaining inputs;
+/// `framework_init` and `kv_unseal` are added on top of the cached pipeline
+/// numbers so warm and cold dispatches share entries.
 pub(crate) fn evaluate_service(
     profile: &PlatformProfile,
     params: &ServiceParams<'_>,
     framework_init: SimDuration,
+    kv_unseal: SimDuration,
     plan_cache: Option<&mut PlanCache>,
 ) -> InferenceReport {
     let model = params.model;
+    debug_assert!(params.reused_prefix < params.prompt_len.max(1));
+    let new_tokens = params
+        .prompt_len
+        .saturating_sub(params.reused_prefix)
+        .max(1);
     let cached = (params.total_param_bytes as f64 * params.cached_fraction.clamp(0.0, 1.0)) as u64;
     let key = PlanKey {
         model: params.model_key,
         prompt_len: params.prompt_len as u32,
+        reused_prefix: params.reused_prefix as u32,
         output_len: params.output_len as u32,
         cached_bytes: cached,
         memory_pressure: params.memory_pressure,
@@ -262,7 +288,10 @@ pub(crate) fn evaluate_service(
         Some(entry) => entry,
         None => {
             let cost = CostModel::rk3588();
-            let graph = ComputationGraph::prefill(model, params.prompt_len);
+            // Only the suffix's tokens are processed, but their attention
+            // still spans the reused context — the suffix prefill is not
+            // priced as if the retained prefix were free compute.
+            let graph = ComputationGraph::prefill_suffix(model, new_tokens, params.prompt_len);
             let occupancy = cma_occupancy(model, params.memory_pressure);
             let rates =
                 RestoreRates::from_profile(profile, occupancy, profile.cma_migration_threads);
@@ -309,6 +338,10 @@ pub(crate) fn evaluate_service(
         working_alloc: profile.kv_cache_alloc + profile.activation_alloc,
         pipeline: entry.pipeline,
         npu_overhead,
+        // Unsealing streams on the CPU decrypt threads while the prefill
+        // computes on the NPU; only the part the NPU window cannot hide is
+        // serial TTFT.
+        kv_restore: kv_unseal.saturating_sub(entry.npu_busy),
     };
 
     InferenceReport {

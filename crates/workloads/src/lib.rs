@@ -21,4 +21,4 @@ pub use benchmarks::Benchmark;
 pub use geekbench::{mean_overhead, suite as geekbench_suite, Subtest};
 pub use nn_apps::NnApp;
 pub use stress::MemoryStress;
-pub use traffic::{ArrivalProcess, ScriptedRequest, SessionScript, WorkloadSpec};
+pub use traffic::{ArrivalProcess, ScriptedRequest, SessionScript, SessionStyle, WorkloadSpec};

@@ -21,13 +21,14 @@
 //! # Example
 //!
 //! ```
-//! use workloads::{Benchmark, traffic::{ArrivalProcess, WorkloadSpec}};
+//! use workloads::{Benchmark, traffic::{ArrivalProcess, SessionStyle, WorkloadSpec}};
 //!
 //! let spec = WorkloadSpec {
 //!     process: ArrivalProcess::Poisson { rate_per_sec: 0.5 },
 //!     requests: 20,
 //!     models: vec!["qwen2.5-3b".into()],
 //!     mix: vec![(Benchmark::UltraChat, 0.7), (Benchmark::PersonaChat, 0.3)],
+//!     style: SessionStyle::Independent,
 //! };
 //! let a = spec.generate(42);
 //! let b = spec.generate(42);
@@ -68,6 +69,23 @@ pub enum ArrivalProcess {
     },
 }
 
+/// How the requests of one multi-request session relate to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStyle {
+    /// Every request is drawn independently (separate tasks per turn) —
+    /// follow-up prompts share nothing with earlier context.
+    Independent,
+    /// A conversation: each follow-up prompt is the session's previous
+    /// context (prompt + response) extended by a freshly drawn user turn, so
+    /// prompts *grow* and each turn shares its prefix with the last.  When
+    /// the context would exceed `max_context` tokens the conversation resets
+    /// (a new chat starts; nothing is shared).
+    Conversation {
+        /// Context cap in tokens; conversations reset beyond it.
+        max_context: usize,
+    },
+}
+
 /// A complete workload description: arrival process, request budget, and what
 /// each request looks like (model, benchmark-derived prompt/output lengths).
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +99,9 @@ pub struct WorkloadSpec {
     /// Benchmark mix with relative weights. Must be non-empty; weights are
     /// normalised internally.
     pub mix: Vec<(Benchmark, f64)>,
+    /// Whether multi-request sessions are independent tasks or growing
+    /// conversations (only closed-loop sessions have several requests).
+    pub style: SessionStyle,
 }
 
 /// One scripted request of a session: everything the serving layer needs to
@@ -97,6 +118,10 @@ pub struct ScriptedRequest {
     pub benchmark: Benchmark,
     /// Prompt length in tokens.
     pub prompt_len: usize,
+    /// Leading prompt tokens identical to the session's previous context
+    /// (prompt + response of the last turn); zero for independent requests
+    /// and for the first turn of a conversation.
+    pub shared_prefix_len: usize,
     /// Output length in tokens.
     pub output_len: usize,
 }
@@ -173,9 +198,26 @@ impl WorkloadSpec {
                 (0..sessions)
                     .map(|s| {
                         let budget = per_session.min(self.requests.saturating_sub(s * per_session));
+                        // Running conversation context (previous prompt +
+                        // response) when the style is `Conversation`.
+                        let mut context = 0usize;
                         let requests = (0..budget)
                             .map(|i| {
                                 let mut req = self.draw_request(&mut rng);
+                                if let SessionStyle::Conversation { max_context } = self.style {
+                                    // The freshly drawn prompt is this turn's
+                                    // *user utterance*; the full prompt is the
+                                    // conversation so far plus the utterance.
+                                    let grown = context + req.prompt_len;
+                                    if i > 0 && grown + req.output_len <= max_context {
+                                        req.shared_prefix_len = context;
+                                        req.prompt_len = grown;
+                                    }
+                                    // On a fresh (or reset) chat the prompt
+                                    // stays the bare utterance and nothing is
+                                    // shared.
+                                    context = req.prompt_len + req.output_len;
+                                }
                                 req.delay = if i == 0 {
                                     // Stagger session starts a little so the
                                     // opening stampede is not a single instant.
@@ -211,6 +253,7 @@ impl WorkloadSpec {
             model,
             benchmark,
             prompt_len,
+            shared_prefix_len: 0,
             output_len: benchmark.output_len(),
         }
     }
@@ -235,6 +278,7 @@ impl WorkloadSpec {
             requests,
             models: vec![model.to_string()],
             mix: Benchmark::all().iter().map(|&b| (b, 1.0)).collect(),
+            style: SessionStyle::Independent,
         }
     }
 
@@ -252,6 +296,29 @@ impl WorkloadSpec {
             requests,
             models: models.iter().map(|m| m.to_string()).collect(),
             mix: Benchmark::all().iter().map(|&b| (b, 1.0)).collect(),
+            style: SessionStyle::Independent,
+        }
+    }
+
+    /// The chat-heavy workload: `sessions` closed-loop users holding growing
+    /// UltraChat conversations on one model — each follow-up turn's prompt
+    /// extends the previous context, which is exactly the shape the secure
+    /// KV-cache manager's prefix reuse accelerates.
+    pub fn chat(
+        sessions: usize,
+        requests: usize,
+        mean_think: SimDuration,
+        model: &str,
+    ) -> WorkloadSpec {
+        WorkloadSpec {
+            process: ArrivalProcess::ClosedLoop {
+                sessions,
+                mean_think,
+            },
+            requests,
+            models: vec![model.to_string()],
+            mix: vec![(Benchmark::UltraChat, 1.0)],
+            style: SessionStyle::Conversation { max_context: 2048 },
         }
     }
 }
@@ -338,12 +405,63 @@ mod tests {
     }
 
     #[test]
+    fn conversations_grow_and_share_prefixes() {
+        let s = WorkloadSpec::chat(4, 40, SimDuration::from_secs(10), "qwen2.5-3b");
+        let scripts = s.generate(13);
+        assert_eq!(scripts.len(), 4);
+        let mut followups = 0usize;
+        for script in &scripts {
+            let mut context = 0usize;
+            for (i, r) in script.requests.iter().enumerate() {
+                if i == 0 {
+                    assert_eq!(r.shared_prefix_len, 0, "first turn shares nothing");
+                }
+                if r.shared_prefix_len > 0 {
+                    followups += 1;
+                    assert_eq!(
+                        r.shared_prefix_len, context,
+                        "a follow-up's shared prefix is exactly the prior context"
+                    );
+                    assert!(r.prompt_len > r.shared_prefix_len, "new tokens every turn");
+                }
+                context = r.prompt_len + r.output_len;
+                assert!(context <= 2048, "conversations reset at the context cap");
+            }
+        }
+        assert!(
+            followups > 20,
+            "most turns should be follow-ups: {followups}"
+        );
+    }
+
+    #[test]
+    fn conversation_generation_is_deterministic() {
+        let s = WorkloadSpec::chat(3, 30, SimDuration::from_secs(5), "qwen2.5-3b");
+        assert_eq!(s.generate(99), s.generate(99));
+        assert_ne!(s.generate(99), s.generate(100));
+    }
+
+    #[test]
+    fn independent_sessions_never_share_prefixes() {
+        let s = spec(ArrivalProcess::ClosedLoop {
+            sessions: 5,
+            mean_think: SimDuration::from_secs(3),
+        });
+        for script in s.generate(21) {
+            for r in &script.requests {
+                assert_eq!(r.shared_prefix_len, 0);
+            }
+        }
+    }
+
+    #[test]
     fn mix_weights_bias_the_draw() {
         let s = WorkloadSpec {
             process: ArrivalProcess::Poisson { rate_per_sec: 1.0 },
             requests: 300,
             models: vec!["m".into()],
             mix: vec![(Benchmark::UltraChat, 0.9), (Benchmark::DroidTask, 0.1)],
+            style: SessionStyle::Independent,
         };
         let scripts = s.generate(5);
         let uc = scripts

@@ -13,10 +13,10 @@
 use sim_core::SimDuration;
 use tz_hal::PlatformProfile;
 use tzllm::serving::{Server, ServingConfig};
-use workloads::{ArrivalProcess, Benchmark, WorkloadSpec};
+use workloads::{ArrivalProcess, Benchmark, SessionStyle, WorkloadSpec};
 
 fn main() {
-    let config = ServingConfig::paper_default(PlatformProfile::rk3588());
+    let config = ServingConfig::chat_default(PlatformProfile::rk3588());
     let mut server = Server::new(config, vec![llm::ModelSpec::qwen2_5_3b()]);
 
     // Five concurrent interactive chat users (closed loop: each thinks for a
@@ -29,6 +29,7 @@ fn main() {
         requests: 25,
         models: vec!["qwen2.5-3b".into()],
         mix: vec![(Benchmark::UltraChat, 1.0)],
+        style: SessionStyle::Conversation { max_context: 2048 },
     };
     for script in chatters.generate(2026) {
         server.submit_script(script);
@@ -44,6 +45,7 @@ fn main() {
         requests: 8,
         models: vec!["qwen2.5-3b".into()],
         mix: vec![(Benchmark::PersonaChat, 1.0)],
+        style: SessionStyle::Independent,
     };
     for mut script in surge.generate(7) {
         script.session += 100; // keep surge session ids distinct

@@ -7,13 +7,14 @@ use npu::{ExecutionContext, JobId, NpuDevice, NpuJob};
 use ree_kernel::{
     CmaPool, CmaRegion, FileContent, FileSystem, FlashDevice, Misbehaviour, TzDriver,
 };
-use sim_core::{Bandwidth, SimDuration, SimTime, GIB};
+use sim_core::{Bandwidth, DetRng, SimDuration, SimTime, GIB};
 use tee_kernel::{
-    CheckpointError, CheckpointStore, KeyService, KeyServiceError, ScalingError,
-    SecureMemoryManager, SecurityViolation, ShadowThreadManager, TaRegistry, TeeNpuDriver,
+    CheckpointError, CheckpointStore, KeyService, KeyServiceError, KvPagePool, KvPoolError,
+    NormalWorldSpill, ScalingError, SecureMemoryManager, SecurityViolation, ShadowThreadManager,
+    TaRegistry, TeeNpuDriver,
 };
 use tz_crypto::{HardwareUniqueKey, ModelKey, WrappedModelKey};
-use tz_hal::{DeviceId, PhysAddr, PhysRange, Platform, World};
+use tz_hal::{DeviceId, PhysAddr, PhysRange, Platform, World, PAGE_SIZE};
 
 /// Direct access: a non-secure CPU and a non-NPU device cannot touch the
 /// parameter region; even the NPU cannot touch regions that do not list it.
@@ -185,6 +186,89 @@ fn key_and_checkpoint_protection() {
         store.restore(&huk, &mut fs).unwrap_err(),
         CheckpointError::IntegrityFailure
     );
+}
+
+/// KV-cache spill confidentiality and integrity: every byte of a spilled KV
+/// page observable in normal-world memory is ciphertext (no 16-byte block of
+/// any plaintext page ever appears), and any tampering with a sealed page —
+/// ciphertext, tag, or identity header — is rejected on restore.
+#[test]
+fn kv_spill_is_sealed_and_tamper_evident() {
+    let platform = Platform::rk3588();
+    let working = CmaRegion::new(
+        PhysRange::new(PhysAddr::new(0x3_8000_0000), GIB),
+        platform.profile.cma_bandwidth(),
+        platform.profile.page_alloc_ns,
+    );
+    let params = CmaRegion::new(
+        PhysRange::new(PhysAddr::new(0x1_0000_0000), GIB),
+        platform.profile.cma_bandwidth(),
+        platform.profile.page_alloc_ns,
+    );
+    let mut tz = TzDriver::new(platform.clone(), params, working);
+    let mut tas = TaRegistry::new();
+    let llm_ta = tas.register("llm-ta", true);
+    let mut mgr = SecureMemoryManager::new(platform);
+    let region = mgr.create_region(CmaPool::Working, llm_ta, vec![DeviceId::Npu]);
+
+    let page_bytes = PAGE_SIZE; // small pages keep software AES fast in tests
+    let mut pool = KvPagePool::new(region, page_bytes, &[0x5au8; 32]);
+    let mut spill = NormalWorldSpill::new();
+
+    // Property: across many random KV pages, spilling leaks nothing.
+    let mut rng = DetRng::new(0x5ea1);
+    let mut plaintexts = Vec::new();
+    for seq in 0..16u32 {
+        let page: Vec<u8> = (0..page_bytes)
+            .map(|_| (rng.gen_range(0, 256)) as u8)
+            .collect();
+        let slot = pool
+            .install(7, seq, page.clone(), &mut mgr, &mut tz, &mut tas)
+            .unwrap();
+        plaintexts.push(page);
+        pool.spill(slot, &mut spill).unwrap();
+    }
+    assert_eq!(pool.resident_pages(), 0, "plaintext copies are scrubbed");
+    let observable = spill.observable_bytes();
+    for (i, page) in plaintexts.iter().enumerate() {
+        for block in page.chunks(16) {
+            assert!(
+                !observable.windows(block.len()).any(|w| w == block),
+                "plaintext block of page {i} visible in normal-world memory"
+            );
+        }
+    }
+
+    // Tampered ciphertext is rejected before decryption.
+    let mut forged = spill.get(0).clone();
+    forged.blob.ciphertext[100] ^= 0x01;
+    assert!(matches!(
+        pool.restore(forged, &mut mgr, &mut tz, &mut tas),
+        Err(KvPoolError::Integrity)
+    ));
+    // Tampered tag is rejected.
+    let mut forged = spill.get(1).clone();
+    forged.blob.tag[0] ^= 0x80;
+    assert!(matches!(
+        pool.restore(forged, &mut mgr, &mut tz, &mut tas),
+        Err(KvPoolError::Integrity)
+    ));
+    // A re-labelled page (REE swaps session/seq identity) is rejected.
+    let mut forged = spill.get(2).clone();
+    forged.session = 8;
+    assert!(matches!(
+        pool.restore(forged, &mut mgr, &mut tz, &mut tas),
+        Err(KvPoolError::Integrity)
+    ));
+
+    // The untampered pages all restore to their exact plaintext.
+    for (i, page) in plaintexts.iter().enumerate().take(4) {
+        let sealed = spill.get(i).clone();
+        let slot = pool.restore(sealed, &mut mgr, &mut tz, &mut tas).unwrap();
+        let restored = pool.page(slot).unwrap();
+        assert_eq!(&restored.data, page);
+        assert_eq!(restored.seq, i as u32);
+    }
 }
 
 /// A compromised LLM TA cannot reach another TA's memory, and a malicious REE
