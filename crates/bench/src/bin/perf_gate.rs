@@ -1,0 +1,366 @@
+//! The CI perf-regression gate: diffs the fresh `BENCH_serving.json`
+//! against the committed `BENCH_baseline.json` with per-metric tolerances
+//! and fails (exit 1) with a readable table when a metric regresses.
+//!
+//! Wall-clock *absolutes* are machine-dependent and only checked for
+//! presence; everything gated is either a simulated quantity (deterministic
+//! given the code) or a same-machine ratio, so the tolerances can be tight
+//! without flaking across CI runners:
+//!
+//! * ratios / improvements (plan-cache speedup, TTFT improvements, hit
+//!   rates) must stay within a factor of their baseline;
+//! * simulated p95 TTFTs must not grow past `1.15x` baseline;
+//! * the spill, restore-ahead and dedup counters must stay alive — a
+//!   refactor that silently stops exercising those paths fails the gate
+//!   (this replaces the old `grep`-for-field CI step).
+//!
+//! Usage:
+//! `cargo run --release -p bench --bin perf_gate -- \
+//!    [--current BENCH_serving.json] [--baseline BENCH_baseline.json] \
+//!    [--write-baseline]`
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use bench::json::{parse_flat, JsonValue};
+
+/// How one metric is judged against the baseline.
+#[derive(Debug, Clone, Copy)]
+enum Check {
+    /// Recorded only: the field must exist in the current run.
+    Present,
+    /// Bigger is better: `current >= baseline * factor`.
+    MinRatio(f64),
+    /// Smaller is better: `current <= baseline * factor`.
+    MaxRatio(f64),
+    /// The counter must be strictly positive (the code path is alive).
+    Positive,
+}
+
+struct Gate {
+    key: &'static str,
+    check: Check,
+}
+
+const GATES: &[Gate] = &[
+    // Recorded, machine-dependent absolutes.
+    Gate {
+        key: "pipeline_simulate_us",
+        check: Check::Present,
+    },
+    Gate {
+        key: "sweep_wallclock_ms_plan_cache_off",
+        check: Check::Present,
+    },
+    Gate {
+        key: "sweep_wallclock_ms_plan_cache_on",
+        check: Check::Present,
+    },
+    Gate {
+        key: "cold_heavy.p95_ttft_s_serial",
+        check: Check::Present,
+    },
+    Gate {
+        key: "saturation.throughput_rps_serial",
+        check: Check::Present,
+    },
+    Gate {
+        key: "chat.followup_p95_ttft_s_baseline",
+        check: Check::Present,
+    },
+    Gate {
+        key: "shared_prefix.first_turn_p95_s_unshared",
+        check: Check::Present,
+    },
+    // Same-machine ratios and simulated quantities: gated.
+    Gate {
+        key: "plan_cache_speedup",
+        check: Check::MinRatio(0.8),
+    },
+    Gate {
+        key: "plan_cache_hit_rate",
+        check: Check::MinRatio(0.95),
+    },
+    Gate {
+        key: "cold_heavy.p95_ttft_s_overlap",
+        check: Check::MaxRatio(1.15),
+    },
+    Gate {
+        key: "cold_heavy.p95_improvement_pct",
+        check: Check::MinRatio(0.8),
+    },
+    Gate {
+        key: "saturation.throughput_rps_overlap",
+        check: Check::MinRatio(0.9),
+    },
+    Gate {
+        key: "chat.kv_hit_rate",
+        check: Check::MinRatio(0.95),
+    },
+    Gate {
+        key: "chat.followup_p95_ttft_s_kv",
+        check: Check::MaxRatio(1.15),
+    },
+    Gate {
+        key: "chat.followup_improvement_x",
+        check: Check::MinRatio(0.8),
+    },
+    // Liveness of the spill / restore-ahead / sharing paths.
+    Gate {
+        key: "chat.kv_spilled_mib",
+        check: Check::Positive,
+    },
+    Gate {
+        key: "chat.kv_restore_ahead_mib",
+        check: Check::Positive,
+    },
+    Gate {
+        key: "shared_prefix.first_turn_p95_s_shared",
+        check: Check::MaxRatio(1.15),
+    },
+    Gate {
+        key: "shared_prefix.first_turn_improvement_pct",
+        check: Check::MinRatio(0.8),
+    },
+    Gate {
+        key: "shared_prefix.shared_hit_rate",
+        check: Check::MinRatio(0.9),
+    },
+    Gate {
+        key: "shared_prefix.deduped_mib",
+        check: Check::MinRatio(0.8),
+    },
+];
+
+struct Row {
+    key: &'static str,
+    baseline: String,
+    current: String,
+    constraint: String,
+    pass: bool,
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "missing".into(), |v| format!("{v:.3}"))
+}
+
+fn number(map: &BTreeMap<String, JsonValue>, key: &str) -> Option<f64> {
+    map.get(key).and_then(JsonValue::as_number)
+}
+
+/// Judges every gate, returning one table row per metric.
+fn evaluate(
+    baseline: &BTreeMap<String, JsonValue>,
+    current: &BTreeMap<String, JsonValue>,
+) -> Vec<Row> {
+    GATES
+        .iter()
+        .map(|gate| {
+            let b = number(baseline, gate.key);
+            let c = number(current, gate.key);
+            let (constraint, pass) = match gate.check {
+                Check::Present => ("recorded".to_string(), current.contains_key(gate.key)),
+                Check::Positive => ("> 0".to_string(), c.is_some_and(|c| c > 0.0)),
+                Check::MinRatio(factor) => {
+                    let limit = b.map(|b| b * factor);
+                    (
+                        format!(">= {}", fmt_opt(limit)),
+                        matches!((c, limit), (Some(c), Some(l)) if c >= l),
+                    )
+                }
+                Check::MaxRatio(factor) => {
+                    let limit = b.map(|b| b * factor);
+                    (
+                        format!("<= {}", fmt_opt(limit)),
+                        matches!((c, limit), (Some(c), Some(l)) if c <= l),
+                    )
+                }
+            };
+            Row {
+                key: gate.key,
+                baseline: fmt_opt(b),
+                current: fmt_opt(c),
+                constraint,
+                pass,
+            }
+        })
+        .collect()
+}
+
+fn print_table(rows: &[Row]) {
+    let headers = ["metric", "baseline", "current", "constraint", "status"];
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        widths[0] = widths[0].max(r.key.len());
+        widths[1] = widths[1].max(r.baseline.len());
+        widths[2] = widths[2].max(r.current.len());
+        widths[3] = widths[3].max(r.constraint.len());
+    }
+    let line = |cells: [&str; 5]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(6)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", line(headers));
+    for r in rows {
+        println!(
+            "{}",
+            line([
+                r.key,
+                &r.baseline,
+                &r.current,
+                &r.constraint,
+                if r.pass { "ok" } else { "FAIL" },
+            ])
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut current_path = "BENCH_serving.json".to_string();
+    let mut write_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = args.next().expect("--baseline takes a path"),
+            "--current" => current_path = args.next().expect("--current takes a path"),
+            "--write-baseline" => write_baseline = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let current_text = match std::fs::read_to_string(&current_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {current_path}: {e} (run perf_smoke first)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if write_baseline {
+        std::fs::write(&baseline_path, &current_text).expect("write baseline");
+        println!("wrote {baseline_path} from {current_path}");
+        return ExitCode::SUCCESS;
+    }
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {baseline_path}: {e} (commit a baseline with --write-baseline)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = parse_flat(&baseline_text).expect("baseline parses");
+    let current = match parse_flat(&current_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{current_path} does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Quick runs shrink every scenario; comparing one against a full-size
+    // baseline would gate apples against oranges.
+    if baseline.get("quick") != current.get("quick") {
+        eprintln!(
+            "baseline and current disagree on --quick ({:?} vs {:?}); \
+             regenerate with matching modes",
+            baseline.get("quick"),
+            current.get("quick")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let rows = evaluate(&baseline, &current);
+    print_table(&rows);
+    let failures: Vec<&Row> = rows.iter().filter(|r| !r.pass).collect();
+    if failures.is_empty() {
+        println!("\nperf gate: all {} metrics within tolerance", rows.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nperf gate: {} of {} metrics regressed:",
+            failures.len(),
+            rows.len()
+        );
+        for r in &failures {
+            println!(
+                "  {}: current {} violates {}",
+                r.key, r.current, r.constraint
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(baseline: &str, current: &str) -> Vec<Row> {
+        evaluate(
+            &parse_flat(baseline).unwrap(),
+            &parse_flat(current).unwrap(),
+        )
+    }
+
+    #[test]
+    fn identical_runs_pass_every_gate() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_baseline.json"
+        ))
+        .expect("committed baseline exists");
+        let rows = run(&text, &text);
+        assert_eq!(rows.len(), GATES.len());
+        for r in &rows {
+            assert!(r.pass, "{} fails against itself", r.key);
+        }
+    }
+
+    #[test]
+    fn a_deliberate_regression_fails_with_the_right_metric() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_baseline.json"
+        ))
+        .expect("committed baseline exists");
+        // Slow the overlap dispatcher's cold-heavy p95 by 2x and kill the
+        // spill counter: both must be flagged, nothing else.
+        let broken = {
+            let map = parse_flat(&text).unwrap();
+            let p95 = map["cold_heavy.p95_ttft_s_overlap"].as_number().unwrap();
+            text.replace(
+                &format!("\"p95_ttft_s_overlap\": {p95:.3}"),
+                &format!("\"p95_ttft_s_overlap\": {:.3}", p95 * 2.0),
+            )
+            .replace(
+                "\"kv_spilled_mib\": ",
+                "\"kv_spilled_mib\": 0.0, \"kv_spilled_mib_was\": ",
+            )
+        };
+        let rows = run(&text, &broken);
+        let failed: Vec<&str> = rows.iter().filter(|r| !r.pass).map(|r| r.key).collect();
+        assert!(
+            failed.contains(&"cold_heavy.p95_ttft_s_overlap"),
+            "{failed:?}"
+        );
+        assert!(failed.contains(&"chat.kv_spilled_mib"), "{failed:?}");
+        assert_eq!(failed.len(), 2, "{failed:?}");
+    }
+
+    #[test]
+    fn missing_metrics_fail_their_gates() {
+        let baseline = r#"{"plan_cache_speedup": 4.0}"#;
+        let current = r#"{"unrelated": 1.0}"#;
+        let rows = run(baseline, current);
+        for r in rows {
+            assert!(!r.pass, "{} passed without data", r.key);
+        }
+    }
+}

@@ -3,7 +3,10 @@
 //! Every `fig*`/`table*`/`sec*` binary in `src/bin/` regenerates one table or
 //! figure of the paper: it prints the same rows/series the paper reports and
 //! writes a CSV copy under `target/experiments/` so EXPERIMENTS.md can quote
-//! stable numbers.
+//! stable numbers.  [`json`] holds the minimal JSON reader the CI
+//! perf-regression gate (`perf_gate`) uses to diff benchmark runs.
+
+pub mod json;
 
 use std::fs;
 use std::io::Write as _;

@@ -17,6 +17,7 @@
 //! * [`executor`] — a real forward pass for small models (Q8 matmuls, GQA
 //!   attention, SiLU FFN, greedy sampling).
 
+pub mod content;
 pub mod cost;
 pub mod executor;
 pub mod format;
@@ -26,6 +27,7 @@ pub mod model;
 pub mod tensor;
 pub mod tokenizer;
 
+pub use content::{derive_seed, PromptContent, Segment};
 pub use cost::{CostModel, CostParams};
 pub use executor::FunctionalModel;
 pub use format::{FormatError, ModelHeader, PackedModel, TensorEntry};

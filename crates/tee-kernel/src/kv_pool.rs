@@ -16,12 +16,26 @@
 //!   into fresh secure pages — a tampered blob is rejected before a single
 //!   byte is decrypted.
 //!
+//! Cross-session sharing adds [`SharedKvStore`]: a per-model
+//! **content-addressed** page store where a page's identity is a SHA-256
+//! hash chain over its bytes and its whole prefix ([`PageHash::chain`]).
+//! Installing a page whose `(model, chain hash)` already exists dedups onto
+//! the existing secure copy and bumps its reference count; sealing a shared
+//! page seals *one* copy (authenticated against its model and chain
+//! identity, so the REE can neither tamper with it nor replay it across
+//! models), and a page can only be evicted once its last reference is
+//! released.  Two sessions that diverge after a common head automatically
+//! get distinct chain hashes from the fork on — copy-on-divergence without
+//! copying, and no way for one session to name another's private suffix.
+//!
 //! The serving-layer twin of this module ([`tzllm`'s `kv`] in the tzllm
 //! crate) does the byte/time *accounting* of the same lifecycle; this module
 //! is the byte-exact data path the security tests attack.
 
+use std::collections::BTreeMap;
+
 use tz_crypto::seal::{open, seal, SealKey, SealedBlob};
-use tz_crypto::SealError;
+use tz_crypto::{SealError, Sha256};
 use tz_hal::PAGE_SIZE;
 
 use ree_kernel::TzDriver;
@@ -45,6 +59,10 @@ pub enum KvPoolError {
     },
     /// The referenced slot is empty or out of range.
     NoSuchPage(usize),
+    /// The referenced content-addressed page is not in the store.
+    UnknownPage,
+    /// The page still has live references and cannot be evicted.
+    StillReferenced(u32),
 }
 
 impl From<ScalingError> for KvPoolError {
@@ -68,6 +86,10 @@ impl std::fmt::Display for KvPoolError {
                 write!(f, "page data is {got} bytes, pool pages are {expected}")
             }
             KvPoolError::NoSuchPage(slot) => write!(f, "no resident page in slot {slot}"),
+            KvPoolError::UnknownPage => write!(f, "no such page in the content-addressed store"),
+            KvPoolError::StillReferenced(refs) => {
+                write!(f, "page still has {refs} live references")
+            }
         }
     }
 }
@@ -327,6 +349,342 @@ impl KvPagePool {
     }
 }
 
+/// The SHA-256 chain identity of one shared KV page: commits to the page's
+/// bytes *and* every byte of the pages before it, so equal hashes mean equal
+/// full prefixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageHash(pub [u8; 32]);
+
+impl PageHash {
+    /// Extends a chain: `H(parent || data)` for a page with a predecessor,
+    /// `H(data)` for the head page.
+    pub fn chain(parent: Option<&PageHash>, data: &[u8]) -> PageHash {
+        let mut h = Sha256::new();
+        if let Some(p) = parent {
+            h.update(&p.0);
+        }
+        h.update(data);
+        PageHash(h.finalize())
+    }
+}
+
+/// A sealed shared page in normal-world memory: the blob's tag authenticates
+/// the model, the chain hash and the length, so the REE can neither tamper
+/// with the ciphertext nor re-label a page across models or chain positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedSharedPage {
+    /// Model the page belongs to (authenticated, not secret).
+    pub model: u32,
+    /// Chain identity (authenticated).
+    pub hash: PageHash,
+    /// The sealed payload.
+    pub blob: SealedBlob,
+}
+
+impl SealedSharedPage {
+    fn aad(model: u32, hash: &PageHash, len: u64) -> Vec<u8> {
+        let mut aad = Vec::with_capacity(44);
+        aad.extend_from_slice(b"shared-kv");
+        aad.extend_from_slice(&model.to_le_bytes());
+        aad.extend_from_slice(&hash.0);
+        aad.extend_from_slice(&len.to_le_bytes());
+        aad
+    }
+}
+
+/// Normal-world staging area for sealed *shared* pages — like
+/// [`NormalWorldSpill`], everything here is attacker-visible and -mutable.
+#[derive(Debug, Default)]
+pub struct SharedSpill {
+    blobs: Vec<SealedSharedPage>,
+}
+
+impl SharedSpill {
+    /// An empty spill area.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sealed shared pages currently spilled.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Whether nothing is spilled.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Stores a sealed page, returning its index.
+    pub fn push(&mut self, page: SealedSharedPage) -> usize {
+        self.blobs.push(page);
+        self.blobs.len() - 1
+    }
+
+    /// Borrow a sealed page (REE read access).
+    pub fn get(&self, index: usize) -> &SealedSharedPage {
+        &self.blobs[index]
+    }
+
+    /// Mutable access — the REE can tamper with anything it stores.
+    pub fn get_mut(&mut self, index: usize) -> &mut SealedSharedPage {
+        &mut self.blobs[index]
+    }
+
+    /// Removes and returns a sealed page (handed back to the TEE on restore).
+    pub fn take(&mut self, index: usize) -> SealedSharedPage {
+        self.blobs.remove(index)
+    }
+
+    /// Every byte of normal-world memory the spill occupies, concatenated —
+    /// the attacker's full view.
+    pub fn observable_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for page in &self.blobs {
+            out.extend_from_slice(&page.model.to_le_bytes());
+            out.extend_from_slice(&page.hash.0);
+            out.extend_from_slice(&page.blob.observable_bytes());
+        }
+        out
+    }
+}
+
+/// Where a shared page's single copy currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SharedState {
+    /// Resident in the secure slot with this index.
+    Resident(usize),
+    /// Sealed out to normal-world memory (the slot was scrubbed and freed).
+    Sealed,
+}
+
+#[derive(Debug)]
+struct SharedEntry {
+    refs: u32,
+    state: SharedState,
+}
+
+/// The per-model content-addressed shared KV page store (byte-exact half of
+/// cross-session prefix sharing).
+#[derive(Debug)]
+pub struct SharedKvStore {
+    region: usize,
+    page_bytes: u64,
+    /// Secure page slots; a slot holds the single copy of one shared page.
+    slots: Vec<Option<(u32, PageHash, Vec<u8>)>>,
+    index: BTreeMap<(u32, PageHash), SharedEntry>,
+    key: SealKey,
+    seal_counter: u64,
+}
+
+impl SharedKvStore {
+    /// Creates a store of `page_bytes`-sized pages inside secure-memory
+    /// region `region`, sealing spilled pages under a key derived from
+    /// `root_key`.
+    ///
+    /// # Panics
+    /// Panics if `page_bytes` is not a positive multiple of the platform
+    /// page size.
+    pub fn new(region: usize, page_bytes: u64, root_key: &[u8]) -> Self {
+        assert!(
+            page_bytes > 0 && page_bytes.is_multiple_of(PAGE_SIZE),
+            "KV pages must be a positive multiple of the {PAGE_SIZE}-byte platform page"
+        );
+        SharedKvStore {
+            region,
+            page_bytes,
+            slots: Vec::new(),
+            index: BTreeMap::new(),
+            key: SealKey::derive(root_key, "shared-kv-page-seal"),
+            seal_counter: 0,
+        }
+    }
+
+    /// Number of distinct pages resident in secure memory.
+    pub fn resident_pages(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Live references on a page, if it is in the store.
+    pub fn refs(&self, model: u32, hash: &PageHash) -> Option<u32> {
+        self.index.get(&(model, *hash)).map(|e| e.refs)
+    }
+
+    /// The resident plaintext of a page (`None` if unknown or sealed).
+    pub fn page_data(&self, model: u32, hash: &PageHash) -> Option<&[u8]> {
+        match self.index.get(&(model, *hash))?.state {
+            SharedState::Resident(slot) => self.slots[slot]
+                .as_ref()
+                .map(|(_, _, data)| data.as_slice()),
+            SharedState::Sealed => None,
+        }
+    }
+
+    fn free_slot(
+        &mut self,
+        mgr: &mut SecureMemoryManager,
+        tz_driver: &mut TzDriver,
+        tas: &mut TaRegistry,
+    ) -> Result<usize, KvPoolError> {
+        if let Some(slot) = self.slots.iter().position(|s| s.is_none()) {
+            return Ok(slot);
+        }
+        mgr.extend_allocated(self.region, self.page_bytes, tz_driver)?;
+        mgr.extend_protected(self.region, self.page_bytes, tas)?;
+        self.slots.push(None);
+        Ok(self.slots.len() - 1)
+    }
+
+    /// Installs one page of KV content for `model`, chained after `parent`
+    /// (`None` for the head page), and takes one reference on it.  If the
+    /// identical page — same model, same content, same prefix — is already
+    /// in the store, the existing copy is referenced instead of allocating a
+    /// second one.  Returns the page's chain hash and its reference count.
+    pub fn install(
+        &mut self,
+        model: u32,
+        parent: Option<&PageHash>,
+        data: Vec<u8>,
+        mgr: &mut SecureMemoryManager,
+        tz_driver: &mut TzDriver,
+        tas: &mut TaRegistry,
+    ) -> Result<(PageHash, u32), KvPoolError> {
+        if data.len() as u64 != self.page_bytes {
+            return Err(KvPoolError::BadPageSize {
+                expected: self.page_bytes,
+                got: data.len() as u64,
+            });
+        }
+        let hash = PageHash::chain(parent, &data);
+        if let Some(entry) = self.index.get_mut(&(model, hash)) {
+            entry.refs += 1;
+            return Ok((hash, entry.refs));
+        }
+        let slot = self.free_slot(mgr, tz_driver, tas)?;
+        self.slots[slot] = Some((model, hash, data));
+        self.index.insert(
+            (model, hash),
+            SharedEntry {
+                refs: 1,
+                state: SharedState::Resident(slot),
+            },
+        );
+        Ok((hash, 1))
+    }
+
+    /// Takes one more reference on an existing page.
+    pub fn acquire(&mut self, model: u32, hash: &PageHash) -> Result<u32, KvPoolError> {
+        let entry = self
+            .index
+            .get_mut(&(model, *hash))
+            .ok_or(KvPoolError::UnknownPage)?;
+        entry.refs += 1;
+        Ok(entry.refs)
+    }
+
+    /// Releases one reference, returning the remaining count.  The page (and
+    /// its sealed copy, if spilled) stays in the store as reusable cache
+    /// until [`SharedKvStore::evict`] removes it.
+    pub fn release(&mut self, model: u32, hash: &PageHash) -> Result<u32, KvPoolError> {
+        let entry = self
+            .index
+            .get_mut(&(model, *hash))
+            .ok_or(KvPoolError::UnknownPage)?;
+        entry.refs = entry.refs.saturating_sub(1);
+        Ok(entry.refs)
+    }
+
+    /// Seals the single secure copy of a page out to normal-world memory —
+    /// one sealed blob, however many sessions reference the page — scrubbing
+    /// the plaintext slot.  Returns the spill index.
+    pub fn spill(
+        &mut self,
+        model: u32,
+        hash: &PageHash,
+        spill: &mut SharedSpill,
+    ) -> Result<usize, KvPoolError> {
+        let entry = self
+            .index
+            .get_mut(&(model, *hash))
+            .ok_or(KvPoolError::UnknownPage)?;
+        let SharedState::Resident(slot) = entry.state else {
+            return Err(KvPoolError::UnknownPage);
+        };
+        let (_, _, data) = self.slots[slot].take().expect("resident page has a slot");
+        entry.state = SharedState::Sealed;
+        let mut nonce = [0u8; 16];
+        nonce[..8].copy_from_slice(&self.seal_counter.to_le_bytes());
+        nonce[8..12].copy_from_slice(&model.to_le_bytes());
+        nonce[12..].copy_from_slice(&hash.0[..4]);
+        self.seal_counter += 1;
+        let aad = SealedSharedPage::aad(model, hash, data.len() as u64);
+        let blob = seal(&self.key, &nonce, &aad, &data);
+        // `data` is dropped here — the secure copy is scrubbed.
+        Ok(spill.push(SealedSharedPage {
+            model,
+            hash: *hash,
+            blob,
+        }))
+    }
+
+    /// Restores a sealed shared page handed back by the normal world:
+    /// verifies the MAC over the model, chain identity, length and
+    /// ciphertext — a mismatch on any of them rejects the blob before a
+    /// byte is decrypted — then decrypts into a fresh secure slot.  The
+    /// chain identity is *authenticated*, not recomputed: the store sealed
+    /// the page itself under that identity, so the MAC is the binding (the
+    /// parent hash needed to re-derive a non-head page's chain is not
+    /// stored).
+    pub fn restore(
+        &mut self,
+        sealed: SealedSharedPage,
+        mgr: &mut SecureMemoryManager,
+        tz_driver: &mut TzDriver,
+        tas: &mut TaRegistry,
+    ) -> Result<(), KvPoolError> {
+        let entry = self
+            .index
+            .get(&(sealed.model, sealed.hash))
+            .ok_or(KvPoolError::UnknownPage)?;
+        if entry.state != SharedState::Sealed {
+            return Err(KvPoolError::UnknownPage);
+        }
+        let aad = SealedSharedPage::aad(sealed.model, &sealed.hash, self.page_bytes);
+        let data = open(&self.key, &aad, &sealed.blob)?;
+        if data.len() as u64 != self.page_bytes {
+            return Err(KvPoolError::BadPageSize {
+                expected: self.page_bytes,
+                got: data.len() as u64,
+            });
+        }
+        let slot = self.free_slot(mgr, tz_driver, tas)?;
+        self.slots[slot] = Some((sealed.model, sealed.hash, data));
+        self.index
+            .get_mut(&(sealed.model, sealed.hash))
+            .expect("entry checked above")
+            .state = SharedState::Resident(slot);
+        Ok(())
+    }
+
+    /// Removes a page from the store.  Refuses while references remain: a
+    /// shared page is only droppable once its last referencing session has
+    /// released it.
+    pub fn evict(&mut self, model: u32, hash: &PageHash) -> Result<(), KvPoolError> {
+        let entry = self
+            .index
+            .get(&(model, *hash))
+            .ok_or(KvPoolError::UnknownPage)?;
+        if entry.refs > 0 {
+            return Err(KvPoolError::StillReferenced(entry.refs));
+        }
+        let entry = self.index.remove(&(model, *hash)).expect("checked above");
+        if let SharedState::Resident(slot) = entry.state {
+            self.slots[slot] = None; // plaintext scrubbed
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +778,81 @@ mod tests {
         assert_eq!(released, 3 * PAGE);
         assert_eq!(mgr.region(0).protected_bytes(), 0);
         assert_eq!(pool.claimed_bytes(), 0);
+    }
+
+    fn shared_setup() -> (
+        SecureMemoryManager,
+        TzDriver,
+        TaRegistry,
+        SharedKvStore,
+        SharedSpill,
+    ) {
+        let (mgr, tz, tas, _, _) = setup();
+        let store = SharedKvStore::new(0, PAGE, &[0x44u8; 32]);
+        (mgr, tz, tas, store, SharedSpill::new())
+    }
+
+    #[test]
+    fn identical_content_dedups_onto_one_secure_copy() {
+        let (mut mgr, mut tz, mut tas, mut store, _spill) = shared_setup();
+        let (h1, refs1) = store
+            .install(0, None, page_data(9), &mut mgr, &mut tz, &mut tas)
+            .unwrap();
+        let (h2, refs2) = store
+            .install(0, None, page_data(9), &mut mgr, &mut tz, &mut tas)
+            .unwrap();
+        assert_eq!(h1, h2, "equal content, equal chain identity");
+        assert_eq!((refs1, refs2), (1, 2));
+        assert_eq!(store.resident_pages(), 1, "one copy serves both");
+        assert_eq!(mgr.region(0).protected_bytes(), PAGE);
+
+        // Divergent second pages chain to distinct identities and slots.
+        let (pa, _) = store
+            .install(0, Some(&h1), page_data(1), &mut mgr, &mut tz, &mut tas)
+            .unwrap();
+        let (pb, _) = store
+            .install(0, Some(&h1), page_data(2), &mut mgr, &mut tz, &mut tas)
+            .unwrap();
+        assert_ne!(pa, pb);
+        assert_eq!(store.resident_pages(), 3);
+    }
+
+    #[test]
+    fn eviction_waits_for_the_last_reference() {
+        let (mut mgr, mut tz, mut tas, mut store, _spill) = shared_setup();
+        let (h, _) = store
+            .install(0, None, page_data(5), &mut mgr, &mut tz, &mut tas)
+            .unwrap();
+        store.acquire(0, &h).unwrap();
+        assert_eq!(
+            store.evict(0, &h),
+            Err(KvPoolError::StillReferenced(2)),
+            "a referenced page is not droppable"
+        );
+        store.release(0, &h).unwrap();
+        store.release(0, &h).unwrap();
+        store.evict(0, &h).unwrap();
+        assert_eq!(store.resident_pages(), 0);
+        assert!(store.refs(0, &h).is_none());
+    }
+
+    #[test]
+    fn shared_spill_seals_one_copy_and_roundtrips() {
+        let (mut mgr, mut tz, mut tas, mut store, mut spill) = shared_setup();
+        let original = page_data(3);
+        let (h, _) = store
+            .install(0, None, original.clone(), &mut mgr, &mut tz, &mut tas)
+            .unwrap();
+        store.acquire(0, &h).unwrap(); // two sessions reference it
+        let idx = store.spill(0, &h, &mut spill).unwrap();
+        assert_eq!(spill.len(), 1, "two references, one sealed copy");
+        assert_eq!(store.resident_pages(), 0, "plaintext scrubbed");
+        assert!(store.page_data(0, &h).is_none());
+
+        let sealed = spill.take(idx);
+        store.restore(sealed, &mut mgr, &mut tz, &mut tas).unwrap();
+        assert_eq!(store.page_data(0, &h).unwrap(), &original[..]);
+        assert_eq!(store.refs(0, &h), Some(2), "references survive the trip");
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   world-switch protocol (§4.3).
 //! * [`checkpoint`] — encrypted framework-state checkpoint/restore (§3.2).
 //! * [`kv_pool`] — the paged secure KV-cache pool with sealed spill to
-//!   normal-world memory (the functional half of the KV-cache manager).
+//!   normal-world memory, plus the content-addressed refcounted shared-page
+//!   store for cross-session prefix dedup (the functional half of the
+//!   KV-cache manager).
 //! * [`thread`] — shadow-thread scheduling with TEE-managed synchronisation.
 //!
 //! Everything in this crate is inside the TCB, and the paper's goal of
@@ -28,7 +30,10 @@ pub mod thread;
 
 pub use checkpoint::{CheckpointError, CheckpointStore, RestoredCheckpoint};
 pub use key_service::{KeyService, KeyServiceError};
-pub use kv_pool::{KvPageData, KvPagePool, KvPoolError, NormalWorldSpill, SealedKvPage};
+pub use kv_pool::{
+    KvPageData, KvPagePool, KvPoolError, NormalWorldSpill, PageHash, SealedKvPage,
+    SealedSharedPage, SharedKvStore, SharedSpill,
+};
 pub use npu_data_plane::{HandoffResult, SecurityViolation, SwitchCost, TeeNpuDriver};
 pub use secure_memory::{ScalableRegion, ScalingCost, ScalingError, SecureMemoryManager};
 pub use ta::{TaError, TaId, TaRegistry, TrustedApp};

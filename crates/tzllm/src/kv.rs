@@ -1,26 +1,40 @@
-//! Secure paged KV-cache retention across requests (the accounting half of
-//! the KV-cache manager).
+//! Secure paged KV-cache retention across requests and *sessions* (the
+//! accounting half of the KV-cache manager).
 //!
 //! The paper releases the whole KV cache after every inference (§4.2), so a
 //! multi-turn conversation re-prefills its entire history on every turn.
-//! [`KvPool`] instead retains each session's KV state between requests, at
-//! page granularity, under an explicit secure-memory budget:
+//! [`KvPool`] instead retains KV state between requests at page granularity,
+//! under an explicit secure-memory budget — and, since the shared-prefix
+//! refactor, it retains pages **content-addressed**: every whole page is
+//! keyed by a hash chain over its token contents ([`llm::PromptContent`]),
+//! so any number of sessions whose prompts open with the same tokens (a
+//! product-wide system prompt, a prompt template) reference *one* secure
+//! copy of the common head instead of storing and prefilling it once each.
 //!
-//! * after a request completes, the session's KV pages (prompt + generated
-//!   tokens) stay resident in the secure working region;
-//! * when resident KV exceeds the budget, cold sessions' pages are *spilled*
-//!   from the tail: sealed (AES-CTR + HMAC, see [`tee_kernel::kv_pool`] for
-//!   the byte-exact path) and moved to normal-world CMA memory;
-//! * when the sealed spill area exceeds its own budget, the coldest sealed
-//!   tails are dropped outright (those tokens re-prefill on reuse);
-//! * on a follow-up turn, the request's shared conversation prefix is served
-//!   from the retained pages: resident tokens are free, sealed tokens pay
-//!   the unseal (decrypt-lane) time, and only the genuinely new tokens are
-//!   prefilled.
+//! * A session's retained state is `[shared pages][private tail]`: whole
+//!   pages live in the per-model content-addressed store with a reference
+//!   count, the trailing partial page is private to the session.
+//! * Reuse walks the prompt's page-hash chain through the store: the longest
+//!   chain prefix present is served without prefilling — including on the
+//!   **cold first turn** of a brand-new session, where every hit comes from
+//!   pages other sessions produced.
+//! * Copy-on-divergence is structural: the chain key of page `p` commits to
+//!   all tokens of pages `0..=p`, so the first diverging token changes every
+//!   subsequent key and the diverging session simply references new private
+//!   pages.  One session can never observe another's private suffix — a
+//!   suffix page is only reachable through a chain that reproduces its exact
+//!   content.
+//! * Under secure-memory pressure cold pages are *spilled*: sealed with
+//!   AES-CTR and HMAC (see [`tee_kernel::kv_pool`] for the byte-exact path)
+//!   and moved to normal-world CMA memory.  Sealing a shared page seals
+//!   **one copy**,
+//!   not one per referencing session, and unsealing it once serves them all.
+//! * A page is dropped outright only when nothing references it (the last
+//!   referencing session released it, or spill is disabled and the budget
+//!   forces a truncation, which releases the references first).
 //!
-//! The retained prefix of a session is always contiguous from token zero —
-//! `[resident][sealed]` in that order — mirroring the parameter cache's
-//! contiguous-prefix invariant, so reuse never has holes.
+//! With [`KvConfig::shared`] off, page keys are salted per session and the
+//! pool degenerates to the previous per-session retention semantics.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -32,6 +46,10 @@ pub struct KvConfig {
     /// Master switch: `false` reproduces the paper's release-everything
     /// behaviour (no KV state survives a request).
     pub enabled: bool,
+    /// Cross-session content-addressed prefix sharing.  `false` salts every
+    /// page key with its session id, which reproduces the earlier
+    /// per-session retention exactly (nothing is ever deduped).
+    pub shared: bool,
     /// Spill/retention page size in bytes.
     pub page_bytes: u64,
     /// Fraction of the secure-memory headroom *left over by parameter
@@ -55,6 +73,7 @@ impl KvConfig {
     pub fn disabled() -> Self {
         KvConfig {
             enabled: false,
+            shared: true,
             page_bytes: 2 * sim_core::MIB,
             budget_fraction: 0.5,
             spill: true,
@@ -63,7 +82,8 @@ impl KvConfig {
         }
     }
 
-    /// KV retention on with the default knobs — the chat-serving setup.
+    /// KV retention on with the default knobs — the chat-serving setup,
+    /// cross-session prefix sharing included.
     pub fn chat_default() -> Self {
         KvConfig {
             enabled: true,
@@ -80,12 +100,16 @@ pub struct KvReuse {
     /// Bytes of that prefix that were sealed and must be unsealed (verified
     /// + decrypted) on the CPU decrypt lane before use.
     pub unseal_bytes: u64,
+    /// Of the reused tokens, how many came from shared pages this session
+    /// did not itself retain — cross-session hits.
+    pub shared_tokens: usize,
 }
 
 /// Cumulative byte counters of the pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KvStats {
-    /// Bytes sealed and spilled to normal-world memory.
+    /// Bytes sealed and spilled to normal-world memory (one copy per shared
+    /// page, however many sessions reference it).
     pub spilled_bytes: u64,
     /// Sealed bytes unsealed at dispatch time (on the service's CPU lane).
     pub unsealed_bytes: u64,
@@ -94,43 +118,69 @@ pub struct KvStats {
     /// Retained bytes dropped (budget pressure, divergence, eviction) — the
     /// tokens they held re-prefill on their next use.
     pub dropped_bytes: u64,
+    /// Prefix tokens served from pages the session did not itself retain.
+    pub shared_tokens: u64,
+    /// Peak of `Σ (refs − 1) × page bytes` over the run: secure bytes the
+    /// content-addressed store saved versus per-session copies.
+    pub peak_deduped_bytes: u64,
+}
+
+/// The identity of one whole KV page in the content-addressed store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct PageKey {
+    /// Interned model identity: KV is only ever shared within one model.
+    model: u32,
+    /// `0` when sharing is on; `session + 1` when it is off, which makes
+    /// every key private to its session.
+    salt: u64,
+    /// Chain hash over the page's tokens and its whole prefix
+    /// ([`llm::PromptContent::page_keys`]).
+    hash: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PageEntry {
+    bytes: u64,
+    /// Position in its chain (page 0 is the head); deeper pages are colder
+    /// by construction and are spilled first on ties.
+    depth: u32,
+    /// Sessions currently referencing the page.  Zero-reference *shared*
+    /// pages linger as reusable cache until budget pressure removes them;
+    /// zero-reference salted pages are removed immediately.
+    refs: u32,
+    sealed: bool,
+    last_use: SimTime,
 }
 
 #[derive(Debug, Clone)]
 struct SessionKv {
-    /// Interned model identity the KV belongs to (a prefix is only reusable
-    /// by the same model).
     model: u32,
     bytes_per_token: u64,
-    /// Contiguous prefix resident in secure pages, in tokens.
-    resident_tokens: usize,
-    /// Tokens sealed in normal-world memory, contiguous after the resident
-    /// prefix.
-    sealed_tokens: usize,
+    /// Chain hashes of the whole pages of this session's retained context,
+    /// in order — each holds one reference in the store.
+    page_hashes: Vec<u64>,
+    /// Tokens past the last whole page (always `< tokens_per_page`),
+    /// private to the session.
+    tail_tokens: usize,
+    tail_sealed: bool,
     last_use: SimTime,
 }
 
-impl SessionKv {
-    fn resident_bytes(&self) -> u64 {
-        self.resident_tokens as u64 * self.bytes_per_token
-    }
-
-    fn sealed_bytes(&self) -> u64 {
-        self.sealed_tokens as u64 * self.bytes_per_token
-    }
-}
-
-/// The per-server KV retention pool: pure accounting (tokens, bytes, time is
+/// The per-server KV retention pool: pure accounting (tokens, bytes; time is
 /// charged by the serving layer), deterministic by construction.
 #[derive(Debug)]
 pub struct KvPool {
     page_bytes: u64,
+    shared: bool,
     spill: bool,
     spill_budget: u64,
     max_sessions: usize,
+    pages: BTreeMap<PageKey, PageEntry>,
     sessions: BTreeMap<u64, SessionKv>,
     resident_bytes: u64,
     sealed_bytes: u64,
+    /// Live `Σ (refs − 1) × bytes` over all pages.
+    deduped_bytes: u64,
     stats: KvStats,
 }
 
@@ -139,17 +189,21 @@ impl KvPool {
     pub fn new(config: &KvConfig) -> Self {
         KvPool {
             page_bytes: config.page_bytes.max(1),
+            shared: config.shared,
             spill: config.spill,
             spill_budget: config.spill_budget,
             max_sessions: config.max_sessions.max(1),
+            pages: BTreeMap::new(),
             sessions: BTreeMap::new(),
             resident_bytes: 0,
             sealed_bytes: 0,
+            deduped_bytes: 0,
             stats: KvStats::default(),
         }
     }
 
-    /// Bytes of KV currently resident in the secure region.
+    /// Bytes of KV currently resident in the secure region (shared pages
+    /// counted once).
     pub fn resident_bytes(&self) -> u64 {
         self.resident_bytes
     }
@@ -164,185 +218,619 @@ impl KvPool {
         self.sessions.len()
     }
 
+    /// Whether `session` has any retained state.
+    pub fn has_session(&self, session: u64) -> bool {
+        self.sessions.contains_key(&session)
+    }
+
+    /// Secure bytes the store is currently saving versus per-session copies:
+    /// `Σ (refs − 1) × page bytes`.
+    pub fn deduped_bytes(&self) -> u64 {
+        self.deduped_bytes
+    }
+
     /// Cumulative counters.
     pub fn stats(&self) -> KvStats {
         self.stats
     }
 
-    /// Sealed bytes retained for `session` (what restore-ahead could unseal
-    /// on idle lanes before the session's queued request dispatches).
-    pub fn sealed_bytes_of(&self, session: u64) -> u64 {
-        self.sessions
-            .get(&session)
-            .map_or(0, SessionKv::sealed_bytes)
-    }
-
-    fn tokens_per_page(&self, bytes_per_token: u64) -> usize {
+    /// Whole tokens per page for a model storing `bytes_per_token`.
+    pub fn page_tokens(&self, bytes_per_token: u64) -> usize {
         (self.page_bytes / bytes_per_token.max(1)).max(1) as usize
     }
 
-    fn drop_session(&mut self, session: u64) {
-        if let Some(kv) = self.sessions.remove(&session) {
-            self.resident_bytes -= kv.resident_bytes();
-            self.sealed_bytes -= kv.sealed_bytes();
-            self.stats.dropped_bytes += kv.resident_bytes() + kv.sealed_bytes();
+    fn key(&self, session: u64, model: u32, hash: u64) -> PageKey {
+        PageKey {
+            model,
+            salt: if self.shared { 0 } else { session + 1 },
+            hash,
         }
+    }
+
+    fn note_dedup(&mut self) {
+        self.stats.peak_deduped_bytes = self.stats.peak_deduped_bytes.max(self.deduped_bytes);
+    }
+
+    /// Creates (resident) or references an existing store page.
+    fn ref_page(&mut self, key: PageKey, bytes: u64, depth: u32, now: SimTime) {
+        match self.pages.get_mut(&key) {
+            Some(entry) => {
+                debug_assert_eq!(entry.depth, depth, "equal chains have equal depth");
+                entry.refs += 1;
+                entry.last_use = now;
+                // `deduped_bytes` is Σ (refs − 1) × bytes: re-referencing a
+                // zero-ref lingering cache page (0 → 1) saves nothing yet.
+                if entry.refs > 1 {
+                    self.deduped_bytes += entry.bytes;
+                }
+            }
+            None => {
+                self.pages.insert(
+                    key,
+                    PageEntry {
+                        bytes,
+                        depth,
+                        refs: 1,
+                        sealed: false,
+                        last_use: now,
+                    },
+                );
+                self.resident_bytes += bytes;
+            }
+        }
+        self.note_dedup();
+    }
+
+    /// Releases one reference.  A zero-reference salted page is removed on
+    /// the spot (nothing can ever match it again); a zero-reference shared
+    /// page stays as reusable cache until budget pressure removes it.
+    fn deref_page(&mut self, key: PageKey) {
+        let Some(entry) = self.pages.get_mut(&key) else {
+            return;
+        };
+        debug_assert!(entry.refs > 0);
+        entry.refs -= 1;
+        if entry.refs > 0 {
+            self.deduped_bytes -= entry.bytes;
+            return;
+        }
+        if key.salt != 0 {
+            self.remove_page(key);
+        }
+    }
+
+    /// Removes a page from the store outright, whatever its state.
+    fn remove_page(&mut self, key: PageKey) {
+        let Some(entry) = self.pages.remove(&key) else {
+            return;
+        };
+        debug_assert_eq!(entry.refs, 0, "only unreferenced pages are removed");
+        if entry.sealed {
+            self.sealed_bytes -= entry.bytes;
+        } else {
+            self.resident_bytes -= entry.bytes;
+        }
+        self.stats.dropped_bytes += entry.bytes;
+    }
+
+    /// Truncates `session`'s retained pages at chain position `pos`
+    /// (dereferencing every deeper page) and drops its tail.
+    fn truncate_session(&mut self, session: u64, pos: usize) {
+        let Some(kv) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        let model = kv.model;
+        let removed: Vec<u64> = kv.page_hashes.split_off(pos);
+        let tail_bytes = kv.tail_tokens as u64 * kv.bytes_per_token;
+        let tail_sealed = kv.tail_sealed;
+        kv.tail_tokens = 0;
+        kv.tail_sealed = false;
+        let empty = kv.page_hashes.is_empty();
+        if tail_bytes > 0 {
+            if tail_sealed {
+                self.sealed_bytes -= tail_bytes;
+            } else {
+                self.resident_bytes -= tail_bytes;
+            }
+            self.stats.dropped_bytes += tail_bytes;
+        }
+        for hash in removed {
+            let key = self.key(session, model, hash);
+            self.deref_page(key);
+        }
+        if empty {
+            self.sessions.remove(&session);
+        }
+    }
+
+    /// Drops every trace of `session` (its references and private tail).
+    fn drop_session(&mut self, session: u64) {
+        self.truncate_session(session, 0);
     }
 
     /// Claims the reusable prefix for a dispatch of `session` on `model`.
     ///
-    /// `shared_prefix` is the number of leading prompt tokens the workload
-    /// declares identical to the session's previous context; `max_reuse`
-    /// caps reuse so at least one prompt token is always prefilled.  Tokens
-    /// retained beyond the reusable prefix (conversation reset, divergence,
-    /// model switch) are dropped.  The sealed part of the claimed prefix is
-    /// moved to resident — the serving layer charges its unseal time.
+    /// `page_hashes` is the chain over the *prompt's* whole pages
+    /// ([`llm::PromptContent::page_keys`] at this pool's page size for the
+    /// model); the longest leading run present in the store — whoever put it
+    /// there — is served from retained state, and the session's own private
+    /// tail extends the run when it continues it exactly.  `shared_prefix`
+    /// is the declared overlap with the session's *own* previous context
+    /// (the tail carries no verifying hash, so it reuses only up to the
+    /// declaration); `max_reuse` caps reuse so at least one prompt token is
+    /// always prefilled.  Retained state that diverges from the prompt is
+    /// dropped.  Sealed parts of the claimed prefix are unsealed — the
+    /// serving layer charges the decrypt-lane time for them.
+    #[allow(clippy::too_many_arguments)]
     pub fn reuse_plan(
         &mut self,
         session: u64,
         model: u32,
+        page_hashes: &[u64],
+        bytes_per_token: u64,
         shared_prefix: usize,
         max_reuse: usize,
         now: SimTime,
     ) -> KvReuse {
-        let Some(kv) = self.sessions.get_mut(&session) else {
-            return KvReuse::default();
-        };
-        if shared_prefix == 0 || kv.model != model {
-            // The conversation restarted (or switched models): nothing of the
-            // retained state matches the new prompt.
-            self.drop_session(session);
+        let bytes_per_token = bytes_per_token.max(1);
+        let pt = self.page_tokens(bytes_per_token);
+
+        // Divergence / model-switch: retained state that no longer matches
+        // the prompt's content chain is unusable — drop it.
+        let mut own_pages = 0usize;
+        if let Some(kv) = self.sessions.get(&session) {
+            let matches = kv.model == model
+                && kv.bytes_per_token == bytes_per_token
+                && kv.page_hashes.len() <= page_hashes.len()
+                && kv.page_hashes.iter().zip(page_hashes).all(|(a, b)| a == b);
+            if matches {
+                own_pages = kv.page_hashes.len();
+            } else {
+                self.drop_session(session);
+            }
+        }
+
+        // The longest leading chain run present in the store.
+        let max_pages = (max_reuse / pt).min(page_hashes.len());
+        let mut matched = 0usize;
+        while matched < max_pages {
+            let key = self.key(session, model, page_hashes[matched]);
+            if self.pages.contains_key(&key) {
+                matched += 1;
+            } else {
+                break;
+            }
+        }
+
+        // Unseal and touch the matched pages.
+        let mut unseal_bytes = 0u64;
+        for &hash in &page_hashes[..matched] {
+            let key = self.key(session, model, hash);
+            let entry = self.pages.get_mut(&key).expect("matched page exists");
+            if entry.sealed {
+                entry.sealed = false;
+                self.sealed_bytes -= entry.bytes;
+                self.resident_bytes += entry.bytes;
+                unseal_bytes += entry.bytes;
+                self.stats.unsealed_bytes += entry.bytes;
+            }
+            entry.last_use = now;
+        }
+
+        // The private tail continues the run only when the store coverage
+        // ends exactly where the session's own pages do.
+        let mut tail_reuse = 0usize;
+        if matched == own_pages {
+            if let Some(kv) = self.sessions.get_mut(&session) {
+                let offset = own_pages * pt;
+                let valid = kv.tail_tokens.min(shared_prefix.saturating_sub(offset));
+                let diverged = kv.tail_tokens - valid;
+                if diverged > 0 {
+                    // Tail tokens past the declared overlap are stale.
+                    let db = diverged as u64 * kv.bytes_per_token;
+                    if kv.tail_sealed {
+                        self.sealed_bytes -= db;
+                    } else {
+                        self.resident_bytes -= db;
+                    }
+                    self.stats.dropped_bytes += db;
+                    kv.tail_tokens = valid;
+                }
+                tail_reuse = valid.min(max_reuse.saturating_sub(offset));
+                if tail_reuse > 0 && kv.tail_sealed {
+                    let tb = kv.tail_tokens as u64 * kv.bytes_per_token;
+                    kv.tail_sealed = false;
+                    self.sealed_bytes -= tb;
+                    self.resident_bytes += tb;
+                    unseal_bytes += tb;
+                    self.stats.unsealed_bytes += tb;
+                }
+            }
+        }
+
+        if matched == 0 && tail_reuse == 0 {
+            if let Some(kv) = self.sessions.get_mut(&session) {
+                kv.last_use = now;
+            }
             return KvReuse::default();
         }
-        let available = kv.resident_tokens + kv.sealed_tokens;
-        let reused = available.min(shared_prefix).min(max_reuse);
-        let resident_part = reused.min(kv.resident_tokens);
-        let sealed_part = reused - resident_part;
-        let unseal_bytes = sealed_part as u64 * kv.bytes_per_token;
-        let dropped = (available - reused) as u64 * kv.bytes_per_token;
 
-        self.resident_bytes -= kv.resident_bytes();
-        self.sealed_bytes -= kv.sealed_bytes();
-        kv.resident_tokens = reused;
-        kv.sealed_tokens = 0;
-        kv.last_use = now;
-        self.resident_bytes += kv.resident_bytes();
-        self.stats.unsealed_bytes += unseal_bytes;
-        self.stats.dropped_bytes += dropped;
+        // Reference newly claimed shared pages and update the session state.
+        let shared_tokens = matched.saturating_sub(own_pages) * pt;
+        for (i, &hash) in page_hashes.iter().enumerate().take(matched).skip(own_pages) {
+            let key = self.key(session, model, hash);
+            self.ref_page(key, pt as u64 * bytes_per_token, i as u32, now);
+        }
+        if matched > own_pages {
+            match self.sessions.get_mut(&session) {
+                Some(kv) => {
+                    // The old tail (if any) is subsumed by the claimed pages.
+                    let tb = kv.tail_tokens as u64 * kv.bytes_per_token;
+                    if tb > 0 {
+                        if kv.tail_sealed {
+                            self.sealed_bytes -= tb;
+                        } else {
+                            self.resident_bytes -= tb;
+                        }
+                        self.stats.dropped_bytes += tb;
+                    }
+                    kv.page_hashes = page_hashes[..matched].to_vec();
+                    kv.tail_tokens = 0;
+                    kv.tail_sealed = false;
+                }
+                None => {
+                    self.sessions.insert(
+                        session,
+                        SessionKv {
+                            model,
+                            bytes_per_token,
+                            page_hashes: page_hashes[..matched].to_vec(),
+                            tail_tokens: 0,
+                            tail_sealed: false,
+                            last_use: now,
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(kv) = self.sessions.get_mut(&session) {
+            kv.last_use = now;
+        }
+        self.stats.shared_tokens += shared_tokens as u64;
+
         KvReuse {
-            reused_tokens: reused,
+            reused_tokens: matched * pt + tail_reuse,
             unseal_bytes,
+            shared_tokens,
         }
     }
 
-    /// Records the completed request's KV state: the session now retains
-    /// `total_tokens` (prompt + generated) resident tokens.
+    /// Records the completed request's KV state: the session now retains the
+    /// full context (`total_tokens` = prompt + generated), whose whole pages
+    /// hash to `page_hashes`.  Whole pages land in the content-addressed
+    /// store (referencing an existing copy when another session already
+    /// produced the same content); the partial last page stays private.
     pub fn on_complete(
         &mut self,
         session: u64,
         model: u32,
+        page_hashes: &[u64],
         total_tokens: usize,
         bytes_per_token: u64,
         now: SimTime,
     ) {
+        let bytes_per_token = bytes_per_token.max(1);
+        let pt = self.page_tokens(bytes_per_token);
+        let full_pages = (total_tokens / pt).min(page_hashes.len());
+        let tail_tokens = total_tokens.saturating_sub(full_pages * pt);
+
         // Replace (not "drop") any previous accounting: the old prefix is
         // subsumed by the completed request's full KV, not lost.
-        if let Some(old) = self.sessions.remove(&session) {
-            self.resident_bytes -= old.resident_bytes();
-            self.sealed_bytes -= old.sealed_bytes();
+        let old = self.sessions.remove(&session);
+        let mut common = 0usize;
+        if let Some(old) = &old {
+            if old.model == model && old.bytes_per_token == bytes_per_token {
+                common = old
+                    .page_hashes
+                    .iter()
+                    .zip(page_hashes)
+                    .take_while(|(a, b)| a == b)
+                    .count()
+                    .min(full_pages);
+            }
+            let tb = old.tail_tokens as u64 * old.bytes_per_token;
+            if old.tail_sealed {
+                self.sealed_bytes -= tb;
+            } else {
+                self.resident_bytes -= tb;
+            }
         }
-        let kv = SessionKv {
-            model,
-            bytes_per_token: bytes_per_token.max(1),
-            resident_tokens: total_tokens,
-            sealed_tokens: 0,
-            last_use: now,
-        };
-        self.resident_bytes += kv.resident_bytes();
-        self.sessions.insert(session, kv);
+        // Reference the new pages first, then release the old ones, so a
+        // page in both sets never transits through zero references.
+        for (i, &hash) in page_hashes.iter().enumerate().take(full_pages).skip(common) {
+            let key = self.key(session, model, hash);
+            self.ref_page(key, pt as u64 * bytes_per_token, i as u32, now);
+        }
+        for &hash in page_hashes.iter().take(common) {
+            let key = self.key(session, model, hash);
+            if let Some(entry) = self.pages.get_mut(&key) {
+                entry.last_use = now;
+            }
+        }
+        if let Some(old) = &old {
+            for &hash in &old.page_hashes[common..] {
+                let key = self.key(session, old.model, hash);
+                self.deref_page(key);
+            }
+        }
+        self.resident_bytes += tail_tokens as u64 * bytes_per_token;
+        self.sessions.insert(
+            session,
+            SessionKv {
+                model,
+                bytes_per_token,
+                page_hashes: page_hashes[..full_pages].to_vec(),
+                tail_tokens,
+                tail_sealed: false,
+                last_use: now,
+            },
+        );
+        self.note_dedup();
     }
 
-    /// Unseals up to `bytes` of `session`'s sealed prefix ahead of dispatch
-    /// (restore-ahead on idle lanes), returning the bytes actually credited.
-    pub fn prewarm(&mut self, session: u64, bytes: u64) -> u64 {
-        let Some(kv) = self.sessions.get_mut(&session) else {
-            return 0;
-        };
-        let tokens = ((bytes / kv.bytes_per_token.max(1)) as usize).min(kv.sealed_tokens);
-        if tokens == 0 {
-            return 0;
+    /// Sealed bytes a dispatch of this prompt would have to unseal — what
+    /// restore-ahead could unseal on idle lanes before the queued request
+    /// dispatches.
+    pub fn sealed_bytes_for(
+        &self,
+        session: u64,
+        model: u32,
+        page_hashes: &[u64],
+        bytes_per_token: u64,
+    ) -> u64 {
+        let mut total = 0u64;
+        let mut matched = 0usize;
+        while matched < page_hashes.len() {
+            let key = self.key(session, model, page_hashes[matched]);
+            match self.pages.get(&key) {
+                Some(entry) => {
+                    if entry.sealed {
+                        total += entry.bytes;
+                    }
+                    matched += 1;
+                }
+                None => break,
+            }
         }
-        let credited = tokens as u64 * kv.bytes_per_token;
-        kv.sealed_tokens -= tokens;
-        kv.resident_tokens += tokens;
-        self.sealed_bytes -= credited;
-        self.resident_bytes += credited;
-        self.stats.prewarmed_bytes += credited;
+        if let Some(kv) = self.sessions.get(&session) {
+            if kv.model == model
+                && kv.bytes_per_token == bytes_per_token.max(1)
+                && kv.tail_sealed
+                && kv.page_hashes.len() <= matched
+                && kv.page_hashes.iter().zip(page_hashes).all(|(a, b)| a == b)
+            {
+                total += kv.tail_tokens as u64 * kv.bytes_per_token;
+            }
+        }
+        total
+    }
+
+    /// Unseals up to `budget_bytes` of the sealed state a dispatch of this
+    /// prompt would claim (restore-ahead on idle lanes), leading pages
+    /// first, returning the bytes actually credited.
+    pub fn prewarm(
+        &mut self,
+        session: u64,
+        model: u32,
+        page_hashes: &[u64],
+        bytes_per_token: u64,
+        budget_bytes: u64,
+        now: SimTime,
+    ) -> u64 {
+        let mut credited = 0u64;
+        let mut matched = 0usize;
+        while matched < page_hashes.len() {
+            let key = self.key(session, model, page_hashes[matched]);
+            let Some(entry) = self.pages.get_mut(&key) else {
+                break;
+            };
+            if entry.sealed {
+                if credited + entry.bytes > budget_bytes {
+                    break;
+                }
+                entry.sealed = false;
+                entry.last_use = now;
+                self.sealed_bytes -= entry.bytes;
+                self.resident_bytes += entry.bytes;
+                self.stats.prewarmed_bytes += entry.bytes;
+                credited += entry.bytes;
+            }
+            matched += 1;
+        }
+        if matched == page_hashes.len() || credited > 0 || matched > 0 {
+            if let Some(kv) = self.sessions.get_mut(&session) {
+                let continues = kv.model == model
+                    && kv.bytes_per_token == bytes_per_token.max(1)
+                    && kv.tail_sealed
+                    && kv.page_hashes.len() <= matched
+                    && kv.page_hashes.iter().zip(page_hashes).all(|(a, b)| a == b);
+                if continues {
+                    let tb = kv.tail_tokens as u64 * kv.bytes_per_token;
+                    if credited + tb <= budget_bytes {
+                        kv.tail_sealed = false;
+                        self.sealed_bytes -= tb;
+                        self.resident_bytes += tb;
+                        self.stats.prewarmed_bytes += tb;
+                        credited += tb;
+                    }
+                }
+            }
+        }
         credited
     }
 
-    /// Coldest session satisfying `filter`, by `(last_use, id)` — the spill
-    /// and drop victim order.
-    fn coldest(&self, active: &BTreeSet<u64>, filter: impl Fn(&SessionKv) -> bool) -> Option<u64> {
-        self.sessions
-            .iter()
-            .filter(|(id, kv)| !active.contains(id) && filter(kv))
-            .min_by_key(|(id, kv)| (kv.last_use, **id))
-            .map(|(id, _)| *id)
+    /// The set of store pages pinned by in-flight sessions.
+    fn pinned_pages(&self, active: &BTreeSet<u64>) -> BTreeSet<PageKey> {
+        let mut pinned = BTreeSet::new();
+        for &session in active {
+            if let Some(kv) = self.sessions.get(&session) {
+                for &hash in &kv.page_hashes {
+                    pinned.insert(self.key(session, kv.model, hash));
+                }
+            }
+        }
+        pinned
     }
 
-    /// Enforces the secure and spill budgets: spills (or drops) whole pages
-    /// from the coldest inactive sessions' tails until resident KV fits
-    /// under `secure_budget`, then drops the coldest sealed tails until the
-    /// spill area fits its budget, then evicts sessions beyond the cap.
-    /// Sessions in `active` (requests in flight) are never victims.
-    pub fn enforce(&mut self, secure_budget: u64, active: &BTreeSet<u64>, _now: SimTime) {
+    /// Enforces the secure and spill budgets: seals (or drops) the coldest
+    /// unpinned pages and tails until resident KV fits under
+    /// `secure_budget`, trims the sealed area to its budget, then evicts
+    /// sessions beyond the cap.  Sessions in `active` (requests in flight)
+    /// and their pages are never victims.  Victim order is LRU, deepest
+    /// chain position first on ties, so retained prefixes shrink from the
+    /// tail and never get holes.
+    pub fn enforce(&mut self, secure_budget: u64, active: &BTreeSet<u64>, now: SimTime) {
+        let _ = now;
+        let pinned = self.pinned_pages(active);
+
+        // Resident pressure: seal (spill on) or drop (spill off) coldest.
         while self.resident_bytes > secure_budget {
-            let Some(victim) = self.coldest(active, |kv| kv.resident_tokens > 0) else {
-                break; // everything resident belongs to in-flight requests
-            };
-            let page_tokens = self.tokens_per_page(self.sessions[&victim].bytes_per_token);
-            let kv = self.sessions.get_mut(&victim).expect("victim exists");
-            let take = kv.resident_tokens.min(page_tokens);
-            let bytes = take as u64 * kv.bytes_per_token;
-            kv.resident_tokens -= take;
-            self.resident_bytes -= bytes;
-            if self.spill {
-                // The spilled page sits directly after the (shrunk) resident
-                // prefix, so `[resident][sealed]` stays contiguous.
-                kv.sealed_tokens += take;
-                self.sealed_bytes += bytes;
-                self.stats.spilled_bytes += bytes;
-            } else {
-                // Without spill the tail is dropped outright; the sealed
-                // region is always empty in this mode, so no hole can form.
-                self.stats.dropped_bytes += bytes;
+            #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+            enum Victim {
+                Page(PageKey),
+                Tail(u64),
             }
-            let empty = kv.resident_tokens == 0 && kv.sealed_tokens == 0;
-            if empty {
-                self.sessions.remove(&victim);
+            let mut best: Option<((SimTime, u32), Victim)> = None;
+            for (&key, entry) in &self.pages {
+                if entry.sealed || pinned.contains(&key) {
+                    continue;
+                }
+                let rank = (entry.last_use, u32::MAX - entry.depth);
+                if best.as_ref().is_none_or(|(r, _)| rank < *r) {
+                    best = Some((rank, Victim::Page(key)));
+                }
+            }
+            for (&session, kv) in &self.sessions {
+                if active.contains(&session) || kv.tail_tokens == 0 || kv.tail_sealed {
+                    continue;
+                }
+                let rank = (kv.last_use, u32::MAX - kv.page_hashes.len() as u32);
+                if best.as_ref().is_none_or(|(r, _)| rank < *r) {
+                    best = Some((rank, Victim::Tail(session)));
+                }
+            }
+            match best {
+                Some((_, Victim::Page(key))) => {
+                    if self.spill {
+                        let entry = self.pages.get_mut(&key).expect("victim exists");
+                        entry.sealed = true;
+                        self.resident_bytes -= entry.bytes;
+                        self.sealed_bytes += entry.bytes;
+                        self.stats.spilled_bytes += entry.bytes;
+                    } else {
+                        self.evict_page(key);
+                    }
+                }
+                Some((_, Victim::Tail(session))) => {
+                    let kv = self.sessions.get_mut(&session).expect("victim exists");
+                    let tb = kv.tail_tokens as u64 * kv.bytes_per_token;
+                    self.resident_bytes -= tb;
+                    if self.spill {
+                        kv.tail_sealed = true;
+                        self.sealed_bytes += tb;
+                        self.stats.spilled_bytes += tb;
+                    } else {
+                        kv.tail_tokens = 0;
+                        self.stats.dropped_bytes += tb;
+                        if kv.page_hashes.is_empty() {
+                            self.sessions.remove(&session);
+                        }
+                    }
+                }
+                None => break, // everything resident is pinned
             }
         }
+
+        // Spill pressure: drop unreferenced sealed cache first, then sealed
+        // tails, then (last resort) truncate sessions off a sealed page.
         while self.sealed_bytes > self.spill_budget {
-            let Some(victim) = self.coldest(active, |kv| kv.sealed_tokens > 0) else {
-                break;
-            };
-            let page_tokens = self.tokens_per_page(self.sessions[&victim].bytes_per_token);
-            let kv = self.sessions.get_mut(&victim).expect("victim exists");
-            let take = kv.sealed_tokens.min(page_tokens);
-            let bytes = take as u64 * kv.bytes_per_token;
-            kv.sealed_tokens -= take;
-            self.sealed_bytes -= bytes;
-            self.stats.dropped_bytes += bytes;
-            if kv.resident_tokens == 0 && kv.sealed_tokens == 0 {
-                self.sessions.remove(&victim);
+            let unreferenced = self
+                .pages
+                .iter()
+                .filter(|(_, e)| e.sealed && e.refs == 0)
+                .min_by_key(|(&k, e)| ((e.last_use, u32::MAX - e.depth), k))
+                .map(|(&k, _)| k);
+            if let Some(key) = unreferenced {
+                self.remove_page(key);
+                continue;
+            }
+            let tail = self
+                .sessions
+                .iter()
+                .filter(|(s, kv)| !active.contains(s) && kv.tail_sealed && kv.tail_tokens > 0)
+                .min_by_key(|(&s, kv)| (kv.last_use, s))
+                .map(|(&s, _)| s);
+            if let Some(session) = tail {
+                let kv = self.sessions.get_mut(&session).expect("victim exists");
+                let tb = kv.tail_tokens as u64 * kv.bytes_per_token;
+                kv.tail_tokens = 0;
+                kv.tail_sealed = false;
+                self.sealed_bytes -= tb;
+                self.stats.dropped_bytes += tb;
+                if kv.page_hashes.is_empty() {
+                    self.sessions.remove(&session);
+                }
+                continue;
+            }
+            let referenced = self
+                .pages
+                .iter()
+                .filter(|(k, e)| e.sealed && !pinned.contains(k))
+                .min_by_key(|(&k, e)| ((e.last_use, u32::MAX - e.depth), k))
+                .map(|(&k, _)| k);
+            match referenced {
+                Some(key) => self.evict_page(key),
+                None => break, // everything sealed is pinned
             }
         }
+
         while self.sessions.len() > self.max_sessions {
-            let Some(victim) = self.coldest(active, |_| true) else {
-                break;
-            };
-            self.drop_session(victim);
+            let victim = self
+                .sessions
+                .iter()
+                .filter(|(s, _)| !active.contains(s))
+                .min_by_key(|(&s, kv)| (kv.last_use, s))
+                .map(|(&s, _)| s);
+            match victim {
+                Some(session) => self.drop_session(session),
+                None => break,
+            }
+        }
+    }
+
+    /// Drops a store page outright: releases it from every referencing
+    /// session first (truncating their retained prefix at that chain
+    /// position — a page is only droppable once its last reference is
+    /// gone), then removes it.
+    fn evict_page(&mut self, key: PageKey) {
+        let holders: Vec<(u64, usize)> = self
+            .sessions
+            .iter()
+            .filter(|(&s, kv)| kv.model == key.model && self.key(s, kv.model, 0).salt == key.salt)
+            .filter_map(|(&s, kv)| {
+                kv.page_hashes
+                    .iter()
+                    .position(|&h| h == key.hash)
+                    .map(|pos| (s, pos))
+            })
+            .collect();
+        for (session, pos) in holders {
+            self.truncate_session(session, pos);
+        }
+        // Truncation released the references (a salted page is removed by
+        // the last deref); a shared page may remain at zero references.
+        if self.pages.contains_key(&key) {
+            self.remove_page(key);
         }
     }
 }
@@ -350,117 +838,147 @@ impl KvPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use llm::PromptContent;
 
     const BPT: u64 = 1024; // bytes per token, for round numbers
+    const PT: usize = 16; // tokens per page under the test configs
 
-    fn pool(page_tokens: u64, spill: bool) -> KvPool {
-        KvPool::new(&KvConfig {
+    fn config(spill: bool, shared: bool) -> KvConfig {
+        KvConfig {
             enabled: true,
-            page_bytes: page_tokens * BPT,
+            shared,
+            page_bytes: PT as u64 * BPT,
             budget_fraction: 1.0,
             spill,
             spill_budget: 1 << 40,
             max_sessions: 8,
-        })
+        }
+    }
+
+    fn pool(spill: bool) -> KvPool {
+        KvPool::new(&config(spill, true))
     }
 
     fn t(secs: u64) -> SimTime {
         SimTime::from_secs(secs)
     }
 
+    /// The page-hash chain of a single-seed stream of `tokens` tokens.
+    fn hashes(seed: u64, tokens: usize) -> Vec<u64> {
+        PromptContent::from_seed(seed, tokens).page_keys(PT)
+    }
+
     #[test]
     fn retain_and_reuse_full_prefix() {
-        let mut p = pool(16, true);
-        p.on_complete(1, 0, 100, BPT, t(0));
+        let mut p = pool(true);
+        let h = hashes(1, 100);
+        p.on_complete(1, 0, &h, 100, BPT, t(0));
         assert_eq!(p.resident_bytes(), 100 * BPT);
-        let reuse = p.reuse_plan(1, 0, 100, 139, t(1));
+        let reuse = p.reuse_plan(1, 0, &h, BPT, 100, 139, t(1));
         assert_eq!(reuse.reused_tokens, 100);
         assert_eq!(reuse.unseal_bytes, 0);
+        assert_eq!(reuse.shared_tokens, 0, "own state is not a shared hit");
     }
 
     #[test]
     fn reuse_is_capped_and_model_checked() {
-        let mut p = pool(16, true);
-        p.on_complete(1, 0, 100, BPT, t(0));
-        // max_reuse caps (at least one token must prefill).
-        let reuse = p.reuse_plan(1, 0, 100, 99, t(1));
+        let mut p = pool(true);
+        let h = hashes(1, 100);
+        p.on_complete(1, 0, &h, 100, BPT, t(0));
+        // max_reuse caps (at least one token must prefill): 6 whole pages
+        // (96 tokens) plus 3 of the 4 tail tokens.
+        let reuse = p.reuse_plan(1, 0, &h, BPT, 100, 99, t(1));
         assert_eq!(reuse.reused_tokens, 99);
 
-        p.on_complete(2, 0, 50, BPT, t(0));
+        let h2 = hashes(2, 50);
+        p.on_complete(2, 0, &h2, 50, BPT, t(0));
         // Different model: state dropped, nothing reused.
-        let reuse = p.reuse_plan(2, 1, 50, 49, t(1));
+        let reuse = p.reuse_plan(2, 1, &h2, BPT, 50, 49, t(1));
         assert_eq!(reuse.reused_tokens, 0);
-        assert_eq!(p.sealed_bytes_of(2), 0);
-        assert_eq!(p.sessions(), 1);
+        assert!(!p.has_session(2));
     }
 
     #[test]
     fn conversation_reset_drops_state() {
-        let mut p = pool(16, true);
-        p.on_complete(1, 0, 80, BPT, t(0));
-        let reuse = p.reuse_plan(1, 0, 0, 200, t(1));
+        let mut p = pool(true);
+        p.on_complete(1, 0, &hashes(7, 80), 80, BPT, t(0));
+        // A reset conversation has entirely new content: the chain diverges
+        // at page zero, nothing is reused, and the session's references are
+        // released.  The now-unreferenced shared pages linger as reusable
+        // cache until budget pressure removes them.
+        let fresh = hashes(8, 80);
+        let reuse = p.reuse_plan(1, 0, &fresh, BPT, 0, 200, t(1));
         assert_eq!(reuse, KvReuse::default());
-        assert_eq!(p.resident_bytes(), 0);
-        assert_eq!(p.stats().dropped_bytes, 80 * BPT);
+        assert!(!p.has_session(1));
+        assert_eq!(p.resident_bytes(), 80 * BPT, "pages linger as cache");
+        // Pressure with spill off removes the unreferenced cache outright.
+        let mut np = KvPool::new(&config(false, true));
+        np.on_complete(1, 0, &hashes(7, 80), 80, BPT, t(0));
+        np.reuse_plan(1, 0, &fresh, BPT, 0, 200, t(1));
+        np.enforce(0, &BTreeSet::new(), t(2));
+        assert_eq!(np.resident_bytes(), 0);
+        assert_eq!(np.stats().dropped_bytes, 80 * BPT);
     }
 
     #[test]
     fn budget_pressure_spills_coldest_tail_pages() {
-        let mut p = pool(16, true);
-        p.on_complete(1, 0, 64, BPT, t(0)); // cold
-        p.on_complete(2, 0, 64, BPT, t(10)); // warm
+        let mut p = pool(true);
+        let h1 = hashes(1, 64);
+        let h2 = hashes(2, 64);
+        p.on_complete(1, 0, &h1, 64, BPT, t(0)); // cold
+        p.on_complete(2, 0, &h2, 64, BPT, t(10)); // warm
         let active = BTreeSet::new();
         p.enforce(96 * BPT, &active, t(11));
         assert_eq!(p.resident_bytes(), 96 * BPT);
         assert_eq!(p.sealed_bytes(), 32 * BPT);
-        // Session 1 (colder) lost two 16-token pages from its tail.
-        assert_eq!(p.sealed_bytes_of(1), 32 * BPT);
-        assert_eq!(p.sealed_bytes_of(2), 0);
+        // Session 1 (colder) lost its two deepest 16-token pages.
+        assert_eq!(p.sealed_bytes_for(1, 0, &h1, BPT), 32 * BPT);
+        assert_eq!(p.sealed_bytes_for(2, 0, &h2, BPT), 0);
         assert_eq!(p.stats().spilled_bytes, 32 * BPT);
 
-        // Reusing the full prefix pays unseal only for the sealed tail.
-        let reuse = p.reuse_plan(1, 0, 64, 1000, t(12));
+        // Reusing the full prefix pays unseal only for the sealed part.
+        let reuse = p.reuse_plan(1, 0, &h1, BPT, 64, 1000, t(12));
         assert_eq!(reuse.reused_tokens, 64);
         assert_eq!(reuse.unseal_bytes, 32 * BPT);
     }
 
     #[test]
     fn no_spill_mode_drops_instead() {
-        let mut p = pool(16, false);
-        p.on_complete(1, 0, 64, BPT, t(0));
+        let mut p = pool(false);
+        let h = hashes(3, 64);
+        p.on_complete(1, 0, &h, 64, BPT, t(0));
         p.enforce(32 * BPT, &BTreeSet::new(), t(1));
         assert_eq!(p.resident_bytes(), 32 * BPT);
         assert_eq!(p.sealed_bytes(), 0);
         assert_eq!(p.stats().dropped_bytes, 32 * BPT);
         // The surviving resident prefix still reuses.
-        let reuse = p.reuse_plan(1, 0, 64, 1000, t(2));
+        let reuse = p.reuse_plan(1, 0, &h, BPT, 64, 1000, t(2));
         assert_eq!(reuse.reused_tokens, 32);
     }
 
     #[test]
     fn active_sessions_are_never_victims() {
-        let mut p = pool(16, true);
-        p.on_complete(1, 0, 64, BPT, t(0));
-        p.on_complete(2, 0, 64, BPT, t(10));
+        let mut p = pool(true);
+        let h1 = hashes(1, 64);
+        let h2 = hashes(2, 64);
+        p.on_complete(1, 0, &h1, 64, BPT, t(0));
+        p.on_complete(2, 0, &h2, 64, BPT, t(10));
         let active: BTreeSet<u64> = [1u64].into_iter().collect();
         p.enforce(0, &active, t(11));
         // Session 2 spilled fully; session 1 (active) untouched.
         assert_eq!(p.resident_bytes(), 64 * BPT);
-        assert_eq!(p.sealed_bytes_of(2), 64 * BPT);
-        assert_eq!(p.sealed_bytes_of(1), 0);
+        assert_eq!(p.sealed_bytes_for(2, 0, &h2, BPT), 64 * BPT);
+        assert_eq!(p.sealed_bytes_for(1, 0, &h1, BPT), 0);
     }
 
     #[test]
     fn spill_budget_drops_sealed_tails() {
         let mut p = KvPool::new(&KvConfig {
-            enabled: true,
-            page_bytes: 16 * BPT,
-            budget_fraction: 1.0,
-            spill: true,
             spill_budget: 16 * BPT,
-            max_sessions: 8,
+            ..config(true, true)
         });
-        p.on_complete(1, 0, 64, BPT, t(0));
+        let h = hashes(5, 64);
+        p.on_complete(1, 0, &h, 64, BPT, t(0));
         p.enforce(16 * BPT, &BTreeSet::new(), t(1));
         assert_eq!(p.resident_bytes(), 16 * BPT);
         assert_eq!(p.sealed_bytes(), 16 * BPT, "spill area capped");
@@ -469,35 +987,171 @@ mod tests {
 
     #[test]
     fn prewarm_moves_sealed_to_resident() {
-        let mut p = pool(16, true);
-        p.on_complete(1, 0, 64, BPT, t(0));
+        let mut p = pool(true);
+        let h = hashes(6, 64);
+        p.on_complete(1, 0, &h, 64, BPT, t(0));
         p.enforce(16 * BPT, &BTreeSet::new(), t(1));
-        assert_eq!(p.sealed_bytes_of(1), 48 * BPT);
-        let credited = p.prewarm(1, 20 * BPT);
-        assert_eq!(credited, 20 * BPT);
-        assert_eq!(p.sealed_bytes_of(1), 28 * BPT);
-        assert_eq!(p.stats().prewarmed_bytes, 20 * BPT);
+        assert_eq!(p.sealed_bytes_for(1, 0, &h, BPT), 48 * BPT);
+        // A 20-token budget unseals one whole 16-token page (pages unseal
+        // whole or not at all).
+        let credited = p.prewarm(1, 0, &h, BPT, 20 * BPT, t(2));
+        assert_eq!(credited, 16 * BPT);
+        assert_eq!(p.sealed_bytes_for(1, 0, &h, BPT), 32 * BPT);
+        assert_eq!(p.stats().prewarmed_bytes, 16 * BPT);
         // Prewarming more than remains credits only what exists.
-        assert_eq!(p.prewarm(1, 1 << 40), 28 * BPT);
-        assert_eq!(p.sealed_bytes_of(1), 0);
+        assert_eq!(p.prewarm(1, 0, &h, BPT, 1 << 40, t(3)), 32 * BPT);
+        assert_eq!(p.sealed_bytes_for(1, 0, &h, BPT), 0);
     }
 
     #[test]
     fn session_cap_evicts_coldest() {
         let mut p = KvPool::new(&KvConfig {
-            enabled: true,
-            page_bytes: 16 * BPT,
-            budget_fraction: 1.0,
-            spill: true,
-            spill_budget: 1 << 40,
             max_sessions: 2,
+            ..config(true, true)
         });
-        for s in 0..3u64 {
-            p.on_complete(s, 0, 10, BPT, t(s));
+        let streams: Vec<Vec<u64>> = (0..3).map(|s| hashes(100 + s, 10)).collect();
+        for (s, h) in streams.iter().enumerate() {
+            p.on_complete(s as u64, 0, h, 10, BPT, t(s as u64));
         }
         p.enforce(1 << 40, &BTreeSet::new(), t(10));
         assert_eq!(p.sessions(), 2);
-        assert_eq!(p.reuse_plan(0, 0, 10, 9, t(11)).reused_tokens, 0);
-        assert_eq!(p.reuse_plan(2, 0, 10, 9, t(11)).reused_tokens, 9);
+        assert_eq!(
+            p.reuse_plan(0, 0, &streams[0], BPT, 10, 9, t(11))
+                .reused_tokens,
+            0
+        );
+        assert_eq!(
+            p.reuse_plan(2, 0, &streams[2], BPT, 10, 9, t(11))
+                .reused_tokens,
+            9
+        );
+    }
+
+    // ---- content-addressed sharing ----
+
+    #[test]
+    fn shared_head_is_stored_once_and_hits_cold_sessions() {
+        let mut p = pool(true);
+        let head = PromptContent::from_seed(42, 64); // 4 whole pages
+        let a = head.extended(1, 40);
+        let b = head.extended(2, 40);
+        p.on_complete(1, 0, &a.page_keys(PT), 104, BPT, t(0));
+        // Session 1 alone: 104 tokens resident, nothing deduped.
+        assert_eq!(p.resident_bytes(), 104 * BPT);
+        assert_eq!(p.deduped_bytes(), 0);
+
+        // A brand-new session whose prompt opens with the same head reuses
+        // it without ever having completed a request — a cold-turn hit.
+        let reuse = p.reuse_plan(2, 0, &b.page_keys(PT), BPT, 0, 103, t(1));
+        assert_eq!(reuse.reused_tokens, 64);
+        assert_eq!(reuse.shared_tokens, 64);
+        assert_eq!(reuse.unseal_bytes, 0);
+        // The head is still stored once; session 2 merely references it.
+        assert_eq!(p.resident_bytes(), 104 * BPT);
+        assert_eq!(p.deduped_bytes(), 64 * BPT);
+
+        p.on_complete(2, 0, &b.page_keys(PT), 104, BPT, t(2));
+        // Both sessions retain 104 tokens; the 64-token head is deduped.
+        assert_eq!(p.resident_bytes(), (104 + 40) * BPT);
+        assert_eq!(p.deduped_bytes(), 64 * BPT);
+        assert_eq!(p.stats().peak_deduped_bytes, 64 * BPT);
+    }
+
+    #[test]
+    fn divergent_suffixes_stay_private() {
+        let mut p = pool(true);
+        let head = PromptContent::from_seed(9, 32);
+        let a = head.extended(1, 64);
+        let b = head.extended(2, 16); // diverges after the head
+        p.on_complete(1, 0, &a.page_keys(PT), 96, BPT, t(0));
+        // B matches only the head — A's private suffix is unreachable even
+        // though it is resident, because B's chain cannot name it.
+        let reuse = p.reuse_plan(2, 0, &b.page_keys(PT), BPT, 0, 47, t(1));
+        assert_eq!(reuse.reused_tokens, 32, "only the common head is shared");
+        assert_eq!(reuse.shared_tokens, 32);
+    }
+
+    #[test]
+    fn sealing_a_shared_page_seals_one_copy() {
+        let mut p = pool(true);
+        let head = PromptContent::from_seed(4, 64);
+        let a = head.extended(1, 8);
+        let b = head.extended(2, 8);
+        p.on_complete(1, 0, &a.page_keys(PT), 72, BPT, t(0));
+        p.on_complete(2, 0, &b.page_keys(PT), 72, BPT, t(1));
+        assert_eq!(p.resident_bytes(), (72 + 8) * BPT);
+        // Squeeze everything out: the shared head spills once (64 tokens),
+        // the two private tails spill separately.
+        p.enforce(0, &BTreeSet::new(), t(2));
+        assert_eq!(p.resident_bytes(), 0);
+        assert_eq!(p.sealed_bytes(), 80 * BPT);
+        assert_eq!(
+            p.stats().spilled_bytes,
+            80 * BPT,
+            "the shared head sealed one copy, not one per session"
+        );
+        // One session unseals the head; the other then finds it resident.
+        let ra = p.reuse_plan(1, 0, &a.page_keys(PT), BPT, 72, 71, t(3));
+        assert_eq!(ra.unseal_bytes, 72 * BPT);
+        let rb = p.reuse_plan(2, 0, &b.page_keys(PT), BPT, 72, 71, t(4));
+        assert_eq!(rb.reused_tokens, 71);
+        assert_eq!(rb.unseal_bytes, 8 * BPT, "the shared head is already back");
+    }
+
+    #[test]
+    fn unreferenced_shared_pages_linger_until_pressure() {
+        let mut p = KvPool::new(&KvConfig {
+            max_sessions: 1,
+            ..config(true, true)
+        });
+        let a = PromptContent::from_seed(1, 64);
+        p.on_complete(1, 0, &a.page_keys(PT), 64, BPT, t(0));
+        let b = hashes(2, 16);
+        p.on_complete(2, 0, &b, 16, BPT, t(1));
+        p.enforce(1 << 40, &BTreeSet::new(), t(2));
+        assert_eq!(p.sessions(), 1, "session cap evicted the coldest");
+        // Session 1 is gone but its shared pages linger as cache: a new
+        // session with the same content still hits them.
+        let reuse = p.reuse_plan(3, 0, &a.page_keys(PT), BPT, 0, 63, t(3));
+        assert_eq!(reuse.reused_tokens, 48);
+        assert_eq!(reuse.shared_tokens, 48);
+        // Re-referencing a zero-ref cache page (0 -> 1) dedups nothing:
+        // only one session references the pages again.
+        assert_eq!(p.deduped_bytes(), 0);
+        // Pressure removes unreferenced cache before touching live state.
+        p.enforce(0, &BTreeSet::new(), t(4));
+        assert!(p.resident_bytes() <= 64 * BPT);
+    }
+
+    #[test]
+    fn sharing_disabled_salts_pages_per_session() {
+        let mut p = KvPool::new(&config(true, false));
+        let head = PromptContent::from_seed(11, 64);
+        let a = head.extended(1, 8);
+        let b = head.extended(2, 8);
+        p.on_complete(1, 0, &a.page_keys(PT), 72, BPT, t(0));
+        // Identical head content, but sharing is off: nothing crosses.
+        let reuse = p.reuse_plan(2, 0, &b.page_keys(PT), BPT, 0, 71, t(1));
+        assert_eq!(reuse, KvReuse::default());
+        p.on_complete(2, 0, &b.page_keys(PT), 72, BPT, t(2));
+        assert_eq!(p.resident_bytes(), 144 * BPT, "two full copies");
+        assert_eq!(p.deduped_bytes(), 0);
+        // The session still reuses its own state as before.
+        let own = p.reuse_plan(1, 0, &a.page_keys(PT), BPT, 72, 71, t(3));
+        assert_eq!(own.reused_tokens, 71);
+        assert_eq!(own.shared_tokens, 0);
+    }
+
+    #[test]
+    fn models_never_share_pages() {
+        let mut p = pool(true);
+        let c = PromptContent::from_seed(5, 64);
+        p.on_complete(1, 0, &c.page_keys(PT), 64, BPT, t(0));
+        // Same content, different model: no hit.
+        let reuse = p.reuse_plan(2, 1, &c.page_keys(PT), BPT, 0, 63, t(1));
+        assert_eq!(reuse, KvReuse::default());
+        p.on_complete(2, 1, &c.page_keys(PT), 64, BPT, t(2));
+        assert_eq!(p.deduped_bytes(), 0, "each model holds its own copy");
+        assert_eq!(p.resident_bytes(), 128 * BPT);
     }
 }

@@ -69,8 +69,15 @@
 //! whose prompt extends the session's previous context prefills only the
 //! new tokens, sealed (spilled) pages pay unseal time on the decrypt lane,
 //! and restore-ahead unseals a queued session's pages on idle lanes
-//! alongside parameter restore.  Parameters are senior in the memory
-//! budget; see the [`crate::kv`] module docs for the spill/retention rules.
+//! alongside parameter restore.  With [`crate::kv::KvConfig::shared`] the
+//! pool is additionally *content-addressed* across sessions: whole KV pages
+//! are keyed by a hash chain over their token contents
+//! ([`llm::PromptContent`]), so every session of a model whose prompt opens
+//! with the same head (a product-wide system prompt) references one secure
+//! copy — a **cold first turn** of a brand-new session hits KV state other
+//! sessions produced, and [`FleetStats`] reports the shared-hit rate and
+//! the deduped bytes.  Parameters are senior in the memory budget; see the
+//! [`crate::kv`] module docs for the spill/retention rules.
 //!
 //! ## Example
 //!
@@ -93,7 +100,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use llm::{ComputationGraph, ModelSpec};
+use llm::{derive_seed, ComputationGraph, ModelSpec, PromptContent};
 use sim_core::{
     CapacityLedger, Engine, EventScheduler, LaneId, LaneUsage, PercentileSummary, SimDuration,
     SimTime,
@@ -231,20 +238,35 @@ pub struct Request {
     /// (conversation history): the KV manager can serve them from retained
     /// state.  Zero for independent requests.
     pub shared_prefix_len: usize,
+    /// Leading prompt tokens drawn from a workload-wide shared stream (a
+    /// system prompt other sessions also open with); the content-addressed
+    /// KV pool can serve them from pages *other* sessions produced.
+    pub system_prefix_len: usize,
     /// Tokens to generate.
     pub output_len: usize,
 }
 
 /// The queued form of a request: everything the dispatcher needs, with the
 /// model interned to a [`ModelId`] (no `String` in the hot path).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct QueuedRequest {
     id: u64,
     session: u64,
     model: ModelId,
     prompt_len: usize,
     shared_prefix_len: usize,
+    system_prefix_len: usize,
     output_len: usize,
+    /// Content identity of the prompt's token stream — what the
+    /// content-addressed KV pool hashes into page keys.
+    content: PromptContent,
+    /// Content seed of the response this request will generate.
+    output_seed: u64,
+    /// The prompt's page-hash chain at this model's page geometry, computed
+    /// once at submission (empty when the KV manager is off): the
+    /// restore-ahead scan walks the queue on every dispatcher event and
+    /// must not re-hash every queued prompt each time.
+    kv_prompt_hashes: Vec<u64>,
 }
 
 /// The full latency record of one completed request.
@@ -265,6 +287,9 @@ pub struct RequestRecord {
     /// Prompt tokens served from the session's retained KV prefix (skipped
     /// by the prefill).
     pub kv_reused_tokens: usize,
+    /// Of the reused tokens, how many came from shared pages this session
+    /// did not itself retain (cross-session prefix hits).
+    pub kv_shared_tokens: usize,
     /// Sealed KV bytes unsealed at dispatch for this request.
     pub kv_unsealed_bytes: u64,
     /// The per-request evaluation (service-time TTFT, decode speed, breakdown).
@@ -351,6 +376,16 @@ pub struct FleetStats {
     pub kv_restore_ahead_bytes: u64,
     /// Retained KV bytes dropped (budget pressure, divergence, eviction).
     pub kv_dropped_bytes: u64,
+    /// Prompt tokens served from shared pages the session did not itself
+    /// retain (cross-session prefix hits).
+    pub kv_shared_tokens: u64,
+    /// Shared-hit rate on cold first turns: tokens served from other
+    /// sessions' pages over the system-prefix tokens cold turns declared
+    /// shareable (0 when no cold turn declared one).
+    pub kv_shared_hit_rate: f64,
+    /// Peak secure bytes the content-addressed store saved versus
+    /// per-session copies: `Σ (refs − 1) × page bytes` at its maximum.
+    pub kv_deduped_bytes: u64,
     /// End-to-end TTFT of follow-up turns (requests with a shared prefix),
     /// milliseconds — the KV manager's headline metric.
     pub followup_ttft_ms: Option<PercentileSummary>,
@@ -405,6 +440,11 @@ struct ActiveService {
     /// or unsealing KV pages — the decrypt threads are really busy — else
     /// one core for the CPU-resident operators).
     cores_held: u64,
+    /// Page-hash chain of the request's *full* context (prompt + response),
+    /// precomputed for the KV pool's completion-time retention.
+    kv_full_hashes: Vec<u64>,
+    /// Tokens of that full context.
+    kv_total_tokens: usize,
 }
 
 /// A request past its first token, processor-sharing the NPU with its peers.
@@ -413,18 +453,31 @@ struct ActiveDecode {
     model: ModelId,
     /// NPU time still needed to finish decoding at the intrinsic rate.
     remaining: SimDuration,
+    kv_full_hashes: Vec<u64>,
+    kv_total_tokens: usize,
+}
+
+/// The sealed KV state a background restore is unsealing for one queued
+/// request: the pool is addressed by content, so the prompt's page-hash
+/// chain (not just the session id) names what to prewarm — including shared
+/// head pages a brand-new session never retained itself.
+struct RestoreKv {
+    session: u64,
+    model: u32,
+    bytes_per_token: u64,
+    page_hashes: Vec<u64>,
+    bytes: u64,
 }
 
 /// An in-progress background restoration of a queued request's missing
-/// parameters and (for a follow-up turn) its session's sealed KV prefix —
-/// the parameters stream first, then the KV pages unseal on the same lanes.
+/// parameters and its sealed KV prefix — the parameters stream first, then
+/// the KV pages unseal on the same lanes.
 struct ActiveRestore {
     model: ModelId,
     started: SimTime,
     rate: f64,
     param_bytes: u64,
-    kv_session: Option<u64>,
-    kv_bytes: u64,
+    kv: Option<RestoreKv>,
     kv_rate: f64,
     /// Whether the flash lane is held: parameters stream from flash, but a
     /// KV-only restore unseals DRAM-resident pages (decrypt threads only).
@@ -457,6 +510,11 @@ struct ServerState {
     kv_requested_tokens: u64,
     kv_reused_tokens: u64,
     kv_restore_ahead_bytes: u64,
+    /// System-prefix tokens that cold first turns (sessions with no retained
+    /// state yet) declared shareable — the shared-hit-rate denominator.
+    kv_shared_candidate_tokens: u64,
+    /// Tokens those cold turns actually served from other sessions' pages.
+    kv_shared_hit_tokens: u64,
     ledger: CapacityLedger,
     lane_npu: LaneId,
     lane_flash: LaneId,
@@ -491,6 +549,7 @@ impl ServerState {
             model: self.models[q.model.0 as usize].spec.name.clone(),
             prompt_len: q.prompt_len,
             shared_prefix_len: q.shared_prefix_len,
+            system_prefix_len: q.system_prefix_len,
             output_len: q.output_len,
         }
     }
@@ -507,8 +566,8 @@ impl ServerState {
             active.insert(d.record.request.session);
         }
         if let Some(r) = &self.restore {
-            if let Some(s) = r.kv_session {
-                active.insert(s);
+            if let Some(rkv) = &r.kv {
+                active.insert(rkv.session);
             }
         }
         active
@@ -530,6 +589,16 @@ impl ServerState {
         (self.config.profile.big_cores as u64)
             .saturating_sub(1)
             .max(1)
+    }
+
+    /// The page-hash chain of `content` at `model`'s page geometry (empty
+    /// when the KV manager is off) — computed once per submitted request.
+    fn kv_prompt_hashes(&self, model: ModelId, content: &PromptContent) -> Vec<u64> {
+        if !self.config.kv.enabled {
+            return Vec::new();
+        }
+        let bytes_per_token = self.models[model.0 as usize].kv_bytes_per_token;
+        content.page_keys(self.kv.page_tokens(bytes_per_token))
     }
 }
 
@@ -568,13 +637,18 @@ fn schedule_session_continuation(
     let cursor = state.cursors[script_idx];
     if let Some(next) = state.scripts[script_idx].requests.get(cursor) {
         state.cursors[script_idx] += 1;
+        let model = state.model_ids[&next.model];
         let request = QueuedRequest {
             id: state.next_id,
             session,
-            model: state.model_ids[&next.model],
+            model,
             prompt_len: next.prompt_len,
             shared_prefix_len: next.shared_prefix_len,
+            system_prefix_len: next.system_prefix_len,
             output_len: next.output_len,
+            content: next.content.clone(),
+            output_seed: next.output_seed,
+            kv_prompt_hashes: state.kv_prompt_hashes(model, &next.content),
         };
         state.next_id += 1;
         let at = sched.now() + next.delay;
@@ -605,27 +679,57 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
 
     // If the dispatched model (or this request's session KV) is being
     // restored ahead, bank the progress *before* reading the cache state.
-    if state
-        .restore
-        .as_ref()
-        .is_some_and(|r| r.model == qreq.model || r.kv_session == Some(qreq.session))
-    {
+    if state.restore.as_ref().is_some_and(|r| {
+        r.model == qreq.model || r.kv.as_ref().is_some_and(|k| k.session == qreq.session)
+    }) {
         interrupt_restore_ahead(state, now);
     }
 
     let midx = qreq.model.0 as usize;
     let cached_fraction = state.models[midx].cache.cached_fraction();
 
-    // KV prefix reuse: a follow-up turn serves its shared conversation
-    // prefix from the session's retained pages instead of re-prefilling it.
-    // Resident tokens are free; sealed tokens pay the unseal (decrypt) time.
+    // KV prefix reuse: the prompt's content chain is walked through the
+    // content-addressed pool — a follow-up turn serves its own conversation
+    // prefix, and (with sharing on) a cold first turn serves the head other
+    // sessions of the model already produced.  Resident tokens are free;
+    // sealed tokens pay the unseal (decrypt) time.
+    let mut kv_full_hashes = Vec::new();
+    let mut kv_total_tokens = 0usize;
     let kv_reuse = if state.config.kv.enabled {
+        let bpt = state.models[midx].kv_bytes_per_token;
+        let pt = state.kv.page_tokens(bpt);
         let max_reuse = qreq.prompt_len.saturating_sub(1);
-        let requested = qreq.shared_prefix_len.min(max_reuse);
+        // The hit-rate denominator: tokens the workload declared reusable,
+        // from the session's own context or (on any turn) the shared head.
+        let requested = qreq
+            .shared_prefix_len
+            .max(qreq.system_prefix_len)
+            .min(max_reuse);
         state.kv_requested_tokens += requested as u64;
-        state
-            .kv
-            .reuse_plan(qreq.session, qreq.model.0, requested, max_reuse, now)
+        let had_state = state.kv.has_session(qreq.session);
+        if !had_state {
+            state.kv_shared_candidate_tokens += qreq.system_prefix_len.min(max_reuse) as u64;
+        }
+        let reuse = state.kv.reuse_plan(
+            qreq.session,
+            qreq.model.0,
+            &qreq.kv_prompt_hashes,
+            bpt,
+            qreq.shared_prefix_len.min(max_reuse),
+            max_reuse,
+            now,
+        );
+        if !had_state {
+            state.kv_shared_hit_tokens += reuse.shared_tokens as u64;
+        }
+        // The full-context identity (prompt + the response this request will
+        // generate) for completion-time retention.
+        kv_total_tokens = qreq.prompt_len + qreq.output_len;
+        kv_full_hashes = qreq
+            .content
+            .extended(qreq.output_seed, qreq.output_len)
+            .page_keys(pt);
+        reuse
     } else {
         crate::kv::KvReuse::default()
     };
@@ -695,6 +799,7 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
         completed: first_token, // placeholder until decoding finishes
         cached_fraction,
         kv_reused_tokens: kv_reuse.reused_tokens,
+        kv_shared_tokens: kv_reuse.shared_tokens,
         kv_unsealed_bytes: kv_reuse.unseal_bytes,
         report,
     };
@@ -703,6 +808,8 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
         model: qreq.model,
         restoring,
         cores_held: cores_needed,
+        kv_full_hashes,
+        kv_total_tokens,
     });
     state.inflight += 1;
     // `hold_start <= first_token`, and both events are inserted in this
@@ -755,6 +862,8 @@ fn on_service_first_token(state: &mut ServerState, sched: &mut EventScheduler<Se
         record: svc.record,
         model: svc.model,
         remaining,
+        kv_full_hashes: svc.kv_full_hashes,
+        kv_total_tokens: svc.kv_total_tokens,
     });
     schedule_decode_tick(state, sched);
     try_progress(state, sched);
@@ -847,16 +956,18 @@ fn complete_request(
             .apply_policy(CachePolicy::MemoryHeadroom(target));
     }
     if state.config.kv.enabled {
-        // Retain the session's full KV (prompt + generated tokens), then
+        // Retain the session's full KV (prompt + generated tokens) under its
+        // content identity — whole pages land in the content-addressed store
+        // where later sessions with the same head can reference them — then
         // enforce the budgets.  Parameters are senior: the KV pool only gets
         // the headroom the retention policy's targets left unclaimed, so KV
         // reuse never shrinks the parameter cache.
         let entry = &state.models[decode.model.0 as usize];
-        let total_tokens = record.request.prompt_len + record.request.output_len;
         state.kv.on_complete(
             session,
             decode.model.0,
-            total_tokens,
+            &decode.kv_full_hashes,
+            decode.kv_total_tokens,
             entry.kv_bytes_per_token,
             now,
         );
@@ -896,7 +1007,7 @@ fn maybe_start_restore_ahead(state: &mut ServerState, sched: &mut EventScheduler
         return;
     }
     let flash_free = state.ledger.available(state.lane_flash) > 0;
-    let mut pick: Option<(ModelId, u64, Option<u64>, u64)> = None;
+    let mut pick: Option<(ModelId, u64, Option<RestoreKv>)> = None;
     for (q, _) in &state.queue {
         let entry = &state.models[q.model.0 as usize];
         // Parameter restore needs the flash channel; a KV-only restore
@@ -907,23 +1018,41 @@ fn maybe_start_restore_ahead(state: &mut ServerState, sched: &mut EventScheduler
         } else {
             0
         };
-        let kv_bytes = if state.config.kv.enabled && q.shared_prefix_len > 0 {
-            state.kv.sealed_bytes_of(q.session)
+        let kv = if state.config.kv.enabled {
+            // Address the sealed state by the prompt's content chain
+            // (precomputed at submission — this scan runs on every
+            // dispatcher event): it covers the session's own sealed pages
+            // *and* a sealed shared head a brand-new session never
+            // retained itself.
+            let bytes_per_token = entry.kv_bytes_per_token;
+            let bytes = state.kv.sealed_bytes_for(
+                q.session,
+                q.model.0,
+                &q.kv_prompt_hashes,
+                bytes_per_token,
+            );
+            (bytes > 0).then(|| RestoreKv {
+                session: q.session,
+                model: q.model.0,
+                bytes_per_token,
+                page_hashes: q.kv_prompt_hashes.clone(),
+                bytes,
+            })
         } else {
-            0
+            None
         };
-        if param_bytes > 0 || kv_bytes > 0 {
-            let kv_session = (kv_bytes > 0).then_some(q.session);
-            pick = Some((q.model, param_bytes, kv_session, kv_bytes));
+        if param_bytes > 0 || kv.is_some() {
+            pick = Some((q.model, param_bytes, kv));
             break;
         }
     }
-    let Some((model, param_bytes, kv_session, kv_bytes)) = pick else {
+    let Some((model, param_bytes, kv)) = pick else {
         return;
     };
     let now = sched.now();
     let rate = state.models[model.0 as usize].restore_rate;
     let kv_rate = state.kv_unseal_rate;
+    let kv_bytes = kv.as_ref().map_or(0, |k| k.bytes);
     let holds_flash = param_bytes > 0;
     let (lane_flash, lane_cpu) = (state.lane_flash, state.lane_cpu);
     if holds_flash {
@@ -937,8 +1066,7 @@ fn maybe_start_restore_ahead(state: &mut ServerState, sched: &mut EventScheduler
         started: now,
         rate,
         param_bytes,
-        kv_session,
-        kv_bytes,
+        kv,
         kv_rate,
         holds_flash,
     });
@@ -952,16 +1080,28 @@ fn maybe_start_restore_ahead(state: &mut ServerState, sched: &mut EventScheduler
 /// Credits a (possibly partial) restore-ahead: parameter bytes stream first,
 /// then sealed KV pages unseal on the freed decrypt threads; both credits
 /// are floored to the crediting quantum.
-fn credit_restore_progress(state: &mut ServerState, r: &ActiveRestore, elapsed_secs: f64) {
+fn credit_restore_progress(
+    state: &mut ServerState,
+    r: &ActiveRestore,
+    elapsed_secs: f64,
+    now: SimTime,
+) {
     let mut param_credit = ((elapsed_secs * r.rate) as u64).min(r.param_bytes);
     param_credit -= param_credit % RESTORE_AHEAD_QUANTUM;
     credit_restore(state, r.model, param_credit);
-    if let Some(session) = r.kv_session {
+    if let Some(rkv) = &r.kv {
         let param_secs = r.param_bytes as f64 / r.rate;
         let kv_elapsed = (elapsed_secs - param_secs).max(0.0);
-        let mut kv_credit = ((kv_elapsed * r.kv_rate) as u64).min(r.kv_bytes);
+        let mut kv_credit = ((kv_elapsed * r.kv_rate) as u64).min(rkv.bytes);
         kv_credit -= kv_credit % RESTORE_AHEAD_QUANTUM;
-        state.kv_restore_ahead_bytes += state.kv.prewarm(session, kv_credit);
+        state.kv_restore_ahead_bytes += state.kv.prewarm(
+            rkv.session,
+            rkv.model,
+            &rkv.page_hashes,
+            rkv.bytes_per_token,
+            kv_credit,
+            now,
+        );
     }
 }
 
@@ -973,7 +1113,7 @@ fn interrupt_restore_ahead(state: &mut ServerState, now: SimTime) {
     };
     state.restore_epoch += 1; // invalidate the scheduled completion
     let elapsed = now.saturating_since(r.started).as_secs_f64();
-    credit_restore_progress(state, &r, elapsed);
+    credit_restore_progress(state, &r, elapsed, now);
     let (lane_flash, lane_cpu) = (state.lane_flash, state.lane_cpu);
     let cores = state.restore_cores();
     if r.holds_flash {
@@ -993,8 +1133,15 @@ fn on_restore_ahead_done(
     let now = sched.now();
     let r = state.restore.take().expect("restore-ahead is active");
     credit_restore(state, r.model, r.param_bytes);
-    if let Some(session) = r.kv_session {
-        state.kv_restore_ahead_bytes += state.kv.prewarm(session, r.kv_bytes);
+    if let Some(rkv) = &r.kv {
+        state.kv_restore_ahead_bytes += state.kv.prewarm(
+            rkv.session,
+            rkv.model,
+            &rkv.page_hashes,
+            rkv.bytes_per_token,
+            rkv.bytes,
+            now,
+        );
     }
     let (lane_flash, lane_cpu) = (state.lane_flash, state.lane_cpu);
     let cores = state.restore_cores();
@@ -1076,6 +1223,8 @@ impl Server {
                 kv_requested_tokens: 0,
                 kv_reused_tokens: 0,
                 kv_restore_ahead_bytes: 0,
+                kv_shared_candidate_tokens: 0,
+                kv_shared_hit_tokens: 0,
                 ledger,
                 lane_npu,
                 lane_flash,
@@ -1129,13 +1278,20 @@ impl Server {
     ) {
         let model = self.model_id(model);
         let state = self.engine.state_mut();
+        // Mint a unique content identity per direct submission: no two
+        // `submit_at` prompts ever share KV content.
+        let content = PromptContent::from_seed(derive_seed(state.next_id, 0x5eed), prompt_len);
         let request = QueuedRequest {
             id: state.next_id,
             session,
             model,
             prompt_len,
             shared_prefix_len: 0,
+            system_prefix_len: 0,
             output_len,
+            kv_prompt_hashes: state.kv_prompt_hashes(model, &content),
+            content,
+            output_seed: derive_seed(state.next_id, 0x07),
         };
         state.next_id += 1;
         self.engine
@@ -1170,13 +1326,18 @@ impl Server {
             return;
         };
         let session = script.session;
+        let model = state.model_ids[&first.model];
         let request = QueuedRequest {
             id: state.next_id,
             session,
-            model: state.model_ids[&first.model],
+            model,
             prompt_len: first.prompt_len,
             shared_prefix_len: first.shared_prefix_len,
+            system_prefix_len: first.system_prefix_len,
             output_len: first.output_len,
+            kv_prompt_hashes: state.kv_prompt_hashes(model, &first.content),
+            content: first.content.clone(),
+            output_seed: first.output_seed,
         };
         state.next_id += 1;
         state.session_index.insert(session, state.scripts.len());
@@ -1312,6 +1473,13 @@ fn fleet_stats(state: &ServerState) -> FleetStats {
         kv_unsealed_bytes: kv_stats.unsealed_bytes,
         kv_restore_ahead_bytes: state.kv_restore_ahead_bytes,
         kv_dropped_bytes: kv_stats.dropped_bytes,
+        kv_shared_tokens: kv_stats.shared_tokens,
+        kv_shared_hit_rate: if state.kv_shared_candidate_tokens > 0 {
+            (state.kv_shared_hit_tokens as f64 / state.kv_shared_candidate_tokens as f64).min(1.0)
+        } else {
+            0.0
+        },
+        kv_deduped_bytes: kv_stats.peak_deduped_bytes,
         followup_ttft_ms: ms(followup),
         followup_service_ttft_ms: ms(followup_service),
     }

@@ -36,6 +36,7 @@
 //! assert_eq!(a.iter().map(|s| s.requests.len()).sum::<usize>(), 20);
 //! ```
 
+use llm::PromptContent;
 use sim_core::{DetRng, SimDuration, SimTime};
 
 use crate::benchmarks::Benchmark;
@@ -84,6 +85,19 @@ pub enum SessionStyle {
         /// Context cap in tokens; conversations reset beyond it.
         max_context: usize,
     },
+    /// An assistant fleet: every session's prompt opens with the *same*
+    /// `system_prompt_len`-token system prompt (one shared template across
+    /// the whole workload), followed by that session's own conversation.
+    /// Within a session turns grow exactly like [`SessionStyle::Conversation`];
+    /// *across* sessions the common head is identical content, which is the
+    /// shape content-addressed KV-prefix sharing dedups.  Conversation resets
+    /// re-open with the same system prompt.
+    SharedSystemPrompt {
+        /// Tokens of the workload-wide shared system prompt.
+        system_prompt_len: usize,
+        /// Context cap in tokens; conversations reset beyond it.
+        max_context: usize,
+    },
 }
 
 /// A complete workload description: arrival process, request budget, and what
@@ -122,8 +136,22 @@ pub struct ScriptedRequest {
     /// (prompt + response of the last turn); zero for independent requests
     /// and for the first turn of a conversation.
     pub shared_prefix_len: usize,
+    /// Leading prompt tokens drawn from a *workload-wide* shared stream (the
+    /// system prompt of [`SessionStyle::SharedSystemPrompt`]); zero
+    /// otherwise.  Unlike `shared_prefix_len` this declares content other
+    /// sessions also start with, so a session's very first turn can hit
+    /// KV state another session produced.
+    pub system_prefix_len: usize,
     /// Output length in tokens.
     pub output_len: usize,
+    /// The content identity of the prompt's token stream (see
+    /// [`llm::PromptContent`]): equal prefixes here mean byte-equal KV
+    /// prefixes, which is what content-addressed sharing keys on.
+    pub content: PromptContent,
+    /// Content seed of the response this request will generate; the
+    /// follow-up turn's context is `content` extended by
+    /// `(output_seed, output_len)` and then the next user utterance.
+    pub output_seed: u64,
 }
 
 /// The scripted lifetime of one session.
@@ -147,6 +175,9 @@ impl WorkloadSpec {
     pub fn generate(&self, seed: u64) -> Vec<SessionScript> {
         assert!(!self.models.is_empty(), "workload needs at least one model");
         assert!(!self.mix.is_empty(), "workload needs a benchmark mix");
+        // One shared system-prompt stream for the whole workload: every
+        // session (and every conversation reset) opens with the same content.
+        let system_seed = llm::derive_seed(seed, 0x5357);
         let mut rng = DetRng::new(seed);
         match self.process {
             ArrivalProcess::Poisson { rate_per_sec } => {
@@ -156,6 +187,7 @@ impl WorkloadSpec {
                     .map(|i| {
                         at += rng.gen_exp(1.0 / rate_per_sec);
                         let mut req = self.draw_request(&mut rng);
+                        self.apply_shared_system(&mut req, system_seed);
                         req.delay = SimDuration::from_secs_f64(at);
                         SessionScript {
                             session: i as u64,
@@ -180,6 +212,7 @@ impl WorkloadSpec {
                             break;
                         }
                         let mut req = self.draw_request(&mut rng);
+                        self.apply_shared_system(&mut req, system_seed);
                         req.delay = SimDuration::from_secs_f64(burst_start) + intra_gap * k as u64;
                         scripts.push(SessionScript {
                             session: scripts.len() as u64,
@@ -199,24 +232,48 @@ impl WorkloadSpec {
                     .map(|s| {
                         let budget = per_session.min(self.requests.saturating_sub(s * per_session));
                         // Running conversation context (previous prompt +
-                        // response) when the style is `Conversation`.
+                        // response) for the conversational styles, as a token
+                        // count and as content identity.
                         let mut context = 0usize;
+                        let mut context_content = PromptContent::empty();
                         let requests = (0..budget)
                             .map(|i| {
                                 let mut req = self.draw_request(&mut rng);
-                                if let SessionStyle::Conversation { max_context } = self.style {
+                                if let SessionStyle::Conversation { max_context }
+                                | SessionStyle::SharedSystemPrompt { max_context, .. } =
+                                    self.style
+                                {
                                     // The freshly drawn prompt is this turn's
                                     // *user utterance*; the full prompt is the
                                     // conversation so far plus the utterance.
-                                    let grown = context + req.prompt_len;
+                                    let utterance_len = req.prompt_len;
+                                    let utterance_seed = req.content.segments()[0].seed;
+                                    let grown = context + utterance_len;
                                     if i > 0 && grown + req.output_len <= max_context {
                                         req.shared_prefix_len = context;
                                         req.prompt_len = grown;
+                                        req.content =
+                                            context_content.extended(utterance_seed, utterance_len);
+                                        if let SessionStyle::SharedSystemPrompt {
+                                            system_prompt_len,
+                                            ..
+                                        } = self.style
+                                        {
+                                            req.system_prefix_len =
+                                                system_prompt_len.min(req.prompt_len);
+                                        }
+                                    } else {
+                                        // A fresh (or reset) chat: the prompt
+                                        // is the bare utterance — re-opened
+                                        // with the workload-wide system prompt
+                                        // when the style shares one — and
+                                        // nothing of the *own* context is
+                                        // shared.
+                                        self.apply_shared_system(&mut req, system_seed);
                                     }
-                                    // On a fresh (or reset) chat the prompt
-                                    // stays the bare utterance and nothing is
-                                    // shared.
                                     context = req.prompt_len + req.output_len;
+                                    context_content =
+                                        req.content.extended(req.output_seed, req.output_len);
                                 }
                                 req.delay = if i == 0 {
                                     // Stagger session starts a little so the
@@ -242,19 +299,40 @@ impl WorkloadSpec {
         }
     }
 
-    /// Draws one request (model, benchmark, prompt/output lengths); the
-    /// caller fills in `delay`.
+    /// Draws one request (model, benchmark, prompt/output lengths, content
+    /// seeds); the caller fills in `delay` and any conversational context.
     fn draw_request(&self, rng: &mut DetRng) -> ScriptedRequest {
         let model = rng.choose(&self.models).clone();
         let benchmark = self.pick_benchmark(rng);
         let prompt_len = benchmark.sample_prompt_lengths(1, rng)[0];
+        let content_seed = rng.next_u64();
+        let output_seed = rng.next_u64();
         ScriptedRequest {
             delay: SimDuration::ZERO,
             model,
             benchmark,
             prompt_len,
             shared_prefix_len: 0,
+            system_prefix_len: 0,
             output_len: benchmark.output_len(),
+            content: PromptContent::from_seed(content_seed, prompt_len),
+            output_seed,
+        }
+    }
+
+    /// Re-opens `req` (a bare user utterance) with the workload-wide shared
+    /// system prompt when the style carries one; a no-op otherwise.
+    fn apply_shared_system(&self, req: &mut ScriptedRequest, system_seed: u64) {
+        if let SessionStyle::SharedSystemPrompt {
+            system_prompt_len, ..
+        } = self.style
+        {
+            let utterance_len = req.prompt_len;
+            let utterance_seed = req.content.segments()[0].seed;
+            req.prompt_len = system_prompt_len + utterance_len;
+            req.system_prefix_len = system_prompt_len;
+            req.content = PromptContent::from_seed(system_seed, system_prompt_len)
+                .extended(utterance_seed, utterance_len);
         }
     }
 
@@ -319,6 +397,33 @@ impl WorkloadSpec {
             models: vec![model.to_string()],
             mix: vec![(Benchmark::UltraChat, 1.0)],
             style: SessionStyle::Conversation { max_context: 2048 },
+        }
+    }
+
+    /// The assistant-fleet workload: `sessions` closed-loop users of one
+    /// assistant product, every conversation opening with the same
+    /// `system_prompt_len`-token system prompt before the user's own turns —
+    /// the shape content-addressed cross-session KV-prefix sharing dedups
+    /// (all sessions store and prefill the common head once).
+    pub fn assistant(
+        sessions: usize,
+        requests: usize,
+        mean_think: SimDuration,
+        system_prompt_len: usize,
+        model: &str,
+    ) -> WorkloadSpec {
+        WorkloadSpec {
+            process: ArrivalProcess::ClosedLoop {
+                sessions,
+                mean_think,
+            },
+            requests,
+            models: vec![model.to_string()],
+            mix: vec![(Benchmark::UltraChat, 1.0)],
+            style: SessionStyle::SharedSystemPrompt {
+                system_prompt_len,
+                max_context: 4096,
+            },
         }
     }
 }
@@ -439,6 +544,68 @@ mod tests {
         let s = WorkloadSpec::chat(3, 30, SimDuration::from_secs(5), "qwen2.5-3b");
         assert_eq!(s.generate(99), s.generate(99));
         assert_ne!(s.generate(99), s.generate(100));
+    }
+
+    #[test]
+    fn shared_system_prompt_is_identical_across_sessions() {
+        let s = WorkloadSpec::assistant(4, 24, SimDuration::from_secs(10), 256, "qwen2.5-3b");
+        let scripts = s.generate(31);
+        assert_eq!(scripts.len(), 4);
+        // Every session's opening turn declares the shared head and carries
+        // byte-identical content for it (equal page-hash chains).
+        let head_keys: Vec<Vec<u64>> = scripts
+            .iter()
+            .map(|script| {
+                let first = &script.requests[0];
+                assert_eq!(first.system_prefix_len, 256);
+                assert_eq!(first.shared_prefix_len, 0, "own context shares nothing yet");
+                assert!(first.prompt_len > 256, "system prompt plus an utterance");
+                first.content.page_keys(64)[..4].to_vec()
+            })
+            .collect();
+        for keys in &head_keys[1..] {
+            assert_eq!(keys, &head_keys[0], "all sessions share the same head");
+        }
+        // Follow-up turns grow like conversations and keep declaring the head.
+        for script in &scripts {
+            let mut context = 0usize;
+            for (i, r) in script.requests.iter().enumerate() {
+                if i > 0 && r.shared_prefix_len > 0 {
+                    assert_eq!(r.shared_prefix_len, context);
+                    assert_eq!(r.system_prefix_len, 256);
+                    assert_eq!(
+                        r.content.page_keys(64)[..4],
+                        head_keys[0][..],
+                        "the grown prompt still opens with the shared head"
+                    );
+                }
+                context = r.prompt_len + r.output_len;
+            }
+        }
+    }
+
+    #[test]
+    fn conversation_content_extends_the_previous_context() {
+        let s = WorkloadSpec::chat(2, 12, SimDuration::from_secs(5), "qwen2.5-3b");
+        for script in s.generate(77) {
+            let mut prev: Option<(&ScriptedRequest, Vec<u64>)> = None;
+            for r in &script.requests {
+                assert_eq!(r.content.len(), r.prompt_len, "content covers the prompt");
+                if let Some((p, prev_keys)) = prev {
+                    if r.shared_prefix_len > 0 {
+                        // The follow-up's content extends the previous full
+                        // context (prompt + response): the page chains agree
+                        // over every whole page of the prior context.
+                        let full = p.content.extended(p.output_seed, p.output_len);
+                        assert_eq!(r.shared_prefix_len, full.len());
+                        let keys = r.content.page_keys(32);
+                        assert_eq!(prev_keys[..], keys[..prev_keys.len()]);
+                    }
+                }
+                let full = r.content.extended(r.output_seed, r.output_len);
+                prev = Some((r, full.page_keys(32)));
+            }
+        }
     }
 
     #[test]

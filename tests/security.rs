@@ -10,8 +10,8 @@ use ree_kernel::{
 use sim_core::{Bandwidth, DetRng, SimDuration, SimTime, GIB};
 use tee_kernel::{
     CheckpointError, CheckpointStore, KeyService, KeyServiceError, KvPagePool, KvPoolError,
-    NormalWorldSpill, ScalingError, SecureMemoryManager, SecurityViolation, ShadowThreadManager,
-    TaRegistry, TeeNpuDriver,
+    NormalWorldSpill, PageHash, ScalingError, SecureMemoryManager, SecurityViolation,
+    ShadowThreadManager, SharedKvStore, SharedSpill, TaRegistry, TeeNpuDriver,
 };
 use tz_crypto::{HardwareUniqueKey, ModelKey, WrappedModelKey};
 use tz_hal::{DeviceId, PhysAddr, PhysRange, Platform, World, PAGE_SIZE};
@@ -269,6 +269,198 @@ fn kv_spill_is_sealed_and_tamper_evident() {
         assert_eq!(&restored.data, page);
         assert_eq!(restored.seq, i as u32);
     }
+}
+
+fn shared_store_setup() -> (
+    SecureMemoryManager,
+    TzDriver,
+    TaRegistry,
+    SharedKvStore,
+    SharedSpill,
+) {
+    let platform = Platform::rk3588();
+    let working = CmaRegion::new(
+        PhysRange::new(PhysAddr::new(0x3_8000_0000), GIB),
+        platform.profile.cma_bandwidth(),
+        platform.profile.page_alloc_ns,
+    );
+    let params = CmaRegion::new(
+        PhysRange::new(PhysAddr::new(0x1_0000_0000), GIB),
+        platform.profile.cma_bandwidth(),
+        platform.profile.page_alloc_ns,
+    );
+    let tz = TzDriver::new(platform.clone(), params, working);
+    let mut tas = TaRegistry::new();
+    let llm_ta = tas.register("llm-ta", true);
+    let mut mgr = SecureMemoryManager::new(platform);
+    let region = mgr.create_region(CmaPool::Working, llm_ta, vec![DeviceId::Npu]);
+    let store = SharedKvStore::new(region, PAGE_SIZE, &[0x5au8; 32]);
+    (mgr, tz, tas, store, SharedSpill::new())
+}
+
+fn random_page(rng: &mut DetRng) -> Vec<u8> {
+    (0..PAGE_SIZE)
+        .map(|_| rng.gen_range(0, 256) as u8)
+        .collect()
+}
+
+/// Cross-model isolation of the content-addressed store: byte-identical KV
+/// content installed for two different models never aliases onto one secure
+/// copy, and evicting one model's copy leaves the other's untouched.
+#[test]
+fn shared_kv_pages_never_alias_across_models() {
+    let (mut mgr, mut tz, mut tas, mut store, _spill) = shared_store_setup();
+    let mut rng = DetRng::new(0xA11A);
+    let page = random_page(&mut rng);
+    let (h0, _) = store
+        .install(0, None, page.clone(), &mut mgr, &mut tz, &mut tas)
+        .unwrap();
+    let (h1, _) = store
+        .install(1, None, page.clone(), &mut mgr, &mut tz, &mut tas)
+        .unwrap();
+    // The chain hash is over content, so it matches — but the store keys on
+    // (model, hash): two physical copies, independent reference counts.
+    assert_eq!(h0, h1);
+    assert_eq!(store.resident_pages(), 2, "no cross-model aliasing");
+    assert_eq!(store.refs(0, &h0), Some(1));
+    assert_eq!(store.refs(1, &h1), Some(1));
+    store.release(0, &h0).unwrap();
+    store.evict(0, &h0).unwrap();
+    assert!(store.page_data(0, &h0).is_none());
+    assert_eq!(
+        store.page_data(1, &h1).unwrap(),
+        &page[..],
+        "model 1's copy survives model 0's eviction"
+    );
+}
+
+/// A sealed shared page survives tamper attempts: ciphertext, tag, and
+/// cross-model relabelling are all rejected, the spill leaks no plaintext
+/// block, and the honest blob restores for every referencing session at
+/// once.
+#[test]
+fn sealed_shared_pages_are_tamper_evident_and_model_bound() {
+    let (mut mgr, mut tz, mut tas, mut store, mut spill) = shared_store_setup();
+    let mut rng = DetRng::new(0x5EA2);
+    let page = random_page(&mut rng);
+    let (h, _) = store
+        .install(0, None, page.clone(), &mut mgr, &mut tz, &mut tas)
+        .unwrap();
+    // A second session references the page.
+    store.acquire(0, &h).unwrap();
+    // The same content also exists under model 1 and is sealed too — the
+    // attacker will try to feed model 1's blob to model 0.
+    let (h1, _) = store
+        .install(1, None, page.clone(), &mut mgr, &mut tz, &mut tas)
+        .unwrap();
+    let idx0 = store.spill(0, &h, &mut spill).unwrap();
+    let idx1 = store.spill(1, &h1, &mut spill).unwrap();
+    assert_eq!(spill.len(), 2);
+
+    // Confidentiality: no 16-byte plaintext block appears in the attacker's
+    // view of normal-world memory.
+    let observable = spill.observable_bytes();
+    for block in page.chunks(16) {
+        assert!(
+            !observable.windows(block.len()).any(|w| w == block),
+            "plaintext block visible in normal-world memory"
+        );
+    }
+
+    // Tampered ciphertext is rejected before decryption.
+    let mut forged = spill.get(idx0).clone();
+    forged.blob.ciphertext[7] ^= 0x01;
+    assert!(matches!(
+        store.restore(forged, &mut mgr, &mut tz, &mut tas),
+        Err(KvPoolError::Integrity)
+    ));
+    // Tampered tag is rejected.
+    let mut forged = spill.get(idx0).clone();
+    forged.blob.tag[0] ^= 0x80;
+    assert!(matches!(
+        store.restore(forged, &mut mgr, &mut tz, &mut tas),
+        Err(KvPoolError::Integrity)
+    ));
+    // Model 1's sealed copy relabelled as model 0: same content, same chain
+    // hash, valid seal — but the tag binds the model, so it is rejected.
+    let mut relabelled = spill.get(idx1).clone();
+    relabelled.model = 0;
+    assert!(matches!(
+        store.restore(relabelled, &mut mgr, &mut tz, &mut tas),
+        Err(KvPoolError::Integrity)
+    ));
+
+    // The honest blob restores once and serves both references.
+    let sealed = spill.take(idx0);
+    store.restore(sealed, &mut mgr, &mut tz, &mut tas).unwrap();
+    assert_eq!(store.page_data(0, &h).unwrap(), &page[..]);
+    assert_eq!(store.refs(0, &h), Some(2));
+}
+
+/// Copy-on-divergence keeps private suffixes private: two sessions share a
+/// head page, then diverge; each divergent page has its own chain identity
+/// and reference count, one session's release never disturbs the other's
+/// suffix, and no chain that reproduces only the head can name either
+/// private page.
+#[test]
+fn copy_on_divergence_keeps_suffixes_private() {
+    let (mut mgr, mut tz, mut tas, mut store, _spill) = shared_store_setup();
+    let mut rng = DetRng::new(0xD1FF);
+    let head = random_page(&mut rng);
+    let suffix_a = random_page(&mut rng);
+    let suffix_b = random_page(&mut rng);
+
+    // Session A: [head][suffix_a]; session B: [head][suffix_b].
+    let (h_head, _) = store
+        .install(0, None, head.clone(), &mut mgr, &mut tz, &mut tas)
+        .unwrap();
+    let (h_a, refs_a) = store
+        .install(
+            0,
+            Some(&h_head),
+            suffix_a.clone(),
+            &mut mgr,
+            &mut tz,
+            &mut tas,
+        )
+        .unwrap();
+    let (_, head_refs) = store
+        .install(0, None, head.clone(), &mut mgr, &mut tz, &mut tas)
+        .unwrap();
+    let (h_b, refs_b) = store
+        .install(
+            0,
+            Some(&h_head),
+            suffix_b.clone(),
+            &mut mgr,
+            &mut tz,
+            &mut tas,
+        )
+        .unwrap();
+    assert_eq!(head_refs, 2, "the head is shared");
+    assert_eq!((refs_a, refs_b), (1, 1), "suffixes are private");
+    assert_ne!(h_a, h_b, "divergent content, divergent identity");
+    assert_eq!(
+        store.resident_pages(),
+        3,
+        "head stored once, suffixes apart"
+    );
+
+    // A page is only reachable by reproducing its exact chain: B cannot
+    // derive A's suffix identity from anything it knows short of A's bytes.
+    assert_ne!(PageHash::chain(Some(&h_head), &suffix_b), h_a);
+
+    // Session B releases everything; A's state is untouched.
+    store.release(0, &h_head).unwrap();
+    store.release(0, &h_b).unwrap();
+    store.evict(0, &h_b).unwrap();
+    assert_eq!(store.page_data(0, &h_a).unwrap(), &suffix_a[..]);
+    assert_eq!(store.refs(0, &h_head), Some(1), "A still holds the head");
+    // The head cannot be evicted while A references it.
+    assert!(matches!(
+        store.evict(0, &h_head),
+        Err(KvPoolError::StillReferenced(1))
+    ));
 }
 
 /// A compromised LLM TA cannot reach another TA's memory, and a malicious REE

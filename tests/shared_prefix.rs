@@ -1,0 +1,271 @@
+//! Acceptance and correctness properties of content-addressed cross-session
+//! KV-prefix sharing: the common head of an assistant fleet is stored once
+//! (deduped bytes ≈ (N−1) × head bytes), cold first turns of brand-new
+//! sessions hit state other sessions produced and get measurably faster,
+//! sharing never worsens any request versus the per-session pool, a session
+//! can never reach another session's private suffix by over-declaring, and
+//! the whole thing is deterministic.
+
+use llm::{ModelSpec, PromptContent};
+use sim_core::SimDuration;
+use tz_hal::PlatformProfile;
+use tzllm::serving::{Server, ServingConfig, ServingReport};
+use workloads::{Benchmark, ScriptedRequest, SessionScript, WorkloadSpec};
+
+const MODEL: &str = "qwen2.5-3b";
+const SYSTEM_LEN: usize = 512;
+
+fn catalogue() -> Vec<ModelSpec> {
+    vec![ModelSpec::by_name(MODEL).expect("catalogue model")]
+}
+
+fn assistant(sessions: usize, requests: usize, think_secs: u64) -> WorkloadSpec {
+    WorkloadSpec::assistant(
+        sessions,
+        requests,
+        SimDuration::from_secs(think_secs),
+        SYSTEM_LEN,
+        MODEL,
+    )
+}
+
+/// Tokens per KV page and bytes per token for the test model under the
+/// default chat config.
+fn page_geometry() -> (usize, u64) {
+    let bpt = ModelSpec::by_name(MODEL).unwrap().kv_bytes_per_token();
+    let page_bytes = tzllm::KvConfig::chat_default().page_bytes;
+    (((page_bytes / bpt).max(1)) as usize, bpt)
+}
+
+/// Per-session request sequences keyed by (session, position), matched
+/// across runs (arrival *times* legitimately shift between configurations).
+fn by_session_turn(report: &ServingReport) -> Vec<((u64, usize), &tzllm::RequestRecord)> {
+    let mut out = Vec::new();
+    let mut sessions: Vec<u64> = report.records.iter().map(|r| r.request.session).collect();
+    sessions.sort_unstable();
+    sessions.dedup();
+    for s in sessions {
+        let mut recs: Vec<&tzllm::RequestRecord> = report
+            .records
+            .iter()
+            .filter(|r| r.request.session == s)
+            .collect();
+        recs.sort_by_key(|r| r.arrival);
+        for (i, r) in recs.into_iter().enumerate() {
+            out.push(((s, i), r));
+        }
+    }
+    out
+}
+
+/// The headline dedup property: N sessions of the same assistant store the
+/// shared system prompt's whole pages exactly once — the store saves
+/// (N − 1) × head bytes of secure memory.
+#[test]
+fn shared_head_is_stored_once_across_the_fleet() {
+    let sessions = 6;
+    // One turn per session, spread out so every session retains state
+    // concurrently by the end of the run.
+    let report = Server::run_workload(
+        ServingConfig::chat_default(PlatformProfile::rk3588()),
+        catalogue(),
+        &assistant(sessions, sessions, 300),
+        41,
+    );
+    assert_eq!(report.fleet.completed, sessions);
+    let (pt, bpt) = page_geometry();
+    let head_pages = SYSTEM_LEN / pt;
+    assert!(head_pages >= 2, "the system prompt spans whole pages");
+    let expected = (sessions as u64 - 1) * head_pages as u64 * pt as u64 * bpt;
+    assert_eq!(
+        report.fleet.kv_deduped_bytes, expected,
+        "deduped bytes must equal (N-1) x head bytes"
+    );
+    assert!(report.fleet.kv_shared_tokens > 0);
+}
+
+/// Cold first turns of brand-new sessions reuse the head other sessions
+/// produced, and get measurably faster than without sharing — today's
+/// per-session pool only ever helps follow-up turns.
+#[test]
+fn cold_first_turns_hit_the_shared_head_and_speed_up() {
+    let workload = assistant(6, 6, 600);
+    let mut unshared_cfg = ServingConfig::chat_default(PlatformProfile::rk3588());
+    unshared_cfg.kv.shared = false;
+    let unshared = Server::run_workload(unshared_cfg, catalogue(), &workload, 13);
+    let shared = Server::run_workload(
+        ServingConfig::chat_default(PlatformProfile::rk3588()),
+        catalogue(),
+        &workload,
+        13,
+    );
+
+    // Without sharing no cold turn ever reuses anything.
+    assert!(unshared
+        .records
+        .iter()
+        .all(|r| r.request.shared_prefix_len > 0 || r.kv_reused_tokens == 0));
+    assert_eq!(unshared.fleet.kv_shared_tokens, 0);
+    assert_eq!(unshared.fleet.kv_deduped_bytes, 0);
+    assert_eq!(unshared.fleet.kv_shared_hit_rate, 0.0);
+
+    // With sharing, most cold turns hit (the very first session has nobody
+    // to share with).
+    let cold_hits = shared
+        .records
+        .iter()
+        .filter(|r| r.request.shared_prefix_len == 0 && r.kv_shared_tokens > 0)
+        .count();
+    let cold_total = shared
+        .records
+        .iter()
+        .filter(|r| r.request.shared_prefix_len == 0)
+        .count();
+    assert!(
+        cold_hits * 3 >= cold_total * 2,
+        "most cold first turns must hit the shared head: {cold_hits}/{cold_total}"
+    );
+    assert!(shared.fleet.kv_shared_hit_rate > 0.5);
+
+    // Pointwise on the same scripts: sharing never worsens a request's
+    // service TTFT (±5 ms pipeline-scheduler tolerance), and the hitting
+    // cold turns are strictly faster.
+    let tolerance = SimDuration::from_millis(5);
+    let mut cold_improved = 0usize;
+    for ((uk, u), (sk, s)) in by_session_turn(&unshared)
+        .iter()
+        .zip(&by_session_turn(&shared))
+    {
+        assert_eq!(uk, sk);
+        assert!(
+            s.report.ttft <= u.report.ttft + tolerance,
+            "session {} turn {} got slower with sharing: {} vs {}",
+            sk.0,
+            sk.1,
+            s.report.ttft,
+            u.report.ttft
+        );
+        if s.request.shared_prefix_len == 0
+            && s.kv_shared_tokens > 0
+            && s.report.ttft < u.report.ttft
+        {
+            cold_improved += 1;
+        }
+    }
+    assert!(
+        cold_improved >= cold_hits.saturating_sub(1).max(1),
+        "hitting cold turns must be strictly faster: {cold_improved}/{cold_hits}"
+    );
+}
+
+/// With sharing disabled the pool reproduces the per-session semantics: on
+/// multi-turn conversation traffic (no cross-session content) the two modes
+/// serve byte-identically.
+#[test]
+fn sharing_is_invisible_on_conversation_traffic() {
+    let workload = WorkloadSpec::chat(4, 32, SimDuration::from_secs(30), MODEL);
+    let mut unshared_cfg = ServingConfig::chat_default(PlatformProfile::rk3588());
+    unshared_cfg.kv.shared = false;
+    let unshared = Server::run_workload(unshared_cfg, catalogue(), &workload, 23);
+    let shared = Server::run_workload(
+        ServingConfig::chat_default(PlatformProfile::rk3588()),
+        catalogue(),
+        &workload,
+        23,
+    );
+    // Conversations share nothing across sessions, so the content-addressed
+    // store finds no cross hits and the runs match record for record.
+    assert_eq!(shared.fleet.kv_shared_tokens, 0);
+    assert_eq!(shared.fleet.kv_deduped_bytes, 0);
+    assert_eq!(
+        format!("{:?}", shared.records),
+        format!("{:?}", unshared.records)
+    );
+}
+
+/// Over-declaring `shared_prefix_len` cannot leak another session's private
+/// suffix: reuse is bounded by the content chain, so a session that *lies*
+/// about sharing everything still only receives the genuinely common head.
+#[test]
+fn over_declared_sharing_cannot_reach_private_suffixes() {
+    let (pt, _) = page_geometry();
+    let config = ServingConfig::chat_default(PlatformProfile::rk3588());
+    let mut server = Server::new(config, catalogue());
+    let head = PromptContent::from_seed(0xAAAA, SYSTEM_LEN);
+    let mk_req = |content: PromptContent, prompt_len, shared, delay_secs| ScriptedRequest {
+        delay: SimDuration::from_secs(delay_secs),
+        model: MODEL.into(),
+        benchmark: Benchmark::UltraChat,
+        prompt_len,
+        shared_prefix_len: shared,
+        system_prefix_len: SYSTEM_LEN,
+        output_len: 16,
+        content,
+        output_seed: 0xBEEF,
+    };
+    // Victim session: system prompt plus a 300-token private suffix.
+    server.submit_script(SessionScript {
+        session: 0,
+        requests: vec![mk_req(head.extended(0xD00D, 300), SYSTEM_LEN + 300, 0, 0)],
+    });
+    // Attacker session: different private content, but *declares* its whole
+    // prompt shared, hoping to be credited the victim's suffix.
+    server.submit_script(SessionScript {
+        session: 1,
+        requests: vec![mk_req(
+            head.extended(0xF00D, 300),
+            SYSTEM_LEN + 300,
+            SYSTEM_LEN + 300,
+            500,
+        )],
+    });
+    let report = server.run();
+    assert_eq!(report.fleet.completed, 2);
+    let attacker = report
+        .records
+        .iter()
+        .find(|r| r.request.session == 1)
+        .unwrap();
+    let head_tokens = (SYSTEM_LEN / pt) * pt;
+    assert!(
+        attacker.kv_reused_tokens <= head_tokens,
+        "reuse must stop at the genuinely shared head: {} > {head_tokens}",
+        attacker.kv_reused_tokens
+    );
+    assert!(attacker.kv_reused_tokens > 0, "the head itself is shared");
+}
+
+/// Shared serving is deterministic: same seed, same records, byte for byte.
+#[test]
+fn shared_serving_is_deterministic() {
+    let workload = assistant(4, 16, 60);
+    let run = |seed| {
+        Server::run_workload(
+            ServingConfig::chat_default(PlatformProfile::rk3588()),
+            catalogue(),
+            &workload,
+            seed,
+        )
+    };
+    let a = run(5);
+    let b = run(5);
+    assert_eq!(format!("{:?}", a.records), format!("{:?}", b.records));
+    let c = run(6);
+    assert_ne!(format!("{:?}", a.records), format!("{:?}", c.records));
+}
+
+/// The disabled manager stays invisible on assistant traffic too: every KV
+/// counter stays zero and shared prefixes are ignored.
+#[test]
+fn disabled_manager_ignores_shared_system_prompts() {
+    let report = Server::run_workload(
+        ServingConfig::paper_default(PlatformProfile::rk3588()),
+        catalogue(),
+        &assistant(3, 9, 30),
+        9,
+    );
+    assert_eq!(report.fleet.kv_reused_tokens, 0);
+    assert_eq!(report.fleet.kv_shared_tokens, 0);
+    assert_eq!(report.fleet.kv_deduped_bytes, 0);
+    assert_eq!(report.fleet.kv_shared_hit_rate, 0.0);
+}
