@@ -130,6 +130,44 @@ const GATES: &[Gate] = &[
         key: "shared_prefix.deduped_mib",
         check: Check::MinRatio(0.8),
     },
+    // Quantized sealed spill: the capacity multiplier is layout arithmetic
+    // (deterministic), the p95s are simulated, and the compressed/dequant
+    // counters prove the quantized paths stayed live.
+    Gate {
+        key: "spill_quant.followup_p95_ttft_s_f16",
+        check: Check::Present,
+    },
+    Gate {
+        key: "spill_quant.followup_p95_ttft_s_int8",
+        check: Check::MaxRatio(1.15),
+    },
+    Gate {
+        key: "spill_quant.int8_page_capacity_x",
+        check: Check::MinRatio(0.95),
+    },
+    Gate {
+        key: "spill_quant.spilled_compressed_mib",
+        check: Check::Positive,
+    },
+    Gate {
+        key: "spill_quant.dequant_mib",
+        check: Check::Positive,
+    },
+    // Figure-binary headline numbers: fully deterministic single-request
+    // evaluations, so the tolerances can be tight — a calibration regression
+    // in the figure CSVs trips these even if serving metrics survive.
+    Gate {
+        key: "figures.fig09_qwen128_tzllm_s",
+        check: Check::MaxRatio(1.05),
+    },
+    Gate {
+        key: "figures.fig09_qwen128_reduction_pct",
+        check: Check::MinRatio(0.95),
+    },
+    Gate {
+        key: "figures.fig14_qwen128_warm_norm",
+        check: Check::MaxRatio(1.05),
+    },
 ];
 
 struct Row {

@@ -22,6 +22,16 @@
 //!    open with one 512-token system prompt: cold first-turn p95 TTFT with
 //!    and without content-addressed cross-session sharing, the shared-hit
 //!    rate, and the secure bytes deduped by storing the head once.
+//! 6. **Spill-quantization scenario** — the squeezed chat fleet against a
+//!    deliberately small normal-world spill budget, f16 vs INT8 sealing:
+//!    the same CMA bytes must hold ≥ 1.9× the sealed pages, follow-up p95
+//!    must not regress (the dequant pass hides behind the NPU window while
+//!    the retained tokens save re-prefills), and the compressed-spill and
+//!    dequant counters must be live.
+//! 7. **Figure headline numbers** — the fig09 (TZ-LLM vs strawman TTFT) and
+//!    fig14 (fully-cached normalised TTFT) headline points, recomputed so
+//!    the CI gate catches calibration regressions in the figure binaries,
+//!    not just serving ones.
 //!
 //! Run with: `cargo run --release -p bench --bin perf_smoke` (`--quick`
 //! shrinks the sweep for CI).
@@ -34,7 +44,10 @@ use llm::{ComputationGraph, CostModel, ModelSpec};
 use sim_core::SimDuration;
 use tz_hal::PlatformProfile;
 use tzllm::serving::{Server, ServingConfig, ServingReport};
-use tzllm::{simulate, PipelineConfig, Policy, RestorePlan, RestoreRates};
+use tzllm::{
+    evaluate, simulate, InferenceConfig, PipelineConfig, Policy, RestorePlan, RestoreRates,
+    SpillFormat, SystemKind,
+};
 use workloads::{ArrivalProcess, WorkloadSpec};
 
 const MODELS: [&str; 3] = ["tinyllama-1.1b", "qwen2.5-3b", "phi-3-3.8b"];
@@ -103,6 +116,24 @@ fn chat_squeezed(profile: PlatformProfile) -> ServingConfig {
     let mut config = ServingConfig::chat_default(profile);
     config.kv.budget_fraction = 0.02;
     config
+}
+
+/// The spill-quantization scenario: the squeezed chat fleet against a spill
+/// budget small enough that every format saturates it, so the comparison
+/// measures how far each format stretches the same CMA bytes.
+fn spill_quant(format: SpillFormat, sessions: usize, requests: usize) -> ServingReport {
+    let mut config = chat_squeezed(PlatformProfile::rk3588());
+    config.kv.spill_budget = 32 * sim_core::MIB;
+    config.kv.spill_format = format;
+    let workload = WorkloadSpec::chat_with_context(
+        sessions,
+        requests,
+        SimDuration::from_secs(30),
+        "qwen2.5-3b",
+        4096,
+    );
+    let models = vec![ModelSpec::qwen2_5_3b()];
+    Server::run_workload(config, models, &workload, 0x0AA7)
 }
 
 fn shared_fleet(config: ServingConfig, sessions: usize, requests: usize) -> ServingReport {
@@ -246,7 +277,7 @@ fn main() {
     unshared_cfg.kv.shared = false;
     let fleet_unshared = shared_fleet(unshared_cfg, fleet_sessions, fleet_requests);
     let fleet_shared = shared_fleet(
-        ServingConfig::chat_default(profile),
+        ServingConfig::chat_default(profile.clone()),
         fleet_sessions,
         fleet_requests,
     );
@@ -258,6 +289,51 @@ fn main() {
         "shared-prefix fleet ({fleet_sessions} sessions, 512-token system prompt): \
          cold first-turn p95 TTFT unshared {first_turn_unshared:.2} s, shared \
          {first_turn_shared:.2} s (hit rate {shared_hit_rate:.3}, deduped {deduped_mib:.1} MiB)"
+    );
+
+    // Spill-quantization scenario: f16 vs INT8 sealing against the same
+    // deliberately small spill budget.  Quick mode keeps the full session
+    // count and enough turns that sealed demand saturates the budget under
+    // *both* formats — an unsaturated budget would make the capacity
+    // comparison measure the workload, not the format.
+    let (sq_sessions, sq_requests) = if opts.quick { (4, 40) } else { (4, 80) };
+    let sq_f16 = spill_quant(SpillFormat::F16, sq_sessions, sq_requests);
+    let sq_int8 = spill_quant(SpillFormat::Int8, sq_sessions, sq_requests);
+    let sq_p95_f16 = sq_f16.fleet.followup_ttft_ms.expect("follow-ups ran").p95 / 1e3;
+    let sq_p95_int8 = sq_int8.fleet.followup_ttft_ms.expect("follow-ups ran").p95 / 1e3;
+    let capacity_x =
+        sq_int8.fleet.kv_peak_sealed_pages as f64 / sq_f16.fleet.kv_peak_sealed_pages.max(1) as f64;
+    let sq_compressed_mib = sq_int8.fleet.kv_spilled_compressed_bytes as f64 / sim_core::MIB as f64;
+    let sq_dequant_mib = sq_int8.fleet.kv_dequant_bytes as f64 / sim_core::MIB as f64;
+    let sq_dequant_time = CostModel::rk3588().dequant_time(sq_int8.fleet.kv_dequant_bytes);
+    println!(
+        "spill-quant ({sq_sessions} sessions, 32 MiB spill budget): follow-up p95 TTFT \
+         f16 {sq_p95_f16:.2} s, int8 {sq_p95_int8:.2} s; sealed pages {} -> {} \
+         ({capacity_x:.2}x at equal CMA bytes), compressed spill {sq_compressed_mib:.1} MiB, \
+         dequant {sq_dequant_mib:.1} MiB ({:.2} s of decrypt-lane time over the run)",
+        sq_f16.fleet.kv_peak_sealed_pages,
+        sq_int8.fleet.kv_peak_sealed_pages,
+        sq_dequant_time.as_secs_f64()
+    );
+
+    // Figure headline numbers (deterministic single-request evaluations):
+    // regenerating these here lets the perf gate catch calibration drift in
+    // the figure binaries' CSVs.
+    let fig_cfg = InferenceConfig::paper_default(ModelSpec::qwen2_5_3b(), 128);
+    let fig_tz = evaluate(SystemKind::TzLlm, &profile, &fig_cfg);
+    let fig_straw = evaluate(SystemKind::Strawman, &profile, &fig_cfg);
+    let fig09_tzllm_s = fig_tz.ttft.as_secs_f64();
+    let fig09_reduction_pct =
+        (1.0 - fig_tz.ttft.as_secs_f64() / fig_straw.ttft.as_secs_f64()) * 100.0;
+    let mut warm_cfg = fig_cfg.clone();
+    warm_cfg.cached_fraction = 1.0;
+    let fig14_warm_norm = evaluate(SystemKind::TzLlm, &profile, &warm_cfg)
+        .ttft
+        .as_secs_f64()
+        / fig09_tzllm_s;
+    println!(
+        "figure headlines: fig09 qwen@128 TZ-LLM {fig09_tzllm_s:.3} s \
+         ({fig09_reduction_pct:.1}% vs strawman), fig14 warm-normalised {fig14_warm_norm:.3}"
     );
 
     let mut json = String::new();
@@ -341,6 +417,29 @@ fn main() {
     );
     let _ = writeln!(json, "    \"shared_hit_rate\": {shared_hit_rate:.4},");
     let _ = writeln!(json, "    \"deduped_mib\": {deduped_mib:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"spill_quant\": {{");
+    let _ = writeln!(json, "    \"sessions\": {sq_sessions},");
+    let _ = writeln!(json, "    \"spill_budget_mib\": 32,");
+    let _ = writeln!(json, "    \"followup_p95_ttft_s_f16\": {sq_p95_f16:.3},");
+    let _ = writeln!(json, "    \"followup_p95_ttft_s_int8\": {sq_p95_int8:.3},");
+    let _ = writeln!(json, "    \"int8_page_capacity_x\": {capacity_x:.3},");
+    let _ = writeln!(
+        json,
+        "    \"spilled_compressed_mib\": {sq_compressed_mib:.1},"
+    );
+    let _ = writeln!(json, "    \"dequant_mib\": {sq_dequant_mib:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"figures\": {{");
+    let _ = writeln!(json, "    \"fig09_qwen128_tzllm_s\": {fig09_tzllm_s:.3},");
+    let _ = writeln!(
+        json,
+        "    \"fig09_qwen128_reduction_pct\": {fig09_reduction_pct:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"fig14_qwen128_warm_norm\": {fig14_warm_norm:.3}"
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
@@ -381,5 +480,17 @@ fn main() {
     assert!(
         deduped_mib > 0.0,
         "the fleet's common head must actually dedup"
+    );
+    assert!(
+        capacity_x >= 1.9,
+        "INT8 sealing must hold >= 1.9x the f16 page count at equal CMA bytes ({capacity_x:.2})"
+    );
+    assert!(
+        sq_p95_int8 <= sq_p95_f16 * 1.01,
+        "INT8 spill must not regress follow-up p95 ({sq_p95_int8:.2} s vs {sq_p95_f16:.2} s)"
+    );
+    assert!(
+        sq_compressed_mib > 0.0 && sq_dequant_mib > 0.0,
+        "the quantized spill and dequant paths must be exercised"
     );
 }

@@ -31,6 +31,12 @@ pub struct CostParams {
     pub cpu_op_overhead: SimDuration,
     /// Fixed launch overhead per NPU job (command submission).
     pub npu_op_overhead: SimDuration,
+    /// CPU dequantization throughput in *output* (f16) bytes per second:
+    /// expanding INT8/INT4 block codes back to f16 when a quantized sealed
+    /// KV page is restored.  A multiply and a pack per element on the big
+    /// cores — cheaper than AES but not free, and it shares the decrypt
+    /// threads, so the serving layer charges it to the same lane.
+    pub dequant_bytes_per_sec: f64,
 }
 
 impl CostParams {
@@ -43,6 +49,7 @@ impl CostParams {
             npu_decode_gain: 1.3,
             cpu_op_overhead: SimDuration::from_micros(6),
             npu_op_overhead: SimDuration::from_micros(25),
+            dequant_bytes_per_sec: 8.0e9,
         }
     }
 }
@@ -140,6 +147,12 @@ impl CostModel {
     /// Decoding speed in tokens per second.
     pub fn decode_tokens_per_sec(&self, model: &ModelSpec, kv_len: usize, use_npu: bool) -> f64 {
         1.0 / self.decode_token_time(model, kv_len, use_npu).as_secs_f64()
+    }
+
+    /// Time to dequantize `f16_bytes` of restored KV state back to f16 on
+    /// the CPU decrypt threads.
+    pub fn dequant_time(&self, f16_bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(f16_bytes as f64 / self.params.dequant_bytes_per_sec)
     }
 }
 

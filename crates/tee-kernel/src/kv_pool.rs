@@ -9,12 +9,21 @@
 //! * pages are allocated by growing the region through the normal
 //!   `extend_allocated`/`extend_protected` path (page-aligned, contiguous,
 //!   Iago-validated);
-//! * under secure-memory pressure, cold pages are *spilled*: sealed with
-//!   AES-256-CTR + HMAC-SHA256 ([`tz_crypto::seal`]) and handed to
-//!   normal-world CMA memory, then the plaintext page is scrubbed;
-//! * on a follow-up turn the sealed pages are verified and decrypted back
-//!   into fresh secure pages — a tampered blob is rejected before a single
-//!   byte is decrypted.
+//! * under secure-memory pressure, cold pages are *spilled*: optionally
+//!   block-quantized to INT8/INT4 ([`tz_quant::SpillFormat`] — the sealed
+//!   payload shrinks 2–4×, so a fixed CMA spill budget holds 2–4× the
+//!   pages), then sealed with AES-256-CTR + HMAC-SHA256
+//!   ([`tz_crypto::seal`]) and handed to normal-world CMA memory, then the
+//!   plaintext page is scrubbed.  The MAC binds the page identity, the
+//!   quantization format and both the plaintext and sealed lengths, so an
+//!   INT4 blob relabelled INT8 (or any other format confusion) fails
+//!   verification;
+//! * on a follow-up turn the sealed pages are verified, decrypted and
+//!   dequantized back into fresh secure pages — a tampered blob is rejected
+//!   before a single byte is decrypted.  A quantized restore reproduces the
+//!   page within the format's per-block error bound
+//!   ([`tz_quant::SpillFormat::error_bound`]); with
+//!   [`tz_quant::SpillFormat::F16`] the round-trip is exact.
 //!
 //! Cross-session sharing adds [`SharedKvStore`]: a per-model
 //! **content-addressed** page store where a page's identity is a SHA-256
@@ -34,9 +43,10 @@
 
 use std::collections::BTreeMap;
 
-use tz_crypto::seal::{open, seal, SealKey, SealedBlob};
+use tz_crypto::seal::{open, seal, SealAad, SealKey, SealedBlob};
 use tz_crypto::{SealError, Sha256};
 use tz_hal::PAGE_SIZE;
+use tz_quant::{dequantize, quantize, SpillFormat};
 
 use ree_kernel::TzDriver;
 
@@ -63,6 +73,10 @@ pub enum KvPoolError {
     UnknownPage,
     /// The page still has live references and cannot be evicted.
     StillReferenced(u32),
+    /// The verified sealed payload does not decode under its authenticated
+    /// quantization format (the pool produced an inconsistent blob — this is
+    /// a TEE-side invariant violation, not an attack the REE can trigger).
+    Quant(tz_quant::QuantError),
 }
 
 impl From<ScalingError> for KvPoolError {
@@ -74,6 +88,12 @@ impl From<ScalingError> for KvPoolError {
 impl From<SealError> for KvPoolError {
     fn from(_: SealError) -> Self {
         KvPoolError::Integrity
+    }
+}
+
+impl From<tz_quant::QuantError> for KvPoolError {
+    fn from(e: tz_quant::QuantError) -> Self {
+        KvPoolError::Quant(e)
     }
 }
 
@@ -90,6 +110,7 @@ impl std::fmt::Display for KvPoolError {
             KvPoolError::StillReferenced(refs) => {
                 write!(f, "page still has {refs} live references")
             }
+            KvPoolError::Quant(e) => write!(f, "sealed payload failed quantized decoding: {e}"),
         }
     }
 }
@@ -114,17 +135,22 @@ pub struct SealedKvPage {
     pub session: u64,
     /// Position of the page within the session's KV prefix (authenticated).
     pub seq: u32,
-    /// The sealed payload.
+    /// Spill encoding of the payload (authenticated — a blob relabelled to a
+    /// different format fails the MAC before any decoding).
+    pub format: SpillFormat,
+    /// The sealed payload (quantized when `format` is not `F16`).
     pub blob: SealedBlob,
 }
 
 impl SealedKvPage {
-    fn aad(session: u64, seq: u32, len: u64) -> Vec<u8> {
-        let mut aad = Vec::with_capacity(20);
-        aad.extend_from_slice(&session.to_le_bytes());
-        aad.extend_from_slice(&seq.to_le_bytes());
-        aad.extend_from_slice(&len.to_le_bytes());
-        aad
+    fn aad(session: u64, seq: u32, format: SpillFormat, plain_len: u64) -> Vec<u8> {
+        SealAad::new("kv-page")
+            .u64("session", session)
+            .u32("seq", seq)
+            .u8("format", format.id())
+            .u64("plain-len", plain_len)
+            .u64("sealed-len", format.sealed_len(plain_len as usize) as u64)
+            .into_bytes()
     }
 }
 
@@ -180,6 +206,7 @@ impl NormalWorldSpill {
         for page in &self.blobs {
             out.extend_from_slice(&page.session.to_le_bytes());
             out.extend_from_slice(&page.seq.to_le_bytes());
+            out.push(page.format.id());
             out.extend_from_slice(&page.blob.observable_bytes());
         }
         out
@@ -191,6 +218,7 @@ impl NormalWorldSpill {
 pub struct KvPagePool {
     region: usize,
     page_bytes: u64,
+    format: SpillFormat,
     slots: Vec<Option<KvPageData>>,
     key: SealKey,
     seal_counter: u64,
@@ -198,12 +226,30 @@ pub struct KvPagePool {
 
 impl KvPagePool {
     /// Creates a pool of `page_bytes`-sized pages inside secure-memory region
-    /// `region`, sealing spilled pages under a key derived from `root_key`.
+    /// `region`, sealing spilled pages under a key derived from `root_key`
+    /// (spilled pages ship verbatim f16 — see [`KvPagePool::with_format`]).
     ///
     /// # Panics
     /// Panics if `page_bytes` is not a positive multiple of the platform page
     /// size (region scaling is page-granular).
     pub fn new(region: usize, page_bytes: u64, root_key: &[u8]) -> Self {
+        Self::with_format(region, page_bytes, root_key, SpillFormat::F16)
+    }
+
+    /// Like [`KvPagePool::new`], but spilled pages are block-quantized to
+    /// `format` before sealing, shrinking the normal-world footprint by the
+    /// format's expansion factor at the cost of the format's per-block
+    /// reconstruction error.
+    ///
+    /// # Panics
+    /// Panics if `page_bytes` is not a positive multiple of the platform page
+    /// size (region scaling is page-granular).
+    pub fn with_format(
+        region: usize,
+        page_bytes: u64,
+        root_key: &[u8],
+        format: SpillFormat,
+    ) -> Self {
         assert!(
             page_bytes > 0 && page_bytes.is_multiple_of(PAGE_SIZE),
             "KV pages must be a positive multiple of the {PAGE_SIZE}-byte platform page"
@@ -211,6 +257,7 @@ impl KvPagePool {
         KvPagePool {
             region,
             page_bytes,
+            format,
             slots: Vec::new(),
             key: SealKey::derive(root_key, "kv-page-seal"),
             seal_counter: 0,
@@ -220,6 +267,11 @@ impl KvPagePool {
     /// Page size in bytes.
     pub fn page_bytes(&self) -> u64 {
         self.page_bytes
+    }
+
+    /// The spill encoding this pool seals evicted pages with.
+    pub fn spill_format(&self) -> SpillFormat {
+        self.format
     }
 
     /// Number of pages currently resident in secure memory.
@@ -284,19 +336,24 @@ impl KvPagePool {
         nonce[..8].copy_from_slice(&self.seal_counter.to_le_bytes());
         nonce[8..].copy_from_slice(&page.session.to_le_bytes());
         self.seal_counter += 1;
-        let aad = SealedKvPage::aad(page.session, page.seq, page.data.len() as u64);
-        let blob = seal(&self.key, &nonce, &aad, &page.data);
+        let aad = SealedKvPage::aad(page.session, page.seq, self.format, page.data.len() as u64);
+        let payload = quantize(self.format, &page.data);
+        let blob = seal(&self.key, &nonce, &aad, &payload);
         // `page.data` is dropped here — the secure copy is scrubbed.
         Ok(spill.push(SealedKvPage {
             session: page.session,
             seq: page.seq,
+            format: self.format,
             blob,
         }))
     }
 
     /// Restores a sealed page handed back by the normal world: verifies the
-    /// tag over the page identity and ciphertext, decrypts into a fresh
-    /// secure page, and returns its slot.
+    /// tag over the page identity, the declared spill format, both lengths
+    /// and the ciphertext; then decrypts and (for a quantized format)
+    /// dequantizes into a fresh secure page, returning its slot.  A blob
+    /// whose claimed format disagrees with the one it was sealed under is
+    /// rejected by the MAC before any decoding.
     pub fn restore(
         &mut self,
         sealed: SealedKvPage,
@@ -304,14 +361,9 @@ impl KvPagePool {
         tz_driver: &mut TzDriver,
         tas: &mut TaRegistry,
     ) -> Result<usize, KvPoolError> {
-        let aad = SealedKvPage::aad(sealed.session, sealed.seq, self.page_bytes);
-        let data = open(&self.key, &aad, &sealed.blob)?;
-        if data.len() as u64 != self.page_bytes {
-            return Err(KvPoolError::BadPageSize {
-                expected: self.page_bytes,
-                got: data.len() as u64,
-            });
-        }
+        let aad = SealedKvPage::aad(sealed.session, sealed.seq, sealed.format, self.page_bytes);
+        let payload = open(&self.key, &aad, &sealed.blob)?;
+        let data = dequantize(sealed.format, &payload, self.page_bytes as usize)?;
         self.install(sealed.session, sealed.seq, data, mgr, tz_driver, tas)
     }
 
@@ -369,26 +421,30 @@ impl PageHash {
 }
 
 /// A sealed shared page in normal-world memory: the blob's tag authenticates
-/// the model, the chain hash and the length, so the REE can neither tamper
-/// with the ciphertext nor re-label a page across models or chain positions.
+/// the model, the chain hash, the quantization format and both lengths, so
+/// the REE can neither tamper with the ciphertext nor re-label a page across
+/// models, chain positions or spill formats.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SealedSharedPage {
     /// Model the page belongs to (authenticated, not secret).
     pub model: u32,
     /// Chain identity (authenticated).
     pub hash: PageHash,
-    /// The sealed payload.
+    /// Spill encoding of the payload (authenticated).
+    pub format: SpillFormat,
+    /// The sealed payload (quantized when `format` is not `F16`).
     pub blob: SealedBlob,
 }
 
 impl SealedSharedPage {
-    fn aad(model: u32, hash: &PageHash, len: u64) -> Vec<u8> {
-        let mut aad = Vec::with_capacity(44);
-        aad.extend_from_slice(b"shared-kv");
-        aad.extend_from_slice(&model.to_le_bytes());
-        aad.extend_from_slice(&hash.0);
-        aad.extend_from_slice(&len.to_le_bytes());
-        aad
+    fn aad(model: u32, hash: &PageHash, format: SpillFormat, plain_len: u64) -> Vec<u8> {
+        SealAad::new("shared-kv")
+            .u32("model", model)
+            .field("chain", &hash.0)
+            .u8("format", format.id())
+            .u64("plain-len", plain_len)
+            .u64("sealed-len", format.sealed_len(plain_len as usize) as u64)
+            .into_bytes()
     }
 }
 
@@ -443,9 +499,19 @@ impl SharedSpill {
         for page in &self.blobs {
             out.extend_from_slice(&page.model.to_le_bytes());
             out.extend_from_slice(&page.hash.0);
+            out.push(page.format.id());
             out.extend_from_slice(&page.blob.observable_bytes());
         }
         out
+    }
+
+    /// Sealed payload bytes currently occupying normal-world memory (what a
+    /// CMA spill budget actually pays for).
+    pub fn payload_bytes(&self) -> u64 {
+        self.blobs
+            .iter()
+            .map(|p| p.blob.ciphertext.len() as u64)
+            .sum()
     }
 }
 
@@ -470,6 +536,7 @@ struct SharedEntry {
 pub struct SharedKvStore {
     region: usize,
     page_bytes: u64,
+    format: SpillFormat,
     /// Secure page slots; a slot holds the single copy of one shared page.
     slots: Vec<Option<(u32, PageHash, Vec<u8>)>>,
     index: BTreeMap<(u32, PageHash), SharedEntry>,
@@ -480,12 +547,30 @@ pub struct SharedKvStore {
 impl SharedKvStore {
     /// Creates a store of `page_bytes`-sized pages inside secure-memory
     /// region `region`, sealing spilled pages under a key derived from
-    /// `root_key`.
+    /// `root_key` (spilled pages ship verbatim f16 — see
+    /// [`SharedKvStore::with_format`]).
     ///
     /// # Panics
     /// Panics if `page_bytes` is not a positive multiple of the platform
     /// page size.
     pub fn new(region: usize, page_bytes: u64, root_key: &[u8]) -> Self {
+        Self::with_format(region, page_bytes, root_key, SpillFormat::F16)
+    }
+
+    /// Like [`SharedKvStore::new`], but spilled pages are block-quantized to
+    /// `format` before sealing.  The chain identity always names the
+    /// *logical* (pre-quantization) content: a quantized restore serves the
+    /// format's approximation of the page under the identity the MAC binds.
+    ///
+    /// # Panics
+    /// Panics if `page_bytes` is not a positive multiple of the platform
+    /// page size.
+    pub fn with_format(
+        region: usize,
+        page_bytes: u64,
+        root_key: &[u8],
+        format: SpillFormat,
+    ) -> Self {
         assert!(
             page_bytes > 0 && page_bytes.is_multiple_of(PAGE_SIZE),
             "KV pages must be a positive multiple of the {PAGE_SIZE}-byte platform page"
@@ -493,11 +578,17 @@ impl SharedKvStore {
         SharedKvStore {
             region,
             page_bytes,
+            format,
             slots: Vec::new(),
             index: BTreeMap::new(),
             key: SealKey::derive(root_key, "shared-kv-page-seal"),
             seal_counter: 0,
         }
+    }
+
+    /// The spill encoding this store seals evicted pages with.
+    pub fn spill_format(&self) -> SpillFormat {
+        self.format
     }
 
     /// Number of distinct pages resident in secure memory.
@@ -617,24 +708,28 @@ impl SharedKvStore {
         nonce[8..12].copy_from_slice(&model.to_le_bytes());
         nonce[12..].copy_from_slice(&hash.0[..4]);
         self.seal_counter += 1;
-        let aad = SealedSharedPage::aad(model, hash, data.len() as u64);
-        let blob = seal(&self.key, &nonce, &aad, &data);
+        let aad = SealedSharedPage::aad(model, hash, self.format, data.len() as u64);
+        let payload = quantize(self.format, &data);
+        let blob = seal(&self.key, &nonce, &aad, &payload);
         // `data` is dropped here — the secure copy is scrubbed.
         Ok(spill.push(SealedSharedPage {
             model,
             hash: *hash,
+            format: self.format,
             blob,
         }))
     }
 
     /// Restores a sealed shared page handed back by the normal world:
-    /// verifies the MAC over the model, chain identity, length and
-    /// ciphertext — a mismatch on any of them rejects the blob before a
-    /// byte is decrypted — then decrypts into a fresh secure slot.  The
-    /// chain identity is *authenticated*, not recomputed: the store sealed
-    /// the page itself under that identity, so the MAC is the binding (the
-    /// parent hash needed to re-derive a non-head page's chain is not
-    /// stored).
+    /// verifies the MAC over the model, chain identity, spill format, both
+    /// lengths and the ciphertext — a mismatch on any of them rejects the
+    /// blob before a byte is decrypted — then decrypts (and, for a quantized
+    /// format, dequantizes) into a fresh secure slot.  The chain identity is
+    /// *authenticated*, not recomputed: the store sealed the page itself
+    /// under that identity, so the MAC is the binding (the parent hash
+    /// needed to re-derive a non-head page's chain is not stored, and a
+    /// quantized restore is the format's approximation of the identity's
+    /// logical content).
     pub fn restore(
         &mut self,
         sealed: SealedSharedPage,
@@ -649,14 +744,9 @@ impl SharedKvStore {
         if entry.state != SharedState::Sealed {
             return Err(KvPoolError::UnknownPage);
         }
-        let aad = SealedSharedPage::aad(sealed.model, &sealed.hash, self.page_bytes);
-        let data = open(&self.key, &aad, &sealed.blob)?;
-        if data.len() as u64 != self.page_bytes {
-            return Err(KvPoolError::BadPageSize {
-                expected: self.page_bytes,
-                got: data.len() as u64,
-            });
-        }
+        let aad = SealedSharedPage::aad(sealed.model, &sealed.hash, sealed.format, self.page_bytes);
+        let payload = open(&self.key, &aad, &sealed.blob)?;
+        let data = dequantize(sealed.format, &payload, self.page_bytes as usize)?;
         let slot = self.free_slot(mgr, tz_driver, tas)?;
         self.slots[slot] = Some((sealed.model, sealed.hash, data));
         self.index
@@ -853,6 +943,75 @@ mod tests {
         store.restore(sealed, &mut mgr, &mut tz, &mut tas).unwrap();
         assert_eq!(store.page_data(0, &h).unwrap(), &original[..]);
         assert_eq!(store.refs(0, &h), Some(2), "references survive the trip");
+    }
+
+    /// A page of finite f16 values (quantized round-trips are only
+    /// meaningful over well-formed f16 data).
+    fn f16_page(seed: u64) -> Vec<u8> {
+        let mut out = vec![0u8; PAGE as usize];
+        let mut state = seed | 1;
+        for i in 0..out.len() / 2 {
+            state = state
+                .wrapping_mul(0x5851_f42d_4c95_7f2d)
+                .wrapping_add(0x1405_7b7e_f767_814f);
+            let unit = (state >> 40) as f32 / (1u64 << 24) as f32;
+            tz_quant::write_f16(&mut out, i, (unit - 0.5) * 8.0);
+        }
+        out
+    }
+
+    #[test]
+    fn quantized_spill_shrinks_the_payload_and_roundtrips_within_bound() {
+        for format in [SpillFormat::Int8, SpillFormat::Int4] {
+            let (mut mgr, mut tz, mut tas, _, _) = setup();
+            let mut pool = KvPagePool::with_format(0, PAGE, &[0x33u8; 32], format);
+            let mut spill = NormalWorldSpill::new();
+            let original = f16_page(11);
+            let slot = pool
+                .install(3, 0, original.clone(), &mut mgr, &mut tz, &mut tas)
+                .unwrap();
+            let idx = pool.spill(slot, &mut spill).unwrap();
+            // The sealed payload is the quantized size, not the f16 size.
+            assert_eq!(
+                spill.get(idx).blob.ciphertext.len(),
+                format.sealed_len(PAGE as usize)
+            );
+            assert!(format.expansion(PAGE as usize) > 1.9);
+
+            let restored = pool
+                .restore(spill.take(idx), &mut mgr, &mut tz, &mut tas)
+                .unwrap();
+            let page = pool.page(restored).unwrap();
+            assert_eq!(page.data.len(), PAGE as usize, "full-size page comes back");
+            // Every element is within the format's per-block error bound.
+            for i in 0..PAGE as usize / 2 {
+                let (a, b) = (
+                    tz_quant::read_f16(&original, i),
+                    tz_quant::read_f16(&page.data, i),
+                );
+                assert!(
+                    (a - b).abs() <= format.error_bound(4.0),
+                    "elem {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relabelling_the_spill_format_fails_the_mac() {
+        let (mut mgr, mut tz, mut tas, _, _) = setup();
+        let mut pool = KvPagePool::with_format(0, PAGE, &[0x33u8; 32], SpillFormat::Int4);
+        let mut spill = NormalWorldSpill::new();
+        let slot = pool
+            .install(3, 0, f16_page(5), &mut mgr, &mut tz, &mut tas)
+            .unwrap();
+        let idx = pool.spill(slot, &mut spill).unwrap();
+        let mut forged = spill.take(idx);
+        forged.format = SpillFormat::Int8; // INT4 blob relabelled INT8
+        assert_eq!(
+            pool.restore(forged, &mut mgr, &mut tz, &mut tas),
+            Err(KvPoolError::Integrity)
+        );
     }
 
     #[test]

@@ -40,3 +40,4 @@ pub use ta::{TaError, TaId, TaRegistry, TrustedApp};
 pub use thread::{
     ResumeOutcome, ShadowThreadManager, TaThreadId, TeeMutexId, ThreadError, ThreadState,
 };
+pub use tz_quant::SpillFormat;

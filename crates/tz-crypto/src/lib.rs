@@ -30,5 +30,5 @@ pub use hmac::{derive_key, hmac_sha256, hmac_verify};
 pub use keys::{
     HardwareUniqueKey, KeyError, ModelKey, SecretBytes, WrappedModelKey, KEY_LEN, NONCE_LEN,
 };
-pub use seal::{open, seal, SealError, SealKey, SealedBlob, SEAL_NONCE_LEN, SEAL_TAG_LEN};
+pub use seal::{open, seal, SealAad, SealError, SealKey, SealedBlob, SEAL_NONCE_LEN, SEAL_TAG_LEN};
 pub use sha256::{constant_time_eq, Sha256, DIGEST_SIZE};

@@ -61,6 +61,69 @@ impl SealedBlob {
     }
 }
 
+/// Builder for structured associated data: a domain label plus tagged,
+/// length-prefixed fields.
+///
+/// Sealing callers used to concatenate identity fields by hand, which is
+/// fine while every field is fixed-width — but the quantized KV spill format
+/// authenticates a *variable* set of facts (model, chain hash, quant format,
+/// plaintext and sealed lengths), and raw concatenation of variable-length
+/// fields is ambiguous (`"ab" ‖ "c"` = `"a" ‖ "bc"`).  Every field here is
+/// encoded as `tag-len ‖ tag ‖ value-len ‖ value`, so two distinct field
+/// sequences can never serialise to the same AAD bytes.
+#[derive(Debug, Clone, Default)]
+pub struct SealAad {
+    bytes: Vec<u8>,
+}
+
+impl SealAad {
+    /// Starts an AAD in the given domain (e.g. `"kv-page"`); blobs sealed
+    /// under different domains never verify against each other even with
+    /// identical fields.
+    pub fn new(domain: &str) -> SealAad {
+        let mut aad = SealAad { bytes: Vec::new() };
+        aad.push_chunk(domain.as_bytes());
+        aad
+    }
+
+    fn push_chunk(&mut self, chunk: &[u8]) {
+        self.bytes
+            .extend_from_slice(&(chunk.len() as u64).to_le_bytes());
+        self.bytes.extend_from_slice(chunk);
+    }
+
+    /// Appends a tagged byte-string field.
+    #[must_use]
+    pub fn field(mut self, tag: &str, value: &[u8]) -> SealAad {
+        self.push_chunk(tag.as_bytes());
+        self.push_chunk(value);
+        self
+    }
+
+    /// Appends a tagged `u64` field (little-endian).
+    #[must_use]
+    pub fn u64(self, tag: &str, value: u64) -> SealAad {
+        self.field(tag, &value.to_le_bytes())
+    }
+
+    /// Appends a tagged `u32` field (little-endian).
+    #[must_use]
+    pub fn u32(self, tag: &str, value: u32) -> SealAad {
+        self.field(tag, &value.to_le_bytes())
+    }
+
+    /// Appends a tagged single-byte field.
+    #[must_use]
+    pub fn u8(self, tag: &str, value: u8) -> SealAad {
+        self.field(tag, &[value])
+    }
+
+    /// The serialised AAD, ready for [`seal`] / [`open`].
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
 /// The pair of independent sub-keys one sealing domain uses.
 #[derive(Clone)]
 pub struct SealKey {
@@ -189,6 +252,32 @@ mod tests {
 
         // And the original still opens.
         assert!(open(&k, aad, &blob).is_ok());
+    }
+
+    #[test]
+    fn tagged_aads_are_unambiguous() {
+        // Raw concatenation would make these two collide ("ab"‖"c" vs
+        // "a"‖"bc"); the tagged encoding must not.
+        let a = SealAad::new("d").field("x", b"ab").field("y", b"c");
+        let b = SealAad::new("d").field("x", b"a").field("y", b"bc");
+        assert_ne!(a.into_bytes(), b.into_bytes());
+        // Domains separate identical field sets.
+        let c = SealAad::new("d1").u64("len", 7);
+        let d = SealAad::new("d2").u64("len", 7);
+        assert_ne!(c.into_bytes(), d.into_bytes());
+        // A sealed blob only opens under the exact AAD it was sealed with.
+        let k = key();
+        let aad = SealAad::new("kv")
+            .u32("model", 3)
+            .u8("format", 1)
+            .into_bytes();
+        let blob = seal(&k, &[2u8; 16], &aad, b"payload");
+        assert!(open(&k, &aad, &blob).is_ok());
+        let other = SealAad::new("kv")
+            .u32("model", 3)
+            .u8("format", 2)
+            .into_bytes();
+        assert_eq!(open(&k, &other, &blob), Err(SealError::IntegrityFailure));
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct PlatformProfile {
 
     /// AES-CTR decryption throughput inside the TEE (bytes/s).
     pub decrypt_bytes_per_sec: f64,
+    /// INT8/INT4 → f16 dequantization throughput on the decrypt threads, in
+    /// output (f16) bytes/s — the lane cost of expanding a quantized sealed
+    /// KV page on restore.
+    pub dequant_bytes_per_sec: f64,
 
     /// CPU int8 matmul throughput for prefill, in multiply-accumulate ops/s
     /// across all big cores.
@@ -108,6 +112,7 @@ impl PlatformProfile {
             page_clear_ns: 180,
 
             decrypt_bytes_per_sec: 9.2e9,
+            dequant_bytes_per_sec: 8.0e9,
 
             // 164.5 s CPU prefill for Llama-3-8B at 512 tokens calibrates the
             // CPU rate; the NPU is ~12.5x faster end-to-end on prefill.

@@ -1,0 +1,133 @@
+//! Software IEEE 754 binary16 ("half") codec.
+//!
+//! The KV cache stores K/V activations as f16 on device; the quantizer needs
+//! to read those values and to store per-block scales in the same format, and
+//! the offline build has no `half` crate — so the conversion lives here.
+//! Round-trips are exact for every representable f16 value, conversion from
+//! f32 rounds to nearest-even, overflow saturates to ±∞ and NaN is preserved
+//! as a quiet NaN.
+
+/// Converts an f32 to its nearest f16 bit pattern (round-to-nearest-even).
+pub fn f32_to_f16(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mantissa = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Infinity or NaN; keep NaN quiet (non-zero mantissa).
+        return if mantissa == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00
+        };
+    }
+    // Unbiased exponent; f16 bias is 15, f32 bias is 127.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow saturates to infinity
+    }
+    if unbiased >= -14 {
+        // Normal f16: 10 mantissa bits survive; round to nearest-even on the
+        // 13 discarded bits.
+        let mut m = mantissa >> 13;
+        let rest = mantissa & 0x1fff;
+        if rest > 0x1000 || (rest == 0x1000 && (m & 1) == 1) {
+            m += 1;
+        }
+        let e = (unbiased + 15) as u32;
+        // A mantissa carry bumps the exponent (and can round up to infinity).
+        return sign | (((e << 10) + m) as u16);
+    }
+    if unbiased >= -25 {
+        // Subnormal f16: shift the implicit leading 1 into the mantissa.
+        let m = mantissa | 0x0080_0000;
+        let shift = (-1 - unbiased) as u32; // 14 for the largest subnormal, up to 24
+        let mut half_m = m >> shift;
+        let rest = m & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        if rest > halfway || (rest == halfway && (half_m & 1) == 1) {
+            half_m += 1;
+        }
+        return sign | half_m as u16;
+    }
+    sign // underflow to signed zero
+}
+
+/// Converts an f16 bit pattern to the f32 it denotes (always exact).
+pub fn f16_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    let mantissa = (bits & 0x03ff) as u32;
+    let out = match (exp, mantissa) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: normalise into an f32.
+            let shift = m.leading_zeros() - 21; // 10 − (position of the leading bit)
+            let m = (m << shift) & 0x03ff; // drop the now-implicit leading 1
+            let e = 127 - 14 - shift;
+            sign | (e << 23) | (m << 13)
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,
+        (0x1f, m) => sign | 0x7f80_0000 | (m << 13) | 0x0040_0000,
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(out)
+}
+
+/// Reads the f16 at element index `idx` of a little-endian byte buffer.
+pub fn read_f16(bytes: &[u8], idx: usize) -> f32 {
+    f16_to_f32(u16::from_le_bytes([bytes[2 * idx], bytes[2 * idx + 1]]))
+}
+
+/// Writes `value` as a little-endian f16 at element index `idx`.
+pub fn write_f16(bytes: &mut [u8], idx: usize, value: f32) {
+    bytes[2 * idx..2 * idx + 2].copy_from_slice(&f32_to_f16(value).to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_f16_value_roundtrips_exactly() {
+        for bits in 0..=u16::MAX {
+            let f = f16_to_f32(bits);
+            if f.is_nan() {
+                assert!(f16_to_f32(f32_to_f16(f)).is_nan());
+            } else {
+                assert_eq!(f32_to_f16(f), bits, "bits {bits:#06x} -> {f} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn known_values_convert_correctly() {
+        assert_eq!(f16_to_f32(0x3c00), 1.0);
+        assert_eq!(f16_to_f32(0xc000), -2.0);
+        assert_eq!(f16_to_f32(0x7bff), 65504.0); // largest finite f16
+        assert_eq!(f32_to_f16(0.5), 0x3800);
+        assert_eq!(f32_to_f16(1e6), 0x7c00, "overflow saturates to +inf");
+        assert_eq!(f32_to_f16(-0.0), 0x8000);
+        assert_eq!(f32_to_f16(6e-8) & 0x7c00, 0, "tiny values go subnormal");
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 sits exactly between 1.0 and the next f16; ties go even.
+        let halfway = 1.0 + f32::powi(2.0, -11);
+        assert_eq!(f32_to_f16(halfway), 0x3c00);
+        let above = 1.0 + f32::powi(2.0, -11) * 1.5;
+        assert_eq!(f32_to_f16(above), 0x3c01);
+    }
+
+    #[test]
+    fn buffer_accessors_are_little_endian() {
+        let mut buf = [0u8; 4];
+        write_f16(&mut buf, 0, 1.5);
+        write_f16(&mut buf, 1, -0.25);
+        assert_eq!(read_f16(&buf, 0), 1.5);
+        assert_eq!(read_f16(&buf, 1), -0.25);
+        assert_eq!(buf[0..2], f32_to_f16(1.5).to_le_bytes());
+    }
+}

@@ -24,21 +24,35 @@
 //!   pages.  One session can never observe another's private suffix — a
 //!   suffix page is only reachable through a chain that reproduces its exact
 //!   content.
-//! * Under secure-memory pressure cold pages are *spilled*: sealed with
-//!   AES-CTR and HMAC (see [`tee_kernel::kv_pool`] for the byte-exact path)
-//!   and moved to normal-world CMA memory.  Sealing a shared page seals
-//!   **one copy**,
+//! * Under secure-memory pressure cold pages are *spilled*: optionally
+//!   block-quantized to INT8/INT4 ([`KvConfig::spill_format`]), then sealed
+//!   with AES-CTR and HMAC (see [`tee_kernel::kv_pool`] for the byte-exact
+//!   path) and moved to normal-world CMA memory.  The pool accounts
+//!   **resident f16 bytes** and **spilled compressed bytes** separately: a
+//!   fixed [`KvConfig::spill_budget`] holds ~1.94× the pages at INT8 and
+//!   ~3.77× at INT4, and restoring a quantized page pays a dequantization
+//!   pass ([`KvReuse::dequant_bytes`]) on top of the MAC + decrypt — the
+//!   serving layer charges both to the decrypt lane, where they hide behind
+//!   the prefill's NPU window.  Sealing a shared page seals **one copy**,
 //!   not one per referencing session, and unsealing it once serves them all.
 //! * A page is dropped outright only when nothing references it (the last
 //!   referencing session released it, or spill is disabled and the budget
 //!   forces a truncation, which releases the references first).
+//! * With [`KvConfig::popularity_retention`] on, spill/eviction victims are
+//!   weighted by reference count before recency: a system-prompt page twenty
+//!   sessions reference outlives a refs-1 private suffix under pressure,
+//!   because it is worth twenty sessions' prefill per secure byte.
 //!
 //! With [`KvConfig::shared`] off, page keys are salted per session and the
-//! pool degenerates to the previous per-session retention semantics.
+//! pool degenerates to the previous per-session retention semantics.  With
+//! [`KvConfig::spill_format`] at its [`SpillFormat::F16`] default every
+//! compressed count equals its plain count and no dequant is ever charged —
+//! quantization off is invisible.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use sim_core::SimTime;
+use tz_quant::SpillFormat;
 
 /// Serving-layer configuration of the KV-cache manager.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,11 +74,22 @@ pub struct KvConfig {
     /// Whether cold pages are sealed and spilled to normal-world CMA memory
     /// (`false` drops them immediately — spill-free ablation).
     pub spill: bool,
-    /// Maximum sealed bytes resident in normal-world CMA memory.
+    /// Maximum sealed bytes resident in normal-world CMA memory, counted in
+    /// *compressed* (post-quantization) bytes — what the CMA actually holds.
     pub spill_budget: u64,
     /// Maximum sessions with retained KV state; the coldest beyond this are
     /// dropped entirely.
     pub max_sessions: usize,
+    /// How sealed pages are encoded in spill memory.  [`SpillFormat::F16`]
+    /// reproduces the unquantized behaviour exactly; INT8/INT4 stretch the
+    /// spill budget 2–4× at the cost of the format's modelled quantization
+    /// noise and a dequant pass on restore.
+    pub spill_format: SpillFormat,
+    /// Weight spill/eviction victim selection by reference count before
+    /// recency, so highly shared pages (a fleet-wide system prompt) outlive
+    /// single-session state under pressure.  Off reproduces pure
+    /// LRU/deepest-first victim order.
+    pub popularity_retention: bool,
 }
 
 impl KvConfig {
@@ -79,6 +104,8 @@ impl KvConfig {
             spill: true,
             spill_budget: sim_core::GIB,
             max_sessions: 64,
+            spill_format: SpillFormat::F16,
+            popularity_retention: false,
         }
     }
 
@@ -90,6 +117,26 @@ impl KvConfig {
             ..Self::disabled()
         }
     }
+
+    /// The chat setup with quantized sealed spill and popularity-weighted
+    /// retention: the same secure budget, but the normal-world spill region
+    /// holds `format.expansion()`× the pages and highly shared pages are the
+    /// last to go.
+    pub fn chat_quantized(format: SpillFormat) -> Self {
+        KvConfig {
+            spill_format: format,
+            popularity_retention: true,
+            ..Self::chat_default()
+        }
+    }
+
+    /// Picks the densest spill format whose modelled quantization noise
+    /// (fraction of block full scale, RMS) fits `noise_budget` — the quality
+    /// knob: `0.0` keeps f16, `0.003` admits INT8, `0.05` admits INT4.
+    pub fn with_noise_budget(mut self, noise_budget: f64) -> Self {
+        self.spill_format = SpillFormat::for_noise_budget(noise_budget);
+        self
+    }
 }
 
 /// What a dispatch gets out of the pool for one request.
@@ -97,9 +144,12 @@ impl KvConfig {
 pub struct KvReuse {
     /// Prefix tokens served from retained KV state (no prefill needed).
     pub reused_tokens: usize,
-    /// Bytes of that prefix that were sealed and must be unsealed (verified
-    /// + decrypted) on the CPU decrypt lane before use.
+    /// *Compressed* bytes of that prefix that were sealed and must be
+    /// unsealed (verified + decrypted) on the CPU decrypt lane before use.
     pub unseal_bytes: u64,
+    /// f16 bytes reconstructed by dequantization after the decrypt (zero
+    /// under [`SpillFormat::F16`]); charged to the same decrypt lane.
+    pub dequant_bytes: u64,
     /// Of the reused tokens, how many came from shared pages this session
     /// did not itself retain — cross-session hits.
     pub shared_tokens: usize,
@@ -108,21 +158,58 @@ pub struct KvReuse {
 /// Cumulative byte counters of the pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KvStats {
-    /// Bytes sealed and spilled to normal-world memory (one copy per shared
-    /// page, however many sessions reference it).
+    /// Plain (f16) bytes sealed and spilled to normal-world memory (one copy
+    /// per shared page, however many sessions reference it).
     pub spilled_bytes: u64,
-    /// Sealed bytes unsealed at dispatch time (on the service's CPU lane).
+    /// Compressed bytes those seals actually wrote to normal-world memory
+    /// (equals `spilled_bytes` under [`SpillFormat::F16`]).
+    pub spilled_compressed_bytes: u64,
+    /// Sealed (compressed) bytes unsealed at dispatch time (on the service's
+    /// CPU lane).
     pub unsealed_bytes: u64,
-    /// Sealed bytes unsealed ahead of dispatch on idle lanes.
+    /// Sealed (compressed) bytes unsealed ahead of dispatch on idle lanes.
     pub prewarmed_bytes: u64,
-    /// Retained bytes dropped (budget pressure, divergence, eviction) — the
-    /// tokens they held re-prefill on their next use.
+    /// f16 bytes reconstructed by dequantization across dispatch-time
+    /// unseals and prewarms (zero under [`SpillFormat::F16`]).
+    pub dequant_bytes: u64,
+    /// Retained (plain) bytes dropped (budget pressure, divergence,
+    /// eviction) — the tokens they held re-prefill on their next use.
     pub dropped_bytes: u64,
     /// Prefix tokens served from pages the session did not itself retain.
     pub shared_tokens: u64,
     /// Peak of `Σ (refs − 1) × page bytes` over the run: secure bytes the
     /// content-addressed store saved versus per-session copies.
     pub peak_deduped_bytes: u64,
+    /// Peak number of sealed pages/tails simultaneously held in the spill
+    /// region — at equal `spill_budget`, a quantized format holds
+    /// `expansion()`× more of these.
+    pub peak_sealed_pages: u64,
+    /// Peak compressed bytes simultaneously held in the spill region.
+    pub peak_sealed_bytes: u64,
+}
+
+/// Per-model introspection of the content-addressed chain store: where the
+/// sharing wins come from, exposed through `FleetStats` so benchmarks can
+/// report it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainStoreStats {
+    /// Interned model identity.
+    pub model: u32,
+    /// Pages in the store for this model (resident + sealed).
+    pub pages: usize,
+    /// Of those, resident in secure memory.
+    pub resident_pages: usize,
+    /// Of those, sealed out to normal-world spill.
+    pub sealed_pages: usize,
+    /// `(reference count, page count)` pairs, ascending by refs — the
+    /// sharing histogram (refs 0 = lingering cache, refs ≥ 2 = deduped).
+    pub refs_histogram: Vec<(u32, usize)>,
+    /// Deepest chain position present (+1 = longest retained chain, pages).
+    pub max_depth: u32,
+    /// Plain bytes of the resident pages.
+    pub resident_bytes: u64,
+    /// Compressed bytes of the sealed pages.
+    pub sealed_bytes: u64,
 }
 
 /// The identity of one whole KV page in the content-addressed store.
@@ -175,13 +262,27 @@ pub struct KvPool {
     spill: bool,
     spill_budget: u64,
     max_sessions: usize,
+    format: SpillFormat,
+    popularity: bool,
     pages: BTreeMap<PageKey, PageEntry>,
     sessions: BTreeMap<u64, SessionKv>,
     resident_bytes: u64,
+    /// Compressed bytes in the spill region (the CMA footprint).
     sealed_bytes: u64,
+    /// Sealed pages/tails currently in the spill region.
+    sealed_pages: u64,
     /// Live `Σ (refs − 1) × bytes` over all pages.
     deduped_bytes: u64,
+    /// `reuse_plan` calls by whole pages matched (the hit-depth
+    /// distribution).
+    hit_depth: BTreeMap<u32, u64>,
     stats: KvStats,
+}
+
+/// Compressed footprint of `plain` f16 bytes under `format` — shared by the
+/// free-standing accounting sites that already hold field borrows.
+fn comp_len(format: SpillFormat, plain: u64) -> u64 {
+    format.sealed_len(plain as usize) as u64
 }
 
 impl KvPool {
@@ -193,11 +294,15 @@ impl KvPool {
             spill: config.spill,
             spill_budget: config.spill_budget,
             max_sessions: config.max_sessions.max(1),
+            format: config.spill_format,
+            popularity: config.popularity_retention,
             pages: BTreeMap::new(),
             sessions: BTreeMap::new(),
             resident_bytes: 0,
             sealed_bytes: 0,
+            sealed_pages: 0,
             deduped_bytes: 0,
+            hit_depth: BTreeMap::new(),
             stats: KvStats::default(),
         }
     }
@@ -208,9 +313,20 @@ impl KvPool {
         self.resident_bytes
     }
 
-    /// Bytes currently sealed in normal-world memory.
+    /// Compressed bytes currently sealed in normal-world memory — the CMA
+    /// footprint the spill budget bounds.
     pub fn sealed_bytes(&self) -> u64 {
         self.sealed_bytes
+    }
+
+    /// Sealed pages/tails currently in the spill region.
+    pub fn sealed_pages(&self) -> u64 {
+        self.sealed_pages
+    }
+
+    /// The spill encoding this pool seals evicted pages with.
+    pub fn spill_format(&self) -> SpillFormat {
+        self.format
     }
 
     /// Sessions with retained state.
@@ -232,6 +348,56 @@ impl KvPool {
     /// Cumulative counters.
     pub fn stats(&self) -> KvStats {
         self.stats
+    }
+
+    /// Per-model snapshot of the content-addressed chain store: page counts,
+    /// residency split, the refs histogram and the deepest chain — where the
+    /// sharing wins come from.  Salted (sharing-off) pages report under
+    /// their model too, with refs ≤ 1 by construction.
+    pub fn chain_stats(&self) -> Vec<ChainStoreStats> {
+        let mut out: Vec<ChainStoreStats> = Vec::new();
+        for (key, entry) in &self.pages {
+            let stats = match out.iter_mut().find(|s| s.model == key.model) {
+                Some(s) => s,
+                None => {
+                    out.push(ChainStoreStats {
+                        model: key.model,
+                        pages: 0,
+                        resident_pages: 0,
+                        sealed_pages: 0,
+                        refs_histogram: Vec::new(),
+                        max_depth: 0,
+                        resident_bytes: 0,
+                        sealed_bytes: 0,
+                    });
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            stats.pages += 1;
+            if entry.sealed {
+                stats.sealed_pages += 1;
+                stats.sealed_bytes += comp_len(self.format, entry.bytes);
+            } else {
+                stats.resident_pages += 1;
+                stats.resident_bytes += entry.bytes;
+            }
+            stats.max_depth = stats.max_depth.max(entry.depth + 1);
+            match stats
+                .refs_histogram
+                .binary_search_by_key(&entry.refs, |&(r, _)| r)
+            {
+                Ok(i) => stats.refs_histogram[i].1 += 1,
+                Err(i) => stats.refs_histogram.insert(i, (entry.refs, 1)),
+            }
+        }
+        out
+    }
+
+    /// The hit-depth distribution: for each whole-page chain depth, how many
+    /// dispatches matched exactly that many leading pages in the store
+    /// (depth 0 = full miss).  Ascending by depth.
+    pub fn hit_depth_histogram(&self) -> Vec<(u32, u64)> {
+        self.hit_depth.iter().map(|(&d, &n)| (d, n)).collect()
     }
 
     /// Whole tokens per page for a model storing `bytes_per_token`.
@@ -306,7 +472,8 @@ impl KvPool {
         };
         debug_assert_eq!(entry.refs, 0, "only unreferenced pages are removed");
         if entry.sealed {
-            self.sealed_bytes -= entry.bytes;
+            self.sealed_bytes -= comp_len(self.format, entry.bytes);
+            self.sealed_pages -= 1;
         } else {
             self.resident_bytes -= entry.bytes;
         }
@@ -328,7 +495,8 @@ impl KvPool {
         let empty = kv.page_hashes.is_empty();
         if tail_bytes > 0 {
             if tail_sealed {
-                self.sealed_bytes -= tail_bytes;
+                self.sealed_bytes -= comp_len(self.format, tail_bytes);
+                self.sealed_pages -= 1;
             } else {
                 self.resident_bytes -= tail_bytes;
             }
@@ -402,17 +570,28 @@ impl KvPool {
             }
         }
 
-        // Unseal and touch the matched pages.
+        // Unseal and touch the matched pages.  Unseal work is counted in
+        // compressed bytes (MAC + decrypt over what the spill actually
+        // holds); a quantized format additionally pays a dequant pass over
+        // the reconstructed f16 bytes.
         let mut unseal_bytes = 0u64;
+        let mut dequant_bytes = 0u64;
+        let quantized = self.format.is_quantized();
         for &hash in &page_hashes[..matched] {
             let key = self.key(session, model, hash);
             let entry = self.pages.get_mut(&key).expect("matched page exists");
             if entry.sealed {
                 entry.sealed = false;
-                self.sealed_bytes -= entry.bytes;
+                let comp = comp_len(self.format, entry.bytes);
+                self.sealed_bytes -= comp;
+                self.sealed_pages -= 1;
                 self.resident_bytes += entry.bytes;
-                unseal_bytes += entry.bytes;
-                self.stats.unsealed_bytes += entry.bytes;
+                unseal_bytes += comp;
+                self.stats.unsealed_bytes += comp;
+                if quantized {
+                    dequant_bytes += entry.bytes;
+                    self.stats.dequant_bytes += entry.bytes;
+                }
             }
             entry.last_use = now;
         }
@@ -429,7 +608,14 @@ impl KvPool {
                     // Tail tokens past the declared overlap are stale.
                     let db = diverged as u64 * kv.bytes_per_token;
                     if kv.tail_sealed {
-                        self.sealed_bytes -= db;
+                        let old_tb = kv.tail_tokens as u64 * kv.bytes_per_token;
+                        let new_tb = valid as u64 * kv.bytes_per_token;
+                        self.sealed_bytes -=
+                            comp_len(self.format, old_tb) - comp_len(self.format, new_tb);
+                        if valid == 0 {
+                            kv.tail_sealed = false;
+                            self.sealed_pages -= 1;
+                        }
                     } else {
                         self.resident_bytes -= db;
                     }
@@ -439,14 +625,23 @@ impl KvPool {
                 tail_reuse = valid.min(max_reuse.saturating_sub(offset));
                 if tail_reuse > 0 && kv.tail_sealed {
                     let tb = kv.tail_tokens as u64 * kv.bytes_per_token;
+                    let comp = comp_len(self.format, tb);
                     kv.tail_sealed = false;
-                    self.sealed_bytes -= tb;
+                    self.sealed_bytes -= comp;
+                    self.sealed_pages -= 1;
                     self.resident_bytes += tb;
-                    unseal_bytes += tb;
-                    self.stats.unsealed_bytes += tb;
+                    unseal_bytes += comp;
+                    self.stats.unsealed_bytes += comp;
+                    if quantized {
+                        dequant_bytes += tb;
+                        self.stats.dequant_bytes += tb;
+                    }
                 }
             }
         }
+
+        // The hit-depth distribution records every dispatch, misses included.
+        *self.hit_depth.entry(matched as u32).or_insert(0) += 1;
 
         if matched == 0 && tail_reuse == 0 {
             if let Some(kv) = self.sessions.get_mut(&session) {
@@ -468,7 +663,8 @@ impl KvPool {
                     let tb = kv.tail_tokens as u64 * kv.bytes_per_token;
                     if tb > 0 {
                         if kv.tail_sealed {
-                            self.sealed_bytes -= tb;
+                            self.sealed_bytes -= comp_len(self.format, tb);
+                            self.sealed_pages -= 1;
                         } else {
                             self.resident_bytes -= tb;
                         }
@@ -501,6 +697,7 @@ impl KvPool {
         KvReuse {
             reused_tokens: matched * pt + tail_reuse,
             unseal_bytes,
+            dequant_bytes,
             shared_tokens,
         }
     }
@@ -540,7 +737,10 @@ impl KvPool {
             }
             let tb = old.tail_tokens as u64 * old.bytes_per_token;
             if old.tail_sealed {
-                self.sealed_bytes -= tb;
+                self.sealed_bytes -= comp_len(self.format, tb);
+                if tb > 0 {
+                    self.sealed_pages -= 1;
+                }
             } else {
                 self.resident_bytes -= tb;
             }
@@ -578,9 +778,9 @@ impl KvPool {
         self.note_dedup();
     }
 
-    /// Sealed bytes a dispatch of this prompt would have to unseal — what
-    /// restore-ahead could unseal on idle lanes before the queued request
-    /// dispatches.
+    /// Sealed *compressed* bytes a dispatch of this prompt would have to
+    /// unseal — what restore-ahead could unseal on idle lanes before the
+    /// queued request dispatches.
     pub fn sealed_bytes_for(
         &self,
         session: u64,
@@ -595,7 +795,7 @@ impl KvPool {
             match self.pages.get(&key) {
                 Some(entry) => {
                     if entry.sealed {
-                        total += entry.bytes;
+                        total += comp_len(self.format, entry.bytes);
                     }
                     matched += 1;
                 }
@@ -609,15 +809,18 @@ impl KvPool {
                 && kv.page_hashes.len() <= matched
                 && kv.page_hashes.iter().zip(page_hashes).all(|(a, b)| a == b)
             {
-                total += kv.tail_tokens as u64 * kv.bytes_per_token;
+                total += comp_len(self.format, kv.tail_tokens as u64 * kv.bytes_per_token);
             }
         }
         total
     }
 
-    /// Unseals up to `budget_bytes` of the sealed state a dispatch of this
-    /// prompt would claim (restore-ahead on idle lanes), leading pages
-    /// first, returning the bytes actually credited.
+    /// Unseals up to `budget_bytes` *compressed* bytes of the sealed state a
+    /// dispatch of this prompt would claim (restore-ahead on idle lanes),
+    /// leading pages first, returning the compressed bytes actually
+    /// credited.  The budget is in compressed bytes because that is what the
+    /// decrypt lane streams; the serving layer derates its crediting rate by
+    /// the dequant cost per compressed byte.
     pub fn prewarm(
         &mut self,
         session: u64,
@@ -627,6 +830,7 @@ impl KvPool {
         budget_bytes: u64,
         now: SimTime,
     ) -> u64 {
+        let quantized = self.format.is_quantized();
         let mut credited = 0u64;
         let mut matched = 0usize;
         while matched < page_hashes.len() {
@@ -635,15 +839,20 @@ impl KvPool {
                 break;
             };
             if entry.sealed {
-                if credited + entry.bytes > budget_bytes {
+                let comp = comp_len(self.format, entry.bytes);
+                if credited + comp > budget_bytes {
                     break;
                 }
                 entry.sealed = false;
                 entry.last_use = now;
-                self.sealed_bytes -= entry.bytes;
+                self.sealed_bytes -= comp;
+                self.sealed_pages -= 1;
                 self.resident_bytes += entry.bytes;
-                self.stats.prewarmed_bytes += entry.bytes;
-                credited += entry.bytes;
+                self.stats.prewarmed_bytes += comp;
+                if quantized {
+                    self.stats.dequant_bytes += entry.bytes;
+                }
+                credited += comp;
             }
             matched += 1;
         }
@@ -656,12 +865,17 @@ impl KvPool {
                     && kv.page_hashes.iter().zip(page_hashes).all(|(a, b)| a == b);
                 if continues {
                     let tb = kv.tail_tokens as u64 * kv.bytes_per_token;
-                    if credited + tb <= budget_bytes {
+                    let comp = comp_len(self.format, tb);
+                    if credited + comp <= budget_bytes {
                         kv.tail_sealed = false;
-                        self.sealed_bytes -= tb;
+                        self.sealed_bytes -= comp;
+                        self.sealed_pages -= 1;
                         self.resident_bytes += tb;
-                        self.stats.prewarmed_bytes += tb;
-                        credited += tb;
+                        self.stats.prewarmed_bytes += comp;
+                        if quantized {
+                            self.stats.dequant_bytes += tb;
+                        }
+                        credited += comp;
                     }
                 }
             }
@@ -693,19 +907,25 @@ impl KvPool {
         let _ = now;
         let pinned = self.pinned_pages(active);
 
-        // Resident pressure: seal (spill on) or drop (spill off) coldest.
+        // Resident pressure: seal (spill on) or drop (spill off) the worst
+        // victim.  With popularity retention on, reference count leads the
+        // rank: a page twenty sessions share is the last to leave secure
+        // memory, because each secure byte it occupies saves twenty
+        // sessions' prefill.  A private tail counts as one reference.
         while self.resident_bytes > secure_budget {
             #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
             enum Victim {
                 Page(PageKey),
                 Tail(u64),
             }
-            let mut best: Option<((SimTime, u32), Victim)> = None;
+            let popularity = self.popularity;
+            let weight = |refs: u32| if popularity { refs } else { 0 };
+            let mut best: Option<((u32, SimTime, u32), Victim)> = None;
             for (&key, entry) in &self.pages {
                 if entry.sealed || pinned.contains(&key) {
                     continue;
                 }
-                let rank = (entry.last_use, u32::MAX - entry.depth);
+                let rank = (weight(entry.refs), entry.last_use, u32::MAX - entry.depth);
                 if best.as_ref().is_none_or(|(r, _)| rank < *r) {
                     best = Some((rank, Victim::Page(key)));
                 }
@@ -714,7 +934,11 @@ impl KvPool {
                 if active.contains(&session) || kv.tail_tokens == 0 || kv.tail_sealed {
                     continue;
                 }
-                let rank = (kv.last_use, u32::MAX - kv.page_hashes.len() as u32);
+                let rank = (
+                    weight(1),
+                    kv.last_use,
+                    u32::MAX - kv.page_hashes.len() as u32,
+                );
                 if best.as_ref().is_none_or(|(r, _)| rank < *r) {
                     best = Some((rank, Victim::Tail(session)));
                 }
@@ -724,9 +948,13 @@ impl KvPool {
                     if self.spill {
                         let entry = self.pages.get_mut(&key).expect("victim exists");
                         entry.sealed = true;
-                        self.resident_bytes -= entry.bytes;
-                        self.sealed_bytes += entry.bytes;
-                        self.stats.spilled_bytes += entry.bytes;
+                        let plain = entry.bytes;
+                        let comp = comp_len(self.format, plain);
+                        self.resident_bytes -= plain;
+                        self.sealed_bytes += comp;
+                        self.sealed_pages += 1;
+                        self.stats.spilled_bytes += plain;
+                        self.stats.spilled_compressed_bytes += comp;
                     } else {
                         self.evict_page(key);
                     }
@@ -737,8 +965,11 @@ impl KvPool {
                     self.resident_bytes -= tb;
                     if self.spill {
                         kv.tail_sealed = true;
-                        self.sealed_bytes += tb;
+                        let comp = comp_len(self.format, tb);
+                        self.sealed_bytes += comp;
+                        self.sealed_pages += 1;
                         self.stats.spilled_bytes += tb;
+                        self.stats.spilled_compressed_bytes += comp;
                     } else {
                         kv.tail_tokens = 0;
                         self.stats.dropped_bytes += tb;
@@ -775,18 +1006,23 @@ impl KvPool {
                 let tb = kv.tail_tokens as u64 * kv.bytes_per_token;
                 kv.tail_tokens = 0;
                 kv.tail_sealed = false;
-                self.sealed_bytes -= tb;
+                self.sealed_bytes -= comp_len(self.format, tb);
+                self.sealed_pages -= 1;
                 self.stats.dropped_bytes += tb;
                 if kv.page_hashes.is_empty() {
                     self.sessions.remove(&session);
                 }
                 continue;
             }
+            let popularity = self.popularity;
             let referenced = self
                 .pages
                 .iter()
                 .filter(|(k, e)| e.sealed && !pinned.contains(k))
-                .min_by_key(|(&k, e)| ((e.last_use, u32::MAX - e.depth), k))
+                .min_by_key(|(&k, e)| {
+                    let refs = if popularity { e.refs } else { 0 };
+                    ((refs, e.last_use, u32::MAX - e.depth), k)
+                })
                 .map(|(&k, _)| k);
             match referenced {
                 Some(key) => self.evict_page(key),
@@ -806,6 +1042,11 @@ impl KvPool {
                 None => break,
             }
         }
+
+        // Steady-state spill occupancy, sampled after trimming: at equal
+        // budget a quantized format peaks `expansion()`× higher page counts.
+        self.stats.peak_sealed_pages = self.stats.peak_sealed_pages.max(self.sealed_pages);
+        self.stats.peak_sealed_bytes = self.stats.peak_sealed_bytes.max(self.sealed_bytes);
     }
 
     /// Drops a store page outright: releases it from every referencing
@@ -852,6 +1093,8 @@ mod tests {
             spill,
             spill_budget: 1 << 40,
             max_sessions: 8,
+            spill_format: SpillFormat::F16,
+            popularity_retention: false,
         }
     }
 
@@ -1140,6 +1383,183 @@ mod tests {
         let own = p.reuse_plan(1, 0, &a.page_keys(PT), BPT, 72, 71, t(3));
         assert_eq!(own.reused_tokens, 71);
         assert_eq!(own.shared_tokens, 0);
+    }
+
+    // ---- quantized sealed spill ----
+
+    /// Compressed bytes of one whole test page under `format`.
+    fn comp_page(format: SpillFormat) -> u64 {
+        format.sealed_len((PT as u64 * BPT) as usize) as u64
+    }
+
+    fn quant_config(format: SpillFormat) -> KvConfig {
+        KvConfig {
+            spill_format: format,
+            ..config(true, true)
+        }
+    }
+
+    #[test]
+    fn int8_spill_accounts_compressed_bytes_and_charges_dequant() {
+        let mut p = KvPool::new(&quant_config(SpillFormat::Int8));
+        let h = hashes(1, 64); // 4 whole pages, no tail
+        p.on_complete(1, 0, &h, 64, BPT, t(0));
+        p.enforce(0, &BTreeSet::new(), t(1));
+        assert_eq!(p.resident_bytes(), 0);
+        assert_eq!(p.sealed_pages(), 4);
+        let comp = comp_page(SpillFormat::Int8);
+        assert_eq!(p.sealed_bytes(), 4 * comp, "spill holds compressed bytes");
+        assert!(
+            p.sealed_bytes() < 64 * BPT / 18 * 10,
+            "well under 0.56x f16"
+        );
+        assert_eq!(
+            p.stats().spilled_bytes,
+            64 * BPT,
+            "plain bytes, for drop accounting"
+        );
+        assert_eq!(p.stats().spilled_compressed_bytes, 4 * comp);
+
+        // Restore pays MAC+decrypt over compressed bytes plus a dequant pass
+        // over the full f16 bytes.
+        let reuse = p.reuse_plan(1, 0, &h, BPT, 64, 1000, t(2));
+        assert_eq!(reuse.reused_tokens, 64);
+        assert_eq!(reuse.unseal_bytes, 4 * comp);
+        assert_eq!(reuse.dequant_bytes, 64 * BPT);
+        assert_eq!(p.sealed_bytes(), 0);
+        assert_eq!(p.sealed_pages(), 0);
+        assert_eq!(p.resident_bytes(), 64 * BPT, "resident state is full f16");
+        assert_eq!(p.stats().dequant_bytes, 64 * BPT);
+    }
+
+    #[test]
+    fn f16_format_never_reports_compression_or_dequant() {
+        let mut p = pool(true);
+        let h = hashes(2, 64);
+        p.on_complete(1, 0, &h, 64, BPT, t(0));
+        p.enforce(0, &BTreeSet::new(), t(1));
+        let s = p.stats();
+        assert_eq!(s.spilled_compressed_bytes, s.spilled_bytes);
+        assert_eq!(p.sealed_bytes(), 64 * BPT);
+        let reuse = p.reuse_plan(1, 0, &h, BPT, 64, 63, t(2));
+        assert_eq!(reuse.dequant_bytes, 0);
+        assert_eq!(p.stats().dequant_bytes, 0);
+    }
+
+    #[test]
+    fn equal_spill_budget_holds_about_double_the_pages_at_int8() {
+        // 64 pages of content squeezed through a spill budget of 16 f16
+        // pages: F16 keeps 16 sealed pages, INT8 keeps ~31 — ≥ 1.9x.
+        let budget = 16 * PT as u64 * BPT;
+        let run = |format: SpillFormat| {
+            let mut p = KvPool::new(&KvConfig {
+                spill_budget: budget,
+                ..quant_config(format)
+            });
+            let h = hashes(9, 64 * PT);
+            p.on_complete(1, 0, &h, 64 * PT, BPT, t(0));
+            p.enforce(0, &BTreeSet::new(), t(1));
+            assert!(p.sealed_bytes() <= budget);
+            p.sealed_pages()
+        };
+        let (f16_pages, int8_pages, int4_pages) = (
+            run(SpillFormat::F16),
+            run(SpillFormat::Int8),
+            run(SpillFormat::Int4),
+        );
+        assert_eq!(f16_pages, 16);
+        assert!(
+            int8_pages as f64 >= 1.9 * f16_pages as f64,
+            "int8 holds {int8_pages} vs f16 {f16_pages}"
+        );
+        assert!(
+            int4_pages as f64 >= 3.7 * f16_pages as f64,
+            "int4 holds {int4_pages} vs f16 {f16_pages}"
+        );
+    }
+
+    #[test]
+    fn popularity_retention_keeps_the_shared_head_resident() {
+        // A 2-page head shared by two (cold) sessions, plus a warmer
+        // single-session page.  Pure LRU seals the cold shared head; with
+        // popularity retention the refs-1 page goes first even though it is
+        // the most recently used.
+        let head = PromptContent::from_seed(77, 32);
+        let solo = hashes(78, 32);
+        let run = |popularity: bool| {
+            let mut p = KvPool::new(&KvConfig {
+                popularity_retention: popularity,
+                ..config(true, true)
+            });
+            p.on_complete(1, 0, &head.page_keys(PT), 32, BPT, t(0));
+            p.on_complete(2, 0, &head.page_keys(PT), 32, BPT, t(1));
+            p.on_complete(3, 0, &solo, 32, BPT, t(10));
+            // 4 resident pages (head deduped); room for only 2.
+            p.enforce(32 * BPT, &BTreeSet::new(), t(11));
+            (
+                p.sealed_bytes_for(1, 0, &head.page_keys(PT), BPT),
+                p.sealed_bytes_for(3, 0, &solo, BPT),
+            )
+        };
+        let (head_sealed_lru, solo_sealed_lru) = run(false);
+        assert!(head_sealed_lru > 0, "LRU seals the cold shared head");
+        assert_eq!(solo_sealed_lru, 0);
+        let (head_sealed_pop, solo_sealed_pop) = run(true);
+        assert_eq!(head_sealed_pop, 0, "popularity keeps the refs-2 head");
+        assert!(solo_sealed_pop > 0, "the refs-1 page is the victim");
+    }
+
+    #[test]
+    fn chain_stats_and_hit_depth_expose_where_sharing_wins() {
+        let mut p = pool(true);
+        let head = PromptContent::from_seed(5, 32); // 2 shared pages
+        let a = head.extended(1, 32);
+        let b = head.extended(2, 32);
+        p.on_complete(1, 0, &a.page_keys(PT), 64, BPT, t(0));
+        p.on_complete(2, 0, &b.page_keys(PT), 64, BPT, t(1));
+        p.reuse_plan(1, 0, &a.page_keys(PT), BPT, 64, 1000, t(2)); // depth-4 hit
+        let fresh = hashes(99, 32);
+        p.reuse_plan(3, 0, &fresh, BPT, 0, 31, t(3)); // miss
+
+        let stats = p.chain_stats();
+        assert_eq!(stats.len(), 1, "one model in play");
+        let s = &stats[0];
+        assert_eq!(s.model, 0);
+        assert_eq!(s.pages, 6, "2 shared head + 2 private tails each");
+        assert_eq!(s.resident_pages, 6);
+        assert_eq!(s.max_depth, 4);
+        // Refs histogram: 4 private pages at refs 1, 2 head pages at refs 2.
+        assert_eq!(s.refs_histogram, vec![(1, 4), (2, 2)]);
+        assert_eq!(s.resident_bytes, 6 * 16 * BPT);
+
+        let depths = p.hit_depth_histogram();
+        assert_eq!(depths, vec![(0, 1), (4, 1)]);
+
+        // A second model shows up as its own entry.
+        p.on_complete(4, 1, &fresh, 32, BPT, t(4));
+        assert_eq!(p.chain_stats().len(), 2);
+    }
+
+    #[test]
+    fn quality_knob_maps_noise_budgets_to_formats() {
+        assert_eq!(
+            KvConfig::chat_default().with_noise_budget(0.0).spill_format,
+            SpillFormat::F16
+        );
+        assert_eq!(
+            KvConfig::chat_default()
+                .with_noise_budget(0.003)
+                .spill_format,
+            SpillFormat::Int8
+        );
+        assert_eq!(
+            KvConfig::chat_default()
+                .with_noise_budget(0.05)
+                .spill_format,
+            SpillFormat::Int4
+        );
+        let q = KvConfig::chat_quantized(SpillFormat::Int8);
+        assert!(q.popularity_retention && q.enabled);
     }
 
     #[test]

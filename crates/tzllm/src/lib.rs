@@ -32,7 +32,7 @@ pub mod system;
 pub use baseline::{decode_uses_npu, evaluate, strawman_breakdown, SystemKind};
 pub use cache::{CacheController, CachePolicy};
 pub use codriver::{LlmPhase, LlmPlacement, NpuSharingSim, SharingConfig, SharingResult};
-pub use kv::{KvConfig, KvPool, KvReuse, KvStats};
+pub use kv::{ChainStoreStats, KvConfig, KvPool, KvReuse, KvStats};
 pub use pipeline::{simulate, PipelineConfig, PipelineResult, Policy};
 pub use restore::{CriticalPaths, OpLabel, PipeOp, PipeOpKind, RestorePlan, RestoreRates};
 pub use serving::{
@@ -42,3 +42,4 @@ pub use serving::{
 pub use system::{
     cma_occupancy, evaluate_tzllm, InferenceConfig, InferenceReport, PlanCache, TtftBreakdown,
 };
+pub use tz_quant::SpillFormat;

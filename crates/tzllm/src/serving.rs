@@ -76,8 +76,12 @@
 //! with the same head (a product-wide system prompt) references one secure
 //! copy — a **cold first turn** of a brand-new session hits KV state other
 //! sessions produced, and [`FleetStats`] reports the shared-hit rate and
-//! the deduped bytes.  Parameters are senior in the memory budget; see the
-//! [`crate::kv`] module docs for the spill/retention rules.
+//! the deduped bytes.  With a quantized [`crate::kv::KvConfig::spill_format`]
+//! sealed pages cross the world boundary as INT8/INT4 blocks — the spill
+//! budget holds 2–4× the pages — and restores pay a dequant pass charged to
+//! the same decrypt lane, where it hides behind the prefill's NPU window
+//! like the unseal itself.  Parameters are senior in the memory budget; see
+//! the [`crate::kv`] module docs for the spill/retention rules.
 //!
 //! ## Example
 //!
@@ -109,7 +113,7 @@ use tz_hal::PlatformProfile;
 use workloads::{SessionScript, WorkloadSpec};
 
 use crate::cache::{CacheController, CachePolicy};
-use crate::kv::{KvConfig, KvPool};
+use crate::kv::{ChainStoreStats, KvConfig, KvPool};
 use crate::pipeline::Policy;
 use crate::restore::RestoreRates;
 use crate::system::{self, InferenceReport, PlanCache, ServiceParams};
@@ -290,8 +294,11 @@ pub struct RequestRecord {
     /// Of the reused tokens, how many came from shared pages this session
     /// did not itself retain (cross-session prefix hits).
     pub kv_shared_tokens: usize,
-    /// Sealed KV bytes unsealed at dispatch for this request.
+    /// Sealed (compressed) KV bytes unsealed at dispatch for this request.
     pub kv_unsealed_bytes: u64,
+    /// f16 KV bytes dequantized at dispatch for this request (zero unless
+    /// the spill format is quantized).
+    pub kv_dequant_bytes: u64,
     /// The per-request evaluation (service-time TTFT, decode speed, breakdown).
     pub report: InferenceReport,
 }
@@ -368,12 +375,24 @@ pub struct FleetStats {
     pub kv_hit_rate: f64,
     /// Total prompt tokens served from retained KV state.
     pub kv_reused_tokens: u64,
-    /// KV bytes sealed and spilled to normal-world memory.
+    /// Plain (f16) KV bytes sealed and spilled to normal-world memory.
     pub kv_spilled_bytes: u64,
-    /// Sealed KV bytes unsealed at dispatch time.
+    /// Compressed bytes those seals actually wrote to normal-world memory —
+    /// equal to `kv_spilled_bytes` at `SpillFormat::F16`, ~0.52× at INT8,
+    /// ~0.27× at INT4.
+    pub kv_spilled_compressed_bytes: u64,
+    /// Sealed (compressed) KV bytes unsealed at dispatch time.
     pub kv_unsealed_bytes: u64,
-    /// Sealed KV bytes unsealed ahead of dispatch on idle lanes.
+    /// Sealed (compressed) KV bytes unsealed ahead of dispatch on idle lanes.
     pub kv_restore_ahead_bytes: u64,
+    /// f16 bytes reconstructed by dequantization across unseals and
+    /// prewarms (zero unless the spill format is quantized).
+    pub kv_dequant_bytes: u64,
+    /// Peak sealed pages/tails simultaneously held in the spill region — at
+    /// equal spill budget a quantized format holds 2–4× more.
+    pub kv_peak_sealed_pages: u64,
+    /// Peak compressed bytes simultaneously held in the spill region.
+    pub kv_peak_sealed_bytes: u64,
     /// Retained KV bytes dropped (budget pressure, divergence, eviction).
     pub kv_dropped_bytes: u64,
     /// Prompt tokens served from shared pages the session did not itself
@@ -391,6 +410,12 @@ pub struct FleetStats {
     pub followup_ttft_ms: Option<PercentileSummary>,
     /// Service TTFT (dispatch → first token) of follow-up turns, ms.
     pub followup_service_ttft_ms: Option<PercentileSummary>,
+    /// Per-model chain-store snapshot at the end of the run (page counts,
+    /// refs histogram, residency split) — where the sharing wins come from.
+    pub kv_chain: Vec<ChainStoreStats>,
+    /// Dispatch hit-depth distribution: `(whole pages matched, dispatches)`
+    /// pairs, ascending (depth 0 = full miss).
+    pub kv_hit_depth: Vec<(u32, u64)>,
 }
 
 /// Everything a serving run produced.
@@ -504,9 +529,18 @@ struct ServerState {
     restore_ahead_bytes: u64,
     /// The secure KV-cache manager (per-session retained prefixes).
     kv: KvPool,
-    /// Steady-state unseal bandwidth for sealed KV pages (decrypt threads;
-    /// the pages live in DRAM, so no flash read is involved).
+    /// Steady-state unseal bandwidth for sealed KV pages in *compressed*
+    /// bytes/s (decrypt threads; the pages live in DRAM, so no flash read is
+    /// involved).
     kv_unseal_rate: f64,
+    /// Dequantization bandwidth in output (f16) bytes/s on the same decrypt
+    /// threads — the lane cost of expanding a quantized page on restore.
+    kv_dequant_rate: f64,
+    /// Effective restore-ahead crediting rate over compressed bytes: each
+    /// compressed byte pays its decrypt *and* its share of the dequant pass
+    /// (`1 / (1/decrypt + expansion/dequant)`); equals `kv_unseal_rate`
+    /// exactly when the spill format is f16.
+    kv_prewarm_rate: f64,
     kv_requested_tokens: u64,
     kv_reused_tokens: u64,
     kv_restore_ahead_bytes: u64,
@@ -734,7 +768,14 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
         crate::kv::KvReuse::default()
     };
     state.kv_reused_tokens += kv_reuse.reused_tokens as u64;
-    let kv_unseal = SimDuration::from_secs_f64(kv_reuse.unseal_bytes as f64 / state.kv_unseal_rate);
+    // Sealed pages pay MAC + decrypt over their compressed bytes, then (for
+    // a quantized spill format) a dequant pass over the reconstructed f16
+    // bytes — both on the CPU decrypt threads, so both hide behind the
+    // prefill's NPU window and only the excess surfaces in TTFT.
+    let kv_unseal = SimDuration::from_secs_f64(
+        kv_reuse.unseal_bytes as f64 / state.kv_unseal_rate
+            + kv_reuse.dequant_bytes as f64 / state.kv_dequant_rate,
+    );
     // A warm TA restores its suspended framework state; a cold one needs the
     // checkpoint (if it exists) or a full framework initialisation.
     let framework_init = if state.models[midx].warm || state.config.use_checkpoint {
@@ -801,6 +842,7 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
         kv_reused_tokens: kv_reuse.reused_tokens,
         kv_shared_tokens: kv_reuse.shared_tokens,
         kv_unsealed_bytes: kv_reuse.unseal_bytes,
+        kv_dequant_bytes: kv_reuse.dequant_bytes,
         report,
     };
     state.service = Some(ActiveService {
@@ -1051,7 +1093,7 @@ fn maybe_start_restore_ahead(state: &mut ServerState, sched: &mut EventScheduler
     };
     let now = sched.now();
     let rate = state.models[model.0 as usize].restore_rate;
-    let kv_rate = state.kv_unseal_rate;
+    let kv_rate = state.kv_prewarm_rate;
     let kv_bytes = kv.as_ref().map_or(0, |k| k.bytes);
     let holds_flash = param_bytes > 0;
     let (lane_flash, lane_cpu) = (state.lane_flash, state.lane_cpu);
@@ -1203,6 +1245,21 @@ impl Server {
         // Sealed KV pages sit in DRAM, so unsealing is decrypt-bound on the
         // restore threads (no flash read).
         let kv_unseal_rate = config.profile.decrypt_bytes_per_sec;
+        let kv_dequant_rate = config.profile.dequant_bytes_per_sec;
+        // Restore-ahead credits compressed bytes; a quantized format derates
+        // the crediting rate by the f16 expansion each compressed byte must
+        // also pay for on the same threads.  F16 expands nothing, so the
+        // rate degenerates to the plain decrypt rate and the PR-4 numbers
+        // reproduce bit-for-bit.
+        let expansion = if config.kv.spill_format.is_quantized() {
+            config
+                .kv
+                .spill_format
+                .expansion(config.kv.page_bytes.max(1) as usize)
+        } else {
+            0.0
+        };
+        let kv_prewarm_rate = 1.0 / (1.0 / kv_unseal_rate + expansion / kv_dequant_rate);
         Server {
             engine: Engine::new(ServerState {
                 config,
@@ -1220,6 +1277,8 @@ impl Server {
                 restore_ahead_bytes: 0,
                 kv,
                 kv_unseal_rate,
+                kv_dequant_rate,
+                kv_prewarm_rate,
                 kv_requested_tokens: 0,
                 kv_reused_tokens: 0,
                 kv_restore_ahead_bytes: 0,
@@ -1470,8 +1529,12 @@ fn fleet_stats(state: &ServerState) -> FleetStats {
         },
         kv_reused_tokens: state.kv_reused_tokens,
         kv_spilled_bytes: kv_stats.spilled_bytes,
+        kv_spilled_compressed_bytes: kv_stats.spilled_compressed_bytes,
         kv_unsealed_bytes: kv_stats.unsealed_bytes,
         kv_restore_ahead_bytes: state.kv_restore_ahead_bytes,
+        kv_dequant_bytes: kv_stats.dequant_bytes,
+        kv_peak_sealed_pages: kv_stats.peak_sealed_pages,
+        kv_peak_sealed_bytes: kv_stats.peak_sealed_bytes,
         kv_dropped_bytes: kv_stats.dropped_bytes,
         kv_shared_tokens: kv_stats.shared_tokens,
         kv_shared_hit_rate: if state.kv_shared_candidate_tokens > 0 {
@@ -1482,6 +1545,8 @@ fn fleet_stats(state: &ServerState) -> FleetStats {
         kv_deduped_bytes: kv_stats.peak_deduped_bytes,
         followup_ttft_ms: ms(followup),
         followup_service_ttft_ms: ms(followup_service),
+        kv_chain: state.kv.chain_stats(),
+        kv_hit_depth: state.kv.hit_depth_histogram(),
     }
 }
 

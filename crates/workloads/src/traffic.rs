@@ -388,6 +388,20 @@ impl WorkloadSpec {
         mean_think: SimDuration,
         model: &str,
     ) -> WorkloadSpec {
+        Self::chat_with_context(sessions, requests, mean_think, model, 2048)
+    }
+
+    /// [`WorkloadSpec::chat`] with an explicit context cap: deeper
+    /// conversations retain more KV per session, which is how the
+    /// spill-quantization benchmarks drive a fixed normal-world spill budget
+    /// into saturation.
+    pub fn chat_with_context(
+        sessions: usize,
+        requests: usize,
+        mean_think: SimDuration,
+        model: &str,
+        max_context: usize,
+    ) -> WorkloadSpec {
         WorkloadSpec {
             process: ArrivalProcess::ClosedLoop {
                 sessions,
@@ -396,7 +410,7 @@ impl WorkloadSpec {
             requests,
             models: vec![model.to_string()],
             mix: vec![(Benchmark::UltraChat, 1.0)],
-            style: SessionStyle::Conversation { max_context: 2048 },
+            style: SessionStyle::Conversation { max_context },
         }
     }
 

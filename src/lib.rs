@@ -14,5 +14,6 @@ pub use sim_core;
 pub use tee_kernel;
 pub use tz_crypto;
 pub use tz_hal;
+pub use tz_quant;
 pub use tzllm;
 pub use workloads;
