@@ -93,6 +93,43 @@ const GATES: &[Gate] = &[
         key: "saturation.throughput_rps_overlap",
         check: Check::MinRatio(0.9),
     },
+    // Continuous batching: the headline throughput multiple, latency parity,
+    // and the step loop's health counters.  The preemption-stall mean is
+    // structurally zero under chunked prefill, so it is recorded (a gate on
+    // "still zero" lives in perf_smoke's semantic asserts, which fail the
+    // bench job before this gate ever runs).
+    Gate {
+        key: "cold_heavy.p95_ttft_s_batched",
+        check: Check::MaxRatio(1.05),
+    },
+    Gate {
+        key: "saturation.throughput_rps_batched",
+        check: Check::MinRatio(0.9),
+    },
+    Gate {
+        key: "batching.throughput_x_vs_overlap",
+        check: Check::MinRatio(0.95),
+    },
+    Gate {
+        key: "batching.mean_batch_occupancy",
+        check: Check::MinRatio(0.85),
+    },
+    Gate {
+        key: "batching.batched_decode_tps",
+        check: Check::MinRatio(0.9),
+    },
+    Gate {
+        key: "batching.agent_burst_p95_ttft_s",
+        check: Check::MaxRatio(1.15),
+    },
+    Gate {
+        key: "batching.mean_decode_stall_ms",
+        check: Check::MaxRatio(1.15),
+    },
+    Gate {
+        key: "batching.mean_stall_preemption_ms",
+        check: Check::Present,
+    },
     Gate {
         key: "chat.kv_hit_rate",
         check: Check::MinRatio(0.95),

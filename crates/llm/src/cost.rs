@@ -154,6 +154,101 @@ impl CostModel {
     pub fn dequant_time(&self, f16_bytes: u64) -> SimDuration {
         SimDuration::from_secs_f64(f16_bytes as f64 / self.params.dequant_bytes_per_sec)
     }
+
+    /// Derives the per-model coefficients of the batched step-cost model.
+    ///
+    /// One iteration-level NPU step advances every batched decode sequence by
+    /// one token (and may run one prefill chunk alongside).  Its cost splits
+    /// into a memory side paid **once per step** — streaming the quantized
+    /// weights through DRAM, which a solo decode is bound by — and a compute
+    /// side paid **per sequence**.  Per-sequence compute is affine in the
+    /// sequence's KV length (only the CPU attention operator scales with it,
+    /// linearly; every other operator is constant at one token), so two
+    /// decode-graph evaluations far apart in `kv_len` recover the
+    /// coefficients exactly and the serving step loop never rebuilds graphs.
+    pub fn batched_step_costs(&self, model: &ModelSpec, use_npu: bool) -> BatchedStepCosts {
+        let compute = |kv_len: usize| -> f64 {
+            ComputationGraph::decode(model, kv_len)
+                .ops
+                .iter()
+                .map(|op| {
+                    if use_npu {
+                        self.op_time(op)
+                    } else {
+                        self.op_time_cpu_only(op)
+                    }
+                })
+                .sum::<SimDuration>()
+                .as_secs_f64()
+        };
+        let (kv_lo, kv_hi) = (1usize, 4097usize);
+        let (c_lo, c_hi) = (compute(kv_lo), compute(kv_hi));
+        let per_kv = (c_hi - c_lo) / (kv_hi - kv_lo) as f64;
+        let memory_secs = model.total_q8_bytes() as f64 / self.params.dram_bytes_per_sec;
+        let weight_pass_secs = if use_npu {
+            memory_secs / self.params.npu_decode_gain
+        } else {
+            memory_secs
+        };
+        BatchedStepCosts {
+            weight_pass_secs,
+            decode_compute_base_secs: c_lo - per_kv,
+            decode_compute_per_kv_secs: per_kv,
+        }
+    }
+
+    /// Duration of one batched NPU step: every sequence in `decode_kv_lens`
+    /// advances one token, and `prefill_chunk` (if any) executes its chunk
+    /// graph in the same pass.  The weight read is paid once and amortized
+    /// across the whole batch; per-sequence KV-dependent compute is summed.
+    /// A chunk-only step (no decodes) is compute-bound — the chunk's weights
+    /// are already streaming for its own matmuls — and a small chunk beside
+    /// a memory-bound decode batch rides in the weight-read slack for free.
+    pub fn batched_step_time(
+        &self,
+        model: &ModelSpec,
+        decode_kv_lens: &[usize],
+        prefill_chunk: Option<&ComputationGraph>,
+        use_npu: bool,
+    ) -> SimDuration {
+        let costs = self.batched_step_costs(model, use_npu);
+        let chunk_secs =
+            prefill_chunk.map_or(0.0, |g| self.prefill_compute_time(g, use_npu).as_secs_f64());
+        if decode_kv_lens.is_empty() {
+            return SimDuration::from_secs_f64(chunk_secs);
+        }
+        let compute: f64 = decode_kv_lens
+            .iter()
+            .map(|&kv| costs.decode_compute_secs(kv))
+            .sum::<f64>()
+            + chunk_secs;
+        SimDuration::from_secs_f64(compute.max(costs.weight_pass_secs))
+    }
+}
+
+/// Per-model coefficients of the batched step-cost model, recovered once by
+/// [`CostModel::batched_step_costs`] so a serving step loop prices every
+/// iteration with three multiplications instead of a graph build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchedStepCosts {
+    /// One pass over the quantized weights through DRAM (with the NPU's
+    /// decode-side DMA gain applied) — paid once per step per model present
+    /// in the batch, no matter how many of its sequences advance.
+    pub weight_pass_secs: f64,
+    /// KV-length-independent compute of one decode token (matmuls, norms,
+    /// per-op launch overheads).
+    pub decode_compute_base_secs: f64,
+    /// Additional compute per token of KV context (the CPU attention
+    /// operator's scores + weighted sum).
+    pub decode_compute_per_kv_secs: f64,
+}
+
+impl BatchedStepCosts {
+    /// Compute seconds for one decode token of a sequence with `kv_len`
+    /// tokens of context.
+    pub fn decode_compute_secs(&self, kv_len: usize) -> f64 {
+        self.decode_compute_base_secs + self.decode_compute_per_kv_secs * kv_len.max(1) as f64
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +294,73 @@ mod tests {
         let tiny = cost.decode_tokens_per_sec(&ModelSpec::tinyllama_1_1b(), 128, true);
         let llama = cost.decode_tokens_per_sec(&ModelSpec::llama3_8b(), 128, true);
         assert!(tiny > 4.0 * llama, "tiny = {tiny}, llama = {llama}");
+    }
+
+    #[test]
+    fn batched_step_of_one_equals_the_solo_decode_token_time() {
+        let cost = CostModel::rk3588();
+        for model in [ModelSpec::tinyllama_1_1b(), ModelSpec::qwen2_5_3b()] {
+            for kv in [64usize, 512, 2048] {
+                let solo = cost.batched_step_time(&model, &[kv], None, true);
+                let reference = cost.decode_token_time(&model, kv, true);
+                let diff = (solo.as_secs_f64() - reference.as_secs_f64()).abs();
+                assert!(
+                    diff < 1e-6,
+                    "{} @ kv {kv}: {solo} vs {reference}",
+                    model.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affine_decode_compute_matches_the_graph() {
+        let cost = CostModel::rk3588();
+        let model = ModelSpec::qwen2_5_3b();
+        let costs = cost.batched_step_costs(&model, true);
+        for kv in [1usize, 64, 777, 3000] {
+            let graph_secs: SimDuration = ComputationGraph::decode(&model, kv)
+                .ops
+                .iter()
+                .map(|op| cost.op_time(op))
+                .sum();
+            let diff = (costs.decode_compute_secs(kv) - graph_secs.as_secs_f64()).abs();
+            assert!(diff < 1e-6, "kv {kv}: {diff}");
+        }
+    }
+
+    #[test]
+    fn batching_amortizes_the_weight_read() {
+        // Decode is memory-bound: one weight pass serves the whole batch, so
+        // per-sequence step time shrinks until compute catches up.
+        let cost = CostModel::rk3588();
+        let model = ModelSpec::qwen2_5_3b();
+        let solo = cost
+            .batched_step_time(&model, &[256], None, true)
+            .as_secs_f64();
+        let batch8 = cost
+            .batched_step_time(&model, &[256; 8], None, true)
+            .as_secs_f64();
+        assert!(
+            batch8 < 8.0 * solo * 0.5,
+            "batch8 {batch8} vs 8x solo {solo}"
+        );
+        assert!(batch8 >= solo, "a bigger batch never makes a step shorter");
+    }
+
+    #[test]
+    fn a_small_chunk_rides_the_weight_read_slack() {
+        // A short prefill chunk beside a memory-bound decode batch fits in
+        // the weight pass the decodes already pay for.
+        let cost = CostModel::rk3588();
+        let model = ModelSpec::qwen2_5_3b();
+        let chunk = ComputationGraph::prefill_chunk(&model, 4, 0, 128);
+        let without = cost.batched_step_time(&model, &[128; 2], None, true);
+        let with = cost.batched_step_time(&model, &[128; 2], Some(&chunk), true);
+        assert_eq!(with, without, "a 4-token chunk must hide in the slack");
+        // A chunk-only step is priced at exactly its own compute.
+        let alone = cost.batched_step_time(&model, &[], Some(&chunk), true);
+        assert_eq!(alone, cost.prefill_compute_time(&chunk, true));
     }
 
     #[test]

@@ -440,6 +440,29 @@ impl WorkloadSpec {
             },
         }
     }
+
+    /// The agent-burst workload: many concurrent closed-loop sessions firing
+    /// mostly short-prompt/long-decode turns (UltraChat) with an occasional
+    /// long DroidTask prefill mixed in — many decodes are live when a long
+    /// prefill lands, which is exactly the interleaving chunked prefill must
+    /// survive without starving the decode batch.
+    pub fn agent_burst(
+        sessions: usize,
+        requests: usize,
+        mean_think: SimDuration,
+        model: &str,
+    ) -> WorkloadSpec {
+        WorkloadSpec {
+            process: ArrivalProcess::ClosedLoop {
+                sessions,
+                mean_think,
+            },
+            requests,
+            models: vec![model.to_string()],
+            mix: vec![(Benchmark::UltraChat, 0.85), (Benchmark::DroidTask, 0.15)],
+            style: SessionStyle::Independent,
+        }
+    }
 }
 
 /// Flattens open-loop scripts into `(arrival, request)` pairs sorted by
@@ -521,6 +544,23 @@ mod tests {
             assert_eq!(s.generate(42), s.generate(42));
             assert_ne!(s.generate(42), s.generate(43));
         }
+    }
+
+    #[test]
+    fn agent_burst_mixes_short_decodes_with_occasional_long_prefills() {
+        let s = WorkloadSpec::agent_burst(12, 200, SimDuration::from_secs(2), "qwen2.5-3b");
+        let scripts = s.generate(21);
+        assert_eq!(scripts.len(), 12);
+        let requests: Vec<_> = scripts.iter().flat_map(|x| x.requests.iter()).collect();
+        assert_eq!(requests.len(), 200);
+        // UltraChat turns dominate (short prompts, long decodes)...
+        let short = requests.iter().filter(|r| r.prompt_len < 256).count();
+        assert!(short > requests.len() / 2, "short turns must dominate");
+        // ...but long DroidTask prefills really occur, and their decodes are
+        // short (prefill-heavy — the shape that used to preempt the batch).
+        let long: Vec<_> = requests.iter().filter(|r| r.prompt_len >= 256).collect();
+        assert!(!long.is_empty(), "some long prefills must occur");
+        assert!(long.iter().all(|r| r.output_len < 128));
     }
 
     #[test]
