@@ -17,14 +17,33 @@ use std::path::PathBuf;
 pub struct HarnessOptions {
     /// Run a reduced parameter sweep (CI smoke test).
     pub quick: bool,
+    /// Run only the named scenario (harnesses with a scenario registry).
+    pub scenario: Option<String>,
+    /// List the available scenarios and exit.
+    pub list: bool,
 }
 
 impl HarnessOptions {
-    /// Parses `--quick` from the process arguments.
+    /// Parses `--quick`, `--scenario <name>` and `--list` from the process
+    /// arguments.
     pub fn from_args() -> Self {
-        HarnessOptions {
-            quick: std::env::args().any(|a| a == "--quick"),
+        let mut opts = HarnessOptions {
+            quick: false,
+            scenario: None,
+            list: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--list" => opts.list = true,
+                "--scenario" => {
+                    opts.scenario = Some(args.next().expect("--scenario takes a name"));
+                }
+                _ => {}
+            }
         }
+        opts
     }
 }
 

@@ -1,17 +1,22 @@
-//! The serial-reproduction equivalence test: with `continuous_batching:
-//! false` and the slot count restored, the refactored dispatcher must
-//! reproduce the committed PR-5 benchmark artifact — not just match itself
-//! in-process, but land on the *exact* numbers in `BENCH_baseline.json` at
-//! the precision the file records.
+//! The escape-hatch equivalence tests: each optimisation layer, switched
+//! off, must reproduce the committed benchmark artifact of the layer below
+//! it — not just match itself in-process, but land on the *exact* numbers
+//! in `BENCH_baseline.json` at the precision the file records.
 //!
-//! CI runs this test in its own step and greps the harness summary for
-//! `1 passed`, so a rename, an `#[ignore]`, or a filter that silently skips
-//! it fails the bench job: the escape hatch is only trustworthy while this
+//! * With `continuous_batching: false` and the slot count restored, the
+//!   batched dispatcher is the PR-5 overlap dispatcher.
+//! * With `speculation` disabled (the default), the step loop is the PR-6
+//!   batched dispatcher: no draft entry is wired, no acceptance RNG is
+//!   drawn, and the committed batched numbers reproduce digit-for-digit.
+//!
+//! CI runs these tests in their own step and greps the harness summary for
+//! `2 passed`, so a rename, an `#[ignore]`, or a filter that silently skips
+//! one fails the bench job: an escape hatch is only trustworthy while its
 //! proof actually executes.
 
 use bench::json::{parse_flat, JsonValue};
 use tz_hal::PlatformProfile;
-use tzllm::serving::{Server, ServingConfig, ServingReport};
+use tzllm::serving::{Server, ServingConfig, ServingReport, SpeculationConfig};
 use workloads::{ArrivalProcess, WorkloadSpec};
 
 const MODELS: [&str; 3] = ["tinyllama-1.1b", "qwen2.5-3b", "phi-3-3.8b"];
@@ -85,5 +90,58 @@ fn continuous_batching_off_reproduces_the_committed_baseline() {
     assert_eq!(
         off_run.fleet.batch_steps, 0,
         "the slot dispatcher must never take a batched step"
+    );
+}
+
+#[test]
+fn speculation_off_reproduces_the_committed_batched_baseline() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_baseline.json"
+    ))
+    .expect("committed baseline exists");
+    let baseline = parse_flat(&text).expect("committed baseline parses");
+    let expect = |key: &str| {
+        baseline[key]
+            .as_number()
+            .unwrap_or_else(|| panic!("{key} is a number in the committed baseline"))
+    };
+
+    let profile = PlatformProfile::rk3588();
+
+    // `paper_default` ships with speculation off: the batched step loop must
+    // land on the committed PR-6 batched numbers digit-for-digit, with the
+    // speculation telemetry stone dead.
+    let batched = cold_heavy(ServingConfig::paper_default(profile.clone()), 0.06);
+    let p95_s = batched.fleet.ttft_ms.expect("records").p95 / 1e3;
+    assert_eq!(
+        format!("{p95_s:.3}"),
+        format!("{:.3}", expect("cold_heavy.p95_ttft_s_batched")),
+        "batched cold-heavy p95 TTFT drifted from the committed baseline"
+    );
+    let sat = cold_heavy(ServingConfig::paper_default(profile.clone()), 0.5);
+    assert_eq!(
+        format!("{:.4}", sat.fleet.throughput_rps),
+        format!("{:.4}", expect("saturation.throughput_rps_batched")),
+        "batched saturation throughput drifted from the committed baseline"
+    );
+    assert_eq!(batched.fleet.spec_steps, 0);
+    assert_eq!(batched.fleet.spec_proposed_tokens, 0);
+
+    // And the escape hatch really is that step loop: the speculation knobs
+    // populated but the master switch off is bit-for-bit the same run.
+    let mut off = ServingConfig::paper_default(profile);
+    off.speculation = SpeculationConfig {
+        enabled: false,
+        ..SpeculationConfig::paper_default()
+    };
+    let off_run = cold_heavy(off, 0.06);
+    assert_eq!(
+        format!("{:?}", off_run.fleet),
+        format!("{:?}", batched.fleet)
+    );
+    assert_eq!(
+        format!("{:?}", off_run.records),
+        format!("{:?}", batched.records)
     );
 }

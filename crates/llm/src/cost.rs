@@ -224,6 +224,55 @@ impl CostModel {
             + chunk_secs;
         SimDuration::from_secs_f64(compute.max(costs.weight_pass_secs))
     }
+
+    /// Derives the coefficients of a speculative decoding step for a
+    /// draft/target model pair.
+    ///
+    /// A speculative step runs up to `k` batched *draft* passes (each priced
+    /// like a small batched decode step on the draft's coefficients) and one
+    /// *verify* pass in which the target scores each sequence's proposals
+    /// plus one bonus token in a single sweep.  The verify pass launches
+    /// each operator once per sequence no matter how many positions it
+    /// scores, so its per-sequence cost splits into a launch overhead paid
+    /// once per pass and a MAC term that scales with the scored positions
+    /// (and, for attention, with the KV context).  The MAC-only affine is
+    /// recovered the same way as [`CostModel::batched_step_costs`]: two
+    /// decode-graph evaluations far apart in `kv_len`, overheads excluded.
+    pub fn speculative_step_costs(
+        &self,
+        draft: &ModelSpec,
+        target: &ModelSpec,
+        use_npu: bool,
+    ) -> SpeculativeStepCosts {
+        let macs = |kv_len: usize| -> f64 {
+            ComputationGraph::decode(target, kv_len)
+                .ops
+                .iter()
+                .map(|op| {
+                    let rate = match (use_npu, op.device) {
+                        (true, Device::Npu) => self.params.npu_macs_per_sec,
+                        _ => self.params.cpu_macs_per_sec,
+                    };
+                    op.macs as f64 / rate
+                })
+                .sum()
+        };
+        let (kv_lo, kv_hi) = (1usize, 4097usize);
+        let (m_lo, m_hi) = (macs(kv_lo), macs(kv_hi));
+        let mac_per_kv = (m_hi - m_lo) / (kv_hi - kv_lo) as f64;
+        let mac_base = m_lo - mac_per_kv;
+        let target_costs = self.batched_step_costs(target, use_npu);
+        SpeculativeStepCosts {
+            draft: self.batched_step_costs(draft, use_npu),
+            target: target_costs,
+            // Whatever the affine decode compute carries beyond the MACs is
+            // launch overhead; defining it by subtraction pins the
+            // single-position verify to the plain batched decode compute.
+            verify_overhead_secs: target_costs.decode_compute_base_secs - mac_base,
+            verify_mac_base_secs: mac_base,
+            verify_mac_per_kv_secs: target_costs.decode_compute_per_kv_secs,
+        }
+    }
 }
 
 /// Per-model coefficients of the batched step-cost model, recovered once by
@@ -248,6 +297,67 @@ impl BatchedStepCosts {
     /// tokens of context.
     pub fn decode_compute_secs(&self, kv_len: usize) -> f64 {
         self.decode_compute_base_secs + self.decode_compute_per_kv_secs * kv_len.max(1) as f64
+    }
+}
+
+/// Coefficients of a speculative (draft + verify) decoding step for one
+/// draft/target model pair, recovered once by
+/// [`CostModel::speculative_step_costs`] so the serving step loop prices
+/// draft rounds and variable-position verify sweeps without graph builds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculativeStepCosts {
+    /// The draft model's own batched step coefficients: one draft pass per
+    /// proposed position, its weight read amortized across the batch like
+    /// any batched decode step.
+    pub draft: BatchedStepCosts,
+    /// The target model's batched step coefficients — the verify pass pays
+    /// the target's weight read once, exactly like a plain step.
+    pub target: BatchedStepCosts,
+    /// Per-sequence launch overhead of one verify pass: operators are
+    /// launched once per pass no matter how many positions the pass scores.
+    pub verify_overhead_secs: f64,
+    /// MAC seconds of scoring one position at zero KV context.
+    pub verify_mac_base_secs: f64,
+    /// Additional MAC seconds per KV-context token per scored position.
+    pub verify_mac_per_kv_secs: f64,
+}
+
+impl SpeculativeStepCosts {
+    /// Compute seconds of one sequence's verify sweep scoring `positions`
+    /// tokens (the draft's proposals plus the bonus token) at `kv_len` of
+    /// context.  At `positions == 1` this equals
+    /// [`BatchedStepCosts::decode_compute_secs`] — a non-speculating
+    /// sequence's share of the step is unchanged.
+    pub fn verify_compute_secs(&self, positions: usize, kv_len: usize) -> f64 {
+        self.verify_overhead_secs
+            + positions.max(1) as f64
+                * (self.verify_mac_base_secs + self.verify_mac_per_kv_secs * kv_len.max(1) as f64)
+    }
+
+    /// Duration of one draft pass proposing one token for every sequence in
+    /// `draft_kv_lens`: summed per-sequence draft compute against the
+    /// draft's weight read, whichever binds.
+    pub fn draft_pass_secs(&self, draft_kv_lens: &[usize]) -> f64 {
+        if draft_kv_lens.is_empty() {
+            return 0.0;
+        }
+        draft_kv_lens
+            .iter()
+            .map(|&kv| self.draft.decode_compute_secs(kv))
+            .sum::<f64>()
+            .max(self.draft.weight_pass_secs)
+    }
+
+    /// Duration of one verify pass over `(kv_len, positions)` pairs: the
+    /// target's weight read is paid once for the whole sweep.
+    pub fn verify_pass_secs(&self, seqs: &[(usize, usize)]) -> f64 {
+        if seqs.is_empty() {
+            return 0.0;
+        }
+        seqs.iter()
+            .map(|&(kv, positions)| self.verify_compute_secs(positions, kv))
+            .sum::<f64>()
+            .max(self.target.weight_pass_secs)
     }
 }
 
@@ -361,6 +471,45 @@ mod tests {
         // A chunk-only step is priced at exactly its own compute.
         let alone = cost.batched_step_time(&model, &[], Some(&chunk), true);
         assert_eq!(alone, cost.prefill_compute_time(&chunk, true));
+    }
+
+    #[test]
+    fn single_position_verify_matches_the_plain_batched_step_compute() {
+        let cost = CostModel::rk3588();
+        let spec =
+            cost.speculative_step_costs(&ModelSpec::qwen2_5_0_5b(), &ModelSpec::qwen2_5_3b(), true);
+        for kv in [1usize, 64, 777, 3000] {
+            let diff =
+                (spec.verify_compute_secs(1, kv) - spec.target.decode_compute_secs(kv)).abs();
+            assert!(diff < 1e-12, "kv {kv}: {diff}");
+        }
+    }
+
+    #[test]
+    fn verifying_extra_positions_beats_extra_steps() {
+        // The point of speculation: at low occupancy, k+1 positions in one
+        // sweep cost far less than k+1 weight-bound steps.
+        let cost = CostModel::rk3588();
+        let spec =
+            cost.speculative_step_costs(&ModelSpec::qwen2_5_0_5b(), &ModelSpec::qwen2_5_3b(), true);
+        let one_sweep = spec.verify_pass_secs(&[(512, 5)]);
+        let five_steps = 5.0 * spec.verify_pass_secs(&[(512, 1)]);
+        assert!(one_sweep < 0.5 * five_steps, "{one_sweep} vs {five_steps}");
+        // And the draft's weight pass is several times shorter than the
+        // target's — the overhead a draft round adds is a fraction of the
+        // step it can save.
+        assert!(spec.draft.weight_pass_secs * 3.0 < spec.target.weight_pass_secs);
+    }
+
+    #[test]
+    fn verify_cost_grows_with_positions_and_kv() {
+        let cost = CostModel::rk3588();
+        let spec =
+            cost.speculative_step_costs(&ModelSpec::qwen2_5_0_5b(), &ModelSpec::qwen2_5_3b(), true);
+        assert!(spec.verify_compute_secs(2, 512) > spec.verify_compute_secs(1, 512));
+        assert!(spec.verify_compute_secs(3, 2048) > spec.verify_compute_secs(3, 64));
+        assert!(spec.verify_overhead_secs > 0.0);
+        assert!(spec.verify_mac_per_kv_secs > 0.0);
     }
 
     #[test]

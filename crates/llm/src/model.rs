@@ -99,9 +99,19 @@ impl ModelSpec {
         ]
     }
 
-    /// Looks up a catalogue model by name.
+    /// Draft models for speculative decoding.  Deliberately *not* part of
+    /// [`ModelSpec::catalogue`]: drafts are never served directly, and the
+    /// serving layer interns catalogue indices as stable model identities.
+    pub fn drafts() -> Vec<ModelSpec> {
+        vec![Self::qwen2_5_0_5b()]
+    }
+
+    /// Looks up a catalogue or draft model by name.
     pub fn by_name(name: &str) -> Option<ModelSpec> {
-        Self::catalogue().into_iter().find(|m| m.name == name)
+        Self::catalogue()
+            .into_iter()
+            .chain(Self::drafts())
+            .find(|m| m.name == name)
     }
 
     /// TinyLlama-1.1B.
@@ -127,6 +137,22 @@ impl ModelSpec {
             heads: 16,
             kv_heads: 2,
             ffn: 11008,
+            vocab: 151936,
+            context: 4096,
+        }
+    }
+
+    /// Qwen2.5-0.5B — the distilled sibling of Qwen2.5-3B used as the
+    /// speculative-decoding draft: same tokenizer family, a weight stream
+    /// roughly five times shorter than the 3B target's.
+    pub fn qwen2_5_0_5b() -> ModelSpec {
+        ModelSpec {
+            name: "qwen2.5-0.5b".into(),
+            layers: 24,
+            hidden: 896,
+            heads: 14,
+            kv_heads: 2,
+            ffn: 4864,
             vocab: 151936,
             context: 4096,
         }
@@ -225,6 +251,21 @@ mod tests {
     fn by_name_finds_models() {
         assert!(ModelSpec::by_name("llama-3-8b").is_some());
         assert!(ModelSpec::by_name("gpt-5").is_none());
+    }
+
+    #[test]
+    fn drafts_resolve_by_name_but_stay_out_of_the_catalogue() {
+        let draft = ModelSpec::by_name("qwen2.5-0.5b").expect("draft resolves");
+        assert!(
+            ModelSpec::catalogue().iter().all(|m| m.name != draft.name),
+            "drafts must not shift catalogue model identities"
+        );
+        // Small enough that its weight stream is a fraction of its target's —
+        // otherwise drafting could never pay for itself.
+        assert!(draft.total_q8_bytes() * 4 < ModelSpec::qwen2_5_3b().total_q8_bytes());
+        // ~0.6 B parameters including the untied head.
+        assert!(draft.total_params() > 400_000_000);
+        assert!(draft.total_params() < 800_000_000);
     }
 
     #[test]

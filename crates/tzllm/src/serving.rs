@@ -126,8 +126,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use llm::{derive_seed, ComputationGraph, ModelSpec, PromptContent};
 use sim_core::{
-    CapacityLedger, Engine, EventScheduler, LaneId, LaneUsage, PercentileSummary, SimDuration,
-    SimTime,
+    CapacityLedger, DetRng, Engine, EventScheduler, LaneId, LaneUsage, PercentileSummary,
+    SimDuration, SimTime,
 };
 use tz_hal::PlatformProfile;
 use workloads::{SessionScript, WorkloadSpec};
@@ -161,6 +161,49 @@ pub enum RetentionPolicy {
         /// Fraction of the blob added to the retention target per completion.
         step_fraction: f64,
     },
+}
+
+/// Speculative decoding on the batched step loop: a small draft model
+/// proposes up to `k` tokens per active decode each step, and the batched
+/// target pass verifies all proposals in one NPU sweep, emitting the
+/// accepted prefix plus the bonus token the verify pass scores anyway.
+/// Decode on this hardware is weight-read-bound, so at low batch occupancy
+/// the extra verified positions ride in bandwidth the step already pays
+/// for; at high occupancy the step is compute-bound and speculation buys
+/// little — pick the fleet size accordingly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeculationConfig {
+    /// Master switch.  `false` is the escape hatch: the step loop prices
+    /// and advances exactly like the plain batched dispatcher, bit for bit
+    /// — the acceptance RNG is never drawn and no draft entry is wired.
+    pub enabled: bool,
+    /// Draft model name, resolved via [`llm::ModelSpec::by_name`] (which
+    /// also knows the non-catalogue draft entries, see
+    /// [`llm::ModelSpec::drafts`]).
+    pub draft_model: String,
+    /// Maximum tokens the draft proposes per sequence per step.
+    pub k: usize,
+}
+
+impl SpeculationConfig {
+    /// Speculation off — the default everywhere.
+    pub fn off() -> Self {
+        SpeculationConfig {
+            enabled: false,
+            draft_model: String::new(),
+            k: 0,
+        }
+    }
+
+    /// The paper-testbed speculation setup: the Qwen2.5-0.5B draft
+    /// proposing four tokens per sequence per step.
+    pub fn paper_default() -> Self {
+        SpeculationConfig {
+            enabled: true,
+            draft_model: "qwen2.5-0.5b".into(),
+            k: 4,
+        }
+    }
 }
 
 /// A numeric model identity: the index of the model in the server's
@@ -210,6 +253,10 @@ pub struct ServingConfig {
     /// The secure KV-cache manager's knobs (retention, spill, budgets).
     /// Disabled by default — [`ServingConfig::chat_default`] turns it on.
     pub kv: KvConfig,
+    /// Speculative draft-model decoding on the batched step loop.  Off by
+    /// default; when off, batched runs reproduce the plain step loop bit
+    /// for bit.
+    pub speculation: SpeculationConfig,
 }
 
 impl ServingConfig {
@@ -234,6 +281,7 @@ impl ServingConfig {
             prefill_chunk_tokens: 128,
             plan_cache_capacity: 4096,
             kv: KvConfig::disabled(),
+            speculation: SpeculationConfig::off(),
         }
     }
 
@@ -315,6 +363,11 @@ struct QueuedRequest {
     /// restore-ahead scan walks the queue on every dispatcher event and
     /// must not re-hash every queued prompt each time.
     kv_prompt_hashes: Vec<u64>,
+    /// Per-mille draft-acceptance rate of this request's response text
+    /// (workload-keyed; see `ScriptedRequest::accept_permille`).
+    accept_permille: u16,
+    /// Seed of the request's private acceptance stream.
+    accept_seed: u64,
 }
 
 /// The full latency record of one completed request.
@@ -455,15 +508,40 @@ pub struct FleetStats {
     /// that occupancy)` pairs, ascending.
     pub batch_occupancy: Vec<(u32, f64)>,
     /// Decode tokens generated per busy second of the batched step loop —
-    /// the throughput the weight-read amortisation buys.
+    /// the throughput the weight-read amortisation buys.  Counts *emitted*
+    /// tokens, so under speculation this is the effective tokens/s
+    /// (accepted prefixes included, rejected proposals excluded).
     pub batched_decode_tps: f64,
     /// Longest single batched step, milliseconds — bounds how long any
     /// decode token can be delayed by the step it shares.
     pub max_batch_step_ms: f64,
     /// Starvation guard: the maximum number of steps any decode sat in the
     /// batch without producing a token (structurally 0 — every member of
-    /// every step advances by exactly one token).
+    /// every step advances by at least one token).
     pub batch_max_steps_behind: u64,
+    /// Batched steps in which at least one sequence ran a speculative
+    /// draft + verify pass (0 when speculation is off).
+    pub spec_steps: u64,
+    /// Draft tokens proposed across the run.
+    pub spec_proposed_tokens: u64,
+    /// Proposed tokens the verify pass accepted.
+    pub spec_accepted_tokens: u64,
+    /// Proposed tokens rejected and rewound off the paged KV tail.
+    pub spec_rejected_tokens: u64,
+    /// Acceptance rate over all proposals (0 when none were made).
+    pub spec_accept_rate: f64,
+    /// Share of batched busy time spent in draft passes and the one-time
+    /// draft weight restore — the overhead the accepted tokens must win
+    /// back before speculation nets out positive.
+    pub spec_draft_overhead: f64,
+    /// Histogram of tokens emitted per sequence per speculative step
+    /// (accepted prefix + bonus token): `(emitted, sequence-steps)` pairs,
+    /// ascending.  Empty when speculation is off.
+    pub spec_emitted_per_step: Vec<(u32, u64)>,
+    /// Mean tokens emitted per sequence per speculative step — the
+    /// *effective* tokens/step that service-demand estimates (e.g. for
+    /// SLO-aware admission) must use instead of 1.
+    pub spec_mean_emitted_per_step: f64,
     /// KV hit rate: reused prefix tokens over the shared-prefix tokens the
     /// workload declared reusable (0 when no request had a shared prefix).
     pub kv_hit_rate: f64,
@@ -552,6 +630,9 @@ struct ModelEntry {
     /// Per-token world-switch cost of a decode step of this model
     /// (two co-driver handoffs per layer), seconds.
     handoff_secs: f64,
+    /// Speculative step-cost coefficients against the configured draft
+    /// (`None` when speculation is off, and on the draft's own entry).
+    spec_costs: Option<llm::SpeculativeStepCosts>,
 }
 
 /// The request currently in its service (restore + prefill) phase.
@@ -570,6 +651,9 @@ struct ActiveService {
     kv_full_hashes: Vec<u64>,
     /// Tokens of that full context.
     kv_total_tokens: usize,
+    /// Acceptance model of the response (carried through to the decode).
+    accept_permille: u16,
+    accept_seed: u64,
 }
 
 /// A request past its first token, processor-sharing the NPU with its peers
@@ -605,6 +689,9 @@ struct BatchedPrefill {
     chunk_secs: f64,
     kv_full_hashes: Vec<u64>,
     kv_total_tokens: usize,
+    /// Acceptance model of the response (carried through to the decode).
+    accept_permille: u16,
+    accept_seed: u64,
 }
 
 /// A sequence decoding inside the batched step loop: every step it is a
@@ -626,6 +713,17 @@ struct BatchedDecode {
     stall_sharing_ns: f64,
     kv_full_hashes: Vec<u64>,
     kv_total_tokens: usize,
+    /// The KV length every step is priced at (prompt + response; decode
+    /// compute is affine in it) — also what the draft and verify passes
+    /// price their per-position MACs against.
+    kv_len: usize,
+    /// Per-mille probability that the target accepts one draft proposal of
+    /// this response, and the request's private acceptance stream.
+    accept_permille: u16,
+    accept_rng: DetRng,
+    /// Tokens the draft proposed for this sequence in the in-flight step
+    /// (0 when it runs a plain step, or when speculation is off).
+    step_proposed: u64,
 }
 
 /// The sealed KV state a background restore is unsealing for one queued
@@ -698,6 +796,24 @@ struct ServerState {
     batch_occupancy_ns: BTreeMap<u32, u64>,
     batch_max_step_ns: u64,
     batch_max_steps_behind: u64,
+    /// Entry index of the speculation draft model, appended after the
+    /// catalogue (`None` when speculation is off).
+    draft: Option<ModelId>,
+    /// Steps in which at least one sequence ran a draft + verify pass.
+    spec_steps: u64,
+    /// Draft tokens proposed across all sequences and steps.
+    spec_proposed_tokens: u64,
+    /// Proposed tokens the verify pass accepted.
+    spec_accepted_tokens: u64,
+    /// Proposed tokens rejected — their paged-KV tail entries are rewound
+    /// before the next step is priced.
+    spec_rejected_tokens: u64,
+    /// Nanoseconds of step time spent in draft passes (and the one-time
+    /// draft weight restore) — the overhead accepted tokens must win back.
+    spec_draft_ns: u64,
+    /// Histogram of tokens emitted per sequence per speculative step
+    /// (accepted prefix + bonus token): `emitted → sequence-steps`.
+    spec_emitted_hist: BTreeMap<u32, u64>,
     restore: Option<ActiveRestore>,
     restore_epoch: u64,
     restore_ahead_bytes: u64,
@@ -800,8 +916,20 @@ impl ServerState {
             let dt_ns = now.saturating_since(self.decode_last).as_nanos() as f64;
             let each_ns = dt_ns / self.decodes.len() as f64;
             for d in &mut self.decodes {
-                d.remaining_ns = (d.remaining_ns - each_ns).max(0.0);
-                d.stall_sharing_ns += dt_ns - each_ns;
+                // A sequence with less work left than the interval's share
+                // finished mid-interval: it only shared the NPU while it
+                // was still running, so its stall is the sharing slowdown
+                // over the share it actually used — charging the full
+                // interval would overcount the stall of every sequence
+                // that finishes mid-accounting-window.
+                let used_ns = d.remaining_ns.min(each_ns);
+                let share = if each_ns > 0.0 {
+                    used_ns / each_ns
+                } else {
+                    0.0
+                };
+                d.remaining_ns -= used_ns;
+                d.stall_sharing_ns += (dt_ns - each_ns) * share;
             }
         }
         self.decode_last = now;
@@ -871,6 +999,8 @@ fn schedule_session_continuation(
             content: next.content.clone(),
             output_seed: next.output_seed,
             kv_prompt_hashes: state.kv_prompt_hashes(model, &next.content),
+            accept_permille: next.accept_permille,
+            accept_seed: next.accept_seed,
         };
         state.next_id += 1;
         let at = sched.now() + next.delay;
@@ -1043,6 +1173,8 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
         cores_held: cores_needed,
         kv_full_hashes,
         kv_total_tokens,
+        accept_permille: qreq.accept_permille,
+        accept_seed: qreq.accept_seed,
     });
     state.inflight += 1;
     if state.config.continuous_batching {
@@ -1295,6 +1427,8 @@ fn on_service_ready_for_batch(state: &mut ServerState, sched: &mut EventSchedule
         chunk_secs,
         kv_full_hashes: svc.kv_full_hashes,
         kv_total_tokens: svc.kv_total_tokens,
+        accept_permille: svc.accept_permille,
+        accept_seed: svc.accept_seed,
     });
     maybe_start_batch_step(state, sched);
     try_progress(state, sched);
@@ -1327,12 +1461,80 @@ fn maybe_start_batch_step(state: &mut ServerState, sched: &mut EventScheduler<Se
         state.ledger.acquire(lane, 1, now);
         state.batch_npu_held = true;
     }
+    // Speculation: each member proposes up to `k` draft tokens (never its
+    // final token — that one always comes from the target so the sequence
+    // cannot overshoot its scripted length), the draft runs that many serial
+    // autoregressive rounds, and the target verifies all proposals inside the
+    // same fused sweep it was going to run anyway.  Steps that carry a
+    // prefill chunk are exempt: drafting stretches the step, and a stretched
+    // step delays the interleaved chunk — skipping those steps keeps the
+    // chunk cadence (and so cold-heavy TTFT) at the plain batched loop's.
+    // With speculation off, `k == 0` leaves every `step_proposed` at zero
+    // and `draft_secs` at 0.0, so the step price below is bit-for-bit the
+    // plain batched step.
+    let k = if state.config.speculation.enabled && state.batch_prefill.is_none() {
+        state.config.speculation.k as u64
+    } else {
+        0
+    };
+    let mut draft_secs = 0.0f64;
+    if k > 0 {
+        for d in &mut state.batch_decodes {
+            d.step_proposed = k.min(d.tokens_left.saturating_sub(1));
+        }
+        let draft_id = state
+            .draft
+            .expect("speculation enabled but no draft model wired");
+        if state.batch_decodes.iter().any(|d| d.step_proposed > 0) {
+            // The draft's weights stream through the same restore path as a
+            // served model's; the first speculative step pays for whatever is
+            // missing, and the retention pass keeps them pinned thereafter.
+            let entry = &mut state.models[draft_id.0 as usize];
+            let missing = entry.cache.total_bytes() - entry.cache.cached_bytes();
+            if missing > 0 {
+                draft_secs += missing as f64 / entry.restore_rate;
+                let total = entry.cache.total_bytes();
+                entry.cache.seed(total);
+                entry.retained_target = total;
+            }
+            let draft_entry = &state.models[draft_id.0 as usize];
+            let max_rounds = state
+                .batch_decodes
+                .iter()
+                .map(|d| d.step_proposed)
+                .max()
+                .unwrap_or(0);
+            // Draft rounds are serial (token r+1 depends on token r) but each
+            // round batches every member that still has proposals left, so a
+            // round costs max(batched compute, one draft weight pass).
+            for round in 0..max_rounds {
+                let round_compute: f64 = state
+                    .batch_decodes
+                    .iter()
+                    .filter(|d| d.step_proposed > round)
+                    .map(|d| draft_entry.step.decode_compute_secs(d.kv_len))
+                    .sum();
+                draft_secs +=
+                    round_compute.max(draft_entry.step.weight_pass_secs) + draft_entry.handoff_secs;
+            }
+        }
+    }
     let mut compute_secs = 0.0f64;
     let mut weight_secs = 0.0f64;
     let mut handoff_secs = 0.0f64;
     let mut distinct: Vec<ModelId> = Vec::new();
     for d in &state.batch_decodes {
-        compute_secs += d.compute_secs;
+        if d.step_proposed > 0 {
+            let costs = state.models[d.model.0 as usize]
+                .spec_costs
+                .as_ref()
+                .expect("speculating sequence on a model without spec costs");
+            // Verify scores proposed + 1 positions in one pass: the proposals
+            // plus the bonus token the target emits past the accepted prefix.
+            compute_secs += costs.verify_compute_secs(d.step_proposed as usize + 1, d.kv_len);
+        } else {
+            compute_secs += d.compute_secs;
+        }
         if !distinct.contains(&d.model) {
             distinct.push(d.model);
             let entry = &state.models[d.model.0 as usize];
@@ -1349,7 +1551,7 @@ fn maybe_start_batch_step(state: &mut ServerState, sched: &mut EventScheduler<Se
         // reads and overheads inside the NPU window being sliced.
         chunk_secs
     } else {
-        (compute_secs + chunk_secs).max(weight_secs) + handoff_secs
+        draft_secs + (compute_secs + chunk_secs).max(weight_secs) + handoff_secs
     };
     // Whole-nanosecond event times with a carried fractional residue, so a
     // thousand-step decode accumulates no rounding drift.
@@ -1365,6 +1567,10 @@ fn maybe_start_batch_step(state: &mut ServerState, sched: &mut EventScheduler<Se
     state.batch_steps += 1;
     state.batch_busy_ns += ns;
     state.batch_max_step_ns = state.batch_max_step_ns.max(ns);
+    if k > 0 && state.batch_decodes.iter().any(|d| d.step_proposed > 0) {
+        state.spec_steps += 1;
+        state.spec_draft_ns += (draft_secs * 1e9).round() as u64;
+    }
     sched.schedule_at(now + SimDuration::from_nanos(ns), on_batch_step_end);
 }
 
@@ -1376,14 +1582,43 @@ fn on_batch_step_end(state: &mut ServerState, sched: &mut EventScheduler<ServerS
     state.batch_running = false;
     let step_secs = state.batch_step_secs;
     let chunk_secs = state.batch_step_chunk_secs;
+    let speculating = state.config.speculation.enabled;
+    let mut tokens_this_step = 0u64;
     for d in &mut state.batch_decodes {
         d.steps_seen += 1;
-        d.tokens_left -= 1;
-        // Any step time beyond the sequence's solo token time is what
-        // sharing the NPU with the rest of the batch cost it.
-        d.stall_sharing_ns += (step_secs - d.intrinsic_secs).max(0.0) * 1e9;
+        let emitted = if d.step_proposed == 0 {
+            1
+        } else {
+            // The target accepts the leading run of draft proposals that
+            // match what it would have sampled itself, then emits one bonus
+            // token of its own past the accepted prefix; the KV tail written
+            // for rejected positions is rewound (paged KV makes that a
+            // page-tail truncation, already accounted in kv_total_tokens
+            // which tracks the *final* sequence length).
+            let rate = d.accept_permille as f64 / 1000.0;
+            let mut accepted = 0u64;
+            while accepted < d.step_proposed && d.accept_rng.gen_bool(rate) {
+                accepted += 1;
+            }
+            state.spec_proposed_tokens += d.step_proposed;
+            state.spec_accepted_tokens += accepted;
+            state.spec_rejected_tokens += d.step_proposed - accepted;
+            accepted + 1
+        };
+        if speculating {
+            *state.spec_emitted_hist.entry(emitted as u32).or_insert(0) += 1;
+        }
+        d.step_proposed = 0;
+        // `emitted <= tokens_left` always: proposals are capped at
+        // `tokens_left - 1`, so even a full accept plus the bonus token
+        // cannot overshoot the scripted output length.
+        d.tokens_left -= emitted;
+        tokens_this_step += emitted;
+        // Any step time beyond the sequence's solo time for the tokens it
+        // actually emitted is what sharing the NPU (and drafting) cost it.
+        d.stall_sharing_ns += (step_secs - emitted as f64 * d.intrinsic_secs).max(0.0) * 1e9;
     }
-    state.batch_decode_tokens += state.batch_decodes.len() as u64;
+    state.batch_decode_tokens += tokens_this_step;
     let mut finished = Vec::new();
     let mut i = 0;
     while i < state.batch_decodes.len() {
@@ -1470,6 +1705,10 @@ fn on_batched_first_token(
         stall_sharing_ns: 0.0,
         kv_full_hashes: prefill.kv_full_hashes,
         kv_total_tokens: prefill.kv_total_tokens,
+        kv_len,
+        accept_permille: prefill.accept_permille,
+        accept_rng: DetRng::new(prefill.accept_seed),
+        step_proposed: 0,
     });
 }
 
@@ -1649,6 +1888,44 @@ pub struct Server {
     engine: Engine<ServerState>,
 }
 
+/// Builds the per-model runtime entry (restore rates, step costs, handoff
+/// overheads) shared by catalogue models and the speculation draft.
+fn model_entry(
+    config: &ServingConfig,
+    cost: &llm::CostModel,
+    spec: ModelSpec,
+    spec_costs: Option<llm::SpeculativeStepCosts>,
+) -> ModelEntry {
+    let restore_threads = config.profile.big_cores.saturating_sub(1).max(1);
+    let occupancy = system::cma_occupancy(&spec, config.memory_pressure);
+    let rates = RestoreRates::from_profile(&config.profile, occupancy, restore_threads);
+    let flash_per_byte = 1.0 / rates.flash.bytes_per_sec();
+    let cpu_per_byte = rates.alloc_secs_per_byte + 1.0 / rates.decrypt.bytes_per_sec();
+    let restore_rate = 1.0 / flash_per_byte.max(cpu_per_byte);
+    let total = spec.total_q8_bytes();
+    let graph_param_bytes = ComputationGraph::prefill(&spec, 1).total_param_bytes();
+    let kv_bytes_per_token = spec.kv_bytes_per_token();
+    let step = cost.batched_step_costs(&spec, true);
+    // Each decode token pays two co-driver handoffs per layer — the
+    // same per-token switch cost `system::evaluate_service` folds
+    // into `decode_tokens_per_sec`.
+    let handoff_secs =
+        (config.profile.codriver_switch_cost() * 2 * spec.layers as u64).as_secs_f64();
+    ModelEntry {
+        spec,
+        cache: CacheController::new(total),
+        retained_target: 0,
+        warm: false,
+        active: 0,
+        restore_rate,
+        graph_param_bytes,
+        kv_bytes_per_token,
+        step,
+        handoff_secs,
+        spec_costs,
+    }
+}
+
 impl Server {
     /// Creates a server over a model catalogue. Each model gets its own cold
     /// [`CacheController`].
@@ -1657,39 +1934,36 @@ impl Server {
         let lane_npu = ledger.add_lane("npu", 1);
         let lane_flash = ledger.add_lane("flash", 1);
         let lane_cpu = ledger.add_lane("cpu", config.profile.big_cores as u64);
-        let restore_threads = config.profile.big_cores.saturating_sub(1).max(1);
         let cost = llm::CostModel::rk3588();
+        let draft_spec = if config.speculation.enabled {
+            Some(
+                ModelSpec::by_name(&config.speculation.draft_model).unwrap_or_else(|| {
+                    panic!(
+                        "unknown speculation draft model {:?}",
+                        config.speculation.draft_model
+                    )
+                }),
+            )
+        } else {
+            None
+        };
         let mut models = Vec::with_capacity(catalogue.len());
         let mut model_ids = BTreeMap::new();
         for spec in catalogue {
-            let occupancy = system::cma_occupancy(&spec, config.memory_pressure);
-            let rates = RestoreRates::from_profile(&config.profile, occupancy, restore_threads);
-            let flash_per_byte = 1.0 / rates.flash.bytes_per_sec();
-            let cpu_per_byte = rates.alloc_secs_per_byte + 1.0 / rates.decrypt.bytes_per_sec();
-            let restore_rate = 1.0 / flash_per_byte.max(cpu_per_byte);
-            let total = spec.total_q8_bytes();
-            let graph_param_bytes = ComputationGraph::prefill(&spec, 1).total_param_bytes();
-            let kv_bytes_per_token = spec.kv_bytes_per_token();
-            let step = cost.batched_step_costs(&spec, true);
-            // Each decode token pays two co-driver handoffs per layer — the
-            // same per-token switch cost `system::evaluate_service` folds
-            // into `decode_tokens_per_sec`.
-            let handoff_secs =
-                (config.profile.codriver_switch_cost() * 2 * spec.layers as u64).as_secs_f64();
+            let spec_costs = draft_spec
+                .as_ref()
+                .map(|d| cost.speculative_step_costs(d, &spec, true));
             model_ids.insert(spec.name.clone(), ModelId(models.len() as u32));
-            models.push(ModelEntry {
-                spec,
-                cache: CacheController::new(total),
-                retained_target: 0,
-                warm: false,
-                active: 0,
-                restore_rate,
-                graph_param_bytes,
-                kv_bytes_per_token,
-                step,
-                handoff_secs,
-            });
+            models.push(model_entry(&config, &cost, spec, spec_costs));
         }
+        // The draft rides along as an extra model entry so its weights share
+        // the restore/retention machinery, but it is *not* interned in
+        // `model_ids`: requests can never target it directly.
+        let draft = draft_spec.map(|dspec| {
+            let id = ModelId(models.len() as u32);
+            models.push(model_entry(&config, &cost, dspec, None));
+            id
+        });
         let plan_cache = PlanCache::new(config.plan_cache_capacity);
         let kv = KvPool::new(&config.kv);
         // Sealed KV pages sit in DRAM, so unsealing is decrypt-bound on the
@@ -1737,6 +2011,13 @@ impl Server {
                 batch_occupancy_ns: BTreeMap::new(),
                 batch_max_step_ns: 0,
                 batch_max_steps_behind: 0,
+                draft,
+                spec_steps: 0,
+                spec_proposed_tokens: 0,
+                spec_accepted_tokens: 0,
+                spec_rejected_tokens: 0,
+                spec_draft_ns: 0,
+                spec_emitted_hist: BTreeMap::new(),
                 restore: None,
                 restore_epoch: 0,
                 restore_ahead_bytes: 0,
@@ -1816,6 +2097,8 @@ impl Server {
             kv_prompt_hashes: state.kv_prompt_hashes(model, &content),
             content,
             output_seed: derive_seed(state.next_id, 0x07),
+            accept_permille: workloads::SessionStyle::Independent.accept_base_permille(),
+            accept_seed: derive_seed(state.next_id, 0xACC),
         };
         state.next_id += 1;
         self.engine
@@ -1862,6 +2145,8 @@ impl Server {
             kv_prompt_hashes: state.kv_prompt_hashes(model, &first.content),
             content: first.content.clone(),
             output_seed: first.output_seed,
+            accept_permille: first.accept_permille,
+            accept_seed: first.accept_seed,
         };
         state.next_id += 1;
         state.session_index.insert(session, state.scripts.len());
@@ -2024,6 +2309,38 @@ fn fleet_stats(state: &ServerState) -> FleetStats {
         },
         max_batch_step_ms: state.batch_max_step_ns as f64 / 1e6,
         batch_max_steps_behind: state.batch_max_steps_behind,
+        spec_steps: state.spec_steps,
+        spec_proposed_tokens: state.spec_proposed_tokens,
+        spec_accepted_tokens: state.spec_accepted_tokens,
+        spec_rejected_tokens: state.spec_rejected_tokens,
+        spec_accept_rate: if state.spec_proposed_tokens > 0 {
+            state.spec_accepted_tokens as f64 / state.spec_proposed_tokens as f64
+        } else {
+            0.0
+        },
+        spec_draft_overhead: if state.batch_busy_ns > 0 {
+            state.spec_draft_ns as f64 / state.batch_busy_ns as f64
+        } else {
+            0.0
+        },
+        spec_emitted_per_step: state
+            .spec_emitted_hist
+            .iter()
+            .map(|(&emitted, &steps)| (emitted, steps))
+            .collect(),
+        spec_mean_emitted_per_step: {
+            let steps: u64 = state.spec_emitted_hist.values().sum();
+            if steps > 0 {
+                state
+                    .spec_emitted_hist
+                    .iter()
+                    .map(|(&e, &n)| e as u64 * n)
+                    .sum::<u64>() as f64
+                    / steps as f64
+            } else {
+                0.0
+            }
+        },
         kv_hit_rate: if state.kv_requested_tokens > 0 {
             state.kv_reused_tokens as f64 / state.kv_requested_tokens as f64
         } else {
@@ -2073,6 +2390,7 @@ pub fn single_request(
         prefill_chunk_tokens: 128,
         plan_cache_capacity: 0,
         kv: KvConfig::disabled(),
+        speculation: SpeculationConfig::off(),
     };
     let mut server = Server::new(serving_config, vec![config.model.clone()]);
     // Seed in the controller's own unit (the model's Q8 blob size) so the

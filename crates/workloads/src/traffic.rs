@@ -100,6 +100,21 @@ pub enum SessionStyle {
     },
 }
 
+impl SessionStyle {
+    /// Base rate, in permille, at which a small draft model's proposed token
+    /// matches the target's choice for this style's text.  Agent-style
+    /// independent turns (tool calls, UI scripts, structured output) are the
+    /// most predictable and accept best; free-form conversation accepts
+    /// worst; assistant fleets with a shared system prompt sit in between.
+    pub fn accept_base_permille(&self) -> u16 {
+        match self {
+            SessionStyle::Independent => 870,
+            SessionStyle::Conversation { .. } => 780,
+            SessionStyle::SharedSystemPrompt { .. } => 820,
+        }
+    }
+}
+
 /// A complete workload description: arrival process, request budget, and what
 /// each request looks like (model, benchmark-derived prompt/output lengths).
 #[derive(Debug, Clone, PartialEq)]
@@ -152,6 +167,16 @@ pub struct ScriptedRequest {
     /// follow-up turn's context is `content` extended by
     /// `(output_seed, output_len)` and then the next user utterance.
     pub output_seed: u64,
+    /// Per-mille probability that a speculative-decoding draft token for
+    /// this request's response is accepted by the target: keyed on the
+    /// session style's text shape (see
+    /// [`SessionStyle::accept_base_permille`]) with per-request jitter.
+    /// Stored in permille so the request stays `Eq`.
+    pub accept_permille: u16,
+    /// Seed of the request's private acceptance stream: the serving layer
+    /// draws its leading-accept trials from `DetRng::new(accept_seed)`, so
+    /// accepted-token traces are reproducible from `(spec, seed)` alone.
+    pub accept_seed: u64,
 }
 
 /// The scripted lifetime of one session.
@@ -179,7 +204,7 @@ impl WorkloadSpec {
         // session (and every conversation reset) opens with the same content.
         let system_seed = llm::derive_seed(seed, 0x5357);
         let mut rng = DetRng::new(seed);
-        match self.process {
+        let mut scripts = match self.process {
             ArrivalProcess::Poisson { rate_per_sec } => {
                 assert!(rate_per_sec > 0.0, "Poisson rate must be positive");
                 let mut at = 0.0f64;
@@ -296,6 +321,27 @@ impl WorkloadSpec {
                     })
                     .collect()
             }
+        };
+        self.assign_acceptance(&mut scripts, seed);
+        scripts
+    }
+
+    /// Fills in the per-request draft-acceptance model: the style's base
+    /// rate plus ±30 ‰ of per-request jitter, and a private
+    /// acceptance-stream seed.  Drawn from a *derived* stream
+    /// (`derive_seed(seed, 0xACCE)`) in a separate pass over the finished
+    /// scripts, so adding speculative decoding perturbed no draw of the
+    /// main generation stream — pre-speculation workloads replay
+    /// byte-identically.
+    fn assign_acceptance(&self, scripts: &mut [SessionScript], seed: u64) {
+        let base = self.style.accept_base_permille() as i64;
+        let mut rng = DetRng::new(llm::derive_seed(seed, 0xACCE));
+        for script in scripts.iter_mut() {
+            for req in &mut script.requests {
+                let jitter = rng.gen_range(0, 61) as i64 - 30;
+                req.accept_permille = (base + jitter).clamp(500, 980) as u16;
+                req.accept_seed = rng.next_u64();
+            }
         }
     }
 
@@ -317,6 +363,8 @@ impl WorkloadSpec {
             output_len: benchmark.output_len(),
             content: PromptContent::from_seed(content_seed, prompt_len),
             output_seed,
+            accept_permille: 0,
+            accept_seed: 0,
         }
     }
 
@@ -673,6 +721,48 @@ mod tests {
                 assert_eq!(r.shared_prefix_len, 0);
             }
         }
+    }
+
+    #[test]
+    fn acceptance_rates_are_keyed_on_session_style() {
+        let agent = WorkloadSpec::agent_burst(6, 60, SimDuration::from_secs(1), "qwen2.5-3b");
+        let chat = WorkloadSpec::chat(6, 60, SimDuration::from_secs(1), "qwen2.5-3b");
+        let assistant =
+            WorkloadSpec::assistant(6, 60, SimDuration::from_secs(1), 256, "qwen2.5-3b");
+        let mean = |spec: &WorkloadSpec| -> f64 {
+            let scripts = spec.generate(9);
+            let reqs: Vec<_> = scripts.iter().flat_map(|s| s.requests.iter()).collect();
+            reqs.iter().map(|r| r.accept_permille as f64).sum::<f64>() / reqs.len() as f64
+        };
+        let (a, c, s) = (mean(&agent), mean(&chat), mean(&assistant));
+        // Styles separate: agent bursts accept best, chat worst; jitter is
+        // only ±30 ‰ so the ordering is robust.
+        assert!(a > s && s > c, "agent {a} vs assistant {s} vs chat {c}");
+        for spec in [&agent, &chat, &assistant] {
+            let base = spec.style.accept_base_permille() as i64;
+            for script in spec.generate(9) {
+                for r in &script.requests {
+                    assert!((r.accept_permille as i64 - base).abs() <= 30);
+                    assert_ne!(r.accept_seed, 0, "every request gets a private stream");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acceptance_assignment_is_deterministic_and_decoupled() {
+        let s = WorkloadSpec::agent_burst(4, 40, SimDuration::from_secs(2), "qwen2.5-3b");
+        assert_eq!(s.generate(42), s.generate(42));
+        // Different seeds re-jitter the acceptance fields too.
+        let a = s.generate(42);
+        let b = s.generate(43);
+        let seeds = |scripts: &[SessionScript]| -> Vec<u64> {
+            scripts
+                .iter()
+                .flat_map(|x| x.requests.iter().map(|r| r.accept_seed))
+                .collect()
+        };
+        assert_ne!(seeds(&a), seeds(&b));
     }
 
     #[test]

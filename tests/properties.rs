@@ -190,6 +190,47 @@ fn tzasc_extend_shrink_protects_exactly_the_prefix() {
     }
 }
 
+/// The batched step price is a well-behaved function of the batch: it is
+/// monotone in every sequence's KV length (more context can only add
+/// attention work) and invariant under permutations of the batch (a step
+/// prices a *set* of sequences — the summation order is not observable).
+#[test]
+fn batched_step_time_is_monotone_and_permutation_invariant() {
+    let cost = CostModel::rk3588();
+    let mut rng = DetRng::new(0x73746570); // "step"
+    for case in 0..CASES {
+        let model = small_model(
+            rng.gen_range(2, 8) as usize,
+            ((rng.gen_range(32, 128) as usize) / 16) * 16,
+        );
+        let use_npu = rng.gen_bool(0.5);
+        let n = rng.gen_range(1, 9) as usize;
+        let mut kv_lens: Vec<usize> = (0..n).map(|_| rng.gen_range(1, 4096) as usize).collect();
+        let base = cost.batched_step_time(&model, &kv_lens, None, use_npu);
+
+        // Permutation invariance: shuffling the batch never changes the price.
+        let mut shuffled = kv_lens.clone();
+        rng.shuffle(&mut shuffled);
+        assert_eq!(
+            base,
+            cost.batched_step_time(&model, &shuffled, None, use_npu),
+            "case {case}: {kv_lens:?} vs {shuffled:?}"
+        );
+
+        // Monotonicity: growing any single sequence's KV length never makes
+        // the step cheaper.
+        let victim = rng.gen_range(0, n as u64) as usize;
+        let grown_kv = kv_lens[victim] + rng.gen_range(1, 512) as usize;
+        kv_lens[victim] = grown_kv;
+        let grown = cost.batched_step_time(&model, &kv_lens, None, use_npu);
+        assert!(
+            grown >= base,
+            "case {case}: growing sequence {victim} to kv {grown_kv} made the \
+             step cheaper: {grown} < {base}"
+        );
+    }
+}
+
 /// The cache controller never caches more than the model and never releases
 /// more than it holds.
 #[test]

@@ -1,0 +1,238 @@
+//! Acceptance properties of speculative draft-model decoding on the batched
+//! step loop: the escape hatch reproduces the plain batched dispatcher bit
+//! for bit, accepted-token traces are deterministic per seed, the token
+//! accounting conserves, sequences never overrun their scripted output, the
+//! decode-heavy fleet hits the paper-style ≥1.5× speedup at unchanged
+//! cold-heavy p95 TTFT, and the slot dispatcher's sharing-stall attribution
+//! is clipped to the share a finishing decode actually used.
+
+use sim_core::{SimDuration, SimTime};
+use tz_hal::PlatformProfile;
+use tzllm::serving::{Server, ServingConfig, ServingReport, SpeculationConfig};
+use workloads::{ArrivalProcess, WorkloadSpec};
+
+const MODEL: &str = "qwen2.5-3b";
+const MODELS: [&str; 3] = ["tinyllama-1.1b", "qwen2.5-3b", "phi-3-3.8b"];
+
+fn one_model() -> Vec<llm::ModelSpec> {
+    vec![llm::ModelSpec::qwen2_5_3b()]
+}
+
+fn catalogue() -> Vec<llm::ModelSpec> {
+    MODELS
+        .iter()
+        .map(|m| llm::ModelSpec::by_name(m).expect("catalogue model"))
+        .collect()
+}
+
+fn spec_on(mut config: ServingConfig) -> ServingConfig {
+    config.speculation = SpeculationConfig::paper_default();
+    config
+}
+
+/// The decode-heavy fleet the speculation benchmarks sweep: few enough
+/// concurrent sessions that decode stays weight-read-bound (the regime where
+/// extra verified tokens per sweep are nearly free).
+fn decode_heavy_fleet() -> WorkloadSpec {
+    WorkloadSpec::agent_burst(3, 60, SimDuration::from_millis(250), MODEL)
+}
+
+fn fleet_run(config: ServingConfig, seed: u64) -> ServingReport {
+    Server::run_workload(config, one_model(), &decode_heavy_fleet(), seed)
+}
+
+/// The escape hatch: a config with the speculation knobs populated but the
+/// master switch off is bit-for-bit the plain batched step loop — the
+/// acceptance RNG is never drawn, no draft entry is wired, and every record
+/// and counter is identical.
+#[test]
+fn speculation_off_is_bit_for_bit_the_batched_step_loop() {
+    let baseline = fleet_run(
+        ServingConfig::paper_default(PlatformProfile::rk3588()),
+        0xA6E7,
+    );
+    let mut disabled_cfg = ServingConfig::paper_default(PlatformProfile::rk3588());
+    disabled_cfg.speculation = SpeculationConfig {
+        enabled: false,
+        ..SpeculationConfig::paper_default()
+    };
+    let disabled = fleet_run(disabled_cfg, 0xA6E7);
+    assert_eq!(
+        format!("{:?}", baseline.fleet),
+        format!("{:?}", disabled.fleet)
+    );
+    assert_eq!(
+        format!("{:?}", baseline.records),
+        format!("{:?}", disabled.records)
+    );
+    assert_eq!(baseline.fleet.spec_steps, 0);
+    assert_eq!(baseline.fleet.spec_proposed_tokens, 0);
+    assert!(baseline.fleet.spec_emitted_per_step.is_empty());
+}
+
+/// Identical seeds produce identical accepted-token traces — speculation is
+/// a deterministic discrete-event computation, with the acceptance draws on
+/// their own per-request `DetRng` streams.
+#[test]
+fn identical_seeds_produce_identical_accepted_token_traces() {
+    let config = spec_on(ServingConfig::paper_default(PlatformProfile::rk3588()));
+    let a = fleet_run(config.clone(), 0xA6E7);
+    let b = fleet_run(config.clone(), 0xA6E7);
+    assert_eq!(format!("{:?}", a.fleet), format!("{:?}", b.fleet));
+    assert_eq!(format!("{:?}", a.records), format!("{:?}", b.records));
+    assert_eq!(a.fleet.spec_accepted_tokens, b.fleet.spec_accepted_tokens);
+    assert_eq!(a.fleet.spec_emitted_per_step, b.fleet.spec_emitted_per_step);
+    assert!(a.fleet.spec_accepted_tokens > 0, "the run must speculate");
+    // A different seed produces a genuinely different accepted-token trace.
+    let c = fleet_run(config, 0xA6E8);
+    assert_ne!(format!("{:?}", a.records), format!("{:?}", c.records));
+}
+
+/// Token accounting conserves: every proposed token is either accepted or
+/// rejected, per-step emissions stay within `1..=k+1`, and the overhead and
+/// acceptance telemetry lands in sane ranges.
+#[test]
+fn speculation_accounting_conserves() {
+    let k = SpeculationConfig::paper_default().k as u32;
+    let report = fleet_run(
+        spec_on(ServingConfig::paper_default(PlatformProfile::rk3588())),
+        0xA6E7,
+    );
+    let fleet = &report.fleet;
+    assert!(fleet.spec_steps > 0);
+    assert_eq!(
+        fleet.spec_proposed_tokens,
+        fleet.spec_accepted_tokens + fleet.spec_rejected_tokens,
+        "every proposed token is accepted or rejected"
+    );
+    for &(emitted, steps) in &fleet.spec_emitted_per_step {
+        assert!(steps > 0);
+        assert!(
+            (1..=k + 1).contains(&emitted),
+            "a sequence emits between 1 and k+1 tokens per step, got {emitted}"
+        );
+    }
+    assert!(fleet.spec_mean_emitted_per_step > 1.0);
+    assert!(fleet.spec_mean_emitted_per_step <= (k + 1) as f64);
+    assert!(fleet.spec_accept_rate > 0.0 && fleet.spec_accept_rate < 1.0);
+    assert!(fleet.spec_draft_overhead > 0.0 && fleet.spec_draft_overhead < 1.0);
+    // Emitted tokens = accepted + one target token per speculative draw, so
+    // the histogram mass strictly exceeds the accepted-token count.
+    let hist_tokens: u64 = fleet
+        .spec_emitted_per_step
+        .iter()
+        .map(|&(e, n)| e as u64 * n)
+        .sum();
+    assert!(hist_tokens > fleet.spec_accepted_tokens);
+}
+
+/// Proposals are capped at `tokens_left - 1` (the final token always comes
+/// from the target), so even a lucky full-accept streak cannot overrun a
+/// scripted output — including outputs shorter than `k`.
+#[test]
+fn short_outputs_never_overrun_under_speculation() {
+    let config = spec_on(ServingConfig::paper_default(PlatformProfile::rk3588()));
+    let mut server = Server::new(config, one_model());
+    for i in 0..12u64 {
+        // Output lengths 1..=4 straddle every `min(k, left-1)` edge.
+        let output_len = 1 + (i as usize % 4);
+        server.submit_at(SimTime::from_millis(i * 40), i, MODEL, 64, output_len);
+    }
+    let report = server.run();
+    assert_eq!(report.fleet.completed, 12);
+    assert_eq!(
+        report.fleet.batch_max_steps_behind, 0,
+        "no sequence may fall behind its scripted token budget"
+    );
+}
+
+/// The headline acceptance comparison (gated in CI from the perf-smoke
+/// numbers; this is the fast in-tree version): speculation buys at least
+/// 1.5× throughput on the decode-heavy agent fleet, and leaves cold-heavy
+/// p95 TTFT within 1.05× of the plain batched dispatcher.
+#[test]
+fn speculation_speeds_up_decode_heavy_fleets_at_unchanged_cold_p95() {
+    let off = fleet_run(
+        ServingConfig::paper_default(PlatformProfile::rk3588()),
+        0xA6E7,
+    );
+    let on = fleet_run(
+        spec_on(ServingConfig::paper_default(PlatformProfile::rk3588())),
+        0xA6E7,
+    );
+    assert!(
+        on.fleet.throughput_rps >= 1.5 * off.fleet.throughput_rps,
+        "speculation must buy >=1.5x on the decode-heavy fleet: {} vs {}",
+        on.fleet.throughput_rps,
+        off.fleet.throughput_rps
+    );
+    assert!(
+        on.fleet.batched_decode_tps >= 1.5 * off.fleet.batched_decode_tps,
+        "effective tokens/s must scale with the accepted prefixes: {} vs {}",
+        on.fleet.batched_decode_tps,
+        off.fleet.batched_decode_tps
+    );
+
+    let quiet =
+        WorkloadSpec::standard_multi(ArrivalProcess::Poisson { rate_per_sec: 0.06 }, 120, &MODELS);
+    let off = Server::run_workload(
+        ServingConfig::paper_default(PlatformProfile::rk3588()),
+        catalogue(),
+        &quiet,
+        7,
+    );
+    let on = Server::run_workload(
+        spec_on(ServingConfig::paper_default(PlatformProfile::rk3588())),
+        catalogue(),
+        &quiet,
+        7,
+    );
+    let (p95_off, p95_on) = (
+        off.fleet.ttft_ms.unwrap().p95,
+        on.fleet.ttft_ms.unwrap().p95,
+    );
+    assert!(
+        p95_on <= p95_off * 1.05,
+        "cold-heavy p95 TTFT must stay within 1.05x: {p95_on} vs {p95_off}"
+    );
+}
+
+/// Regression guard for the slot dispatcher's sharing-stall attribution: a
+/// decode that finishes mid-accounting-interval is only charged the sharing
+/// slowdown over the share it actually used, so for every request
+/// `intrinsic decode + sharing stall + preemption stall <= decode wall time`
+/// (up to sub-microsecond event rounding).  The unclipped attribution
+/// charged finishing decodes a full interval share, which breaks this bound
+/// the moment an event catches a decode with less work left than its share.
+#[test]
+fn sharing_stall_is_clipped_to_the_share_a_finishing_decode_used() {
+    let workload =
+        WorkloadSpec::standard_multi(ArrivalProcess::Poisson { rate_per_sec: 0.12 }, 80, &MODELS);
+    let report = Server::run_workload(
+        ServingConfig::overlap(PlatformProfile::rk3588()),
+        catalogue(),
+        &workload,
+        0xC01D,
+    );
+    let mut sharing_seen = false;
+    for r in &report.records {
+        let tokens = r.request.output_len.saturating_sub(1);
+        if tokens == 0 {
+            continue;
+        }
+        let wall = r.completed.saturating_since(r.first_token).as_secs_f64();
+        let intrinsic = tokens as f64 / r.report.decode_tokens_per_sec;
+        let stalls = r.stall_sharing.as_secs_f64() + r.stall_preemption.as_secs_f64();
+        assert!(
+            intrinsic + stalls <= wall + 10e-6,
+            "request {}: intrinsic {intrinsic}s + stalls {stalls}s must fit in \
+             its decode wall time {wall}s",
+            r.request.id
+        );
+        sharing_seen |= r.stall_sharing > SimDuration::ZERO;
+    }
+    assert!(
+        sharing_seen,
+        "the trace must actually exercise decode sharing"
+    );
+}
