@@ -17,7 +17,11 @@
 //! Usage:
 //! `cargo run --release -p bench --bin perf_gate -- \
 //!    [--current BENCH_serving.json] [--baseline BENCH_baseline.json] \
-//!    [--write-baseline]`
+//!    [--write-baseline] [--json <path>]`
+//!
+//! `--json <path>` additionally writes the diff as machine-readable JSON
+//! (one object per gated metric plus an overall verdict) for CI
+//! annotations and build artifacts.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -295,6 +299,37 @@ fn evaluate(
         .collect()
 }
 
+/// Renders the diff as machine-readable JSON: one object per gated metric
+/// (`baseline`/`current` are numbers or `null` for missing/non-numeric
+/// values) plus the overall verdict.
+fn render_json(rows: &[Row]) -> String {
+    let num = |s: &str| {
+        s.parse::<f64>()
+            .map_or_else(|_| "null".to_string(), |v| format!("{v}"))
+    };
+    let mut out = String::from("{\n  \"metrics\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"key\": \"{}\", \"baseline\": {}, \"current\": {}, \
+             \"constraint\": \"{}\", \"pass\": {}}}{}\n",
+            r.key,
+            num(&r.baseline),
+            num(&r.current),
+            r.constraint,
+            r.pass,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    let failures = rows.iter().filter(|r| !r.pass).count();
+    out.push_str(&format!(
+        "  ],\n  \"gates\": {},\n  \"failures\": {},\n  \"pass\": {}\n}}\n",
+        rows.len(),
+        failures,
+        failures == 0
+    ));
+    out
+}
+
 fn print_table(rows: &[Row]) {
     let headers = ["metric", "baseline", "current", "constraint", "status"];
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -331,12 +366,14 @@ fn main() -> ExitCode {
     let mut baseline_path = "BENCH_baseline.json".to_string();
     let mut current_path = "BENCH_serving.json".to_string();
     let mut write_baseline = false;
+    let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => baseline_path = args.next().expect("--baseline takes a path"),
             "--current" => current_path = args.next().expect("--current takes a path"),
             "--write-baseline" => write_baseline = true,
+            "--json" => json_path = Some(args.next().expect("--json takes a path")),
             other => {
                 eprintln!("unknown argument {other:?}");
                 return ExitCode::FAILURE;
@@ -386,6 +423,10 @@ fn main() -> ExitCode {
 
     let rows = evaluate(&baseline, &current);
     print_table(&rows);
+    if let Some(path) = &json_path {
+        std::fs::write(path, render_json(&rows)).expect("write JSON diff");
+        println!("wrote {path}");
+    }
     let failures: Vec<&Row> = rows.iter().filter(|r| !r.pass).collect();
     if failures.is_empty() {
         println!("\nperf gate: all {} metrics within tolerance", rows.len());
@@ -460,6 +501,28 @@ mod tests {
         );
         assert!(failed.contains(&"chat.kv_spilled_mib"), "{failed:?}");
         assert_eq!(failed.len(), 2, "{failed:?}");
+    }
+
+    #[test]
+    fn json_diff_covers_every_gate_and_balances() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_baseline.json"
+        ))
+        .expect("committed baseline exists");
+        let json = render_json(&run(&text, &text));
+        assert_eq!(json.matches("\"key\":").count(), GATES.len());
+        assert!(json.contains("\"pass\": true"));
+        assert!(json.contains(&format!("\"gates\": {}", GATES.len())));
+        // Balanced braces/brackets — keys and constraints contain no
+        // string-context braces; CI additionally runs the file through a
+        // real JSON parser.
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //! * **`figures`** — the fig09 (TZ-LLM vs strawman TTFT) and fig14
 //!   (fully-cached normalised TTFT) headline points, recomputed so the CI
 //!   gate catches calibration regressions in the figure binaries.
+//! * **`trace`** — a telemetry-enabled cold-heavy fleet: reconciles every
+//!   request's lifecycle-span sum against its recorded TTFT, checks the
+//!   critical-path attribution covers >=90% of cold TTFT, and writes the
+//!   Chrome trace-event JSON (load it in Perfetto) to `--trace-out <path>`
+//!   or `target/experiments/serving_trace.json`.
 //!
 //! Run with: `cargo run --release -p bench --bin perf_smoke` (`--quick`
 //! shrinks the sweep for CI, `--scenario <name>` runs one scenario,
@@ -246,6 +251,11 @@ const SCENARIOS: &[Scenario] = &[
         name: "figures",
         about: "fig09/fig14 headline points recomputed against the figure binaries",
         run: scenario_figures,
+    },
+    Scenario {
+        name: "trace",
+        about: "telemetry-on cold-heavy fleet: span/TTFT reconciliation + Perfetto export",
+        run: scenario_trace,
     },
 ];
 
@@ -778,6 +788,60 @@ fn scenario_figures(_opts: &HarnessOptions) -> String {
         json,
         "    \"fig14_qwen128_warm_norm\": {fig14_warm_norm:.3}\n  }}"
     );
+    json
+}
+
+fn scenario_trace(opts: &HarnessOptions) -> String {
+    let requests = if opts.quick { 40 } else { 80 };
+    let mut config = ServingConfig::paper_default(PlatformProfile::rk3588());
+    config.telemetry = true;
+    let report = cold_heavy(config, 0.25, requests);
+    let telemetry = report.telemetry.as_ref().expect("telemetry was enabled");
+
+    // Reconciliation: each request's TTFT-phase spans tile
+    // [arrival, first_token], so their sum must equal the recorded
+    // end-to-end TTFT exactly (nanosecond integers — no rounding slack).
+    for r in &report.records {
+        let sum = telemetry.request_ttft_span_sum(r.request.id);
+        assert_eq!(
+            sum,
+            r.ttft_e2e(),
+            "request {} lifecycle spans must reconcile with its TTFT",
+            r.request.id
+        );
+    }
+
+    let cp = tzllm::critical_path_report(&report);
+    let attributed_pct = cp.attributed_fraction() * 100.0;
+    assert!(
+        attributed_pct >= 90.0,
+        "critical-path attribution must cover >=90% of cold TTFT ({attributed_pct:.1}%)"
+    );
+    print!("{}", cp.render_text());
+    println!("TTFT waterfall (first 10 requests):");
+    for line in tzllm::ttft_waterfall(&report).lines().take(11) {
+        println!("{line}");
+    }
+
+    let trace_json = telemetry.chrome_trace_json();
+    let path = opts
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| bench::output_dir().join("serving_trace.json"));
+    std::fs::write(&path, &trace_json).expect("write trace JSON");
+    println!(
+        "wrote {} ({} spans, {} bytes; open in Perfetto / chrome://tracing)",
+        path.display(),
+        telemetry.spans().len(),
+        trace_json.len()
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "  \"trace\": {{");
+    let _ = writeln!(json, "    \"requests\": {},", report.records.len());
+    let _ = writeln!(json, "    \"spans\": {},", telemetry.spans().len());
+    let _ = writeln!(json, "    \"cold_requests\": {},", cp.per_request.len());
+    let _ = write!(json, "    \"attributed_pct\": {attributed_pct:.1}\n  }}");
     json
 }
 

@@ -21,16 +21,20 @@ pub struct HarnessOptions {
     pub scenario: Option<String>,
     /// List the available scenarios and exit.
     pub list: bool,
+    /// Where the telemetry-enabled scenario writes its Chrome trace-event
+    /// JSON (defaults to `target/experiments/serving_trace.json`).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl HarnessOptions {
-    /// Parses `--quick`, `--scenario <name>` and `--list` from the process
-    /// arguments.
+    /// Parses `--quick`, `--scenario <name>`, `--list` and
+    /// `--trace-out <path>` from the process arguments.
     pub fn from_args() -> Self {
         let mut opts = HarnessOptions {
             quick: false,
             scenario: None,
             list: false,
+            trace_out: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -39,6 +43,11 @@ impl HarnessOptions {
                 "--list" => opts.list = true,
                 "--scenario" => {
                     opts.scenario = Some(args.next().expect("--scenario takes a name"));
+                }
+                "--trace-out" => {
+                    opts.trace_out = Some(PathBuf::from(
+                        args.next().expect("--trace-out takes a path"),
+                    ));
                 }
                 _ => {}
             }

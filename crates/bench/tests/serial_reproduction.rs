@@ -8,9 +8,13 @@
 //! * With `speculation` disabled (the default), the step loop is the PR-6
 //!   batched dispatcher: no draft entry is wired, no acceptance RNG is
 //!   drawn, and the committed batched numbers reproduce digit-for-digit.
+//! * With `telemetry: true`, every event time, RNG draw and statistic is
+//!   unchanged — the span store is observe-only, so the telemetry-on run
+//!   is bit-for-bit the telemetry-off run (which itself reproduces the
+//!   committed baseline above).
 //!
 //! CI runs these tests in their own step and greps the harness summary for
-//! `2 passed`, so a rename, an `#[ignore]`, or a filter that silently skips
+//! `3 passed`, so a rename, an `#[ignore]`, or a filter that silently skips
 //! one fails the bench job: an escape hatch is only trustworthy while its
 //! proof actually executes.
 
@@ -144,4 +148,48 @@ fn speculation_off_reproduces_the_committed_batched_baseline() {
         format!("{:?}", off_run.records),
         format!("{:?}", batched.records)
     );
+}
+
+#[test]
+fn telemetry_is_observe_only() {
+    let profile = PlatformProfile::rk3588();
+
+    // The default run: telemetry off, the configuration whose numbers the
+    // committed baseline records (and which the test above pins to it).
+    let off = cold_heavy(ServingConfig::paper_default(profile.clone()), 0.06);
+    assert!(
+        off.telemetry.is_none(),
+        "telemetry is off by default and must export nothing"
+    );
+
+    // The same run with the span store live: every record, every fleet
+    // statistic and every resource integral must be bit-for-bit identical —
+    // recording spans draws no randomness and schedules no event.
+    let mut config = ServingConfig::paper_default(profile);
+    config.telemetry = true;
+    let on = cold_heavy(config, 0.06);
+    assert_eq!(format!("{:?}", on.fleet), format!("{:?}", off.fleet));
+    assert_eq!(format!("{:?}", on.records), format!("{:?}", off.records));
+    assert_eq!(
+        format!("{:?}", on.resources),
+        format!("{:?}", off.resources)
+    );
+
+    // And the observer really observed: spans for every request, a
+    // non-trivial export, and the lifecycle tiling reconciling with each
+    // recorded TTFT exactly.
+    let telemetry = on.telemetry.as_ref().expect("telemetry was enabled");
+    assert!(!telemetry.spans().is_empty());
+    assert_eq!(
+        telemetry.counter("requests.completed"),
+        on.records.len() as u64
+    );
+    for r in &on.records {
+        assert_eq!(
+            telemetry.request_ttft_span_sum(r.request.id),
+            r.ttft_e2e(),
+            "request {} span sum must equal its recorded TTFT",
+            r.request.id
+        );
+    }
 }

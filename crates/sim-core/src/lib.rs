@@ -12,6 +12,8 @@
 //! * [`resource`] — server pools for CPU cores / NPU / I/O engine.
 //! * [`engine`] — a generic discrete-event engine for concurrency experiments.
 //! * [`trace`] — span recording for figure generation and ordering assertions.
+//! * [`telemetry`] — zero-cost-when-off serving telemetry: interned labels,
+//!   request/lane span tracks, a metrics registry, Perfetto trace export.
 //! * [`stats`] — means, geometric means, percentiles, overhead computations.
 //! * [`rng`] — deterministic random streams for workload generation.
 
@@ -20,13 +22,15 @@ pub mod engine;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
 pub use bandwidth::{Bandwidth, GIB, KIB, MIB};
 pub use engine::{Engine, EventScheduler};
-pub use resource::{CapacityLedger, LaneId, LaneUsage, Reservation, ServerPool};
+pub use resource::{CapacityLedger, LaneEvent, LaneId, LaneUsage, Reservation, ServerPool};
 pub use rng::DetRng;
 pub use stats::PercentileSummary;
+pub use telemetry::{Interner, LabelId, Phase, Telemetry, TelemetrySpan, Track};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Span, SpanKind, Trace};

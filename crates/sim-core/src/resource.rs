@@ -227,6 +227,38 @@ mod tests {
     }
 
     #[test]
+    fn ledger_journal_records_reservation_changes() {
+        let mut ledger = CapacityLedger::new();
+        let cpu = ledger.add_lane("cpu", 4);
+        ledger.acquire(cpu, 3, SimTime::ZERO);
+        assert!(
+            ledger.journal().is_empty(),
+            "journal is off by default and records nothing"
+        );
+        ledger.enable_journal();
+        ledger.release(cpu, 2, SimTime::from_secs(1));
+        ledger.acquire(cpu, 1, SimTime::from_secs(2));
+        assert_eq!(
+            ledger.journal(),
+            &[
+                LaneEvent {
+                    lane: cpu,
+                    at: SimTime::from_secs(1),
+                    in_use: 1
+                },
+                LaneEvent {
+                    lane: cpu,
+                    at: SimTime::from_secs(2),
+                    in_use: 2
+                },
+            ]
+        );
+        assert_eq!(ledger.lane_name(cpu), "cpu");
+        assert_eq!(ledger.lane_capacity(cpu), 4);
+        assert_eq!(ledger.lane_count(), 1);
+    }
+
+    #[test]
     #[should_panic]
     fn ledger_panics_on_over_subscription() {
         let mut ledger = CapacityLedger::new();
@@ -276,13 +308,29 @@ pub struct LaneUsage {
 }
 
 impl LaneUsage {
-    /// Mean utilisation over `[0, horizon)` in `[0, 1]`.
+    /// Mean utilisation over `[0, horizon)`.
+    ///
+    /// Returns the *raw* ratio: a value above 1.0 means the busy integral
+    /// exceeds `horizon × capacity` — either the caller passed a horizon
+    /// that predates booked activity, or the dispatcher over-booked the
+    /// lane.  Earlier revisions clamped to 1.0, which hid exactly that
+    /// class of bug; now it is debug-asserted instead.
     pub fn utilisation(&self, horizon: SimTime) -> f64 {
         if horizon == SimTime::ZERO || self.capacity == 0 {
             return 0.0;
         }
         let denom = horizon.as_secs_f64() * self.capacity as f64;
-        (self.busy_unit_time.as_secs_f64() / denom).min(1.0)
+        let ratio = self.busy_unit_time.as_secs_f64() / denom;
+        debug_assert!(
+            ratio <= 1.0 + 1e-9,
+            "lane {} utilisation {ratio} exceeds 1.0 over horizon {horizon}: \
+             busy integral {:?} does not fit {} unit(s) — over-booking or a \
+             stale horizon",
+            self.name,
+            self.busy_unit_time,
+            self.capacity
+        );
+        ratio
     }
 }
 
@@ -296,6 +344,18 @@ struct Lane {
     last_change: SimTime,
 }
 
+/// One reservation change in a [`CapacityLedger`]'s journal: after the
+/// acquire/release at `at`, `lane` had `in_use` units booked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneEvent {
+    /// The lane that changed.
+    pub lane: LaneId,
+    /// When it changed.
+    pub at: SimTime,
+    /// Units in use immediately after the change.
+    pub in_use: u64,
+}
+
 /// Instantaneous capacity accounting over a set of named lanes.
 ///
 /// Time must advance monotonically across calls (the discrete-event engine
@@ -304,6 +364,11 @@ struct Lane {
 #[derive(Debug, Clone, Default)]
 pub struct CapacityLedger {
     lanes: Vec<Lane>,
+    /// Reservation journal (`None` = off): every acquire/release appends a
+    /// [`LaneEvent`], from which the telemetry layer derives per-lane
+    /// occupancy spans.  Off by default — the journal observes, it never
+    /// feeds back into the capacity checks.
+    journal: Option<Vec<LaneEvent>>,
 }
 
 impl CapacityLedger {
@@ -364,6 +429,8 @@ impl CapacityLedger {
         );
         l.in_use += units;
         l.peak_in_use = l.peak_in_use.max(l.in_use);
+        let in_use = l.in_use;
+        self.note(lane, now, in_use);
     }
 
     /// Returns `units` on `lane` at instant `now`.
@@ -380,6 +447,41 @@ impl CapacityLedger {
             l.in_use
         );
         l.in_use -= units;
+        let in_use = l.in_use;
+        self.note(lane, now, in_use);
+    }
+
+    fn note(&mut self, lane: LaneId, at: SimTime, in_use: u64) {
+        if let Some(journal) = &mut self.journal {
+            journal.push(LaneEvent { lane, at, in_use });
+        }
+    }
+
+    /// Turns on the reservation journal (idempotent; existing entries are
+    /// kept).  Purely observational — capacity checks and busy integrals
+    /// are identical with the journal on or off.
+    pub fn enable_journal(&mut self) {
+        self.journal.get_or_insert_with(Vec::new);
+    }
+
+    /// The recorded reservation changes (empty while the journal is off).
+    pub fn journal(&self) -> &[LaneEvent] {
+        self.journal.as_deref().unwrap_or(&[])
+    }
+
+    /// The name a lane was registered under.
+    pub fn lane_name(&self, lane: LaneId) -> &str {
+        &self.lanes[lane.0].name
+    }
+
+    /// The capacity a lane was registered with.
+    pub fn lane_capacity(&self, lane: LaneId) -> u64 {
+        self.lanes[lane.0].capacity
+    }
+
+    /// Number of registered lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
     }
 
     /// Snapshots every lane's accounting as of instant `now`.

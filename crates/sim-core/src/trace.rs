@@ -7,8 +7,11 @@
 //! the tests use them to assert ordering properties (e.g. "no computation
 //! operator starts before its parameters finished decrypting").
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
+use crate::telemetry::Interner;
 use crate::time::{SimDuration, SimTime};
 
 /// Category of a traced activity, mirroring the operator classes in §4.1.
@@ -49,14 +52,19 @@ impl SpanKind {
 }
 
 /// One traced interval of activity on a named resource.
+///
+/// Name and resource are interned [`Arc<str>`]s shared through the owning
+/// [`Trace`]'s [`Interner`] (the same scheme `sim_core::telemetry` uses):
+/// recording a span with a previously seen label costs two refcount bumps,
+/// not two `String` allocations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Span {
     /// Human-readable name, e.g. `"decrypt layer 12 ffn_down"`.
-    pub name: String,
+    pub name: Arc<str>,
     /// Activity category.
     pub kind: SpanKind,
     /// Resource the activity ran on, e.g. `"cpu3"`, `"npu"`, `"io"`.
-    pub resource: String,
+    pub resource: Arc<str>,
     /// Start instant.
     pub start: SimTime,
     /// End instant.
@@ -79,6 +87,8 @@ impl Span {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Trace {
     spans: Vec<Span>,
+    /// Shared label table: span names and resources are interned here.
+    labels: Interner,
 }
 
 impl Trace {
@@ -87,20 +97,23 @@ impl Trace {
         Trace::default()
     }
 
-    /// Records a span.
+    /// Records a span.  Repeated names and resources share one interned
+    /// allocation instead of being re-allocated per span.
     pub fn record(
         &mut self,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         kind: SpanKind,
-        resource: impl Into<String>,
+        resource: impl AsRef<str>,
         start: SimTime,
         end: SimTime,
     ) {
         debug_assert!(end >= start, "span must not end before it starts");
+        let name = self.labels.share(name.as_ref());
+        let resource = self.labels.share(resource.as_ref());
         self.spans.push(Span {
-            name: name.into(),
+            name,
             kind,
-            resource: resource.into(),
+            resource,
             start,
             end,
         });
@@ -160,7 +173,7 @@ impl Trace {
         let mut by_resource: std::collections::HashMap<&str, Vec<&Span>> =
             std::collections::HashMap::new();
         for s in &self.spans {
-            by_resource.entry(s.resource.as_str()).or_default().push(s);
+            by_resource.entry(&*s.resource).or_default().push(s);
         }
         for spans in by_resource.values_mut() {
             spans.sort_by_key(|s| s.start);
@@ -178,7 +191,8 @@ impl Trace {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         let mut spans: Vec<&Span> = self.spans.iter().collect();
-        spans.sort_by_key(|s| (s.resource.clone(), s.start));
+        // Sort by borrowed resource text — no per-comparison clone.
+        spans.sort_by(|a, b| (&*a.resource, a.start).cmp(&(&*b.resource, b.start)));
         for s in spans {
             out.push_str(&format!(
                 "{:<6} [{:>12.6}s - {:>12.6}s] {:<8} {}\n",

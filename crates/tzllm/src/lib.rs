@@ -16,6 +16,8 @@
 //! * [`system`] — end-to-end TZ-LLM evaluation (TTFT, decode speed, breakdown).
 //! * [`serving`] — the multi-session serving layer: request queueing,
 //!   admission, live cache-driven dispatch, fleet statistics.
+//! * [`telemetry`] — TTFT waterfalls and fleet-wide critical-path
+//!   attribution over a finished serving report.
 //! * [`baseline`] — the REE-LLM-Memory, REE-LLM-Flash and Strawman baselines.
 //! * [`related`] — the qualitative comparison of Table 1.
 
@@ -28,6 +30,7 @@ pub mod related;
 pub mod restore;
 pub mod serving;
 pub mod system;
+pub mod telemetry;
 
 pub use baseline::{decode_uses_npu, evaluate, strawman_breakdown, SystemKind};
 pub use cache::{CacheController, CachePolicy};
@@ -42,4 +45,5 @@ pub use serving::{
 pub use system::{
     cma_occupancy, evaluate_tzllm, InferenceConfig, InferenceReport, PlanCache, TtftBreakdown,
 };
+pub use telemetry::{critical_path_report, ttft_waterfall, CriticalPathReport, LaneAttribution};
 pub use tz_quant::SpillFormat;

@@ -545,7 +545,7 @@ mod tests {
         // io and npu.)
         let mut io_npu = sim_core::Trace::new();
         for s in result.trace.spans() {
-            if s.resource != "cpu" {
+            if &*s.resource != "cpu" {
                 io_npu.record(s.name.clone(), s.kind, s.resource.clone(), s.start, s.end);
             }
         }

@@ -125,9 +125,10 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use llm::{derive_seed, ComputationGraph, ModelSpec, PromptContent};
+use sim_core::telemetry::{LabelId, Phase, Telemetry, Track};
 use sim_core::{
-    CapacityLedger, DetRng, Engine, EventScheduler, LaneId, LaneUsage, PercentileSummary,
-    SimDuration, SimTime,
+    CapacityLedger, DetRng, Engine, EventScheduler, LaneEvent, LaneId, LaneUsage,
+    PercentileSummary, SimDuration, SimTime,
 };
 use tz_hal::PlatformProfile;
 use workloads::{SessionScript, WorkloadSpec};
@@ -257,6 +258,12 @@ pub struct ServingConfig {
     /// default; when off, batched runs reproduce the plain step loop bit
     /// for bit.
     pub speculation: SpeculationConfig,
+    /// Step-level telemetry: per-request lifecycle spans, per-lane
+    /// occupancy spans, and the counter/gauge/histogram registry, exported
+    /// on [`ServingReport::telemetry`].  Off by default; telemetry is
+    /// observe-only — enabling it changes no event time, RNG draw, or stat
+    /// (the serial-reproduction suite proves this bit for bit).
+    pub telemetry: bool,
 }
 
 impl ServingConfig {
@@ -282,6 +289,7 @@ impl ServingConfig {
             plan_cache_capacity: 4096,
             kv: KvConfig::disabled(),
             speculation: SpeculationConfig::off(),
+            telemetry: false,
         }
     }
 
@@ -368,6 +376,9 @@ struct QueuedRequest {
     accept_permille: u16,
     /// Seed of the request's private acceptance stream.
     accept_seed: u64,
+    /// Session-style tag for telemetry span labels (`"independent"`,
+    /// `"conversation"`, `"assistant"`); carried, never branched on.
+    style_label: &'static str,
 }
 
 /// The full latency record of one completed request.
@@ -603,6 +614,11 @@ pub struct ServingReport {
     /// busy time) — the overlap property tests assert peaks never exceed
     /// capacity.
     pub resources: Vec<LaneUsage>,
+    /// The telemetry side buffer (`Some` iff [`ServingConfig::telemetry`]):
+    /// request-lifecycle and lane spans, counters, gauges, histograms —
+    /// export with [`Telemetry::chrome_trace_json`] or the report helpers
+    /// in [`crate::telemetry`].
+    pub telemetry: Option<Telemetry>,
 }
 
 struct ModelEntry {
@@ -687,6 +703,10 @@ struct BatchedPrefill {
     /// NPU seconds one full chunk costs (the window split proportionally
     /// over the prompt's new tokens).
     chunk_secs: f64,
+    /// Chunks already consumed / total chunks, for telemetry span labels
+    /// (`"chunk 3/9"`); pure bookkeeping, never priced.
+    chunks_done: u32,
+    chunks_total: u32,
     kv_full_hashes: Vec<u64>,
     kv_total_tokens: usize,
     /// Acceptance model of the response (carried through to the decode).
@@ -843,6 +863,16 @@ struct ServerState {
     lane_npu: LaneId,
     lane_flash: LaneId,
     lane_cpu: LaneId,
+    /// The telemetry side buffer (disabled instance when the config knob is
+    /// off — every record call is then a single branch).
+    telemetry: Telemetry,
+    /// Interned lane-track labels for the telemetry exporter.
+    tl_npu: LabelId,
+    tl_flash: LabelId,
+    tl_cpu: LabelId,
+    /// Style tag per in-flight request id, for completion-time span labels.
+    /// Only populated while telemetry is enabled.
+    styles: BTreeMap<u64, &'static str>,
     plan_cache: PlanCache,
     records: Vec<RequestRecord>,
     rejected: Vec<Request>,
@@ -965,10 +995,14 @@ fn on_arrival(
         let session = request.session;
         let rejected = state.materialize(&request);
         state.rejected.push(rejected);
+        state.telemetry.count("requests.rejected", 1);
         schedule_session_continuation(state, sched, session);
     } else {
         state.queue.push_back((request, sched.now()));
         state.note_depth(sched.now());
+        state.telemetry.count("requests.admitted", 1);
+        let depth = state.queue.len() as f64;
+        state.telemetry.gauge("queue_depth", sched.now(), depth);
     }
     try_progress(state, sched);
 }
@@ -1001,6 +1035,7 @@ fn schedule_session_continuation(
             kv_prompt_hashes: state.kv_prompt_hashes(model, &next.content),
             accept_permille: next.accept_permille,
             accept_seed: next.accept_seed,
+            style_label: next.style_label,
         };
         state.next_id += 1;
         let at = sched.now() + next.delay;
@@ -1028,6 +1063,11 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
         return;
     };
     state.note_depth(now);
+    if state.telemetry.is_enabled() {
+        state.styles.insert(qreq.id, qreq.style_label);
+        let depth = state.queue.len() as f64;
+        state.telemetry.gauge("queue_depth", now, depth);
+    }
 
     // If the dispatched model (or this request's session KV) is being
     // restored ahead, bank the progress *before* reading the cache state.
@@ -1327,6 +1367,14 @@ fn complete_request(
 ) {
     record.completed = now;
     let session = record.request.session;
+    // Snapshot the cumulative spill counter so the sealing this completion
+    // triggers (retention + budget enforcement below) can be attributed to
+    // this request's track.  Read-only; taken only while telemetry is on.
+    let sealed_before = if state.telemetry.is_enabled() && state.config.kv.enabled {
+        Some(state.kv.stats().spilled_bytes)
+    } else {
+        None
+    };
     {
         let config = &state.config;
         let entry = &mut state.models[model.0 as usize];
@@ -1386,12 +1434,116 @@ fn complete_request(
         let active = state.active_sessions();
         state.kv.enforce(secure_budget, &active, now);
     }
+    if state.telemetry.is_enabled() {
+        record_lifecycle_spans(state, &record, sealed_before, now);
+    }
     state.records.push(record);
     state.inflight -= 1;
 
     // Closed-loop continuation: the session thinks, then sends its next
     // request.
     schedule_session_continuation(state, sched, session);
+}
+
+/// Records a completed request's lifecycle spans onto its telemetry track.
+///
+/// The TTFT phases tile `[arrival, first_token]` exactly: `Queued` covers
+/// the admission wait, the breakdown components (`framework_init`,
+/// `working_alloc`, `kv_restore`) are laid end to end and clipped to the
+/// pre-NPU window, `RestorePipeline` absorbs the pipelined-overlap
+/// residue, and `Prefill` runs from the pre-NPU boundary to the first
+/// token — so the span sum reconciles with [`RequestRecord::ttft_e2e`] by
+/// construction.  `Decode` follows but is excluded from the TTFT sum.
+/// Only called while telemetry is enabled; purely observational.
+fn record_lifecycle_spans(
+    state: &mut ServerState,
+    record: &RequestRecord,
+    sealed_before: Option<u64>,
+    now: SimTime,
+) {
+    let id = record.request.id;
+    let style = state.styles.remove(&id).unwrap_or("independent");
+    let track = Track::Request(id);
+    state.telemetry.name_track(
+        track,
+        &format!("req {id} {} ({style})", record.request.model),
+    );
+    let report = &record.report;
+    let b = &report.breakdown;
+    // The exclusive NPU hold sits at the tail of the service TTFT; what
+    // precedes it is the pre-NPU window the breakdown components fill.
+    let npu_hold = (report.npu_busy + b.npu_overhead).min(report.ttft);
+    let pre_npu_end =
+        (record.dispatched + report.ttft.saturating_sub(npu_hold)).min(record.first_token);
+    if record.dispatched > record.arrival {
+        state.telemetry.span(
+            track,
+            Phase::Queued,
+            "queued",
+            record.arrival,
+            record.dispatched,
+        );
+    }
+    let mut cursor = record.dispatched;
+    for (phase, d) in [
+        (Phase::FrameworkInit, b.framework_init),
+        (Phase::WorkingAlloc, b.working_alloc),
+        (Phase::KvUnseal, b.kv_restore),
+    ] {
+        let end = (cursor + d).min(pre_npu_end);
+        if end > cursor {
+            state
+                .telemetry
+                .span(track, phase, phase.label(), cursor, end);
+            cursor = end;
+        }
+    }
+    if pre_npu_end > cursor {
+        state.telemetry.span(
+            track,
+            Phase::RestorePipeline,
+            "restore-pipeline",
+            cursor,
+            pre_npu_end,
+        );
+    }
+    if record.first_token > pre_npu_end {
+        state.telemetry.span(
+            track,
+            Phase::Prefill,
+            "prefill",
+            pre_npu_end,
+            record.first_token,
+        );
+    }
+    if now > record.first_token {
+        state
+            .telemetry
+            .span(track, Phase::Decode, "decode", record.first_token, now);
+    }
+    state.telemetry.count("requests.completed", 1);
+    state
+        .telemetry
+        .observe("request.ttft_e2e_ms", record.ttft_e2e().as_secs_f64() * 1e3);
+    state.telemetry.observe(
+        "request.queue_wait_ms",
+        record.queue_wait().as_secs_f64() * 1e3,
+    );
+    if let Some(before) = sealed_before {
+        let delta = state.kv.stats().spilled_bytes.saturating_sub(before);
+        if delta > 0 {
+            let lane = state.tl_cpu;
+            state.telemetry.span(
+                Track::Lane(lane),
+                Phase::Seal,
+                &format!("seal req {id} ({delta} B)"),
+                now,
+                now,
+            );
+            state.telemetry.count("kv.seal_events", 1);
+            state.telemetry.count("kv.sealed_bytes", delta);
+        }
+    }
 }
 
 /// Continuous batching: the service's pre-NPU phase (pipelined restoration,
@@ -1420,11 +1572,18 @@ fn on_service_ready_for_batch(state: &mut ServerState, sched: &mut EventSchedule
         .max(1);
     let chunk_tokens = state.config.prefill_chunk_tokens.max(1).min(new_tokens);
     let chunk_secs = npu_secs * chunk_tokens as f64 / new_tokens as f64;
+    let chunks_total = if chunk_secs > 0.0 {
+        (npu_secs / chunk_secs).ceil().max(1.0) as u32
+    } else {
+        1
+    };
     state.batch_pending.push_back(BatchedPrefill {
         record: svc.record,
         model: svc.model,
         npu_secs_left: npu_secs,
         chunk_secs,
+        chunks_done: 0,
+        chunks_total,
         kv_full_hashes: svc.kv_full_hashes,
         kv_total_tokens: svc.kv_total_tokens,
         accept_permille: svc.accept_permille,
@@ -1571,6 +1730,42 @@ fn maybe_start_batch_step(state: &mut ServerState, sched: &mut EventScheduler<Se
         state.spec_steps += 1;
         state.spec_draft_ns += (draft_secs * 1e9).round() as u64;
     }
+    if state.telemetry.is_enabled() {
+        let end = now + SimDuration::from_nanos(ns);
+        let npu = Track::Lane(state.tl_npu);
+        let step_label = format!("step occ={occupancy}");
+        state
+            .telemetry
+            .span(npu, Phase::BatchStep, &step_label, now, end);
+        let drafting = state.batch_decodes.iter().any(|d| d.step_proposed > 0);
+        if drafting && draft_secs > 0.0 {
+            // Nest the serial draft rounds and the fused verify sweep
+            // inside the step so Perfetto shows the split.
+            let draft_end = (now + SimDuration::from_secs_f64(draft_secs)).min(end);
+            state
+                .telemetry
+                .span(npu, Phase::SpecDraft, "draft", now, draft_end);
+            state
+                .telemetry
+                .span(npu, Phase::SpecVerify, "verify", draft_end, end);
+        }
+        if chunk_secs > 0.0 {
+            if let Some(p) = &state.batch_prefill {
+                let chunk_label = format!(
+                    "req {} chunk {}/{}",
+                    p.record.request.id,
+                    p.chunks_done + 1,
+                    p.chunks_total
+                );
+                let chunk_end = (now + SimDuration::from_secs_f64(chunk_secs)).min(end);
+                state
+                    .telemetry
+                    .span(npu, Phase::PrefillChunk, &chunk_label, now, chunk_end);
+            }
+        }
+        state.telemetry.observe("batch.step_ms", ns as f64 / 1e6);
+        state.telemetry.observe("batch.occupancy", occupancy as f64);
+    }
     sched.schedule_at(now + SimDuration::from_nanos(ns), on_batch_step_end);
 }
 
@@ -1631,6 +1826,9 @@ fn on_batch_step_end(state: &mut ServerState, sched: &mut EventScheduler<ServerS
     let mut prefill_done = None;
     if let Some(p) = &mut state.batch_prefill {
         p.npu_secs_left -= chunk_secs;
+        if chunk_secs > 0.0 {
+            p.chunks_done += 1;
+        }
         // Exact-zero in the common case (the last chunk is `min(chunk,
         // left)`); the epsilon only absorbs float residue.
         if p.npu_secs_left <= 1e-9 {
@@ -1836,12 +2034,53 @@ fn interrupt_restore_ahead(state: &mut ServerState, now: SimTime) {
     state.restore_epoch += 1; // invalidate the scheduled completion
     let elapsed = now.saturating_since(r.started).as_secs_f64();
     credit_restore_progress(state, &r, elapsed, now);
+    record_restore_ahead_span(state, &r, now, true);
     let (lane_flash, lane_cpu) = (state.lane_flash, state.lane_cpu);
     let cores = state.restore_cores();
     if r.holds_flash {
         state.ledger.release(lane_flash, 1, now);
     }
     state.ledger.release(lane_cpu, cores, now);
+}
+
+/// Records a restore-ahead interval on its lane track: the flash lane when
+/// parameters streamed from flash, the CPU (decrypt) lane for a KV-only
+/// unseal.  The span ends at `now` — for an interrupted restore that is the
+/// truncated, not the reserved, interval, matching the ledger's busy-time
+/// accounting.  Observe-only.
+fn record_restore_ahead_span(
+    state: &mut ServerState,
+    r: &ActiveRestore,
+    now: SimTime,
+    interrupted: bool,
+) {
+    if !state.telemetry.is_enabled() {
+        return;
+    }
+    let lane = if r.holds_flash {
+        state.tl_flash
+    } else {
+        state.tl_cpu
+    };
+    let model = state.models[r.model.0 as usize].spec.name.clone();
+    let label = if interrupted {
+        format!("restore-ahead {model} (interrupted)")
+    } else {
+        format!("restore-ahead {model}")
+    };
+    state.telemetry.span(
+        Track::Lane(lane),
+        Phase::RestoreAhead,
+        &label,
+        r.started,
+        now,
+    );
+    let counter = if interrupted {
+        "restore_ahead.interrupted"
+    } else {
+        "restore_ahead.completed"
+    };
+    state.telemetry.count(counter, 1);
 }
 
 fn on_restore_ahead_done(
@@ -1865,6 +2104,7 @@ fn on_restore_ahead_done(
             now,
         );
     }
+    record_restore_ahead_span(state, &r, now, false);
     let (lane_flash, lane_cpu) = (state.lane_flash, state.lane_cpu);
     let cores = state.restore_cores();
     if r.holds_flash {
@@ -1934,6 +2174,19 @@ impl Server {
         let lane_npu = ledger.add_lane("npu", 1);
         let lane_flash = ledger.add_lane("flash", 1);
         let lane_cpu = ledger.add_lane("cpu", config.profile.big_cores as u64);
+        let mut telemetry = Telemetry::new(config.telemetry);
+        if config.telemetry {
+            // The reservation journal feeds the per-lane occupancy spans;
+            // it is purely observational, so the capacity checks and busy
+            // integrals are identical with it on or off.
+            ledger.enable_journal();
+        }
+        let tl_npu = telemetry.intern("npu");
+        let tl_flash = telemetry.intern("flash");
+        let tl_cpu = telemetry.intern("cpu");
+        telemetry.name_track(Track::Lane(tl_npu), "npu");
+        telemetry.name_track(Track::Lane(tl_flash), "flash");
+        telemetry.name_track(Track::Lane(tl_cpu), "cpu");
         let cost = llm::CostModel::rk3588();
         let draft_spec = if config.speculation.enabled {
             Some(
@@ -2034,6 +2287,11 @@ impl Server {
                 lane_npu,
                 lane_flash,
                 lane_cpu,
+                telemetry,
+                tl_npu,
+                tl_flash,
+                tl_cpu,
+                styles: BTreeMap::new(),
                 plan_cache,
                 records: Vec::new(),
                 rejected: Vec::new(),
@@ -2099,6 +2357,7 @@ impl Server {
             output_seed: derive_seed(state.next_id, 0x07),
             accept_permille: workloads::SessionStyle::Independent.accept_base_permille(),
             accept_seed: derive_seed(state.next_id, 0xACC),
+            style_label: workloads::SessionStyle::Independent.label(),
         };
         state.next_id += 1;
         self.engine
@@ -2147,6 +2406,7 @@ impl Server {
             output_seed: first.output_seed,
             accept_permille: first.accept_permille,
             accept_seed: first.accept_seed,
+            style_label: first.style_label,
         };
         state.next_id += 1;
         state.session_index.insert(session, state.scripts.len());
@@ -2164,14 +2424,21 @@ impl Server {
     /// Runs the simulation to completion and summarises the fleet.
     pub fn run(mut self) -> ServingReport {
         self.engine.run_to_completion();
-        let state = self.engine.into_state();
+        let mut state = self.engine.into_state();
         let fleet = fleet_stats(&state);
         let resources = state.ledger.usage(fleet.horizon);
+        let telemetry = if state.telemetry.is_enabled() {
+            derive_occupancy_spans(&mut state);
+            Some(std::mem::take(&mut state.telemetry))
+        } else {
+            None
+        };
         ServingReport {
             records: state.records,
             rejected: state.rejected,
             fleet,
             resources,
+            telemetry,
         }
     }
 
@@ -2188,6 +2455,37 @@ impl Server {
             server.submit_script(script);
         }
         server.run()
+    }
+}
+
+/// Converts the capacity-ledger journal into per-lane occupancy spans and
+/// `in_use` gauge series on the lane tracks.  Runs once after the
+/// simulation completes; the journal is itself recorded only while
+/// telemetry is on, so this is purely observational.
+fn derive_occupancy_spans(state: &mut ServerState) {
+    let journal: Vec<LaneEvent> = state.ledger.journal().to_vec();
+    if journal.is_empty() {
+        return;
+    }
+    // (segment start, level) per lane; level-0 segments are idle and
+    // produce no span.
+    let mut seg: Vec<(SimTime, u64)> = vec![(SimTime::ZERO, 0); state.ledger.lane_count()];
+    for e in &journal {
+        let name = state.ledger.lane_name(e.lane);
+        let (start, level) = seg[e.lane.index()];
+        if level != e.in_use {
+            if level > 0 && e.at > start {
+                let lid = state.telemetry.intern(name);
+                let label = format!("{name}={level}");
+                state
+                    .telemetry
+                    .span(Track::Lane(lid), Phase::Occupancy, &label, start, e.at);
+            }
+            seg[e.lane.index()] = (e.at, e.in_use);
+        }
+        state
+            .telemetry
+            .gauge(&format!("{name} in_use"), e.at, e.in_use as f64);
     }
 }
 
@@ -2391,6 +2689,7 @@ pub fn single_request(
         plan_cache_capacity: 0,
         kv: KvConfig::disabled(),
         speculation: SpeculationConfig::off(),
+        telemetry: false,
     };
     let mut server = Server::new(serving_config, vec![config.model.clone()]);
     // Seed in the controller's own unit (the model's Q8 blob size) so the

@@ -113,6 +113,16 @@ impl SessionStyle {
             SessionStyle::SharedSystemPrompt { .. } => 820,
         }
     }
+
+    /// Short tag naming the style, carried into telemetry span labels (the
+    /// serving layer tags each request track `"req <id> <model> (<style>)"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionStyle::Independent => "independent",
+            SessionStyle::Conversation { .. } => "conversation",
+            SessionStyle::SharedSystemPrompt { .. } => "assistant",
+        }
+    }
 }
 
 /// A complete workload description: arrival process, request budget, and what
@@ -177,6 +187,9 @@ pub struct ScriptedRequest {
     /// draws its leading-accept trials from `DetRng::new(accept_seed)`, so
     /// accepted-token traces are reproducible from `(spec, seed)` alone.
     pub accept_seed: u64,
+    /// The session style's telemetry tag (see [`SessionStyle::label`]):
+    /// carried into span labels, never branched on.
+    pub style_label: &'static str,
 }
 
 /// The scripted lifetime of one session.
@@ -365,6 +378,7 @@ impl WorkloadSpec {
             output_seed,
             accept_permille: 0,
             accept_seed: 0,
+            style_label: self.style.label(),
         }
     }
 

@@ -3,7 +3,7 @@
 //! request, the overlap wins the acceptance comparison against the serial
 //! dispatcher, and the plan cache is semantically invisible.
 
-use sim_core::{DetRng, SimDuration};
+use sim_core::{DetRng, Phase, SimDuration};
 use tz_hal::PlatformProfile;
 use tzllm::serving::{RetentionPolicy, Server, ServingConfig};
 use workloads::{ArrivalProcess, WorkloadSpec};
@@ -125,6 +125,74 @@ fn restore_ahead_never_worsens_any_ttft_on_the_same_trace() {
     assert!(
         improved > serial.records.len() / 4,
         "restore-ahead should improve a sizeable share of requests ({improved})"
+    );
+}
+
+/// When a dispatch needs the lanes a background restore-ahead holds, the
+/// restore is cancelled mid-flight — and the ledger must account the
+/// *truncated* interval, not the reserved one.  The proof is exact: each
+/// lane's busy integral (`in_use × dt`), accumulated incrementally at
+/// every acquire/release, must equal the integral recomputed from the
+/// telemetry occupancy spans, which derive from the reservation journal's
+/// actual release instants.  A restore credited to its reserved end would
+/// leave the two disagreeing by the cancelled tail.
+#[test]
+fn interrupted_restore_ahead_truncates_ledger_busy_time() {
+    let workload = cold_heavy(0.08, 60);
+    let mut config = ServingConfig::serial(PlatformProfile::rk3588());
+    config.retention = RetentionPolicy::ReleaseAll;
+    config.restore_ahead = true;
+    config.telemetry = true;
+    let report = Server::run_workload(config, catalogue(), &workload, 11);
+    let telemetry = report.telemetry.as_ref().expect("telemetry was enabled");
+    assert!(
+        telemetry.counter("restore_ahead.interrupted") > 0,
+        "the trace must cancel at least one in-flight restore"
+    );
+    assert!(
+        telemetry.counter("restore_ahead.completed") > 0,
+        "and still let some restores run to completion"
+    );
+
+    for lane in &report.resources {
+        let mut from_spans: u128 = 0; // nanoseconds × units
+        for s in telemetry.spans() {
+            if s.phase != Phase::Occupancy {
+                continue;
+            }
+            let label = telemetry.resolve(s.label);
+            let Some((name, level)) = label.split_once('=') else {
+                continue;
+            };
+            if name != lane.name {
+                continue;
+            }
+            let level: u128 = level.parse().expect("occupancy level");
+            from_spans += level * s.duration().as_nanos() as u128;
+        }
+        assert_eq!(
+            from_spans,
+            lane.busy_unit_time.as_nanos() as u128,
+            "lane {}: the busy integral must match the journal-derived \
+             occupancy spans exactly — a cancelled restore contributes its \
+             truncated interval, not the reserved one",
+            lane.name
+        );
+    }
+
+    // The cancelled restores are visible as such on the lane tracks, each
+    // closed at its interruption instant (end == the moment the lanes were
+    // handed to the dispatch, which the occupancy cross-check above pins).
+    let interrupted = telemetry
+        .spans()
+        .iter()
+        .filter(|s| {
+            s.phase == Phase::RestoreAhead && telemetry.resolve(s.label).contains("(interrupted)")
+        })
+        .count();
+    assert_eq!(
+        interrupted as u64,
+        telemetry.counter("restore_ahead.interrupted")
     );
 }
 

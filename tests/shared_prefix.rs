@@ -204,6 +204,7 @@ fn over_declared_sharing_cannot_reach_private_suffixes() {
         output_seed: 0xBEEF,
         accept_permille: 0,
         accept_seed: 0,
+        style_label: "assistant",
     };
     // Victim session: system prompt plus a 300-token private suffix.
     server.submit_script(SessionScript {
