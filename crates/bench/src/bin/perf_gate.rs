@@ -242,6 +242,57 @@ const GATES: &[Gate] = &[
         key: "figures.fig14_qwen128_warm_norm",
         check: Check::MaxRatio(1.05),
     },
+    // Sharded parallel fleet: the experiment shape (shards, requests) must
+    // not silently shrink, the merged totals and aggregate percentiles are
+    // deterministic simulated quantities, the determinism flag proves the
+    // threads-1/2/8 sweep compared byte-identical, and the heterogeneity
+    // ratio keeps the device mix alive.  Wall-clock scaling is recorded
+    // only (runner-dependent); its floors are asserted inside perf_smoke
+    // on capable hosts.
+    Gate {
+        key: "fleet_scale.shards",
+        check: Check::MinRatio(1.0),
+    },
+    Gate {
+        key: "fleet_scale.requests",
+        check: Check::MinRatio(1.0),
+    },
+    Gate {
+        key: "fleet_scale.wallclock_s_threads1",
+        check: Check::Present,
+    },
+    Gate {
+        key: "fleet_scale.wallclock_s_threads8",
+        check: Check::Present,
+    },
+    Gate {
+        key: "fleet_scale.speedup_8t",
+        check: Check::Present,
+    },
+    Gate {
+        key: "fleet_scale.sim_req_per_min_8t",
+        check: Check::Present,
+    },
+    Gate {
+        key: "fleet_scale.completed",
+        check: Check::MinRatio(1.0),
+    },
+    Gate {
+        key: "fleet_scale.digest_matches_across_threads",
+        check: Check::Positive,
+    },
+    Gate {
+        key: "fleet_scale.agg_p50_ttft_ms",
+        check: Check::MaxRatio(1.05),
+    },
+    Gate {
+        key: "fleet_scale.agg_p95_ttft_ms",
+        check: Check::MaxRatio(1.05),
+    },
+    Gate {
+        key: "fleet_scale.entry_vs_flagship_p50_x",
+        check: Check::MinRatio(0.9),
+    },
 ];
 
 struct Row {

@@ -30,6 +30,13 @@
 //!   critical-path attribution covers >=90% of cold TTFT, and writes the
 //!   Chrome trace-event JSON (load it in Perfetto) to `--trace-out <path>`
 //!   or `target/experiments/serving_trace.json`.
+//! * **`fleet_scale`** — the sharded parallel fleet runner on a
+//!   heterogeneous device mix: sweeps `--threads 1/2/8` over the same
+//!   seeded workload, asserts the merged stats are byte-identical across
+//!   thread counts (digest-diffed again by CI's determinism matrix via
+//!   `--threads <n> --digest-out <path>`), and records the wall-clock
+//!   scaling floors (>=1M simulated requests/minute and >=4x speedup on 8
+//!   threads, asserted on full runs when the host has >=8 cores).
 //!
 //! Run with: `cargo run --release -p bench --bin perf_smoke` (`--quick`
 //! shrinks the sweep for CI, `--scenario <name>` runs one scenario,
@@ -45,12 +52,13 @@ use bench::HarnessOptions;
 use llm::{ComputationGraph, CostModel, ModelSpec};
 use sim_core::SimDuration;
 use tz_hal::PlatformProfile;
+use tzllm::fleet::{run_fleet, FleetConfig};
 use tzllm::serving::{Server, ServingConfig, ServingReport, SpeculationConfig};
 use tzllm::{
     evaluate, simulate, InferenceConfig, PipelineConfig, Policy, RestorePlan, RestoreRates,
     SpillFormat, SystemKind,
 };
-use workloads::{ArrivalProcess, WorkloadSpec};
+use workloads::{ArrivalProcess, DeviceMix, WorkloadSpec};
 
 const MODELS: [&str; 3] = ["tinyllama-1.1b", "qwen2.5-3b", "phi-3-3.8b"];
 
@@ -256,6 +264,11 @@ const SCENARIOS: &[Scenario] = &[
         name: "trace",
         about: "telemetry-on cold-heavy fleet: span/TTFT reconciliation + Perfetto export",
         run: scenario_trace,
+    },
+    Scenario {
+        name: "fleet_scale",
+        about: "sharded parallel fleet: threads 1/2/8 sweep, digest-identical merged stats",
+        run: scenario_fleet_scale,
     },
 ];
 
@@ -842,6 +855,149 @@ fn scenario_trace(opts: &HarnessOptions) -> String {
     let _ = writeln!(json, "    \"spans\": {},", telemetry.spans().len());
     let _ = writeln!(json, "    \"cold_requests\": {},", cp.per_request.len());
     let _ = write!(json, "    \"attributed_pct\": {attributed_pct:.1}\n  }}");
+    json
+}
+
+fn scenario_fleet_scale(opts: &HarnessOptions) -> String {
+    let shards = if opts.quick { 16 } else { 64 };
+    let requests = if opts.quick { 48_000 } else { 1_000_000 };
+    // Fleet-wide arrival rate scaled so each device shard sees the sweep
+    // scenario's calibrated 0.1 rps after partitioning.
+    let per_device_rate = 0.1;
+    let workload = WorkloadSpec::standard_multi(
+        ArrivalProcess::Poisson {
+            rate_per_sec: per_device_rate * shards as f64,
+        },
+        requests,
+        &MODELS,
+    );
+    let models = catalogue();
+    let seed = 0xF1EE;
+    let run = |threads: usize| {
+        let config = FleetConfig {
+            shards,
+            threads,
+            mix: DeviceMix::heterogeneous_default(),
+        };
+        let start = Instant::now();
+        let stats = run_fleet(&workload, &models, seed, &config, |p| {
+            ServingConfig::paper_default(p.clone())
+        });
+        (start.elapsed().as_secs_f64(), stats)
+    };
+
+    if let Some(threads) = opts.threads {
+        // CI's determinism matrix: one thread count, digest to stdout and
+        // (with --digest-out) to a file the workflow diffs across runs.
+        assert_eq!(
+            opts.scenario.as_deref(),
+            Some("fleet_scale"),
+            "--threads is only meaningful with --scenario fleet_scale"
+        );
+        let (wall_s, stats) = run(threads);
+        let digest = stats.digest();
+        println!(
+            "fleet_scale ({shards} shards, {requests} requests, {threads} threads): \
+             {wall_s:.2} s wall, {} completed",
+            stats.completed()
+        );
+        println!("{digest}");
+        if let Some(path) = &opts.digest_out {
+            std::fs::write(path, format!("{digest}\n")).expect("write digest file");
+            println!("wrote {}", path.display());
+        }
+        return String::from("  \"fleet_scale\": {}");
+    }
+
+    let (wall_1, stats_1) = run(1);
+    let (wall_2, stats_2) = run(2);
+    let (wall_8, stats_8) = run(8);
+    let digest = stats_1.digest();
+    let speedup_8 = wall_1 / wall_8;
+    let sim_per_min_8 = requests as f64 * 60.0 / wall_8;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "fleet_scale ({shards} shards x {} devices/socs, {requests} requests): \
+         wall 1t {wall_1:.2} s, 2t {wall_2:.2} s, 8t {wall_8:.2} s \
+         ({speedup_8:.2}x, {:.2}M sim req/min on 8 threads, {cores} host cores)",
+        DeviceMix::heterogeneous_default().slot_count(),
+        sim_per_min_8 / 1e6
+    );
+    println!("  digest {digest}");
+
+    // Thread-count independence is machine-independent: assert it always,
+    // on the full merged value, not merely the digest.
+    assert_eq!(
+        digest,
+        stats_2.digest(),
+        "merged stats must not depend on the thread count (1 vs 2)"
+    );
+    assert_eq!(
+        digest,
+        stats_8.digest(),
+        "merged stats must not depend on the thread count (1 vs 8)"
+    );
+    assert!(
+        stats_1 == stats_8,
+        "digest-equal fleets must also compare equal field-for-field"
+    );
+    assert_eq!(stats_1.shard_count(), shards, "every shard must report");
+    assert_eq!(
+        stats_1.completed() + stats_1.rejected(),
+        requests as u64,
+        "the partition must conserve the fleet's request budget"
+    );
+
+    // The heterogeneous mix must actually shape the fleet distribution:
+    // all three calibrations serve traffic, and the entry SoC is slower.
+    let by_soc = stats_1.ttft_ms_by_soc();
+    assert_eq!(by_soc.len(), 3, "all three SoC calibrations must serve");
+    let entry_vs_flagship = by_soc["rk3566"].p50 / by_soc["rk3588"].p50;
+    assert!(
+        entry_vs_flagship > 1.0,
+        "the entry-level calibration must be visibly slower ({entry_vs_flagship:.2}x)"
+    );
+
+    // Wall-clock scaling floors are machine-dependent: asserted only on
+    // full runs with enough host cores to make 8 workers real, recorded
+    // (and perf-gated as Present) otherwise.
+    if !opts.quick && cores >= 8 {
+        assert!(
+            speedup_8 >= 4.0,
+            "8 worker threads must buy >= 4x over serial ({speedup_8:.2}x)"
+        );
+        assert!(
+            sim_per_min_8 >= 1e6,
+            "the fleet must sustain >= 1M simulated requests/minute on 8 \
+             threads ({sim_per_min_8:.0}/min)"
+        );
+    } else {
+        println!(
+            "  (scaling floors recorded, not asserted: quick={}, {cores} cores)",
+            opts.quick
+        );
+    }
+
+    let agg = stats_1.ttft_ms().expect("the fleet served requests");
+    let mut json = String::new();
+    let _ = writeln!(json, "  \"fleet_scale\": {{");
+    let _ = writeln!(json, "    \"shards\": {shards},");
+    let _ = writeln!(json, "    \"requests\": {requests},");
+    let _ = writeln!(json, "    \"wallclock_s_threads1\": {wall_1:.3},");
+    let _ = writeln!(json, "    \"wallclock_s_threads2\": {wall_2:.3},");
+    let _ = writeln!(json, "    \"wallclock_s_threads8\": {wall_8:.3},");
+    let _ = writeln!(json, "    \"speedup_8t\": {speedup_8:.3},");
+    let _ = writeln!(json, "    \"sim_req_per_min_8t\": {sim_per_min_8:.0},");
+    let _ = writeln!(json, "    \"completed\": {},", stats_1.completed());
+    let _ = writeln!(json, "    \"rejected\": {},", stats_1.rejected());
+    let _ = writeln!(json, "    \"digest_matches_across_threads\": 1,");
+    let _ = writeln!(json, "    \"agg_p50_ttft_ms\": {:.3},", agg.p50);
+    let _ = writeln!(json, "    \"agg_p95_ttft_ms\": {:.3},", agg.p95);
+    let _ = writeln!(json, "    \"agg_p99_ttft_ms\": {:.3},", agg.p99);
+    let _ = write!(
+        json,
+        "    \"entry_vs_flagship_p50_x\": {entry_vs_flagship:.3}\n  }}"
+    );
     json
 }
 

@@ -24,17 +24,25 @@ pub struct HarnessOptions {
     /// Where the telemetry-enabled scenario writes its Chrome trace-event
     /// JSON (defaults to `target/experiments/serving_trace.json`).
     pub trace_out: Option<PathBuf>,
+    /// Worker-thread count for the fleet scenario; `None` sweeps the
+    /// scenario's default thread ladder.
+    pub threads: Option<usize>,
+    /// Where the fleet scenario writes its canonical stats digest (one hex
+    /// SHA-256 line) — the CI determinism matrix diffs these files.
+    pub digest_out: Option<PathBuf>,
 }
 
 impl HarnessOptions {
-    /// Parses `--quick`, `--scenario <name>`, `--list` and
-    /// `--trace-out <path>` from the process arguments.
+    /// Parses `--quick`, `--scenario <name>`, `--list`, `--trace-out <path>`,
+    /// `--threads <n>` and `--digest-out <path>` from the process arguments.
     pub fn from_args() -> Self {
         let mut opts = HarnessOptions {
             quick: false,
             scenario: None,
             list: false,
             trace_out: None,
+            threads: None,
+            digest_out: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -47,6 +55,19 @@ impl HarnessOptions {
                 "--trace-out" => {
                     opts.trace_out = Some(PathBuf::from(
                         args.next().expect("--trace-out takes a path"),
+                    ));
+                }
+                "--threads" => {
+                    opts.threads = Some(
+                        args.next()
+                            .expect("--threads takes a count")
+                            .parse()
+                            .expect("--threads takes a positive integer"),
+                    );
+                }
+                "--digest-out" => {
+                    opts.digest_out = Some(PathBuf::from(
+                        args.next().expect("--digest-out takes a path"),
                     ));
                 }
                 _ => {}

@@ -9,7 +9,7 @@
 //! * [`graph`] — the deterministic computation graph (operators, device
 //!   placement, per-operator parameter slices) that pipelined restoration
 //!   keys on.
-//! * [`format`] — the packed, encrypted, checksummed model file format.
+//! * [`format`](mod@format) — the packed, encrypted, checksummed model file format.
 //! * [`tokenizer`] — a byte-level tokenizer (part of the framework checkpoint).
 //! * [`kv_cache`] — KV-cache accounting and storage.
 //! * [`cost`] — the calibrated operator cost model (CPU vs NPU, prefill vs

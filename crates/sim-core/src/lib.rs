@@ -29,7 +29,7 @@ pub mod trace;
 pub use bandwidth::{Bandwidth, GIB, KIB, MIB};
 pub use engine::{Engine, EventScheduler};
 pub use resource::{CapacityLedger, LaneEvent, LaneId, LaneUsage, Reservation, ServerPool};
-pub use rng::DetRng;
+pub use rng::{shard_seed, DetRng};
 pub use stats::PercentileSummary;
 pub use telemetry::{Interner, LabelId, Phase, Telemetry, TelemetrySpan, Track};
 pub use time::{SimDuration, SimTime};

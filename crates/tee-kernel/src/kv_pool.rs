@@ -4,7 +4,7 @@
 //! TZ-LLM's prototype releases the whole KV cache after every inference
 //! (§4.2), so each follow-up turn of a conversation re-prefills everything it
 //! already computed.  The KV pool instead retains per-session KV state as
-//! fixed-size pages inside the working [`ScalableRegion`]:
+//! fixed-size pages inside the working [`ScalableRegion`](crate::ScalableRegion):
 //!
 //! * pages are allocated by growing the region through the normal
 //!   `extend_allocated`/`extend_protected` path (page-aligned, contiguous,
@@ -13,7 +13,7 @@
 //!   block-quantized to INT8/INT4 ([`tz_quant::SpillFormat`] — the sealed
 //!   payload shrinks 2–4×, so a fixed CMA spill budget holds 2–4× the
 //!   pages), then sealed with AES-256-CTR + HMAC-SHA256
-//!   ([`tz_crypto::seal`]) and handed to normal-world CMA memory, then the
+//!   ([`tz_crypto::seal()`]) and handed to normal-world CMA memory, then the
 //!   plaintext page is scrubbed.  The MAC binds the page identity, the
 //!   quantization format and both the plaintext and sealed lengths, so an
 //!   INT4 blob relabelled INT8 (or any other format confusion) fails
@@ -213,7 +213,7 @@ impl NormalWorldSpill {
     }
 }
 
-/// The paged KV allocator over one [`ScalableRegion`].
+/// The paged KV allocator over one [`ScalableRegion`](crate::ScalableRegion).
 #[derive(Debug)]
 pub struct KvPagePool {
     region: usize,

@@ -13,7 +13,7 @@
 //! * [`hmac`] — HMAC-SHA256 and HKDF-style key derivation.
 //! * [`keys`] — the model-key hierarchy (hardware unique key → key-wrapping
 //!   key → per-model key) described in §6 of the paper.
-//! * [`seal`] — authenticated sealing (AES-CTR + HMAC, encrypt-then-MAC) for
+//! * [`seal`](mod@seal) — authenticated sealing (AES-CTR + HMAC, encrypt-then-MAC) for
 //!   secure state spilled into normal-world memory, used by the KV-cache
 //!   page spill path.
 

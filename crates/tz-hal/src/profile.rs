@@ -24,6 +24,10 @@ use sim_core::{Bandwidth, SimDuration};
 /// Calibrated hardware/software constants for the simulated platform.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PlatformProfile {
+    /// SoC name the calibration models (`"rk3588"`, `"rk3576"`, `"rk3566"`)
+    /// — carried into fleet-shard stats so heterogeneous device mixes stay
+    /// attributable per shard.
+    pub soc: &'static str,
     /// Number of big CPU cores available to the LLM TA (Cortex-A76 on RK3588).
     pub big_cores: usize,
     /// Number of little CPU cores (run REE background work in the experiments).
@@ -97,6 +101,7 @@ impl PlatformProfile {
     /// The RK3588 (Orange Pi 5 Plus) calibration used by all experiments.
     pub fn rk3588() -> Self {
         PlatformProfile {
+            soc: "rk3588",
             big_cores: 4,
             little_cores: 4,
             npu_cores: 3,
@@ -132,6 +137,67 @@ impl PlatformProfile {
             checkpoint_restore: SimDuration::from_millis(140),
             kv_cache_alloc: SimDuration::from_millis(33),
             activation_alloc: SimDuration::from_millis(137),
+        }
+    }
+
+    /// A midrange RK3576-class device (8 GiB LPDDR4X, UFS 2.2 flash,
+    /// 6-TOPS NPU at lower clocks): every lane is derated from the RK3588
+    /// anchor — ~0.7× memory/NPU bandwidth, slower flash and crypto — so a
+    /// heterogeneous fleet's aggregate percentiles spread realistically
+    /// without inventing a second calibration methodology.
+    pub fn rk3576() -> Self {
+        PlatformProfile {
+            soc: "rk3576",
+            big_cores: 4,
+            npu_cores: 2,
+            dram_bytes: 8 * sim_core::GIB,
+            dram_bandwidth_bytes_per_sec: 15.0 * 1e9,
+            flash_read_bytes_per_sec: 1.4e9,
+            cma_migration_bytes_per_sec: 1.4e9,
+            decrypt_bytes_per_sec: 6.5e9,
+            dequant_bytes_per_sec: 5.6e9,
+            cpu_int8_ops_per_sec: 1.8e10,
+            npu_int8_ops_per_sec: 2.8e11,
+            framework_meta_init: SimDuration::from_millis(620),
+            tokenizer_init: SimDuration::from_millis(2200),
+            checkpoint_restore: SimDuration::from_millis(180),
+            ..Self::rk3588()
+        }
+    }
+
+    /// An entry-level RK3566-class device (4×A55 only, 4 GiB LPDDR4, eMMC
+    /// flash, 1-TOPS NPU): the slow tail of a heterogeneous fleet.  Same
+    /// derating approach as [`PlatformProfile::rk3576`], pushed further.
+    pub fn rk3566() -> Self {
+        PlatformProfile {
+            soc: "rk3566",
+            big_cores: 4,
+            little_cores: 0,
+            npu_cores: 1,
+            dram_bytes: 4 * sim_core::GIB,
+            dram_bandwidth_bytes_per_sec: 10.0 * 1e9,
+            flash_read_bytes_per_sec: 0.9e9,
+            cma_migration_bytes_per_sec: 1.0e9,
+            cma_migration_threads: 2,
+            decrypt_bytes_per_sec: 3.8e9,
+            dequant_bytes_per_sec: 3.2e9,
+            cpu_int8_ops_per_sec: 0.9e10,
+            npu_int8_ops_per_sec: 0.9e11,
+            framework_meta_init: SimDuration::from_millis(850),
+            tokenizer_init: SimDuration::from_millis(2900),
+            checkpoint_restore: SimDuration::from_millis(240),
+            ..Self::rk3588()
+        }
+    }
+
+    /// Looks a calibration up by SoC name (`"rk3588"`, `"rk3576"`,
+    /// `"rk3566"`); `None` for anything else.
+    pub fn by_soc(name: &str) -> Option<Self> {
+        match name {
+            "rk3588" => Some(Self::rk3588()),
+            "rk3576" => Some(Self::rk3576()),
+            "rk3566" => Some(Self::rk3566()),
+            _ => None,
         }
     }
 
@@ -222,6 +288,36 @@ mod tests {
         let p = PlatformProfile::rk3588();
         let ratio = p.npu_int8_ops_per_sec / p.cpu_int8_ops_per_sec;
         assert!(ratio > 10.0 && ratio < 20.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn derated_socs_order_strictly_below_the_anchor() {
+        let flagship = PlatformProfile::rk3588();
+        let mid = PlatformProfile::rk3576();
+        let entry = PlatformProfile::rk3566();
+        // Every lane a fleet percentile flows through must order
+        // flagship > midrange > entry, or the heterogeneous mix would not
+        // actually spread the aggregate distribution.
+        for f in [
+            |p: &PlatformProfile| p.dram_bandwidth_bytes_per_sec,
+            |p: &PlatformProfile| p.flash_read_bytes_per_sec,
+            |p: &PlatformProfile| p.decrypt_bytes_per_sec,
+            |p: &PlatformProfile| p.npu_int8_ops_per_sec,
+            |p: &PlatformProfile| p.cpu_int8_ops_per_sec,
+        ] {
+            assert!(f(&flagship) > f(&mid) && f(&mid) > f(&entry));
+        }
+        assert!(flagship.framework_init_total() < mid.framework_init_total());
+        assert!(mid.framework_init_total() < entry.framework_init_total());
+    }
+
+    #[test]
+    fn by_soc_round_trips_every_calibration() {
+        for name in ["rk3588", "rk3576", "rk3566"] {
+            let p = PlatformProfile::by_soc(name).expect("known SoC");
+            assert_eq!(p.soc, name);
+        }
+        assert!(PlatformProfile::by_soc("bcm2712").is_none());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! to INT8 or INT4 (per-block f16 scales, [`BLOCK_ELEMS`] elements per
 //! block) on the way out and dequantizes them on the way back in:
 //!
-//! * [`f16`] — a software IEEE binary16 codec (the offline build has no
+//! * [`f16`](mod@f16) — a software IEEE binary16 codec (the offline build has no
 //!   `half` crate);
 //! * [`quant`] — [`SpillFormat`] (F16 / Int8 / Int4), the packed layout,
 //!   [`quantize`] / [`dequantize`], exact [`SpillFormat::sealed_len`]

@@ -18,12 +18,16 @@
 //!   admission, live cache-driven dispatch, fleet statistics.
 //! * [`telemetry`] — TTFT waterfalls and fleet-wide critical-path
 //!   attribution over a finished serving report.
+//! * [`fleet`] — the sharded parallel fleet runner: one independent serving
+//!   simulation per device shard on scoped threads, splittable seeds,
+//!   deterministic associative stats merging.
 //! * [`baseline`] — the REE-LLM-Memory, REE-LLM-Flash and Strawman baselines.
 //! * [`related`] — the qualitative comparison of Table 1.
 
 pub mod baseline;
 pub mod cache;
 pub mod codriver;
+pub mod fleet;
 pub mod kv;
 pub mod pipeline;
 pub mod related;

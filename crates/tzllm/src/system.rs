@@ -123,7 +123,8 @@ pub struct InferenceReport {
     pub restored_bytes: u64,
 }
 
-/// Memoises the expensive middle of [`evaluate_service`]: building the
+/// Memoises the expensive middle of the crate-internal `evaluate_service`
+/// step: building the
 /// prefill graph, extending it into a [`RestorePlan`] (hundreds of
 /// operators) and simulating the pipeline schedule.
 ///

@@ -1,0 +1,111 @@
+//! Heterogeneous device-mix assignment for sharded fleet simulation.
+//!
+//! A fleet of millions of devices is not a fleet of identical devices: the
+//! population spans flagship, midrange and entry-level SoCs.  [`DeviceMix`]
+//! assigns one calibrated [`PlatformProfile`] to each device shard as a pure
+//! function of the shard index — deterministic round-robin over a weighted
+//! slot list — so the assignment depends only on `(mix, shard_id)`, never on
+//! which worker thread runs the shard or in what order shards complete.
+//! That makes the mix safe to use inside the parallel fleet runner without
+//! perturbing its byte-stable-per-seed guarantee.
+
+use tz_hal::PlatformProfile;
+
+/// A weighted population of device calibrations, assignable per shard.
+#[derive(Debug, Clone)]
+pub struct DeviceMix {
+    /// The expanded slot list round-robin assignment walks; weighted mixes
+    /// repeat a profile in proportion to its weight.
+    slots: Vec<PlatformProfile>,
+}
+
+impl DeviceMix {
+    /// A homogeneous fleet: every shard runs the same calibration.
+    pub fn homogeneous(profile: PlatformProfile) -> Self {
+        DeviceMix {
+            slots: vec![profile],
+        }
+    }
+
+    /// A mix with integer weights: `(profile, copies)` pairs expand into a
+    /// slot list that shard assignment cycles through, so a weight-2 profile
+    /// covers twice the shards of a weight-1 profile.
+    ///
+    /// # Panics
+    /// Panics if the expanded mix is empty.
+    pub fn weighted(entries: &[(PlatformProfile, usize)]) -> Self {
+        let slots: Vec<PlatformProfile> = entries
+            .iter()
+            .flat_map(|(p, copies)| std::iter::repeat_n(p.clone(), *copies))
+            .collect();
+        assert!(!slots.is_empty(), "a device mix needs at least one slot");
+        DeviceMix { slots }
+    }
+
+    /// The default heterogeneous fleet: one flagship RK3588 to two midrange
+    /// RK3576 to one entry-level RK3566 — a plausible installed-base shape
+    /// that exercises all three calibrations in every 4-shard window.
+    pub fn heterogeneous_default() -> Self {
+        Self::weighted(&[
+            (PlatformProfile::rk3588(), 1),
+            (PlatformProfile::rk3576(), 2),
+            (PlatformProfile::rk3566(), 1),
+        ])
+    }
+
+    /// The calibration of device shard `shard`: deterministic round-robin
+    /// over the slot list, independent of thread scheduling.
+    pub fn profile_for_shard(&self, shard: u64) -> &PlatformProfile {
+        &self.slots[(shard % self.slots.len() as u64) as usize]
+    }
+
+    /// Number of distinct slots in the expanded mix.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_a_pure_function_of_the_shard_index() {
+        let mix = DeviceMix::heterogeneous_default();
+        for shard in 0..32u64 {
+            assert_eq!(
+                mix.profile_for_shard(shard).soc,
+                mix.profile_for_shard(shard).soc
+            );
+            assert_eq!(
+                mix.profile_for_shard(shard).soc,
+                mix.slots[(shard % 4) as usize].soc
+            );
+        }
+    }
+
+    #[test]
+    fn weights_shape_the_population() {
+        let mix = DeviceMix::heterogeneous_default();
+        assert_eq!(mix.slot_count(), 4);
+        let socs: Vec<&str> = (0..8).map(|s| mix.profile_for_shard(s).soc).collect();
+        let count = |name| socs.iter().filter(|s| **s == name).count();
+        assert_eq!(count("rk3588"), 2);
+        assert_eq!(count("rk3576"), 4);
+        assert_eq!(count("rk3566"), 2);
+    }
+
+    #[test]
+    fn homogeneous_mix_always_returns_its_profile() {
+        let mix = DeviceMix::homogeneous(PlatformProfile::rk3588());
+        for shard in [0u64, 1, 17, 9999] {
+            assert_eq!(mix.profile_for_shard(shard).soc, "rk3588");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn an_empty_mix_is_rejected() {
+        let _ = DeviceMix::weighted(&[]);
+    }
+}

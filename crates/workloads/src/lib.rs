@@ -10,14 +10,18 @@
 //! * [`stress`] — the stress-ng-like memory-pressure generator.
 //! * [`traffic`] — serving arrival processes (Poisson / bursty / closed-loop
 //!   session patterns) over the benchmark prompt distributions.
+//! * [`fleet`] — heterogeneous device-mix assignment for sharded
+//!   fleet-scale simulation (which SoC calibration each shard runs).
 
 pub mod benchmarks;
+pub mod fleet;
 pub mod geekbench;
 pub mod nn_apps;
 pub mod stress;
 pub mod traffic;
 
 pub use benchmarks::Benchmark;
+pub use fleet::DeviceMix;
 pub use geekbench::{mean_overhead, suite as geekbench_suite, Subtest};
 pub use nn_apps::NnApp;
 pub use stress::MemoryStress;

@@ -410,6 +410,59 @@ impl WorkloadSpec {
         self.mix.last().expect("mix is non-empty").0
     }
 
+    /// Partitions this fleet-wide workload into `shards` per-device-shard
+    /// sub-workloads.
+    ///
+    /// The request budget (and, for closed-loop traffic, the session
+    /// population) is split as evenly as possible with the remainder going
+    /// to the lowest shard indices; open-loop rates are divided by the
+    /// shard count so each shard models its proportional slice of the
+    /// fleet's traffic and all shards span a comparable horizon.  A 1-shard
+    /// partition is exactly `self`, so shard 0 of a 1-shard fleet replays
+    /// the unsharded workload bit-for-bit (paired with
+    /// [`sim_core::shard_seed`]'s shard-0 identity).
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn partition(&self, shards: usize) -> Vec<WorkloadSpec> {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        let split =
+            |total: usize, shard: usize| total / shards + usize::from(shard < total % shards);
+        (0..shards)
+            .map(|shard| {
+                let process = match self.process {
+                    ArrivalProcess::Poisson { rate_per_sec } => ArrivalProcess::Poisson {
+                        rate_per_sec: rate_per_sec / shards as f64,
+                    },
+                    ArrivalProcess::Bursty {
+                        bursts_per_sec,
+                        burst_size,
+                        intra_gap,
+                    } => ArrivalProcess::Bursty {
+                        bursts_per_sec: bursts_per_sec / shards as f64,
+                        burst_size,
+                        intra_gap,
+                    },
+                    ArrivalProcess::ClosedLoop {
+                        sessions,
+                        mean_think,
+                    } => ArrivalProcess::ClosedLoop {
+                        // Never partition a shard down to zero sessions:
+                        // `generate` needs a population even when the
+                        // shard's request budget rounded to nothing.
+                        sessions: split(sessions, shard).max(1),
+                        mean_think,
+                    },
+                };
+                WorkloadSpec {
+                    process,
+                    requests: split(self.requests, shard),
+                    ..self.clone()
+                }
+            })
+            .collect()
+    }
+
     /// An equal-weight UltraChat/PersonaChat/DroidTask mix over one model —
     /// the default fleet workload of the serving benchmarks.
     pub fn standard(process: ArrivalProcess, requests: usize, model: &str) -> WorkloadSpec {
@@ -777,6 +830,70 @@ mod tests {
                 .collect()
         };
         assert_ne!(seeds(&a), seeds(&b));
+    }
+
+    #[test]
+    fn partition_conserves_the_request_budget() {
+        for process in [
+            ArrivalProcess::Poisson { rate_per_sec: 2.0 },
+            ArrivalProcess::Bursty {
+                bursts_per_sec: 0.5,
+                burst_size: 4,
+                intra_gap: SimDuration::from_millis(20),
+            },
+            ArrivalProcess::ClosedLoop {
+                sessions: 10,
+                mean_think: SimDuration::from_secs(3),
+            },
+        ] {
+            let s = WorkloadSpec::standard(process, 103, "qwen2.5-3b");
+            for shards in [1usize, 2, 3, 8, 16] {
+                let parts = s.partition(shards);
+                assert_eq!(parts.len(), shards);
+                let total: usize = parts.iter().map(|p| p.requests).sum();
+                assert_eq!(total, 103, "{shards} shards must conserve requests");
+                // Even split: no shard more than one request above another.
+                let max = parts.iter().map(|p| p.requests).max().unwrap();
+                let min = parts.iter().map(|p| p.requests).min().unwrap();
+                assert!(max - min <= 1);
+                // Every shard really generates its budget.
+                let generated: usize = parts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        p.generate(sim_core::shard_seed(9, i as u64))
+                            .iter()
+                            .map(|script| script.requests.len())
+                            .sum::<usize>()
+                    })
+                    .sum();
+                assert_eq!(generated, 103);
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_partition_is_the_unsharded_spec() {
+        let s = WorkloadSpec::chat(6, 60, SimDuration::from_secs(4), "qwen2.5-3b");
+        let parts = s.partition(1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], s);
+        assert_eq!(parts[0].generate(77), s.generate(77));
+    }
+
+    #[test]
+    fn partitioned_closed_loop_keeps_every_shard_populated() {
+        let s = WorkloadSpec::chat(3, 30, SimDuration::from_secs(4), "qwen2.5-3b");
+        // More shards than sessions: low shards carry the load, the rest
+        // still satisfy generate()'s non-empty-population requirement.
+        for (i, p) in s.partition(8).iter().enumerate() {
+            if let ArrivalProcess::ClosedLoop { sessions, .. } = p.process {
+                assert!(sessions >= 1, "shard {i} lost its population");
+            } else {
+                panic!("partition must preserve the process shape");
+            }
+            let _ = p.generate(1);
+        }
     }
 
     #[test]
