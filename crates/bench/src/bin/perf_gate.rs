@@ -293,6 +293,59 @@ const GATES: &[Gate] = &[
         key: "fleet_scale.entry_vs_flagship_p50_x",
         check: Check::MinRatio(0.9),
     },
+    // Windowed metrics over the fleet: the merged registry must keep its
+    // series populated, and the log-bucketed sketch's quantile error against
+    // the exact sample-union percentiles is a deterministic simulated
+    // quantity — drift means the sketch (or its merge) lost accuracy.
+    Gate {
+        key: "fleet_scale.metrics_series",
+        check: Check::Positive,
+    },
+    Gate {
+        key: "fleet_scale.sketch_p95_rel_err_pct",
+        check: Check::MaxRatio(1.25),
+    },
+    // SLO burn-rate monitor: the experiment shape must not shrink, the
+    // per-class attainments and the burn-rate peak are deterministic
+    // simulated quantities, the episode counter proves the overload
+    // detector stayed live, and the exposition sample count proves the
+    // OpenMetrics export (and its strict validation) actually ran.
+    Gate {
+        key: "slo_monitor.requests",
+        check: Check::MinRatio(1.0),
+    },
+    Gate {
+        key: "slo_monitor.windows",
+        check: Check::Positive,
+    },
+    Gate {
+        key: "slo_monitor.cold_attainment",
+        check: Check::MinRatio(0.95),
+    },
+    Gate {
+        key: "slo_monitor.tbt_attainment",
+        check: Check::MinRatio(0.95),
+    },
+    Gate {
+        key: "slo_monitor.burn_rate_peak",
+        check: Check::MaxRatio(1.05),
+    },
+    Gate {
+        key: "slo_monitor.overload_episodes",
+        check: Check::Positive,
+    },
+    Gate {
+        key: "slo_monitor.episode_first_window",
+        check: Check::Present,
+    },
+    Gate {
+        key: "slo_monitor.om_samples",
+        check: Check::Positive,
+    },
+    Gate {
+        key: "slo_monitor.sketch_p95_rel_err_pct",
+        check: Check::MaxRatio(1.25),
+    },
 ];
 
 struct Row {

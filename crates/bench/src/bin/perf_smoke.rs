@@ -36,7 +36,17 @@
 //!   thread counts (digest-diffed again by CI's determinism matrix via
 //!   `--threads <n> --digest-out <path>`), and records the wall-clock
 //!   scaling floors (>=1M simulated requests/minute and >=4x speedup on 8
-//!   threads, asserted on full runs when the host has >=8 cores).
+//!   threads, asserted on full runs when the host has >=8 cores).  Runs
+//!   with windowed metrics on, so the digest also covers the fleet-merged
+//!   metric series, and asserts the merged latency sketch's percentiles
+//!   land within 1% of the exact sample-union percentiles.
+//! * **`slo_monitor`** — a four-shard fleet under a Poisson traffic spike,
+//!   windowed metrics on: evaluates the per-class SLO targets, asserts the
+//!   burn-rate monitor localises the overload episode to the spike windows
+//!   and names a bounding lane, validates the OpenMetrics exposition with
+//!   the strict in-repo parser, and writes the exposition + CSV
+//!   time-series to `--metrics-out <path>` (default
+//!   `target/experiments/slo_metrics.om.txt` / `.csv`).
 //!
 //! Run with: `cargo run --release -p bench --bin perf_smoke` (`--quick`
 //! shrinks the sweep for CI, `--scenario <name>` runs one scenario,
@@ -50,10 +60,11 @@ use std::time::Instant;
 
 use bench::HarnessOptions;
 use llm::{ComputationGraph, CostModel, ModelSpec};
-use sim_core::SimDuration;
+use sim_core::{LogHistogram, SimDuration, WindowedMetrics};
 use tz_hal::PlatformProfile;
-use tzllm::fleet::{run_fleet, FleetConfig};
+use tzllm::fleet::{run_fleet, FleetConfig, FleetStats};
 use tzllm::serving::{Server, ServingConfig, ServingReport, SpeculationConfig};
+use tzllm::slo::{self, SloConfig, SloTarget, TargetReport};
 use tzllm::{
     evaluate, simulate, InferenceConfig, PipelineConfig, Policy, RestorePlan, RestoreRates,
     SpillFormat, SystemKind,
@@ -270,7 +281,53 @@ const SCENARIOS: &[Scenario] = &[
         about: "sharded parallel fleet: threads 1/2/8 sweep, digest-identical merged stats",
         run: scenario_fleet_scale,
     },
+    Scenario {
+        name: "slo_monitor",
+        about: "windowed metrics + SLO burn-rate monitor on a traffic spike, OpenMetrics/CSV out",
+        run: scenario_slo_monitor,
+    },
 ];
+
+/// Window width every metrics-enabled scenario records at: one minute, wide
+/// enough that a window holds a statistically meaningful request count,
+/// narrow enough to localise a ten-minute overload.
+const METRICS_WINDOW: SimDuration = SimDuration::from_secs(60);
+
+/// The merged whole-run end-to-end TTFT sketch: cold + follow-up histograms
+/// over every request class.  Its support is exactly the completed-request
+/// set, so its count must equal the fleet's `completed()`.
+fn merged_ttft_sketch(merged: &WindowedMetrics) -> LogHistogram {
+    let mut sketch = LogHistogram::new();
+    for name in ["ttft_cold", "ttft_followup"] {
+        for class in merged.histogram_classes(name) {
+            if let Some(h) = merged.merged_histogram(name, class) {
+                sketch.merge_from(&h);
+            }
+        }
+    }
+    sketch
+}
+
+/// Relative error (percent) of the sketch's quantile against the exact
+/// sample-union percentile at the same nearest-rank rule the sketch's own
+/// quantile walk uses (`rank = ceil(q·(n−1))`).
+fn sketch_rel_err_pct(sketch: &LogHistogram, exact_sorted_ms: &[f64], q: f64) -> f64 {
+    let rank = (q * (exact_sorted_ms.len() - 1) as f64).ceil() as usize;
+    let exact = exact_sorted_ms[rank];
+    let approx = sketch.quantile_ms(q).expect("sketch is non-empty");
+    ((approx - exact) / exact).abs() * 100.0
+}
+
+/// The exact fleet-wide TTFT sample union, sorted ascending — the oracle
+/// the sketch is judged against.
+fn exact_ttft_union_ms(stats: &FleetStats) -> Vec<f64> {
+    let mut exact: Vec<f64> = stats
+        .shards()
+        .flat_map(|s| s.ttft_ms.iter().copied())
+        .collect();
+    exact.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+    exact
+}
 
 fn scenario_sweep(opts: &HarnessOptions) -> String {
     let sweep_requests = if opts.quick { 2_000 } else { 10_000 };
@@ -880,8 +937,13 @@ fn scenario_fleet_scale(opts: &HarnessOptions) -> String {
             mix: DeviceMix::heterogeneous_default(),
         };
         let start = Instant::now();
+        // Windowed metrics on: the per-shard series land in the digest, so
+        // the determinism matrix also proves the windowed quantiles are
+        // thread-count-invariant.
         let stats = run_fleet(&workload, &models, seed, &config, |p| {
-            ServingConfig::paper_default(p.clone())
+            let mut c = ServingConfig::paper_default(p.clone());
+            c.metrics = Some(METRICS_WINDOW);
+            c
         });
         (start.elapsed().as_secs_f64(), stats)
     };
@@ -948,6 +1010,49 @@ fn scenario_fleet_scale(opts: &HarnessOptions) -> String {
         "the partition must conserve the fleet's request budget"
     );
 
+    // The windowed latency sketch against its exact oracle: the fleet-merged
+    // cold+follow-up TTFT histogram must cover every completed request and
+    // land its percentiles within the DDSketch bound (1% relative error,
+    // plus a hair of floating-point slack) of the exact sample-union
+    // percentiles the shards still carry.
+    let merged_metrics = stats_1.merged_metrics();
+    assert!(
+        merged_metrics.is_enabled() && merged_metrics.series_count() > 0,
+        "the fleet must have recorded windowed metrics"
+    );
+    assert_eq!(
+        merged_metrics,
+        stats_8.merged_metrics(),
+        "fleet-merged windowed series must not depend on the thread count"
+    );
+    let sketch = merged_ttft_sketch(&merged_metrics);
+    assert_eq!(
+        sketch.count(),
+        stats_1.completed(),
+        "the TTFT sketch must cover every completed request"
+    );
+    let exact = exact_ttft_union_ms(&stats_1);
+    let sketch_err_p50 = sketch_rel_err_pct(&sketch, &exact, 0.50);
+    let sketch_err_p95 = sketch_rel_err_pct(&sketch, &exact, 0.95);
+    let sketch_err_p99 = sketch_rel_err_pct(&sketch, &exact, 0.99);
+    println!(
+        "  windowed sketch vs exact union: p50 {sketch_err_p50:.3}%, \
+         p95 {sketch_err_p95:.3}%, p99 {sketch_err_p99:.3}% relative error \
+         ({} histogram buckets for {} samples)",
+        sketch.bucket_count(),
+        exact.len()
+    );
+    for (q, err) in [
+        ("p50", sketch_err_p50),
+        ("p95", sketch_err_p95),
+        ("p99", sketch_err_p99),
+    ] {
+        assert!(
+            err <= 1.01,
+            "sketch {q} must stay within 1% of the exact sample union ({err:.3}%)"
+        );
+    }
+
     // The heterogeneous mix must actually shape the fleet distribution:
     // all three calibrations serve traffic, and the entry SoC is slower.
     let by_soc = stats_1.ttft_ms_by_soc();
@@ -994,9 +1099,149 @@ fn scenario_fleet_scale(opts: &HarnessOptions) -> String {
     let _ = writeln!(json, "    \"agg_p50_ttft_ms\": {:.3},", agg.p50);
     let _ = writeln!(json, "    \"agg_p95_ttft_ms\": {:.3},", agg.p95);
     let _ = writeln!(json, "    \"agg_p99_ttft_ms\": {:.3},", agg.p99);
+    let _ = writeln!(
+        json,
+        "    \"entry_vs_flagship_p50_x\": {entry_vs_flagship:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"metrics_series\": {},",
+        merged_metrics.series_count()
+    );
+    let _ = writeln!(json, "    \"sketch_p50_rel_err_pct\": {sketch_err_p50:.4},");
+    let _ = writeln!(json, "    \"sketch_p95_rel_err_pct\": {sketch_err_p95:.4},");
     let _ = write!(
         json,
-        "    \"entry_vs_flagship_p50_x\": {entry_vs_flagship:.3}\n  }}"
+        "    \"sketch_p99_rel_err_pct\": {sketch_err_p99:.4}\n  }}"
+    );
+    json
+}
+
+fn scenario_slo_monitor(opts: &HarnessOptions) -> String {
+    let shards = 4;
+    let requests = if opts.quick { 700 } else { 2_400 };
+    // Steady per-device background traffic with an 8x notification storm
+    // from t=20min to t=30min: the monitor must light up exactly there.
+    let per_device_rate = 0.05;
+    let spike_start = SimDuration::from_secs(1_200);
+    let spike_len = SimDuration::from_secs(600);
+    let workload = WorkloadSpec::standard_multi(
+        ArrivalProcess::PoissonSpike {
+            rate_per_sec: per_device_rate * shards as f64,
+            surge_x: 8.0,
+            spike_start,
+            spike_len,
+        },
+        requests,
+        &MODELS,
+    );
+    let config = FleetConfig {
+        shards,
+        threads: 2,
+        mix: DeviceMix::heterogeneous_default(),
+    };
+    let stats = run_fleet(&workload, &catalogue(), 0x510, &config, |p| {
+        let mut c = ServingConfig::paper_default(p.clone());
+        c.metrics = Some(METRICS_WINDOW);
+        c
+    });
+
+    let merged = stats.merged_metrics();
+    assert!(
+        merged.is_enabled() && merged.series_count() > 0,
+        "the fleet must have recorded windowed metrics"
+    );
+    let targets = SloTarget::defaults_for(&merged);
+    let report = slo::evaluate(&merged, &targets, &SloConfig::default());
+    print!("{}", report.summary());
+
+    let cold = report
+        .target("ttft_cold", "independent")
+        .expect("the spike fleet serves independent cold traffic");
+    assert_eq!(
+        cold.total,
+        stats.completed(),
+        "every completed request of this open-loop fleet is a cold turn"
+    );
+    let spike_window = spike_start.as_nanos() / METRICS_WINDOW.as_nanos();
+    let pre_spike: Vec<_> = cold
+        .windows
+        .iter()
+        .filter(|w| w.window < spike_window)
+        .collect();
+    assert!(
+        !pre_spike.is_empty()
+            && pre_spike
+                .iter()
+                .all(|w| w.burn_rate(cold.target.objective) < 2.0),
+        "background traffic must not burn budget before the spike"
+    );
+    assert!(
+        !report.episodes.is_empty(),
+        "the 8x surge must register as at least one overload episode"
+    );
+    let episode = &report.episodes[0];
+    assert!(
+        episode.first_window >= spike_window,
+        "the episode must start in the spike ({} vs window {spike_window})",
+        episode.first_window
+    );
+    assert!(
+        episode.bounding_lane.is_some(),
+        "the episode must name its bounding lane"
+    );
+    let burn_peak = report.peak_burn_rate();
+
+    // The sketch stays honest against the exact union on this fleet too.
+    let sketch = merged_ttft_sketch(&merged);
+    assert_eq!(sketch.count(), stats.completed());
+    let exact = exact_ttft_union_ms(&stats);
+    let sketch_err_p95 = sketch_rel_err_pct(&sketch, &exact, 0.95);
+    assert!(
+        sketch_err_p95 <= 1.01,
+        "sketch p95 must stay within 1% of the exact union ({sketch_err_p95:.3}%)"
+    );
+
+    // Export: OpenMetrics text exposition + CSV time-series, validated with
+    // the strict in-repo parser before anything is written.
+    let exposition = slo::openmetrics(&merged, &report);
+    let om_samples = slo::validate_openmetrics(&exposition)
+        .expect("the exposition must parse under the strict validator");
+    let csv = slo::csv_timeseries(&merged, &report);
+    let csv_rows = csv.lines().count() - 1;
+    let om_path = opts
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| bench::output_dir().join("slo_metrics.om.txt"));
+    let csv_path = om_path.with_extension("csv");
+    std::fs::write(&om_path, &exposition).expect("write OpenMetrics exposition");
+    std::fs::write(&csv_path, &csv).expect("write metrics CSV");
+    println!("slo_monitor exposition valid: {om_samples} OpenMetrics samples, {csv_rows} CSV rows");
+    println!("wrote {} and {}", om_path.display(), csv_path.display());
+
+    let episodes = report.episodes.len();
+    let windows = cold.windows.len();
+    let cold_attainment = cold.attainment();
+    let tbt_attainment = report
+        .target("tbt", "independent")
+        .map_or(1.0, TargetReport::attainment);
+    let mut json = String::new();
+    let _ = writeln!(json, "  \"slo_monitor\": {{");
+    let _ = writeln!(json, "    \"requests\": {requests},");
+    let _ = writeln!(json, "    \"windows\": {windows},");
+    let _ = writeln!(json, "    \"cold_attainment\": {cold_attainment:.4},");
+    let _ = writeln!(json, "    \"tbt_attainment\": {tbt_attainment:.4},");
+    let _ = writeln!(json, "    \"burn_rate_peak\": {burn_peak:.3},");
+    let _ = writeln!(json, "    \"overload_episodes\": {episodes},");
+    let _ = writeln!(
+        json,
+        "    \"episode_first_window\": {},",
+        episode.first_window
+    );
+    let _ = writeln!(json, "    \"om_samples\": {om_samples},");
+    let _ = write!(
+        json,
+        "    \"sketch_p95_rel_err_pct\": {sketch_err_p95:.4}\n  }}"
     );
     json
 }

@@ -30,11 +30,15 @@ pub struct HarnessOptions {
     /// Where the fleet scenario writes its canonical stats digest (one hex
     /// SHA-256 line) — the CI determinism matrix diffs these files.
     pub digest_out: Option<PathBuf>,
+    /// Where the SLO-monitor scenario writes its OpenMetrics exposition
+    /// (`<path>.om.txt`) and CSV time-series (`<path>.csv`).
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl HarnessOptions {
     /// Parses `--quick`, `--scenario <name>`, `--list`, `--trace-out <path>`,
-    /// `--threads <n>` and `--digest-out <path>` from the process arguments.
+    /// `--threads <n>`, `--digest-out <path>` and `--metrics-out <path>`
+    /// from the process arguments.
     pub fn from_args() -> Self {
         let mut opts = HarnessOptions {
             quick: false,
@@ -43,6 +47,7 @@ impl HarnessOptions {
             trace_out: None,
             threads: None,
             digest_out: None,
+            metrics_out: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -68,6 +73,11 @@ impl HarnessOptions {
                 "--digest-out" => {
                     opts.digest_out = Some(PathBuf::from(
                         args.next().expect("--digest-out takes a path"),
+                    ));
+                }
+                "--metrics-out" => {
+                    opts.metrics_out = Some(PathBuf::from(
+                        args.next().expect("--metrics-out takes a path"),
                     ));
                 }
                 _ => {}

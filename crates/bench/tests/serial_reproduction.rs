@@ -12,13 +12,18 @@
 //!   unchanged — the span store is observe-only, so the telemetry-on run
 //!   is bit-for-bit the telemetry-off run (which itself reproduces the
 //!   committed baseline above).
+//! * With `metrics: Some(window)`, the windowed metrics registry records
+//!   per-class counters, gauges and log-bucketed histograms without
+//!   drawing randomness or scheduling an event — the metrics-on run is
+//!   bit-for-bit the metrics-off run, which in turn is the baseline run.
 //!
 //! CI runs these tests in their own step and greps the harness summary for
-//! `3 passed`, so a rename, an `#[ignore]`, or a filter that silently skips
+//! `4 passed`, so a rename, an `#[ignore]`, or a filter that silently skips
 //! one fails the bench job: an escape hatch is only trustworthy while its
 //! proof actually executes.
 
 use bench::json::{parse_flat, JsonValue};
+use sim_core::SimDuration;
 use tz_hal::PlatformProfile;
 use tzllm::serving::{Server, ServingConfig, ServingReport, SpeculationConfig};
 use workloads::{ArrivalProcess, WorkloadSpec};
@@ -192,4 +197,56 @@ fn telemetry_is_observe_only() {
             r.request.id
         );
     }
+}
+
+#[test]
+fn metrics_are_observe_only() {
+    let profile = PlatformProfile::rk3588();
+
+    // The default run: windowed metrics off, the configuration whose
+    // numbers the committed baseline records.
+    let off = cold_heavy(ServingConfig::paper_default(profile.clone()), 0.06);
+    assert!(
+        off.metrics.is_none(),
+        "metrics are off by default and must export nothing"
+    );
+
+    // The same run with the metrics registry live: every record, every
+    // fleet statistic and every resource integral must be bit-for-bit
+    // identical — bumping integer counters and log-histogram buckets draws
+    // no randomness and schedules no event.
+    let mut config = ServingConfig::paper_default(profile);
+    config.metrics = Some(SimDuration::from_secs(60));
+    let on = cold_heavy(config, 0.06);
+    assert_eq!(format!("{:?}", on.fleet), format!("{:?}", off.fleet));
+    assert_eq!(format!("{:?}", on.records), format!("{:?}", off.records));
+    assert_eq!(
+        format!("{:?}", on.resources),
+        format!("{:?}", off.resources)
+    );
+
+    // And the registry really recorded: a completion counter reconciling
+    // with the record list exactly, and a TTFT observation (cold or
+    // follow-up) for every completed request.
+    let metrics = on.metrics.as_ref().expect("metrics were enabled");
+    assert!(metrics.is_enabled());
+    assert!(metrics.series_count() > 0);
+    let completed: u64 = metrics
+        .counter_classes("requests_completed")
+        .into_iter()
+        .flat_map(|class| metrics.counter_series("requests_completed", class))
+        .flat_map(|series| series.values())
+        .sum();
+    assert_eq!(completed, on.records.len() as u64);
+    let ttft_observed: u64 = ["ttft_cold", "ttft_followup"]
+        .into_iter()
+        .flat_map(|name| {
+            metrics
+                .histogram_classes(name)
+                .into_iter()
+                .filter_map(move |class| metrics.merged_histogram(name, class))
+        })
+        .map(|h| h.count())
+        .sum();
+    assert_eq!(ttft_observed, on.records.len() as u64);
 }

@@ -14,11 +14,14 @@
 //! * [`trace`] — span recording for figure generation and ordering assertions.
 //! * [`telemetry`] — zero-cost-when-off serving telemetry: interned labels,
 //!   request/lane span tracks, a metrics registry, Perfetto trace export.
+//! * [`metrics`] — windowed metrics: per-window counters/gauges and
+//!   mergeable log-bucketed latency histograms (≤1% quantile error).
 //! * [`stats`] — means, geometric means, percentiles, overhead computations.
 //! * [`rng`] — deterministic random streams for workload generation.
 
 pub mod bandwidth;
 pub mod engine;
+pub mod metrics;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -28,6 +31,7 @@ pub mod trace;
 
 pub use bandwidth::{Bandwidth, GIB, KIB, MIB};
 pub use engine::{Engine, EventScheduler};
+pub use metrics::{GaugeWindow, LogHistogram, WindowedMetrics};
 pub use resource::{CapacityLedger, LaneEvent, LaneId, LaneUsage, Reservation, ServerPool};
 pub use rng::{shard_seed, DetRng};
 pub use stats::PercentileSummary;

@@ -216,6 +216,12 @@ pub struct Telemetry {
     counters: BTreeMap<LabelId, u64>,
     /// Time series of gauge samples, exported as Chrome counter events.
     gauges: BTreeMap<LabelId, Vec<(SimTime, f64)>>,
+    /// Downsampling stride for gauge series: keep every `stride`-th sample
+    /// (0 and 1 both mean "keep everything", the historical behavior).
+    gauge_stride: usize,
+    /// Per-series sample counters driving the stride (counts *offered*
+    /// samples, kept or not, so the stride phase is stable per series).
+    gauge_seen: BTreeMap<LabelId, u64>,
     histograms: BTreeMap<LabelId, Vec<f64>>,
 }
 
@@ -284,14 +290,34 @@ impl Telemetry {
         *self.counters.entry(id).or_insert(0) += delta;
     }
 
+    /// Sets the gauge downsampling stride: every series keeps its 1st,
+    /// `(stride+1)`-th, `(2·stride+1)`-th … offered sample and drops the
+    /// rest.  The default stride of 1 keeps every sample — bit-for-bit the
+    /// historical behavior — while a fleet-scale run can cap the per-step
+    /// series growth that unbounded gauge `Vec`s otherwise suffer.
+    pub fn set_gauge_stride(&mut self, stride: usize) {
+        self.gauge_stride = stride.max(1);
+    }
+
+    /// The current gauge downsampling stride (1 = keep everything).
+    pub fn gauge_stride(&self) -> usize {
+        self.gauge_stride.max(1)
+    }
+
     /// Appends a gauge sample (a step-wise time series; exported as a
-    /// Chrome counter track).
+    /// Chrome counter track), subject to the downsampling stride
+    /// ([`Telemetry::set_gauge_stride`]).
     pub fn gauge(&mut self, name: &str, at: SimTime, value: f64) {
         if !self.enabled {
             return;
         }
         let id = self.interner.intern(name);
-        self.gauges.entry(id).or_default().push((at, value));
+        let seen = self.gauge_seen.entry(id).or_insert(0);
+        let keep = self.gauge_stride <= 1 || (*seen).is_multiple_of(self.gauge_stride as u64);
+        *seen += 1;
+        if keep {
+            self.gauges.entry(id).or_default().push((at, value));
+        }
     }
 
     /// Records one observation into the named histogram.
@@ -332,6 +358,16 @@ impl Telemetry {
             .and_then(|&id| self.counters.get(&LabelId(id)))
             .copied()
             .unwrap_or(0)
+    }
+
+    /// The named gauge's kept samples (empty if never touched).
+    pub fn gauge_series(&self, name: &str) -> &[(SimTime, f64)] {
+        self.interner
+            .ids
+            .get(name)
+            .and_then(|&id| self.gauges.get(&LabelId(id)))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The named histogram's observations (empty if never touched).
@@ -511,6 +547,27 @@ mod tests {
         assert!((max - 3.0).abs() < 1e-12);
         tel.gauge("queue_depth", t(1), 4.0);
         assert_eq!(tel.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauge_stride_downsamples_per_series() {
+        let mut tel = Telemetry::new(true);
+        assert_eq!(tel.gauge_stride(), 1, "default stride keeps everything");
+        for i in 0..6 {
+            tel.gauge("depth", t(i), i as f64);
+        }
+        assert_eq!(tel.gauge_series("depth").len(), 6);
+
+        let mut strided = Telemetry::new(true);
+        strided.set_gauge_stride(3);
+        for i in 0..7 {
+            strided.gauge("depth", t(i), i as f64);
+            strided.gauge("occupancy", t(i), 2.0 * i as f64);
+        }
+        // Samples 0, 3 and 6 survive — the stride phase is per series.
+        let kept: Vec<f64> = strided.gauge_series("depth").iter().map(|s| s.1).collect();
+        assert_eq!(kept, vec![0.0, 3.0, 6.0]);
+        assert_eq!(strided.gauge_series("occupancy").len(), 3);
     }
 
     #[test]

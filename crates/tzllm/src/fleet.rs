@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use llm::ModelSpec;
-use sim_core::{shard_seed, PercentileSummary};
+use sim_core::{shard_seed, LogHistogram, PercentileSummary, WindowedMetrics};
 use tz_crypto::Sha256;
 use tz_hal::PlatformProfile;
 use workloads::{DeviceMix, WorkloadSpec};
@@ -147,6 +147,13 @@ pub struct ShardStats {
     /// Follow-up-turn TTFT samples (requests with a shared prefix), ms,
     /// sorted ascending.
     pub followup_ttft_ms: Vec<f64>,
+    /// The shard's windowed metric series (disabled/empty unless the shard's
+    /// [`ServingConfig`] enabled metrics).  Counters, gauges and log-bucketed
+    /// histograms all merge bucket-wise with pure integer arithmetic, so the
+    /// fleet-level fold is exactly associative and permutation-invariant —
+    /// this is what lets `fleet_scale` report time-resolved percentiles
+    /// without shipping raw samples.
+    pub metrics: WindowedMetrics,
 }
 
 impl ShardStats {
@@ -213,6 +220,7 @@ impl ShardStats {
                     .map(|r| r.ttft_e2e().as_millis_f64())
                     .collect(),
             ),
+            metrics: report.metrics.clone().unwrap_or_else(WindowedMetrics::off),
         }
     }
 
@@ -260,6 +268,9 @@ impl ShardStats {
                 hasher.update(&v.to_bits().to_le_bytes());
             }
         }
+        let metric_bytes = self.metrics.canonical_bytes();
+        hasher.update(&(metric_bytes.len() as u64).to_le_bytes());
+        hasher.update(&metric_bytes);
     }
 }
 
@@ -404,6 +415,37 @@ impl FleetStats {
             .into_iter()
             .filter_map(|(soc, v)| PercentileSummary::from_values(&v).map(|p| (soc, p)))
             .collect()
+    }
+
+    /// The fleet's windowed metric series: every shard's [`WindowedMetrics`]
+    /// folded bucket-wise in shard-index order.  The fold is pure integer
+    /// arithmetic, so any fold order would produce the same value — index
+    /// order is used for definiteness, not correctness.  Disabled (and
+    /// therefore empty) shard registries merge as identities, so a fleet
+    /// with metrics off returns a disabled registry.
+    pub fn merged_metrics(&self) -> WindowedMetrics {
+        let mut merged = WindowedMetrics::off();
+        for s in self.shards.values() {
+            merged.merge_from(&s.metrics);
+        }
+        merged
+    }
+
+    /// The fleet-wide run-total histogram for one `(metric, class)` series:
+    /// all shards' per-window histograms merged into one.  `None` when no
+    /// shard recorded the series.
+    pub fn merged_histogram(
+        &self,
+        name: &'static str,
+        class: &'static str,
+    ) -> Option<LogHistogram> {
+        let mut merged: Option<LogHistogram> = None;
+        for s in self.shards.values() {
+            if let Some(h) = s.metrics.merged_histogram(name, class) {
+                merged.get_or_insert_with(LogHistogram::new).merge_from(&h);
+            }
+        }
+        merged
     }
 
     fn merged_summary(&self, f: impl Fn(&ShardStats) -> &Vec<f64>) -> Option<PercentileSummary> {

@@ -21,6 +21,9 @@
 //! * [`fleet`] — the sharded parallel fleet runner: one independent serving
 //!   simulation per device shard on scoped threads, splittable seeds,
 //!   deterministic associative stats merging.
+//! * [`slo`] — SLO attainment / error-budget burn-rate monitoring over the
+//!   windowed metrics, with OpenMetrics + CSV export and overload-episode
+//!   detection.
 //! * [`baseline`] — the REE-LLM-Memory, REE-LLM-Flash and Strawman baselines.
 //! * [`related`] — the qualitative comparison of Table 1.
 
@@ -33,6 +36,7 @@ pub mod pipeline;
 pub mod related;
 pub mod restore;
 pub mod serving;
+pub mod slo;
 pub mod system;
 pub mod telemetry;
 
@@ -45,6 +49,10 @@ pub use restore::{CriticalPaths, OpLabel, PipeOp, PipeOpKind, RestorePlan, Resto
 pub use serving::{
     FleetStats, ModelId, Request, RequestRecord, RetentionPolicy, Server, ServingConfig,
     ServingReport,
+};
+pub use slo::{
+    csv_timeseries, openmetrics, validate_openmetrics, OverloadEpisode, SloConfig, SloReport,
+    SloTarget, TargetReport, WindowAttainment,
 };
 pub use system::{
     cma_occupancy, evaluate_tzllm, InferenceConfig, InferenceReport, PlanCache, TtftBreakdown,

@@ -128,7 +128,7 @@ use llm::{derive_seed, ComputationGraph, ModelSpec, PromptContent};
 use sim_core::telemetry::{LabelId, Phase, Telemetry, Track};
 use sim_core::{
     CapacityLedger, DetRng, Engine, EventScheduler, LaneEvent, LaneId, LaneUsage,
-    PercentileSummary, SimDuration, SimTime,
+    PercentileSummary, SimDuration, SimTime, WindowedMetrics,
 };
 use tz_hal::PlatformProfile;
 use workloads::{SessionScript, WorkloadSpec};
@@ -264,6 +264,15 @@ pub struct ServingConfig {
     /// observe-only — enabling it changes no event time, RNG draw, or stat
     /// (the serial-reproduction suite proves this bit for bit).
     pub telemetry: bool,
+    /// Windowed metrics: `Some(window)` records per-window counters,
+    /// gauges and ≤1%-error latency sketches per request class
+    /// (`SessionStyle` label) at that window width, exported on
+    /// [`ServingReport::metrics`] — the fleet-mergeable low-cardinality
+    /// companion to the raw [`ServingConfig::telemetry`] traces.  `None`
+    /// (the default) is off; like telemetry, metrics are observe-only —
+    /// enabling them changes no event time, RNG draw, or stat (the
+    /// serial-reproduction suite proves this bit for bit).
+    pub metrics: Option<SimDuration>,
 }
 
 impl ServingConfig {
@@ -290,6 +299,7 @@ impl ServingConfig {
             kv: KvConfig::disabled(),
             speculation: SpeculationConfig::off(),
             telemetry: false,
+            metrics: None,
         }
     }
 
@@ -619,6 +629,12 @@ pub struct ServingReport {
     /// export with [`Telemetry::chrome_trace_json`] or the report helpers
     /// in [`crate::telemetry`].
     pub telemetry: Option<Telemetry>,
+    /// The windowed metrics registry (`Some` iff [`ServingConfig::metrics`]):
+    /// per-class TTFT/TBT latency sketches, queue-depth and batch-occupancy
+    /// gauges, and per-lane busy-time counters, all in fixed-width time
+    /// windows — what the fleet merge aggregates and the SLO monitor
+    /// ([`crate::slo`]) evaluates.
+    pub metrics: Option<WindowedMetrics>,
 }
 
 struct ModelEntry {
@@ -870,9 +886,13 @@ struct ServerState {
     tl_npu: LabelId,
     tl_flash: LabelId,
     tl_cpu: LabelId,
-    /// Style tag per in-flight request id, for completion-time span labels.
-    /// Only populated while telemetry is enabled.
+    /// Style tag per in-flight request id, for completion-time span labels
+    /// and per-class metric series.  Only populated while telemetry or
+    /// metrics are enabled.
     styles: BTreeMap<u64, &'static str>,
+    /// The windowed metrics registry (disabled instance when the config
+    /// knob is off — every record call is then a single branch).
+    metrics: WindowedMetrics,
     plan_cache: PlanCache,
     records: Vec<RequestRecord>,
     rejected: Vec<Request>,
@@ -994,15 +1014,25 @@ fn on_arrival(
         // their next request.
         let session = request.session;
         let rejected = state.materialize(&request);
+        state
+            .metrics
+            .add("requests_rejected", request.style_label, sched.now(), 1);
         state.rejected.push(rejected);
         state.telemetry.count("requests.rejected", 1);
         schedule_session_continuation(state, sched, session);
     } else {
+        let style = request.style_label;
         state.queue.push_back((request, sched.now()));
         state.note_depth(sched.now());
         state.telemetry.count("requests.admitted", 1);
         let depth = state.queue.len() as f64;
         state.telemetry.gauge("queue_depth", sched.now(), depth);
+        state
+            .metrics
+            .add("requests_admitted", style, sched.now(), 1);
+        state
+            .metrics
+            .gauge("queue_depth", "all", sched.now(), depth);
     }
     try_progress(state, sched);
 }
@@ -1063,11 +1093,22 @@ fn dispatch_next(state: &mut ServerState, sched: &mut EventScheduler<ServerState
         return;
     };
     state.note_depth(now);
-    if state.telemetry.is_enabled() {
+    if state.telemetry.is_enabled() || state.metrics.is_enabled() {
         state.styles.insert(qreq.id, qreq.style_label);
+    }
+    if state.telemetry.is_enabled() {
         let depth = state.queue.len() as f64;
         state.telemetry.gauge("queue_depth", now, depth);
     }
+    state
+        .metrics
+        .gauge("queue_depth", "all", now, state.queue.len() as f64);
+    state.metrics.observe(
+        "queue_wait",
+        qreq.style_label,
+        now,
+        now.saturating_since(arrival),
+    );
 
     // If the dispatched model (or this request's session KV) is being
     // restored ahead, bank the progress *before* reading the cache state.
@@ -1434,8 +1475,47 @@ fn complete_request(
         let active = state.active_sessions();
         state.kv.enforce(secure_budget, &active, now);
     }
+    if state.metrics.is_enabled() {
+        // Per-class windowed series.  Latencies are attributed to the
+        // window in which they became known (TTFT at the first token, TBT
+        // at completion), so a spike shows up in the windows it happened
+        // in, not smeared to the end of the run.
+        let style = state
+            .styles
+            .get(&record.request.id)
+            .copied()
+            .unwrap_or("independent");
+        let ttft = record.ttft_e2e();
+        if record.request.shared_prefix_len == 0 {
+            state
+                .metrics
+                .observe("ttft_cold", style, record.first_token, ttft);
+        } else {
+            state
+                .metrics
+                .observe("ttft_followup", style, record.first_token, ttft);
+        }
+        if record.request.output_len > 1 {
+            let decode_ns = now.saturating_since(record.first_token).as_nanos();
+            let tbt_ns = decode_ns / (record.request.output_len as u64 - 1);
+            state
+                .metrics
+                .observe("tbt", style, now, SimDuration::from_nanos(tbt_ns));
+        }
+        state.metrics.add("requests_completed", style, now, 1);
+        state.metrics.add(
+            "tokens_emitted",
+            style,
+            now,
+            record.request.output_len as u64,
+        );
+    }
     if state.telemetry.is_enabled() {
         record_lifecycle_spans(state, &record, sealed_before, now);
+    } else if state.metrics.is_enabled() {
+        // `record_lifecycle_spans` normally retires the style entry; keep
+        // the map bounded when only metrics are on.
+        state.styles.remove(&record.request.id);
     }
     state.records.push(record);
     state.inflight -= 1;
@@ -1766,6 +1846,12 @@ fn maybe_start_batch_step(state: &mut ServerState, sched: &mut EventScheduler<Se
         state.telemetry.observe("batch.step_ms", ns as f64 / 1e6);
         state.telemetry.observe("batch.occupancy", occupancy as f64);
     }
+    state
+        .metrics
+        .gauge("batch_occupancy", "all", now, occupancy as f64);
+    state
+        .metrics
+        .observe("batch_step", "all", now, SimDuration::from_nanos(ns));
     sched.schedule_at(now + SimDuration::from_nanos(ns), on_batch_step_end);
 }
 
@@ -2175,10 +2261,15 @@ impl Server {
         let lane_flash = ledger.add_lane("flash", 1);
         let lane_cpu = ledger.add_lane("cpu", config.profile.big_cores as u64);
         let mut telemetry = Telemetry::new(config.telemetry);
-        if config.telemetry {
-            // The reservation journal feeds the per-lane occupancy spans;
-            // it is purely observational, so the capacity checks and busy
-            // integrals are identical with it on or off.
+        let metrics = match config.metrics {
+            Some(window) => WindowedMetrics::new(window),
+            None => WindowedMetrics::off(),
+        };
+        if config.telemetry || config.metrics.is_some() {
+            // The reservation journal feeds the per-lane occupancy spans
+            // (telemetry) and the per-window lane busy-time counters
+            // (metrics); it is purely observational, so the capacity checks
+            // and busy integrals are identical with it on or off.
             ledger.enable_journal();
         }
         let tl_npu = telemetry.intern("npu");
@@ -2292,6 +2383,7 @@ impl Server {
                 tl_flash,
                 tl_cpu,
                 styles: BTreeMap::new(),
+                metrics,
                 plan_cache,
                 records: Vec::new(),
                 rejected: Vec::new(),
@@ -2433,12 +2525,19 @@ impl Server {
         } else {
             None
         };
+        let metrics = if state.metrics.is_enabled() {
+            derive_lane_busy_windows(&mut state);
+            Some(std::mem::take(&mut state.metrics))
+        } else {
+            None
+        };
         ServingReport {
             records: state.records,
             rejected: state.rejected,
             fleet,
             resources,
             telemetry,
+            metrics,
         }
     }
 
@@ -2486,6 +2585,53 @@ fn derive_occupancy_spans(state: &mut ServerState) {
         state
             .telemetry
             .gauge(&format!("{name} in_use"), e.at, e.in_use as f64);
+    }
+}
+
+/// Converts the capacity-ledger journal into per-window lane busy-time
+/// counters: `lane_inuse_ns` integrates `in_use` over each window per lane
+/// (so per-window utilisation = `inuse_ns / (capacity × window width)`,
+/// with the capacity on the `lane_capacity` gauge).  Runs once after the
+/// simulation completes; purely observational, like the journal itself.
+fn derive_lane_busy_windows(state: &mut ServerState) {
+    let window_ns = state.metrics.window().as_nanos();
+    let lanes: [(LaneId, &'static str); 3] = [
+        (state.lane_npu, "npu"),
+        (state.lane_flash, "flash"),
+        (state.lane_cpu, "cpu"),
+    ];
+    for (lane, class) in lanes {
+        state.metrics.gauge(
+            "lane_capacity",
+            class,
+            SimTime::ZERO,
+            state.ledger.lane_capacity(lane) as f64,
+        );
+    }
+    let journal: Vec<LaneEvent> = state.ledger.journal().to_vec();
+    let mut seg: Vec<(SimTime, u64)> = vec![(SimTime::ZERO, 0); state.ledger.lane_count()];
+    for e in &journal {
+        let (start, level) = seg[e.lane.index()];
+        if level > 0 && e.at > start {
+            if let Some(&(_, class)) = lanes.iter().find(|(id, _)| *id == e.lane) {
+                // Split the busy segment at window boundaries so each
+                // window's integral is exact.
+                let mut t = start.as_nanos();
+                let end_ns = e.at.as_nanos();
+                while t < end_ns {
+                    let next_boundary = (t / window_ns + 1) * window_ns;
+                    let piece_end = next_boundary.min(end_ns);
+                    state.metrics.add(
+                        "lane_inuse_ns",
+                        class,
+                        SimTime::from_nanos(t),
+                        (piece_end - t) * level,
+                    );
+                    t = piece_end;
+                }
+            }
+        }
+        seg[e.lane.index()] = (e.at, e.in_use);
     }
 }
 
@@ -2690,6 +2836,7 @@ pub fn single_request(
         kv: KvConfig::disabled(),
         speculation: SpeculationConfig::off(),
         telemetry: false,
+        metrics: None,
     };
     let mut server = Server::new(serving_config, vec![config.model.clone()]);
     // Seed in the controller's own unit (the model's Q8 blob size) so the

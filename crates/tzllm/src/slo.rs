@@ -1,0 +1,1066 @@
+//! SLO attainment, error-budget burn rate, and overload-episode detection
+//! over the windowed metrics a serving or fleet run recorded.
+//!
+//! The serving layer answers "how fast was the system"; this module answers
+//! the operator's question — "was the latency objective met, and when it was
+//! not, *when* did the budget burn and *which lane* was the bottleneck?".
+//! It consumes a (possibly fleet-merged) [`WindowedMetrics`] registry and
+//! produces:
+//!
+//! * per-target, per-window **attainment** — the fraction of requests in the
+//!   window whose latency sketch bucket estimate was at or under the target
+//!   threshold ([`sim_core::LogHistogram::count_le_ns`]);
+//! * the **error-budget burn rate** of each window —
+//!   `(1 − attainment) / (1 − objective)`, the standard multi-window
+//!   burn-rate definition: 1.0 means the budget is being spent exactly at
+//!   the rate the objective allows, and higher values exhaust it
+//!   proportionally faster;
+//! * **overload episodes** — maximal runs of consecutive windows whose burn
+//!   rate meets [`SloConfig::burn_threshold`], each annotated with the lane
+//!   that was busiest during the episode (derived from the `lane_inuse_ns`
+//!   counter and `lane_capacity` gauge the dispatcher records);
+//! * an **OpenMetrics text exposition** ([`openmetrics`]) plus a long-format
+//!   **CSV time-series** ([`csv_timeseries`]), and a strict in-repo
+//!   validator ([`validate_openmetrics`]) CI runs against the exposition.
+//!
+//! Everything here is a pure read-time fold over the integer metric state,
+//! so the report is byte-deterministic whenever the metrics are — which the
+//! fleet digest matrix already guarantees across thread counts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use sim_core::{SimDuration, SimTime, WindowedMetrics};
+
+/// One latency objective: requests of `class` observed by histogram series
+/// `metric` should complete within `threshold` at least `objective` of the
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTarget {
+    /// Histogram series name the target is judged against
+    /// (`"ttft_cold"`, `"ttft_followup"`, `"tbt"`).
+    pub metric: &'static str,
+    /// Request class ([`SessionStyle`](workloads::SessionStyle) label).
+    pub class: &'static str,
+    /// Latency threshold a "good" request stays at or under.
+    pub threshold: SimDuration,
+    /// Attainment objective in `(0, 1)`, e.g. `0.95`.
+    pub objective: f64,
+}
+
+/// The default per-metric objectives, calibrated against the reproduction's
+/// own fleet-scale numbers (p50 TTFT ≈ 3.6 s, p95 ≈ 7.8 s on the
+/// heterogeneous mix): cold prefill gets a generous 10 s budget, follow-up
+/// turns must beat it warm, and decode must stream tokens at interactive
+/// cadence.
+pub const DEFAULT_OBJECTIVES: [(&str, SimDuration, f64); 3] = [
+    ("ttft_cold", SimDuration::from_secs(10), 0.9),
+    ("ttft_followup", SimDuration::from_secs(5), 0.9),
+    ("tbt", SimDuration::from_millis(1500), 0.9),
+];
+
+impl SloTarget {
+    /// Expands [`DEFAULT_OBJECTIVES`] across the request classes actually
+    /// present in `metrics`, in deterministic (metric, class) order.
+    pub fn defaults_for(metrics: &WindowedMetrics) -> Vec<SloTarget> {
+        let mut targets = Vec::new();
+        for (metric, threshold, objective) in DEFAULT_OBJECTIVES {
+            for class in metrics.histogram_classes(metric) {
+                targets.push(SloTarget {
+                    metric,
+                    class,
+                    threshold,
+                    objective,
+                });
+            }
+        }
+        targets
+    }
+}
+
+/// Tunables for the monitor itself (as opposed to the per-target SLOs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// A window whose burn rate is at or above this enters an overload
+    /// episode.  1.0 = burning budget exactly as fast as the objective
+    /// allows; the default 2.0 flags windows spending budget at twice the
+    /// sustainable rate.
+    pub burn_threshold: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            burn_threshold: 2.0,
+        }
+    }
+}
+
+/// One window's attainment against one target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowAttainment {
+    /// Window index (`start = index × window width`).
+    pub window: u64,
+    /// Window start time.
+    pub start: SimTime,
+    /// Requests observed in the window.
+    pub total: u64,
+    /// Requests at or under the target threshold.
+    pub good: u64,
+}
+
+impl WindowAttainment {
+    /// Fraction of the window's requests that met the threshold.
+    pub fn attainment(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.good as f64 / self.total as f64
+        }
+    }
+
+    /// Error-budget burn rate: `(1 − attainment) / (1 − objective)`.
+    pub fn burn_rate(&self, objective: f64) -> f64 {
+        let budget = 1.0 - objective;
+        if budget <= 0.0 {
+            return if self.good == self.total {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+        }
+        (1.0 - self.attainment()) / budget
+    }
+}
+
+/// One target's full evaluation: run totals plus the per-window series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetReport {
+    /// The objective being judged.
+    pub target: SloTarget,
+    /// Per-window attainment, ascending window index; only windows with at
+    /// least one observation appear.
+    pub windows: Vec<WindowAttainment>,
+    /// Requests observed across the run.
+    pub total: u64,
+    /// Requests at or under the threshold across the run.
+    pub good: u64,
+}
+
+impl TargetReport {
+    /// Run-total attainment.
+    pub fn attainment(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.good as f64 / self.total as f64
+        }
+    }
+
+    /// The worst (highest) single-window burn rate, 0.0 when no windows.
+    pub fn peak_burn_rate(&self) -> f64 {
+        self.windows
+            .iter()
+            .map(|w| w.burn_rate(self.target.objective))
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether the run as a whole met the objective.
+    pub fn met(&self) -> bool {
+        self.attainment() >= self.target.objective
+    }
+}
+
+/// A maximal run of consecutive windows whose burn rate met the episode
+/// threshold, annotated with the busiest lane while it lasted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadEpisode {
+    /// Histogram series of the target that burned.
+    pub metric: &'static str,
+    /// Request class of the target that burned.
+    pub class: &'static str,
+    /// First window index of the episode.
+    pub first_window: u64,
+    /// Last window index of the episode (inclusive).
+    pub last_window: u64,
+    /// Episode start time.
+    pub start: SimTime,
+    /// Highest single-window burn rate inside the episode.
+    pub peak_burn_rate: f64,
+    /// Requests that missed the threshold during the episode.
+    pub bad_requests: u64,
+    /// The lane with the highest mean utilisation over the episode's
+    /// windows — the resource that bounded the system while budget burned.
+    /// `None` when the run recorded no lane series.
+    pub bounding_lane: Option<&'static str>,
+    /// That lane's mean utilisation over the episode (1.0 = saturated).
+    pub bounding_lane_utilisation: f64,
+}
+
+/// The full SLO evaluation of one (possibly fleet-merged) metrics registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Window width the metrics were recorded at.
+    pub window: SimDuration,
+    /// Per-target evaluations, in the order the targets were given.
+    pub targets: Vec<TargetReport>,
+    /// Detected overload episodes, ordered by (metric, class, first window).
+    pub episodes: Vec<OverloadEpisode>,
+    /// Per-lane per-window utilisation in `[0, 1]`-ish (can exceed 1.0 only
+    /// by rounding), keyed lane → window index → utilisation.
+    pub lane_utilisation: BTreeMap<&'static str, BTreeMap<u64, f64>>,
+}
+
+impl SloReport {
+    /// The worst single-window burn rate across every target.
+    pub fn peak_burn_rate(&self) -> f64 {
+        self.targets
+            .iter()
+            .map(TargetReport::peak_burn_rate)
+            .fold(0.0, f64::max)
+    }
+
+    /// Looks up one target's report.
+    pub fn target(&self, metric: &str, class: &str) -> Option<&TargetReport> {
+        self.targets
+            .iter()
+            .find(|t| t.target.metric == metric && t.target.class == class)
+    }
+
+    /// A human-readable multi-line summary (used by the example binary).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "SLO report ({} windows of {:.0} s)",
+            self.targets
+                .iter()
+                .map(|t| t.windows.len())
+                .max()
+                .unwrap_or(0),
+            self.window.as_secs_f64()
+        );
+        for t in &self.targets {
+            let _ = writeln!(
+                out,
+                "  {:14} class={:12} threshold={:>7.2}s objective={:.0}%  attainment={:6.2}%  peak_burn={:5.2}  [{}]",
+                t.target.metric,
+                t.target.class,
+                t.target.threshold.as_secs_f64(),
+                t.target.objective * 100.0,
+                t.attainment() * 100.0,
+                t.peak_burn_rate(),
+                if t.met() { "met" } else { "MISSED" },
+            );
+        }
+        if self.episodes.is_empty() {
+            let _ = writeln!(out, "  no overload episodes");
+        }
+        for e in &self.episodes {
+            let lane = e.bounding_lane.unwrap_or("?");
+            let _ = writeln!(
+                out,
+                "  overload: {}/{} windows {}..={} (t={:.0}s) peak_burn={:.2} bad={} bounded by {} ({:.0}% busy)",
+                e.metric,
+                e.class,
+                e.first_window,
+                e.last_window,
+                e.start.as_secs_f64(),
+                e.peak_burn_rate,
+                e.bad_requests,
+                lane,
+                e.bounding_lane_utilisation * 100.0,
+            );
+        }
+        out
+    }
+}
+
+/// Per-lane per-window utilisation derived from the `lane_inuse_ns` counter
+/// and the `lane_capacity` gauge: `inuse_ns / (capacity × window_ns)`.
+/// Under a fleet merge both the busy-nanosecond integral and the capacity
+/// gauge sum across shards, so the ratio stays the fleet-wide mean
+/// utilisation.
+pub fn lane_utilisation(metrics: &WindowedMetrics) -> BTreeMap<&'static str, BTreeMap<u64, f64>> {
+    let mut out = BTreeMap::new();
+    let window_ns = metrics.window().as_nanos() as f64;
+    for lane in metrics.counter_classes("lane_inuse_ns") {
+        let capacity: f64 = metrics
+            .gauge_series("lane_capacity", lane)
+            .and_then(|s| s.values().next())
+            .map(|g| g.last())
+            .unwrap_or(0.0);
+        if capacity <= 0.0 || window_ns <= 0.0 {
+            continue;
+        }
+        let Some(series) = metrics.counter_series("lane_inuse_ns", lane) else {
+            continue;
+        };
+        let per_window: BTreeMap<u64, f64> = series
+            .iter()
+            .map(|(&w, &inuse)| (w, inuse as f64 / (capacity * window_ns)))
+            .collect();
+        out.insert(lane, per_window);
+    }
+    out
+}
+
+/// Evaluates `targets` over `metrics` and detects overload episodes.
+pub fn evaluate(metrics: &WindowedMetrics, targets: &[SloTarget], config: &SloConfig) -> SloReport {
+    let lanes = lane_utilisation(metrics);
+    let mut reports = Vec::with_capacity(targets.len());
+    for target in targets {
+        let mut windows = Vec::new();
+        let mut total = 0u64;
+        let mut good = 0u64;
+        if let Some(series) = metrics.histogram_series(target.metric, target.class) {
+            for (&w, hist) in series {
+                let t = hist.count();
+                if t == 0 {
+                    continue;
+                }
+                let g = hist.count_le_ns(target.threshold.as_nanos());
+                total += t;
+                good += g;
+                windows.push(WindowAttainment {
+                    window: w,
+                    start: metrics.window_start(w),
+                    total: t,
+                    good: g,
+                });
+            }
+        }
+        reports.push(TargetReport {
+            target: *target,
+            windows,
+            total,
+            good,
+        });
+    }
+
+    let mut episodes = Vec::new();
+    for report in &reports {
+        let mut run: Vec<&WindowAttainment> = Vec::new();
+        let flush = |run: &mut Vec<&WindowAttainment>, episodes: &mut Vec<OverloadEpisode>| {
+            if run.is_empty() {
+                return;
+            }
+            let first = run[0];
+            let last = run[run.len() - 1];
+            let peak = run
+                .iter()
+                .map(|w| w.burn_rate(report.target.objective))
+                .fold(0.0, f64::max);
+            let bad = run.iter().map(|w| w.total - w.good).sum();
+            let (lane, util) = bounding_lane(&lanes, first.window, last.window);
+            episodes.push(OverloadEpisode {
+                metric: report.target.metric,
+                class: report.target.class,
+                first_window: first.window,
+                last_window: last.window,
+                start: first.start,
+                peak_burn_rate: peak,
+                bad_requests: bad,
+                bounding_lane: lane,
+                bounding_lane_utilisation: util,
+            });
+            run.clear();
+        };
+        for w in &report.windows {
+            let hot = w.burn_rate(report.target.objective) >= config.burn_threshold;
+            let contiguous = run
+                .last()
+                .map(|prev| prev.window + 1 == w.window)
+                .unwrap_or(true);
+            if !hot || !contiguous {
+                flush(&mut run, &mut episodes);
+            }
+            if hot {
+                run.push(w);
+            }
+        }
+        flush(&mut run, &mut episodes);
+    }
+
+    SloReport {
+        window: metrics.window(),
+        targets: reports,
+        episodes,
+        lane_utilisation: lanes,
+    }
+}
+
+/// The lane with the highest mean utilisation over windows
+/// `[first, last]`; ties break towards the lexicographically first lane so
+/// the answer never depends on map iteration luck.
+fn bounding_lane(
+    lanes: &BTreeMap<&'static str, BTreeMap<u64, f64>>,
+    first: u64,
+    last: u64,
+) -> (Option<&'static str>, f64) {
+    let mut best: Option<(&'static str, f64)> = None;
+    for (&lane, series) in lanes {
+        let span: Vec<f64> = series.range(first..=last).map(|(_, &u)| u).collect();
+        if span.is_empty() {
+            continue;
+        }
+        let mean = span.iter().sum::<f64>() / span.len() as f64;
+        let better = match best {
+            None => true,
+            Some((_, b)) => mean > b,
+        };
+        if better {
+            best = Some((lane, mean));
+        }
+    }
+    match best {
+        Some((lane, util)) => (Some(lane), util),
+        None => (None, 0.0),
+    }
+}
+
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{:.1}", v);
+    } else {
+        let _ = write!(out, "{}", v);
+    }
+}
+
+/// Renders the run-total view of `metrics` plus the SLO evaluation as an
+/// OpenMetrics / Prometheus text exposition:
+///
+/// * counters become `tzllm_<name>_total{class="…"}` (summed over windows);
+/// * gauges become `tzllm_<name>{class="…"}` (the last recorded value);
+/// * latency histograms become `tzllm_<name>_bucket{class="…",le="…"}` with
+///   cumulative counts, second-valued `le` bounds, a `+Inf` bucket, and
+///   `_count`/`_sum` samples (sum in seconds);
+/// * the SLO report contributes `tzllm_slo_attainment`,
+///   `tzllm_slo_burn_rate_peak`, `tzllm_slo_objective` and
+///   `tzllm_slo_overload_episodes`.
+///
+/// The exposition ends with the mandatory `# EOF` line and parses under
+/// [`validate_openmetrics`] (CI runs exactly that check).
+pub fn openmetrics(metrics: &WindowedMetrics, slo: &SloReport) -> String {
+    let mut out = String::new();
+
+    for name in metrics.counter_names() {
+        let family = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE tzllm_{family} counter");
+        for class in metrics.counter_classes(name) {
+            let total: u64 = metrics
+                .counter_series(name, class)
+                .map(|s| s.values().sum())
+                .unwrap_or(0);
+            let _ = write!(out, "tzllm_{family}_total{{class=\"{class}\"}} ");
+            write_f64(&mut out, total as f64);
+            out.push('\n');
+        }
+    }
+
+    for name in metrics.gauge_names() {
+        let family = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE tzllm_{family} gauge");
+        for class in metrics.gauge_classes(name) {
+            let last = metrics
+                .gauge_series(name, class)
+                .and_then(|s| s.values().next_back())
+                .map(|g| g.last())
+                .unwrap_or(0.0);
+            let _ = write!(out, "tzllm_{family}{{class=\"{class}\"}} ");
+            write_f64(&mut out, last);
+            out.push('\n');
+        }
+    }
+
+    for name in metrics.histogram_names() {
+        let family = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE tzllm_{family} histogram");
+        for class in metrics.histogram_classes(name) {
+            let Some(hist) = metrics.merged_histogram(name, class) else {
+                continue;
+            };
+            for (bound_ns, cumulative) in hist.cumulative_buckets() {
+                let le = bound_ns / 1e9;
+                let _ = write!(
+                    out,
+                    "tzllm_{family}_bucket{{class=\"{class}\",le=\"{le}\"}} "
+                );
+                write_f64(&mut out, cumulative as f64);
+                out.push('\n');
+            }
+            let _ = write!(
+                out,
+                "tzllm_{family}_bucket{{class=\"{class}\",le=\"+Inf\"}} "
+            );
+            write_f64(&mut out, hist.count() as f64);
+            out.push('\n');
+            let _ = write!(out, "tzllm_{family}_count{{class=\"{class}\"}} ");
+            write_f64(&mut out, hist.count() as f64);
+            out.push('\n');
+            let _ = write!(out, "tzllm_{family}_sum{{class=\"{class}\"}} ");
+            write_f64(&mut out, hist.sum_ns() as f64 / 1e9);
+            out.push('\n');
+        }
+    }
+
+    let _ = writeln!(out, "# TYPE tzllm_slo_attainment gauge");
+    for t in &slo.targets {
+        let metric = sanitize_metric_name(t.target.metric);
+        let _ = write!(
+            out,
+            "tzllm_slo_attainment{{metric=\"{metric}\",class=\"{}\"}} ",
+            t.target.class
+        );
+        write_f64(&mut out, t.attainment());
+        out.push('\n');
+    }
+    let _ = writeln!(out, "# TYPE tzllm_slo_objective gauge");
+    for t in &slo.targets {
+        let metric = sanitize_metric_name(t.target.metric);
+        let _ = write!(
+            out,
+            "tzllm_slo_objective{{metric=\"{metric}\",class=\"{}\"}} ",
+            t.target.class
+        );
+        write_f64(&mut out, t.target.objective);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "# TYPE tzllm_slo_burn_rate_peak gauge");
+    for t in &slo.targets {
+        let metric = sanitize_metric_name(t.target.metric);
+        let _ = write!(
+            out,
+            "tzllm_slo_burn_rate_peak{{metric=\"{metric}\",class=\"{}\"}} ",
+            t.target.class
+        );
+        write_f64(&mut out, t.peak_burn_rate());
+        out.push('\n');
+    }
+    let _ = writeln!(out, "# TYPE tzllm_slo_overload_episodes gauge");
+    for t in &slo.targets {
+        let metric = sanitize_metric_name(t.target.metric);
+        let n = slo
+            .episodes
+            .iter()
+            .filter(|e| e.metric == t.target.metric && e.class == t.target.class)
+            .count();
+        let _ = write!(
+            out,
+            "tzllm_slo_overload_episodes{{metric=\"{metric}\",class=\"{}\"}} ",
+            t.target.class
+        );
+        write_f64(&mut out, n as f64);
+        out.push('\n');
+    }
+
+    let _ = writeln!(out, "# EOF");
+    out
+}
+
+/// Renders the windowed series (and per-window SLO evaluation) as a
+/// long-format CSV time-series:
+///
+/// ```csv
+/// window,start_s,kind,name,class,field,value
+/// 0,0,counter,requests_admitted,independent,delta,18
+/// 0,0,histogram,ttft_cold,independent,p95_ms,6061.2
+/// 0,0,slo,ttft_cold,independent,burn_rate,0.4
+/// ```
+///
+/// Rows are emitted in deterministic (kind, name, class, window) order.
+pub fn csv_timeseries(metrics: &WindowedMetrics, slo: &SloReport) -> String {
+    let mut out = String::from("window,start_s,kind,name,class,field,value\n");
+    let mut row = |window: u64, kind: &str, name: &str, class: &str, field: &str, value: f64| {
+        let start = metrics.window_start(window).as_secs_f64();
+        let _ = write!(out, "{window},{start},{kind},{name},{class},{field},");
+        write_f64(&mut out, value);
+        out.push('\n');
+    };
+
+    for name in metrics.counter_names() {
+        for class in metrics.counter_classes(name) {
+            if let Some(series) = metrics.counter_series(name, class) {
+                for (&w, &delta) in series {
+                    row(w, "counter", name, class, "delta", delta as f64);
+                }
+            }
+        }
+    }
+    for name in metrics.gauge_names() {
+        for class in metrics.gauge_classes(name) {
+            if let Some(series) = metrics.gauge_series(name, class) {
+                for (&w, g) in series {
+                    row(w, "gauge", name, class, "last", g.last());
+                    row(w, "gauge", name, class, "mean", g.mean());
+                }
+            }
+        }
+    }
+    for name in metrics.histogram_names() {
+        for class in metrics.histogram_classes(name) {
+            if let Some(series) = metrics.histogram_series(name, class) {
+                for (&w, hist) in series {
+                    row(w, "histogram", name, class, "count", hist.count() as f64);
+                    for (q, field) in [(0.5, "p50_ms"), (0.95, "p95_ms"), (0.99, "p99_ms")] {
+                        if let Some(v) = hist.quantile_ms(q) {
+                            row(w, "histogram", name, class, field, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for t in &slo.targets {
+        for w in &t.windows {
+            row(
+                w.window,
+                "slo",
+                t.target.metric,
+                t.target.class,
+                "attainment",
+                w.attainment(),
+            );
+            row(
+                w.window,
+                "slo",
+                t.target.metric,
+                t.target.class,
+                "burn_rate",
+                w.burn_rate(t.target.objective),
+            );
+        }
+    }
+    for (lane, series) in &slo.lane_utilisation {
+        for (&w, &util) in series {
+            row(w, "lane", "utilisation", lane, "busy_fraction", util);
+        }
+    }
+    out
+}
+
+/// Strictly validates an OpenMetrics text exposition.  Checks, line by line:
+///
+/// * every sample line parses as `name{label="value",…} float`;
+/// * every sample's metric family was declared by a prior `# TYPE` line;
+/// * counter samples carry the `_total` suffix;
+/// * histogram families expose only `_bucket`/`_count`/`_sum` samples,
+///   every bucket has an `le` label, per-(family, class) bucket counts are
+///   cumulative with strictly increasing bounds ending at `le="+Inf"`, and
+///   the `+Inf` bucket equals `_count`;
+/// * the exposition ends with `# EOF` and nothing follows it.
+///
+/// Returns the number of sample lines on success, or a message naming the
+/// offending 1-based line on failure.
+pub fn validate_openmetrics(text: &str) -> Result<usize, String> {
+    let mut families: BTreeMap<String, String> = BTreeMap::new();
+    // (family, labels) → (last le bound, last cumulative count, saw +Inf)
+    let mut buckets: BTreeMap<(String, String), (f64, f64, bool)> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut samples = 0usize;
+    let mut saw_eof = false;
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if saw_eof {
+            return Err(format!("line {lineno}: content after # EOF"));
+        }
+        if line.is_empty() {
+            return Err(format!("line {lineno}: empty line"));
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if rest == "EOF" {
+                saw_eof = true;
+                continue;
+            }
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(format!("line {lineno}: malformed TYPE declaration"));
+                };
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "info") {
+                    return Err(format!("line {lineno}: unknown metric type {kind:?}"));
+                }
+                if families
+                    .insert(name.to_string(), kind.to_string())
+                    .is_some()
+                {
+                    return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+                }
+                continue;
+            }
+            // other comments (HELP, UNIT) are permitted
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {lineno}: malformed comment"));
+        }
+
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {lineno}: no value"))?;
+        let name = &line[..name_end];
+        if name.is_empty()
+            || !name.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+        {
+            return Err(format!("line {lineno}: invalid metric name {name:?}"));
+        }
+        let rest = &line[name_end..];
+        let (labels, value_str) = if let Some(rest) = rest.strip_prefix('{') {
+            let close = rest
+                .find('}')
+                .ok_or_else(|| format!("line {lineno}: unterminated label set"))?;
+            let labels = &rest[..close];
+            let value = rest[close + 1..]
+                .strip_prefix(' ')
+                .ok_or_else(|| format!("line {lineno}: missing space before value"))?;
+            (labels, value)
+        } else {
+            ("", rest.trim_start_matches(' '))
+        };
+        let mut label_map: BTreeMap<&str, &str> = BTreeMap::new();
+        if !labels.is_empty() {
+            for pair in labels.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {lineno}: malformed label {pair:?}"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: unquoted label value {v:?}"))?;
+                if label_map.insert(k, v).is_some() {
+                    return Err(format!("line {lineno}: duplicate label {k:?}"));
+                }
+            }
+        }
+        let value: f64 = match value_str {
+            "+Inf" => f64::INFINITY,
+            other => other
+                .parse()
+                .map_err(|_| format!("line {lineno}: unparseable value {other:?}"))?,
+        };
+
+        // Resolve the family this sample belongs to.
+        let (family, kind) = resolve_family(&families, name)
+            .ok_or_else(|| format!("line {lineno}: sample {name} has no TYPE declaration"))?;
+        match kind.as_str() {
+            "counter" => {
+                if !name.ends_with("_total") {
+                    return Err(format!(
+                        "line {lineno}: counter sample {name} must end in _total"
+                    ));
+                }
+                if value < 0.0 {
+                    return Err(format!("line {lineno}: negative counter"));
+                }
+            }
+            "histogram" => {
+                let suffix = &name[family.len()..];
+                let class_key: String = label_map
+                    .iter()
+                    .filter(|(k, _)| **k != "le")
+                    .map(|(k, v)| format!("{k}={v};"))
+                    .collect();
+                let key = (family.clone(), class_key);
+                match suffix {
+                    "_bucket" => {
+                        let le = label_map
+                            .get("le")
+                            .ok_or_else(|| format!("line {lineno}: bucket without le label"))?;
+                        let bound: f64 = if *le == "+Inf" {
+                            f64::INFINITY
+                        } else {
+                            le.parse().map_err(|_| {
+                                format!("line {lineno}: unparseable le bound {le:?}")
+                            })?
+                        };
+                        let entry = buckets
+                            .entry(key)
+                            .or_insert((f64::NEG_INFINITY, 0.0, false));
+                        if entry.2 {
+                            return Err(format!("line {lineno}: bucket after +Inf"));
+                        }
+                        if bound <= entry.0 {
+                            return Err(format!("line {lineno}: le bounds not increasing"));
+                        }
+                        if value < entry.1 {
+                            return Err(format!("line {lineno}: bucket counts not cumulative"));
+                        }
+                        entry.0 = bound;
+                        entry.1 = value;
+                        entry.2 = bound.is_infinite();
+                    }
+                    "_count" => {
+                        counts.insert(key, value);
+                    }
+                    "_sum" => {}
+                    _ => {
+                        return Err(format!("line {lineno}: unexpected histogram sample {name}"));
+                    }
+                }
+            }
+            _ => {}
+        }
+        samples += 1;
+    }
+
+    if !saw_eof {
+        return Err("exposition does not end with # EOF".to_string());
+    }
+    for ((family, class), (_, last_cumulative, saw_inf)) in &buckets {
+        if !saw_inf {
+            return Err(format!("histogram {family}{{{class}}} has no +Inf bucket"));
+        }
+        if let Some(count) = counts.get(&(family.clone(), class.clone())) {
+            if (count - last_cumulative).abs() > 0.0 {
+                return Err(format!(
+                    "histogram {family}{{{class}}}: +Inf bucket {last_cumulative} != _count {count}"
+                ));
+            }
+        } else {
+            return Err(format!("histogram {family}{{{class}}} has no _count"));
+        }
+    }
+    Ok(samples)
+}
+
+/// Finds the declared family a sample name belongs to: exact match for
+/// counters/gauges (counters also match `<family>_total`), suffix match for
+/// histograms.
+fn resolve_family(families: &BTreeMap<String, String>, name: &str) -> Option<(String, String)> {
+    if let Some(kind) = families.get(name) {
+        return Some((name.to_string(), kind.clone()));
+    }
+    for suffix in ["_total", "_bucket", "_count", "_sum"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if let Some(kind) = families.get(base) {
+                return Some((base.to_string(), kind.clone()));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimTime;
+
+    fn hot_metrics() -> WindowedMetrics {
+        // Two classes, three windows; window 1 is overloaded for the
+        // "independent" class.
+        let mut m = WindowedMetrics::new(SimDuration::from_secs(60));
+        let w = |i: u64, off: u64| SimTime::from_nanos(i * 60_000_000_000 + off);
+        // Window 0: all fast.
+        for i in 0..20 {
+            m.observe(
+                "ttft_cold",
+                "independent",
+                w(0, i),
+                SimDuration::from_secs(2),
+            );
+        }
+        // Window 1: 10 fast, 10 slow — 50% attainment.
+        for i in 0..10 {
+            m.observe(
+                "ttft_cold",
+                "independent",
+                w(1, i),
+                SimDuration::from_secs(2),
+            );
+            m.observe(
+                "ttft_cold",
+                "independent",
+                w(1, 100 + i),
+                SimDuration::from_secs(40),
+            );
+        }
+        // Window 2: recovered.
+        for i in 0..20 {
+            m.observe(
+                "ttft_cold",
+                "independent",
+                w(2, i),
+                SimDuration::from_secs(3),
+            );
+        }
+        // A second class that always meets the objective.
+        for wi in 0..3u64 {
+            for i in 0..5 {
+                m.observe(
+                    "ttft_cold",
+                    "conversation",
+                    w(wi, i),
+                    SimDuration::from_secs(1),
+                );
+            }
+        }
+        // Lane series: npu saturated in window 1, flash idle.
+        m.gauge("lane_capacity", "npu", SimTime::ZERO, 1.0);
+        m.gauge("lane_capacity", "flash", SimTime::ZERO, 1.0);
+        m.add("lane_inuse_ns", "npu", w(0, 0), 6_000_000_000);
+        m.add("lane_inuse_ns", "npu", w(1, 0), 59_000_000_000);
+        m.add("lane_inuse_ns", "npu", w(2, 0), 12_000_000_000);
+        m.add("lane_inuse_ns", "flash", w(1, 0), 3_000_000_000);
+        m
+    }
+
+    fn hot_targets() -> Vec<SloTarget> {
+        vec![
+            SloTarget {
+                metric: "ttft_cold",
+                class: "independent",
+                threshold: SimDuration::from_secs(10),
+                objective: 0.9,
+            },
+            SloTarget {
+                metric: "ttft_cold",
+                class: "conversation",
+                threshold: SimDuration::from_secs(10),
+                objective: 0.9,
+            },
+        ]
+    }
+
+    #[test]
+    fn burn_rate_and_episode_detection_flag_the_overloaded_window() {
+        let m = hot_metrics();
+        let report = evaluate(&m, &hot_targets(), &SloConfig::default());
+
+        let t = report.target("ttft_cold", "independent").unwrap();
+        assert_eq!(t.windows.len(), 3);
+        assert_eq!(t.total, 60);
+        assert_eq!(t.good, 50);
+        let w1 = &t.windows[1];
+        assert_eq!(w1.window, 1);
+        assert!((w1.attainment() - 0.5).abs() < 1e-12);
+        // (1 - 0.5) / (1 - 0.9) = 5.0
+        assert!((w1.burn_rate(0.9) - 5.0).abs() < 1e-9);
+
+        assert_eq!(report.episodes.len(), 1);
+        let e = &report.episodes[0];
+        assert_eq!((e.metric, e.class), ("ttft_cold", "independent"));
+        assert_eq!((e.first_window, e.last_window), (1, 1));
+        assert_eq!(e.bad_requests, 10);
+        assert_eq!(e.bounding_lane, Some("npu"));
+        assert!(e.bounding_lane_utilisation > 0.9);
+
+        let conv = report.target("ttft_cold", "conversation").unwrap();
+        assert!(conv.met());
+        assert_eq!(conv.peak_burn_rate(), 0.0);
+    }
+
+    #[test]
+    fn quiet_windows_do_not_merge_two_episodes_into_one() {
+        let mut m = WindowedMetrics::new(SimDuration::from_secs(60));
+        let w = |i: u64| SimTime::from_nanos(i * 60_000_000_000);
+        for wi in [0u64, 2] {
+            for _ in 0..10 {
+                m.observe("tbt", "assistant", w(wi), SimDuration::from_secs(30));
+            }
+        }
+        for _ in 0..10 {
+            m.observe("tbt", "assistant", w(1), SimDuration::from_millis(100));
+        }
+        let targets = [SloTarget {
+            metric: "tbt",
+            class: "assistant",
+            threshold: SimDuration::from_secs(1),
+            objective: 0.9,
+        }];
+        let report = evaluate(&m, &targets, &SloConfig::default());
+        assert_eq!(report.episodes.len(), 2);
+        assert_eq!(report.episodes[0].first_window, 0);
+        assert_eq!(report.episodes[1].first_window, 2);
+    }
+
+    #[test]
+    fn exposition_is_valid_openmetrics_and_csv_has_every_kind() {
+        let m = hot_metrics();
+        let report = evaluate(&m, &SloTarget::defaults_for(&m), &SloConfig::default());
+        let text = openmetrics(&m, &report);
+        let samples = validate_openmetrics(&text).expect("exposition must validate");
+        assert!(samples > 10, "expected a real exposition, got {samples}");
+        assert!(text.ends_with("# EOF\n"));
+        assert!(text.contains("tzllm_ttft_cold_bucket{class=\"independent\",le=\"+Inf\"} 60.0"));
+        assert!(text.contains("tzllm_slo_attainment{metric=\"ttft_cold\",class=\"independent\"}"));
+
+        let csv = csv_timeseries(&m, &report);
+        let mut kinds: Vec<&str> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(2).unwrap())
+            .collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds, ["counter", "gauge", "histogram", "lane", "slo"]);
+    }
+
+    #[test]
+    fn validator_rejects_broken_expositions() {
+        let m = hot_metrics();
+        let report = evaluate(&m, &SloTarget::defaults_for(&m), &SloConfig::default());
+        let good = openmetrics(&m, &report);
+
+        // Truncate the EOF.
+        let no_eof = good.trim_end_matches("# EOF\n");
+        assert!(validate_openmetrics(no_eof).is_err());
+
+        // Sample without a TYPE declaration.
+        assert!(validate_openmetrics("tzllm_orphan_total 1.0\n# EOF\n").is_err());
+
+        // Counter without _total suffix.
+        assert!(validate_openmetrics("# TYPE x counter\nx{class=\"a\"} 1.0\n# EOF\n").is_err());
+
+        // Non-cumulative buckets.
+        let bad_hist = "# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 5.0\n\
+             h_bucket{le=\"2\"} 3.0\n\
+             h_bucket{le=\"+Inf\"} 5.0\n\
+             h_count 5.0\nh_sum 1.0\n# EOF\n";
+        assert!(validate_openmetrics(bad_hist).is_err());
+
+        // +Inf bucket disagrees with _count.
+        let bad_count = "# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 5.0\n\
+             h_bucket{le=\"+Inf\"} 5.0\n\
+             h_count 6.0\nh_sum 1.0\n# EOF\n";
+        assert!(validate_openmetrics(bad_count).is_err());
+    }
+
+    #[test]
+    fn lane_utilisation_merges_to_fleet_means() {
+        // Two "shards" with one lane each: merged capacity 2, merged busy
+        // integral the sum — utilisation is the fleet mean.
+        let mk = |busy_ns: u64| {
+            let mut m = WindowedMetrics::new(SimDuration::from_secs(60));
+            m.gauge("lane_capacity", "npu", SimTime::ZERO, 1.0);
+            m.add("lane_inuse_ns", "npu", SimTime::ZERO, busy_ns);
+            m
+        };
+        let mut merged = mk(60_000_000_000); // 100% busy
+        merged.merge_from(&mk(30_000_000_000)); // 50% busy
+        let util = lane_utilisation(&merged);
+        let npu = util.get("npu").unwrap().get(&0).unwrap();
+        assert!(
+            (npu - 0.75).abs() < 1e-9,
+            "fleet mean should be 75%, got {npu}"
+        );
+    }
+}

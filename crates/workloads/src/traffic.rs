@@ -68,6 +68,21 @@ pub enum ArrivalProcess {
         /// Mean think time between a response and the next request.
         mean_think: SimDuration,
     },
+    /// Open-loop Poisson arrivals at `rate_per_sec` whose rate is multiplied
+    /// by `surge_x` inside `[spike_start, spike_start + spike_len)` — a
+    /// notification storm landing on steady background traffic.  This is the
+    /// overload shape the SLO burn-rate monitor exists to localise: the
+    /// spike's windows should light up, the surrounding ones should not.
+    PoissonSpike {
+        /// Mean background arrival rate in requests per second.
+        rate_per_sec: f64,
+        /// Rate multiplier inside the spike window.
+        surge_x: f64,
+        /// When the surge begins.
+        spike_start: SimDuration,
+        /// How long the surge lasts.
+        spike_len: SimDuration,
+    },
 }
 
 /// How the requests of one multi-request session relate to each other.
@@ -224,6 +239,39 @@ impl WorkloadSpec {
                 (0..self.requests)
                     .map(|i| {
                         at += rng.gen_exp(1.0 / rate_per_sec);
+                        let mut req = self.draw_request(&mut rng);
+                        self.apply_shared_system(&mut req, system_seed);
+                        req.delay = SimDuration::from_secs_f64(at);
+                        SessionScript {
+                            session: i as u64,
+                            requests: vec![req],
+                        }
+                    })
+                    .collect()
+            }
+            ArrivalProcess::PoissonSpike {
+                rate_per_sec,
+                surge_x,
+                spike_start,
+                spike_len,
+            } => {
+                assert!(rate_per_sec > 0.0, "Poisson rate must be positive");
+                assert!(surge_x > 0.0, "surge multiplier must be positive");
+                let spike = (
+                    spike_start.as_secs_f64(),
+                    (spike_start + spike_len).as_secs_f64(),
+                );
+                let mut at = 0.0f64;
+                (0..self.requests)
+                    .map(|i| {
+                        // Piecewise-constant rate: the gap after an arrival is
+                        // drawn at the rate in force where that arrival sits.
+                        let rate = if at >= spike.0 && at < spike.1 {
+                            rate_per_sec * surge_x
+                        } else {
+                            rate_per_sec
+                        };
+                        at += rng.gen_exp(1.0 / rate);
                         let mut req = self.draw_request(&mut rng);
                         self.apply_shared_system(&mut req, system_seed);
                         req.delay = SimDuration::from_secs_f64(at);
@@ -434,6 +482,20 @@ impl WorkloadSpec {
                     ArrivalProcess::Poisson { rate_per_sec } => ArrivalProcess::Poisson {
                         rate_per_sec: rate_per_sec / shards as f64,
                     },
+                    ArrivalProcess::PoissonSpike {
+                        rate_per_sec,
+                        surge_x,
+                        spike_start,
+                        spike_len,
+                    } => ArrivalProcess::PoissonSpike {
+                        rate_per_sec: rate_per_sec / shards as f64,
+                        // The surge is a *multiplier*, and the spike window is
+                        // wall-clock: every shard sees the same storm at the
+                        // same simulated time, scaled to its traffic share.
+                        surge_x,
+                        spike_start,
+                        spike_len,
+                    },
                     ArrivalProcess::Bursty {
                         bursts_per_sec,
                         burst_size,
@@ -611,6 +673,38 @@ mod tests {
         // 100 requests at 2 req/s should span ~50 s.
         let span = last.as_secs_f64();
         assert!(span > 30.0 && span < 75.0, "span = {span}");
+    }
+
+    #[test]
+    fn poisson_spike_concentrates_arrivals_in_the_surge_window() {
+        let s = WorkloadSpec::standard(
+            ArrivalProcess::PoissonSpike {
+                rate_per_sec: 0.5,
+                surge_x: 10.0,
+                spike_start: SimDuration::from_secs(60),
+                spike_len: SimDuration::from_secs(30),
+            },
+            200,
+            "qwen2.5-3b",
+        );
+        let scripts = s.generate(17);
+        assert_eq!(scripts.len(), 200);
+        let arrivals = open_arrivals(&scripts);
+        let in_spike = arrivals
+            .iter()
+            .filter(|(t, _)| {
+                let s = t.as_secs_f64();
+                (60.0..90.0).contains(&s)
+            })
+            .count();
+        // 30 s of 5 rps surge ≈ 150 arrivals vs 0.5 rps background: the
+        // spike window must dominate the trace.
+        assert!(
+            in_spike > arrivals.len() / 2,
+            "{in_spike} of {} arrivals in the surge window",
+            arrivals.len()
+        );
+        assert_eq!(s.generate(17), s.generate(17));
     }
 
     #[test]

@@ -177,3 +177,52 @@ fn duplicate_shard_indices_refuse_to_merge() {
     let (a, _, _) = heterogeneous_shard_stats();
     let _ = FleetStats::from_shards([a.clone()]).merge(FleetStats::from_shards([a]));
 }
+
+#[test]
+fn metrics_on_fleet_is_thread_invariant_and_digest_covered() {
+    let workload = WorkloadSpec::standard_multi(
+        ArrivalProcess::Poisson { rate_per_sec: 0.4 },
+        60,
+        &["tinyllama-1.1b", "qwen2.5-3b"],
+    );
+    let with_metrics = |profile: &PlatformProfile| {
+        let mut c = ServingConfig::paper_default(profile.clone());
+        c.metrics = Some(SimDuration::from_secs(60));
+        c
+    };
+    let run = |threads: usize| {
+        run_fleet(
+            &workload,
+            &catalogue(),
+            0xD16E57,
+            &FleetConfig::heterogeneous(4, threads),
+            with_metrics,
+        )
+    };
+    let serial = run(1);
+    let wide = run(4);
+    // The windowed series are part of the merged stats and the canonical
+    // digest, so thread-count invariance now covers them too.
+    assert_eq!(serial, wide, "metric series must merge thread-invariantly");
+    assert_eq!(serial.digest(), wide.digest());
+    let merged = serial.merged_metrics();
+    assert!(merged.is_enabled() && merged.series_count() > 0);
+
+    // Metrics are observe-only (same completions, same aggregate TTFT), but
+    // the digest must *cover* the series: a metrics-off fleet of the same
+    // workload hashes differently.
+    let off = run_fleet(
+        &workload,
+        &catalogue(),
+        0xD16E57,
+        &FleetConfig::heterogeneous(4, 1),
+        paper_config,
+    );
+    assert_eq!(serial.completed(), off.completed());
+    assert_eq!(serial.ttft_ms(), off.ttft_ms());
+    assert_ne!(
+        serial.digest(),
+        off.digest(),
+        "the canonical digest must cover the windowed metric series"
+    );
+}

@@ -1,0 +1,153 @@
+//! Cross-crate SLO-monitor tests: a live serving run through the windowed
+//! metrics registry, evaluated against the default per-class objectives —
+//! the burn-rate monitor must localise an injected overload to the windows
+//! it happened in, name a bounding lane, and export an exposition the
+//! strict OpenMetrics validator accepts.
+
+use sim_core::{SimDuration, WindowedMetrics};
+use tz_hal::PlatformProfile;
+use tzllm::serving::{Server, ServingConfig};
+use tzllm::slo::{self, SloConfig, SloTarget};
+use workloads::{ArrivalProcess, WorkloadSpec};
+
+const WINDOW: SimDuration = SimDuration::from_secs(60);
+const SPIKE_START: SimDuration = SimDuration::from_secs(600);
+const SPIKE_LEN: SimDuration = SimDuration::from_secs(300);
+
+/// A quiet Poisson background with a 12× notification storm injected a few
+/// windows in — the canonical overload the monitor exists to localise.
+fn spike_run() -> WindowedMetrics {
+    let mut config = ServingConfig::paper_default(PlatformProfile::rk3588());
+    config.metrics = Some(WINDOW);
+    let workload = WorkloadSpec::standard_multi(
+        ArrivalProcess::PoissonSpike {
+            rate_per_sec: 0.05,
+            surge_x: 12.0,
+            spike_start: SPIKE_START,
+            spike_len: SPIKE_LEN,
+        },
+        220,
+        &["tinyllama-1.1b", "qwen2.5-3b"],
+    );
+    let catalogue = llm::ModelSpec::catalogue();
+    let report = Server::run_workload(config, catalogue, &workload, 0x0510);
+    report.metrics.expect("metrics were enabled")
+}
+
+#[test]
+fn burn_rate_monitor_localises_the_injected_overload() {
+    let metrics = spike_run();
+    let targets = SloTarget::defaults_for(&metrics);
+    assert!(
+        targets.iter().any(|t| t.metric == "ttft_cold"),
+        "the default objectives must cover the cold-TTFT classes present"
+    );
+    let report = slo::evaluate(&metrics, &targets, &SloConfig::default());
+
+    // The storm starts at window SPIKE_START / WINDOW; every window before
+    // it must stay inside the error budget, and at least one target must
+    // report an overload episode that begins at (or after) the storm.
+    let spike_window = SPIKE_START.as_nanos() / WINDOW.as_nanos();
+    let cold = report
+        .target("ttft_cold", "independent")
+        .expect("independent cold-TTFT target evaluated");
+    for w in &cold.windows {
+        if w.window < spike_window {
+            assert!(
+                w.burn_rate(cold.target.objective) < SloConfig::default().burn_threshold,
+                "window {} burns budget before the storm starts",
+                w.window
+            );
+        }
+    }
+    assert!(
+        !report.episodes.is_empty(),
+        "the storm must register as an overload episode"
+    );
+    for episode in &report.episodes {
+        assert!(
+            episode.first_window >= spike_window,
+            "episode at window {} predates the storm (window {})",
+            episode.first_window,
+            spike_window
+        );
+        assert!(episode.last_window >= episode.first_window);
+        assert!(episode.peak_burn_rate >= SloConfig::default().burn_threshold);
+        assert!(episode.bad_requests > 0);
+        assert!(
+            episode.bounding_lane.is_some(),
+            "each episode must name the lane that bounded it"
+        );
+    }
+    assert!(report.peak_burn_rate() >= SloConfig::default().burn_threshold);
+
+    // The attainment accounting is closed: every request lands in exactly
+    // one window of its class's target.
+    let windowed: u64 = cold.windows.iter().map(|w| w.total).sum();
+    assert_eq!(windowed, cold.total);
+    assert!(cold.attainment() <= 1.0 && cold.attainment() >= 0.0);
+}
+
+#[test]
+fn exposition_passes_the_strict_validator_and_csv_is_complete() {
+    let metrics = spike_run();
+    let targets = SloTarget::defaults_for(&metrics);
+    let report = slo::evaluate(&metrics, &targets, &SloConfig::default());
+
+    let exposition = slo::openmetrics(&metrics, &report);
+    let samples = slo::validate_openmetrics(&exposition)
+        .expect("the exposition must satisfy the strict validator");
+    assert!(samples > 100, "only {samples} samples exported");
+    assert!(exposition.ends_with("# EOF\n"));
+    assert!(exposition.contains("# TYPE tzllm_requests_completed counter"));
+    assert!(exposition.contains("tzllm_slo_burn_rate_peak"));
+
+    let csv = slo::csv_timeseries(&metrics, &report);
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("window,start_s,kind,name,class,field,value")
+    );
+    let mut kinds: Vec<&str> = lines
+        .map(|l| l.split(',').nth(2).expect("kind column"))
+        .collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    assert_eq!(
+        kinds,
+        ["counter", "gauge", "histogram", "lane", "slo"],
+        "every series kind must appear in the CSV time-series"
+    );
+
+    // The summary names the overload in human-readable form.
+    let summary = report.summary();
+    assert!(summary.contains("overload"), "summary:\n{summary}");
+}
+
+#[test]
+fn quiet_run_burns_no_budget_and_reports_no_episode() {
+    let mut config = ServingConfig::paper_default(PlatformProfile::rk3588());
+    config.metrics = Some(WINDOW);
+    let workload = WorkloadSpec::standard_multi(
+        ArrivalProcess::Poisson { rate_per_sec: 0.03 },
+        60,
+        &["tinyllama-1.1b", "qwen2.5-3b"],
+    );
+    let report = Server::run_workload(config, llm::ModelSpec::catalogue(), &workload, 0x0531);
+    let metrics = report.metrics.expect("metrics were enabled");
+    let targets = SloTarget::defaults_for(&metrics);
+    let slo_report = slo::evaluate(&metrics, &targets, &SloConfig::default());
+    assert!(
+        slo_report.episodes.is_empty(),
+        "an unloaded device must not report an overload episode: {}",
+        slo_report.summary()
+    );
+    for target in &slo_report.targets {
+        assert!(
+            target.met(),
+            "{}/{} misses its objective on a quiet run",
+            target.target.metric,
+            target.target.class
+        );
+    }
+}
